@@ -1,0 +1,66 @@
+"""Extension — partitioned multiprocessor scheduling on a shared battery.
+
+The paper's related work ([1], [15]) moves battery-aware DVS to
+multiprocessors.  This bench runs the same 70 %-utilization workload
+on 1, 2 and 3 cores sharing one AAA cell (worst-fit partitioning,
+BAS-2 per core) and reports the shared battery's lifetime: more cores
+at lower per-core load give DVS more headroom and flatten the summed
+current, so lifetime grows with core count for identical work.
+"""
+
+from conftest import publish
+from repro.analysis.lifetime import evaluate_lifetime
+from repro.analysis.tables import format_table
+from repro.battery.calibrate import paper_cell_kibam
+from repro.core.methodology import paper_schemes
+from repro.multiproc import run_partitioned
+from repro.processor.platform import paper_processor
+from repro.workloads.generator import UniformActuals, paper_task_set
+
+
+def run_all():
+    cell = paper_cell_kibam()
+    bas2 = paper_schemes()[4]
+    rows = []
+    for n_cores in (1, 2, 3):
+        life_sum = 0.0
+        energy_sum = 0.0
+        n_sets = 3
+        for seed in range(n_sets):
+            ts = paper_task_set(6, utilization=0.9, seed=seed)
+            actuals = UniformActuals(seed=seed)
+            res = run_partitioned(
+                ts,
+                [paper_processor() for _ in range(n_cores)],
+                bas2,
+                ts.hyperperiod(),
+                actuals=actuals,
+            )
+            assert res.misses == 0
+            life_sum += evaluate_lifetime(
+                res.combined_profile(), cell
+            ).lifetime_minutes
+            energy_sum += res.energy
+        rows.append(
+            [n_cores, energy_sum / n_sets, life_sum / n_sets]
+        )
+    return rows
+
+
+def test_multiproc_scaling(benchmark, results_dir):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        ["cores", "energy (J)", "shared-battery lifetime (min)"],
+        rows,
+        title=(
+            "Extension — partitioned multiprocessor, BAS-2 per core, "
+            "U=0.9 workload (avg of 3 sets)"
+        ),
+        precision=1,
+    )
+    publish(results_dir, "multiproc", text)
+
+    lifetimes = [r[2] for r in rows]
+    # More cores, same work: the shared battery must not live shorter.
+    assert lifetimes[1] >= lifetimes[0] * 0.98
+    assert lifetimes[2] >= lifetimes[0] * 0.98

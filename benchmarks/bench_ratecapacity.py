@@ -1,0 +1,34 @@
+"""Figure 5 (battery) — load vs delivered capacity curve.
+
+The paper defines the cell's *maximum* capacity (2000 mAh) as the
+infinitesimal-load limit of the delivered-capacity curve and the
+*available-well* charge as the infinite-load limit, both read off the
+curve's extrapolated ends.  This bench sweeps constant loads through
+the calibrated KiBaM / diffusion / stochastic cells and checks the
+extrapolations.
+"""
+
+from conftest import publish
+from repro.analysis.experiments import rate_capacity
+
+
+def test_rate_capacity(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: rate_capacity(
+            currents=(0.1, 0.2, 0.45, 0.7, 1.0, 1.25, 2.0, 2.8, 4.0, 8.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ratecapacity", result.format())
+
+    # The extrapolated maximum matches the paper's 2000 mAh cell.
+    assert abs(result.max_capacity_mah - 2000.0) / 2000.0 < 0.03
+    assert result.available_capacity_mah < result.max_capacity_mah
+    # Every model's curve is monotone decreasing in load.
+    for vals in result.delivered_mah.values():
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+    # The calibration anchors (0.45 A -> 1800 mAh, 1.25 A -> 1570 mAh).
+    kibam = dict(zip(result.currents, result.delivered_mah["KiBaM"]))
+    assert abs(kibam[0.45] - 1800.0) < 10.0
+    assert abs(kibam[1.25] - 1570.0) < 10.0

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Domain scenario: a handheld multimedia player.
+
+The paper's introduction motivates battery-aware scheduling with
+"continuously increasing functionality ... integrated with handheld
+devices".  This example models one: a portable player decoding audio
+and video while syncing e-mail in the background — three periodic task
+graphs with real precedence structure:
+
+* ``video``  (25 fps, 40 ms period): parse -> {decode_y, decode_uv} ->
+  filter -> render, a fork-join pipeline whose decode stages vary a lot
+  with scene complexity (actuals 20-100 % of WCET);
+* ``audio``  (100 Hz, 10 ms period): demux -> decode -> mix, a chain
+  with stable demand (actuals 70-90 %);
+* ``sync``   (1 Hz, 1 s period): poll -> {parse_headers, fetch_body} ->
+  store, bursty background work.
+
+We ask the question a product engineer would: how much *playback time*
+does battery-aware scheduling buy on one AAA NiMH cell?
+
+Run:  python examples/multimedia_player.py
+"""
+
+from repro import (
+    PeriodicTaskGraph,
+    TaskGraph,
+    TaskGraphSet,
+    TaskNode,
+    evaluate_lifetime,
+    paper_cell_kibam,
+    paper_processor,
+    paper_schemes,
+    run_scheme,
+)
+from repro.workloads import UniformActuals
+
+
+def video_graph(scale: float) -> TaskGraph:
+    return TaskGraph(
+        "video",
+        [
+            TaskNode("parse", 2.0 * scale),
+            TaskNode("decode_y", 8.0 * scale),
+            TaskNode("decode_uv", 6.0 * scale),
+            TaskNode("filter", 4.0 * scale),
+            TaskNode("render", 2.0 * scale),
+        ],
+        [
+            ("parse", "decode_y"),
+            ("parse", "decode_uv"),
+            ("decode_y", "filter"),
+            ("decode_uv", "filter"),
+            ("filter", "render"),
+        ],
+    )
+
+
+def audio_graph(scale: float) -> TaskGraph:
+    return TaskGraph(
+        "audio",
+        [
+            TaskNode("demux", 0.8 * scale),
+            TaskNode("decode", 2.4 * scale),
+            TaskNode("mix", 0.8 * scale),
+        ],
+        [("demux", "decode"), ("decode", "mix")],
+    )
+
+
+def sync_graph(scale: float) -> TaskGraph:
+    return TaskGraph(
+        "sync",
+        [
+            TaskNode("poll", 30.0 * scale),
+            TaskNode("parse_headers", 60.0 * scale),
+            TaskNode("fetch_body", 90.0 * scale),
+            TaskNode("store", 40.0 * scale),
+        ],
+        [
+            ("poll", "parse_headers"),
+            ("poll", "fetch_body"),
+            ("parse_headers", "store"),
+            ("fetch_body", "store"),
+        ],
+    )
+
+
+class MixedActuals:
+    """Per-graph actual-computation behaviour (video varies, audio is
+    steady, sync is bursty)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._video = UniformActuals(0.2, 1.0, seed)
+        self._audio = UniformActuals(0.7, 0.9, seed + 1)
+        self._sync = UniformActuals(0.3, 1.0, seed + 2)
+
+    def __call__(self, graph: str, node: str, job: int, wc: float) -> float:
+        provider = {
+            "video": self._video, "audio": self._audio, "sync": self._sync
+        }[graph]
+        return provider(graph, node, job, wc)
+
+
+def main() -> None:
+    # WCETs in seconds-at-fmax; scaled so the set lands at 70 % worst-
+    # case utilization (periods: 40 ms video, 10 ms audio, 1 s sync).
+    raw = TaskGraphSet(
+        [
+            PeriodicTaskGraph(video_graph(1e-3), 0.040),
+            PeriodicTaskGraph(audio_graph(1e-3), 0.010),
+            PeriodicTaskGraph(sync_graph(1e-3), 1.000),
+        ]
+    )
+    # Scale WCETs (not periods!) to the target utilization: frame rates
+    # stay physical and the hyperperiod stays at 1 s.
+    task_set = raw.scaled_wcets_to_utilization(0.7)
+    actuals = MixedActuals(seed=7)
+    processor = paper_processor()
+    cell = paper_cell_kibam()
+    horizon = task_set.hyperperiod()
+
+    print("handheld player workload")
+    for p in task_set:
+        print(
+            f"  {p.name:6s} period {p.period*1e3:7.1f} ms  "
+            f"{len(p.graph)} tasks  u={p.utilization:.3f}"
+        )
+    print(f"  total worst-case utilization: {task_set.utilization:.2f}\n")
+
+    frames_per_s = 1.0 / task_set.by_name("video").period
+    print(f"{'scheme':8s} {'lifetime (min)':>15s} {'frames decoded':>15s}")
+    results = {}
+    for scheme in paper_schemes():
+        res = run_scheme(scheme, task_set, processor, actuals, horizon)
+        assert not res.misses
+        life = evaluate_lifetime(res, cell)
+        frames = life.lifetime_minutes * 60 * frames_per_s
+        results[scheme.name] = life.lifetime_minutes
+        print(f"{scheme.name:8s} {life.lifetime_minutes:15.1f} {frames:15.0f}")
+
+    gain = results["BAS-2"] / results["EDF"] - 1
+    print(
+        f"\nBAS-2 plays {gain:+.0%} longer than plain EDF on the same "
+        f"cell — every frame\nstill rendered on deadline."
+    )
+
+
+if __name__ == "__main__":
+    main()

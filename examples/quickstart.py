@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a random periodic task-graph set five ways and
+compare battery lifetimes.
+
+This is the library's 60-second tour: build a workload at the paper's
+operating point (70 % utilization, actuals 20-100 % of WCET), run the
+five Table 2 schemes on the paper's DVS processor, and tile each
+execution's current profile through the calibrated AAA NiMH cell until
+it dies.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    UniformActuals,
+    evaluate_lifetime,
+    paper_cell_stochastic,
+    paper_processor,
+    paper_schemes,
+    paper_task_set,
+    run_scheme,
+)
+
+
+def main() -> None:
+    seed = 42
+    task_set = paper_task_set(4, utilization=0.7, seed=seed)
+    actuals = UniformActuals(low=0.2, high=1.0, seed=seed)
+    processor = paper_processor()
+    horizon = task_set.hyperperiod()
+
+    print(f"workload: {task_set}")
+    print(f"simulating one hyperperiod ({horizon:.0f} s) per scheme\n")
+    print(f"{'scheme':8s} {'energy (J)':>11s} {'mean I (A)':>11s} "
+          f"{'charge (mAh)':>13s} {'lifetime (min)':>15s}")
+
+    for scheme in paper_schemes():
+        result = run_scheme(scheme, task_set, processor, actuals, horizon)
+        assert not result.misses, "the methodology guarantees deadlines"
+        cell = paper_cell_stochastic(seed=seed)
+        life = evaluate_lifetime(result, cell, rebin=1.0)
+        print(
+            f"{scheme.name:8s} {result.energy:11.2f} "
+            f"{result.mean_current:11.3f} {life.delivered_mah:13.1f} "
+            f"{life.lifetime_minutes:15.1f}"
+        )
+
+    print(
+        "\nBattery-aware scheduling (BAS) extends lifetime by running "
+        "slower, smoother,\nlocally non-increasing current profiles — "
+        "the battery's recovery effect turns\nthat into extra "
+        "extractable charge."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` on environments whose
+setuptools cannot build wheels (offline, no `wheel` package).  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Battery substrate: KiBaM, diffusion, stochastic, Peukert models plus
+rate-capacity tooling and calibration to the paper's AAA NiMH cell."""
+
+from .base import BatteryModel, BatteryRun, as_segments
+from .calibrate import (
+    PAPER_MAX_CAPACITY_C,
+    PAPER_NOMINAL_CAPACITY_C,
+    PAPER_NOMINAL_CURRENT_A,
+    PAPER_WELL_SPLIT,
+    calibrate_diffusion,
+    calibrate_kibam,
+    paper_cell_diffusion,
+    paper_cell_kibam,
+    paper_cell_stochastic,
+)
+from .diffusion import DiffusionBattery, DiffusionState
+from .kibam import KiBaM, KiBaMState
+from .peukert import PeukertBattery
+from .ratecapacity import (
+    RateCapacityCurve,
+    extrapolated_capacities,
+    sweep_rate_capacity,
+)
+from .stochastic import StochasticKiBaM
+
+__all__ = [
+    "BatteryModel",
+    "BatteryRun",
+    "as_segments",
+    "KiBaM",
+    "KiBaMState",
+    "DiffusionBattery",
+    "DiffusionState",
+    "StochasticKiBaM",
+    "PeukertBattery",
+    "RateCapacityCurve",
+    "sweep_rate_capacity",
+    "extrapolated_capacities",
+    "calibrate_kibam",
+    "calibrate_diffusion",
+    "paper_cell_kibam",
+    "paper_cell_diffusion",
+    "paper_cell_stochastic",
+    "PAPER_MAX_CAPACITY_C",
+    "PAPER_NOMINAL_CAPACITY_C",
+    "PAPER_NOMINAL_CURRENT_A",
+    "PAPER_WELL_SPLIT",
+]

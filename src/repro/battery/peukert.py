@@ -1,0 +1,99 @@
+"""Peukert's-law battery model — the classic empirical baseline.
+
+Used by early battery-aware work (the paper cites Luo & Jha [7] as
+building on Peukert's law).  For a constant discharge current ``I`` the
+lifetime is
+
+    L = a / I^b          (b >= 1, the Peukert exponent)
+
+which we generalize to variable loads in the standard way: the battery
+has an *effective capacity budget* ``a`` drained at the rate ``I(t)^b``
+— death at the first ``L`` with ``∫_0^L I(t)^b dt = a``.  Peukert
+captures the rate-capacity effect (guideline 1's "smaller currents
+deliver more charge") but has *no recovery effect*, which is precisely
+why the kinetic/diffusion models supersede it; the contrast is used by
+the model-coherence benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import BatteryError
+from .base import BatteryModel
+
+__all__ = ["PeukertBattery"]
+
+
+@dataclass(frozen=True)
+class _PeukertState:
+    spent: float  # ∫ I^b dt so far, in A^b * s
+
+
+class PeukertBattery(BatteryModel):
+    """Peukert's law with the effective-current extension.
+
+    Parameters
+    ----------
+    capacity:
+        Charge delivered under the reference current ``i_ref``
+        (coulombs).  The Peukert constant is
+        ``a = capacity * i_ref^(b-1)``.
+    exponent:
+        Peukert exponent ``b`` (1 = ideal battery; NiMH cells are
+        typically 1.1-1.3).
+    i_ref:
+        Reference current at which ``capacity`` is specified (amperes).
+    """
+
+    def __init__(
+        self, capacity: float, exponent: float = 1.2, i_ref: float = 1.0
+    ) -> None:
+        if not (capacity > 0):
+            raise BatteryError(f"capacity must be > 0, got {capacity}")
+        if not (exponent >= 1):
+            raise BatteryError(f"exponent must be >= 1, got {exponent}")
+        if not (i_ref > 0):
+            raise BatteryError(f"i_ref must be > 0, got {i_ref}")
+        self.capacity = float(capacity)
+        self.exponent = float(exponent)
+        self.i_ref = float(i_ref)
+        self._a = capacity * i_ref ** (exponent - 1.0)
+
+    # ------------------------------------------------------------------
+    def fresh_state(self) -> _PeukertState:
+        return _PeukertState(0.0)
+
+    def theoretical_capacity(self) -> float:
+        """Charge under infinitesimal load diverges for b > 1; report the
+        reference-rate capacity instead (Peukert has no finite maximum)."""
+        return self.capacity
+
+    def advance(
+        self, state: _PeukertState, current: float, dt: float
+    ) -> Tuple[_PeukertState, Optional[float]]:
+        if dt < 0:
+            raise BatteryError(f"dt must be >= 0, got {dt}")
+        if state.spent >= self._a:
+            return state, 0.0
+        if dt == 0 or current <= 0:
+            return _PeukertState(state.spent), None
+        rate = current**self.exponent
+        spent_end = state.spent + rate * dt
+        if spent_end < self._a:
+            return _PeukertState(spent_end), None
+        death = (self._a - state.spent) / rate
+        return _PeukertState(self._a), death
+
+    def constant_lifetime(self, current: float) -> float:
+        """Closed-form lifetime ``a / I^b`` for a constant current."""
+        if current <= 0:
+            raise BatteryError(f"current must be > 0, got {current}")
+        return self._a / current**self.exponent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PeukertBattery(capacity={self.capacity:.6g}C@"
+            f"{self.i_ref:.3g}A, b={self.exponent:.3g})"
+        )

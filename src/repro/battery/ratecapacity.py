@@ -1,0 +1,96 @@
+"""Rate-capacity curves and capacity extrapolation.
+
+§5 of the paper defines the cell's *maximum capacity* (2000 mAh) as the
+charge delivered under an infinitesimal load and the *available-well
+charge* as the limit under infinite current, both read off a "load vs
+delivered capacity" curve with extrapolated ends (the paper's second
+Figure 5).  This module sweeps constant-current discharges through any
+:class:`~repro.battery.base.BatteryModel` and produces that curve plus
+the two extrapolated anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import BatteryError
+from .base import BatteryModel
+from .kibam import KiBaM
+
+__all__ = ["RateCapacityCurve", "sweep_rate_capacity", "extrapolated_capacities"]
+
+
+@dataclass(frozen=True)
+class RateCapacityCurve:
+    """Delivered capacity as a function of constant load current.
+
+    Attributes
+    ----------
+    currents:
+        Load currents swept (amperes, ascending).
+    delivered:
+        Charge delivered before cutoff at each current (coulombs).
+    lifetimes:
+        Corresponding lifetimes (seconds).
+    """
+
+    currents: np.ndarray
+    delivered: np.ndarray
+    lifetimes: np.ndarray
+
+    @property
+    def delivered_mah(self) -> np.ndarray:
+        return self.delivered / 3.6
+
+    def rows(self) -> Tuple[Tuple[float, float, float], ...]:
+        """(current A, delivered mAh, lifetime min) rows for printing."""
+        return tuple(
+            (float(i), float(q / 3.6), float(t / 60.0))
+            for i, q, t in zip(self.currents, self.delivered, self.lifetimes)
+        )
+
+
+def sweep_rate_capacity(
+    model: BatteryModel,
+    currents: Sequence[float],
+    *,
+    max_time: float = 1e8,
+) -> RateCapacityCurve:
+    """Discharge the model at each constant current until cutoff."""
+    cur = np.asarray(sorted(float(c) for c in currents), dtype=float)
+    if cur.size == 0:
+        raise BatteryError("need at least one sweep current")
+    if np.any(cur <= 0):
+        raise BatteryError("sweep currents must be > 0")
+    delivered = np.empty_like(cur)
+    lifetimes = np.empty_like(cur)
+    for idx, c in enumerate(cur):
+        run = model.lifetime_constant(float(c), max_time=max_time)
+        delivered[idx] = run.delivered_charge
+        lifetimes[idx] = run.lifetime
+    return RateCapacityCurve(cur, delivered, lifetimes)
+
+
+def extrapolated_capacities(
+    model: BatteryModel,
+    *,
+    low_current: float = 1e-3,
+    high_current: float = 100.0,
+) -> Tuple[float, float]:
+    """(maximum_capacity, available_capacity) in coulombs.
+
+    The maximum capacity is the infinitesimal-load limit and the
+    available capacity the infinite-load limit; we evaluate both by
+    probing far into each regime, the numerical analogue of the paper's
+    curve extrapolation.  For :class:`KiBaM` the infinite-load limit is
+    known exactly (the available well) and is used directly.
+    """
+    maximum = model.lifetime_constant(low_current, max_time=1e12).delivered_charge
+    if isinstance(model, KiBaM):
+        available = model.available_capacity()
+    else:
+        available = model.lifetime_constant(high_current).delivered_charge
+    return float(maximum), float(available)

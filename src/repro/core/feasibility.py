@@ -1,0 +1,55 @@
+"""The feasibility check for out-of-EDF-order execution (Algorithm 2).
+
+A candidate task belonging to the graph at EDF position k may run ahead
+of the k−1 graphs with earlier absolute deadlines only if doing so —
+at the current reference frequency, with everyone taking their worst
+case — still lets each of those deadlines be met:
+
+    for each j = 1 .. k−1 (graphs in EDF order):
+        cum_WC_j + wc_candidate  <=  f_ref · (D_j − t)
+
+where ``cum_WC_j`` is the cumulative remaining worst-case work of
+graphs 1..j.  Executing a position-k task "can only jeopardize the
+meeting of the deadlines of k−1 taskgraphs before it", hence exactly
+k−1 conditions.  Using ``f_ref`` rather than f_max in the bound is what
+preserves the locally non-increasing voltage assignment: a pick is
+admitted only if it never forces a later speed-up above the current
+reference frequency.
+
+(The paper's pseudocode resets its ``sumWC`` accumulator inside the
+loop, which would make every check independent of earlier graphs and
+cannot guarantee the stated property; we implement the cumulative sum
+its surrounding prose describes.)
+"""
+
+from __future__ import annotations
+
+from ..sim.state import Candidate, SchedulerView
+
+__all__ = ["feasibility_check"]
+
+_ATOL = 1e-9
+
+
+def feasibility_check(
+    view: SchedulerView, cand: Candidate, s_ref: float
+) -> bool:
+    """True iff running ``cand`` now cannot break any earlier deadline.
+
+    ``s_ref`` is the current reference speed (normalized f_ref).  A
+    candidate from the most-imminent graph passes trivially (zero
+    conditions).
+    """
+    if s_ref <= 0:
+        return False
+    t = view.time
+    cum_wc = 0.0
+    for job in view.active_jobs():
+        if job is cand.job:
+            return True  # reached the candidate's own position: k-1 checks done
+        cum_wc += job.remaining_wc()
+        budget = s_ref * (job.abs_deadline - t)
+        if cum_wc + cand.wc_remaining > budget + _ATOL:
+            return False
+    # Candidate's job not in the active list — nothing to jeopardize.
+    return True

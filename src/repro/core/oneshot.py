@@ -1,0 +1,205 @@
+"""One-shot scheduling of a single task graph with a common deadline.
+
+Table 1 and the Figure 4 motivational example live in this setting: m
+interdependent tasks, one absolute deadline ``D``, tasks executed to
+completion (no releases arrive, so nothing preempts).  The DVS rule is
+the one-shot specialization every EDF-derived algorithm reduces to
+here: before each task, run at the lowest speed that still fits the
+*remaining worst case* into the remaining time,
+
+    s = W_rem / (D - t),
+
+which only ever decreases as actuals undercut worst cases (locally
+non-increasing, guideline 1) and leaves no avoidable idle (guideline
+2).  The priority function picks which ready task to run; the energy
+difference between orders is pure slack-recovery quality, which is
+exactly what Table 1 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SchedulingError
+from ..processor.platform import Processor
+from ..sim.state import Candidate, JobState
+from ..sim.trace import ExecutionTrace, TraceSegment
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.periodic import PeriodicTaskGraph
+from .priority import PriorityFunction
+
+__all__ = ["OneShotResult", "run_one_shot", "evaluate_order", "OneShotOracle"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class OneShotResult:
+    """Outcome of executing one graph against one deadline."""
+
+    order: Tuple[str, ...]
+    trace: ExecutionTrace
+    energy: float
+    charge: float
+    finish_time: float
+    deadline: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.finish_time <= self.deadline + 1e-9
+
+
+class OneShotOracle:
+    """Speed oracle for the common-deadline setting (Gruian's s_o, s_{o,k}).
+
+    ``s_o = W_rem / (D - t)``; appending τ_k with estimated demand X_k
+    gives ``s_{o,k} = (W_rem - wc_k) / (D - t - X_k / s_o)``.
+    """
+
+    def __init__(self, remaining_wc: float, deadline: float, time: float) -> None:
+        self.remaining_wc = remaining_wc
+        self.deadline = deadline
+        self.time = time
+
+    def speed_now(self) -> float:
+        span = self.deadline - self.time
+        if span <= _EPS:
+            return float("inf")
+        return self.remaining_wc / span
+
+    def speed_after(self, cand: Candidate, estimate: float) -> float:
+        s_now = self.speed_now()
+        if s_now <= _EPS or s_now == float("inf"):
+            return s_now
+        span = self.deadline - self.time - estimate / s_now
+        rem = self.remaining_wc - cand.wc_remaining
+        if span <= _EPS:
+            return float("inf")
+        return max(rem, 0.0) / span
+
+
+def _make_job(
+    graph: TaskGraph, deadline: float, actual: Mapping[str, float]
+) -> JobState:
+    ptg = PeriodicTaskGraph(graph, deadline)
+    return JobState(ptg, 0, 0.0, actual)
+
+
+def _execute_node(
+    processor: Processor,
+    trace: ExecutionTrace,
+    t: float,
+    job: JobState,
+    node: str,
+    s_req: float,
+) -> float:
+    """Run ``node`` to completion at (the realization of) ``s_req``.
+
+    One-shot runs record the time-averaged mix current over the node's
+    execution: total charge and energy are identical to the chunked
+    realization (charge is linear in current), and Table 1/Figure 6
+    measure energy only.  Returns the new time.
+    """
+    ac = job.remaining_ac_node(node)
+    s_eff = processor.effective_speed(s_req)
+    current = processor.current_at(s_req)
+    mix = processor.resolve(s_req)
+    dt = ac / s_eff
+    trace.append(
+        TraceSegment(
+            start=t,
+            duration=dt,
+            graph=job.name,
+            node=node,
+            speed=s_eff,
+            voltage=max(p.voltage for p in mix.points),
+            current=current,
+        )
+    )
+    job.advance_node(node, ac)
+    return t + dt
+
+
+def run_one_shot(
+    graph: TaskGraph,
+    deadline: float,
+    processor: Processor,
+    priority: PriorityFunction,
+    actual: Mapping[str, float],
+    *,
+    start: float = 0.0,
+) -> OneShotResult:
+    """Execute ``graph`` once before ``deadline`` under ``priority``.
+
+    ``actual`` maps node names to their actual cycle demands (must not
+    exceed the WCETs).  Requires ``graph.total_wcet <= deadline - start``
+    (otherwise even f_max cannot guarantee the worst case).
+    """
+    span = deadline - start
+    if graph.total_wcet > span + 1e-9:
+        raise SchedulingError(
+            f"graph {graph.name!r}: worst case {graph.total_wcet:.6g} does "
+            f"not fit in [start, deadline] span {span:.6g} even at f_max"
+        )
+    job = _make_job(graph, deadline - start, actual)
+    trace = ExecutionTrace()
+    t = start
+    order: List[str] = []
+    while not job.is_complete():
+        remaining_wc = job.remaining_wc()
+        oracle = OneShotOracle(remaining_wc, deadline, t)
+        cands = [
+            Candidate(
+                job=job,
+                node=n,
+                wc_full=graph.wcet(n),
+                wc_remaining=job.remaining_wc_node(n),
+                executed=job.executed[n],
+                actual_remaining=job.remaining_ac_node(n),
+            )
+            for n in job.ready_nodes()
+        ]
+        chosen = priority.order(cands, oracle)[0]
+        s_req = oracle.speed_now()
+        t = _execute_node(processor, trace, t, job, chosen.node, s_req)
+        order.append(chosen.node)
+    return OneShotResult(
+        order=tuple(order),
+        trace=trace,
+        energy=trace.energy(processor.power.v_bat),
+        charge=trace.charge(),
+        finish_time=t,
+        deadline=deadline,
+    )
+
+
+def evaluate_order(
+    graph: TaskGraph,
+    deadline: float,
+    processor: Processor,
+    order: Sequence[str],
+    actual: Mapping[str, float],
+    *,
+    start: float = 0.0,
+) -> OneShotResult:
+    """Execute a *given* full order (must be a linear extension)."""
+    if not graph.is_linear_extension(order):
+        raise SchedulingError(
+            f"order {list(order)!r} is not a linear extension of "
+            f"{graph.name!r}"
+        )
+    job = _make_job(graph, deadline - start, actual)
+    trace = ExecutionTrace()
+    t = start
+    for node in order:
+        s_req = job.remaining_wc() / max(deadline - t, _EPS)
+        t = _execute_node(processor, trace, t, job, node, s_req)
+    return OneShotResult(
+        order=tuple(order),
+        trace=trace,
+        energy=trace.energy(processor.power.v_bat),
+        charge=trace.charge(),
+        finish_time=t,
+        deadline=deadline,
+    )

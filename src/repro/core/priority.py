@@ -1,0 +1,161 @@
+"""Priority functions for choosing the next ready task (§4.2).
+
+Given the ready list, a priority function ranks candidates; the
+methodology executes the best-ranked candidate that passes the
+feasibility check.  Implemented functions:
+
+* :class:`RandomPriority` — the paper's baseline "picking up a task
+  randomly every time from the ready list";
+* :class:`LTF` / :class:`STF` — largest/shortest task first, the
+  motivational heuristics of Figure 4 (LTF is also the Zhu et al.
+  slack-reclamation heuristic the paper compares against in Table 1);
+* :class:`PUBS` — Gruian's near-optimal priority
+
+      p_ubs(o, τ_k) = X_k / (s_o² − s_{o,k}²)
+
+  minimized over candidates, where ``s_o`` is the required speed after
+  the executed partial order ``o`` and ``s_{o,k}`` the speed after
+  appending τ_k with its *estimated* actual demand ``X_k``.  A task
+  expected to finish far below its worst case drops the future speed a
+  lot for few cycles spent — small ``p_ubs`` — and is scheduled first,
+  maximizing slack recovery.
+
+Speeds come from a :class:`SpeedOracle`, so the same PUBS code serves
+both the one-shot common-deadline setting (Table 1) and the dynamic
+periodic setting where ``s`` is whatever the active DVS algorithm would
+set (Table 2).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Optional, Protocol, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..sim.state import Candidate
+from .estimator import Estimator, WorstCaseEstimator
+
+__all__ = ["SpeedOracle", "PriorityFunction", "RandomPriority", "LTF", "STF", "PUBS"]
+
+_EPS = 1e-12
+
+
+class SpeedOracle(Protocol):
+    """Answers the two speed queries pUBS needs."""
+
+    def speed_now(self) -> float:
+        """Required speed ``s_o`` for the current partial order."""
+        ...
+
+    def speed_after(self, cand: Candidate, estimate: float) -> float:
+        """Required speed ``s_{o,k}`` after ``cand`` runs ``estimate``
+        cycles and completes."""
+        ...
+
+
+class PriorityFunction(abc.ABC):
+    """Ranks ready candidates; lower rank index = scheduled sooner."""
+
+    name: str = "priority"
+
+    @abc.abstractmethod
+    def order(
+        self, candidates: Sequence[Candidate], oracle: Optional[SpeedOracle]
+    ) -> List[Candidate]:
+        """Candidates sorted best-first.  Must be a permutation of the
+        input; must not mutate anything."""
+
+
+def _stable_key(cand: Candidate) -> Tuple[str, str]:
+    return (cand.graph_name, cand.node)
+
+
+class RandomPriority(PriorityFunction):
+    """Uniformly random order (seeded and reproducible)."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def order(
+        self, candidates: Sequence[Candidate], oracle: Optional[SpeedOracle]
+    ) -> List[Candidate]:
+        cands = list(candidates)
+        self._rng.shuffle(cands)
+        return cands
+
+
+class LTF(PriorityFunction):
+    """Largest (remaining worst-case) task first."""
+
+    name = "LTF"
+
+    def order(
+        self, candidates: Sequence[Candidate], oracle: Optional[SpeedOracle]
+    ) -> List[Candidate]:
+        return sorted(
+            candidates, key=lambda c: (-c.wc_remaining,) + _stable_key(c)
+        )
+
+
+class STF(PriorityFunction):
+    """Shortest (remaining worst-case) task first."""
+
+    name = "STF"
+
+    def order(
+        self, candidates: Sequence[Candidate], oracle: Optional[SpeedOracle]
+    ) -> List[Candidate]:
+        return sorted(
+            candidates, key=lambda c: (c.wc_remaining,) + _stable_key(c)
+        )
+
+
+class PUBS(PriorityFunction):
+    """Gruian's near-optimal slack-recovery priority function.
+
+    Parameters
+    ----------
+    estimator:
+        Supplies ``X_k``.  Defaults to the worst-case estimator, which
+        is safe but degenerate (every ``p_ubs`` is infinite); pass a
+        history or oracle estimator to get the paper's behaviour.
+    """
+
+    name = "pUBS"
+
+    def __init__(self, estimator: Optional[Estimator] = None) -> None:
+        self.estimator = estimator if estimator is not None else WorstCaseEstimator()
+
+    def score(self, cand: Candidate, oracle: SpeedOracle) -> float:
+        """The raw ``p_ubs`` value (lower = run sooner)."""
+        x_k = self.estimator.estimate(cand)
+        s_o = oracle.speed_now()
+        s_ok = oracle.speed_after(cand, x_k)
+        denom = s_o * s_o - s_ok * s_ok
+        if denom <= _EPS:
+            # No recoverable slack from this task (estimate equals the
+            # worst case, or the oracle is speed-insensitive): schedule
+            # it as late as possible.
+            return math.inf
+        return x_k / denom
+
+    def order(
+        self, candidates: Sequence[Candidate], oracle: Optional[SpeedOracle]
+    ) -> List[Candidate]:
+        if oracle is None:
+            raise SchedulingError("PUBS requires a speed oracle")
+        scored = []
+        for cand in candidates:
+            p = self.score(cand, oracle)
+            # Tie-break infinite scores by shortest estimated demand so
+            # behaviour stays deterministic and sensible without slack.
+            scored.append(
+                (p, self.estimator.estimate(cand)) + _stable_key(cand)
+            )
+        ordered = sorted(range(len(candidates)), key=lambda i: scored[i])
+        return [candidates[i] for i in ordered]

@@ -1,0 +1,65 @@
+"""Ready-list construction policies (§4.2).
+
+Two policies from the paper:
+
+* :data:`MOST_IMMINENT` — the ready list holds only the independent
+  (precedence-satisfied) tasks of the released task graph with the
+  earliest absolute deadline.  Plain EDF at graph granularity: always
+  deadline-safe with zero checks, but limited slack-recovery choice.
+  This is BAS-1's list.
+* :data:`ALL_RELEASED` — the ready list holds the independent tasks of
+  *every* released graph; out-of-EDF-order picks must pass the
+  feasibility check (:mod:`repro.core.feasibility`).  This is BAS-2's
+  list, "a more greedy approach".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..sim.state import Candidate, SchedulerView
+
+__all__ = ["ReadyListPolicy", "MOST_IMMINENT", "ALL_RELEASED"]
+
+
+class ReadyListPolicy:
+    """A named strategy that extracts candidates from the view."""
+
+    def __init__(
+        self,
+        name: str,
+        build: Callable[[SchedulerView], Tuple[Candidate, ...]],
+        needs_feasibility_check: bool,
+    ) -> None:
+        self.name = name
+        self._build = build
+        #: Whether picks from this list can violate EDF order and hence
+        #: must be guarded by the feasibility check.
+        self.needs_feasibility_check = needs_feasibility_check
+
+    def candidates(self, view: SchedulerView) -> Tuple[Candidate, ...]:
+        return self._build(view)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReadyListPolicy({self.name!r})"
+
+
+def _most_imminent(view: SchedulerView) -> Tuple[Candidate, ...]:
+    jobs = view.active_jobs()
+    if not jobs:
+        return ()
+    return view.candidates_of(jobs[0])
+
+
+def _all_released(view: SchedulerView) -> Tuple[Candidate, ...]:
+    out: List[Candidate] = []
+    for job in view.active_jobs():
+        out.extend(view.candidates_of(job))
+    return tuple(out)
+
+
+#: Ready tasks of the earliest-deadline released graph only (BAS-1).
+MOST_IMMINENT = ReadyListPolicy("most-imminent", _most_imminent, False)
+
+#: Ready tasks of all released graphs, feasibility-checked (BAS-2).
+ALL_RELEASED = ReadyListPolicy("all-released", _all_released, True)

@@ -1,0 +1,9 @@
+"""DVS frequency-setting algorithms (§4.1 of the paper)."""
+
+from .base import FrequencySetter
+from .ccedf import CcEDF
+from .laedf import LaEDF
+from .nodvs import NoDVS
+from .static import StaticUtilization
+
+__all__ = ["FrequencySetter", "NoDVS", "CcEDF", "LaEDF", "StaticUtilization"]

@@ -1,0 +1,62 @@
+"""Frequency-setter (DVS algorithm) interface.
+
+A frequency setter decides the *reference speed* (normalized frequency
+``fref / f_max``) at every scheduling decision point — task-graph
+release and node end, exactly the paper's §4.1 hooks.  It additionally
+answers *hypothetical* queries ("what would the speed be after this
+candidate ran, taking its estimated cycles?") which is how the pUBS
+priority function evaluates ``s_o`` and ``s_{o,k}`` in the dynamic
+setting without duplicating DVS logic.
+
+Returned speeds are *raw* — they may exceed 1 (infeasible demand, the
+simulator clamps and the task set is at fault) or sit below the
+hardware floor (the processor raises them to ``f_min``).  Keeping raw
+values preserves the discrimination pUBS needs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..sim.state import Candidate, GraphStatus, SchedulerView
+
+__all__ = ["FrequencySetter"]
+
+
+class FrequencySetter(abc.ABC):
+    """Base class for DVS frequency-setting algorithms."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "dvs"
+
+    def on_sim_start(self, view: SchedulerView) -> None:
+        """Called once before the first decision."""
+
+    def on_release(self, view: SchedulerView, status: GraphStatus) -> None:
+        """Called when a new job of ``status.ptg`` is released."""
+
+    def on_node_end(
+        self,
+        view: SchedulerView,
+        graph_name: str,
+        node: str,
+        wc: float,
+        ac: float,
+        job_complete: bool,
+    ) -> None:
+        """Called when a node finishes, revealing its actual cycles.
+
+        ``job_complete`` is True when this node was the job's last —
+        graph-granular algorithms react only to that event."""
+
+    @abc.abstractmethod
+    def select_speed(self, view: SchedulerView) -> float:
+        """The reference speed to run at from now on (raw, unclamped)."""
+
+    @abc.abstractmethod
+    def hypothetical_speed(
+        self, view: SchedulerView, cand: Candidate, estimate: float
+    ) -> float:
+        """Speed after ``cand`` hypothetically completes with ``estimate``
+        actual cycles (for pUBS's ``s_{o,k}``).  Must not mutate state."""

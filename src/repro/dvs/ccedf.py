@@ -1,0 +1,114 @@
+"""Cycle-conserving EDF (ccEDF) extended to task graphs — §4.1.
+
+Pillai & Shin's ccEDF tracks, per task, a utilization contribution that
+is the worst case while the task runs and the *actual* once it
+finishes, reverting to worst case at the next release.  The paper
+extends it to task graphs (Algorithm 1): the per-graph budget ``WC_i``
+starts at ``Σ_j wc_ij``; when node ``j`` ends having used ``ac_ij``
+cycles the budget is adjusted by ``ac_ij − wc_ij``; a fresh release
+restores the full worst case.  The reference frequency is
+
+    f_ref = U · f_max,   U = Σ_i WC_i / D_i.
+
+Because U only ever *drops* while a graph instance executes (nodes can
+only under-run their worst case) and jumps back up at releases, the
+resulting voltage/clock assignment is locally non-increasing within an
+instance — battery guideline 1 — and the algorithm never inserts idle
+slots while work is pending — guideline 2.
+
+Granularity
+-----------
+``granularity="node"`` is Algorithm 1 verbatim: each node completion
+immediately swaps that node's worst case for its actual.  This is the
+slack-reclamation grain the BAS methodology runs on.
+
+``granularity="graph"`` models Table 2's *baseline* ccEDF row, where
+the task-level algorithm of Pillai & Shin is handed each task graph as
+one monolithic EDF task: node completions are invisible, and the
+budget drops to the instance's actual total only when the whole
+instance finishes.  (This reading is forced by the paper's reported
+mean currents — see DESIGN.md §5 — and is exactly what "extending" a
+task-level DVS algorithm without the paper's methodology gives you.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import SchedulingError
+from ..sim.state import Candidate, GraphStatus, SchedulerView
+from .base import FrequencySetter
+
+__all__ = ["CcEDF"]
+
+
+class CcEDF(FrequencySetter):
+    """Cycle-conserving EDF for periodic task graphs."""
+
+    name = "ccEDF"
+
+    def __init__(self, granularity: str = "node") -> None:
+        if granularity not in ("node", "graph"):
+            raise SchedulingError(
+                f"granularity must be 'node' or 'graph', got {granularity!r}"
+            )
+        self.granularity = granularity
+        self._wc: Dict[str, float] = {}
+        self._actual_acc: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def on_sim_start(self, view: SchedulerView) -> None:
+        # Before anything runs, budget everyone at worst case.
+        self._wc = {
+            g.name: g.ptg.graph.total_wcet for g in view.graphs
+        }
+
+    def on_release(self, view: SchedulerView, status: GraphStatus) -> None:
+        # "...whereupon we switch back to the worst case specification."
+        self._wc[status.name] = status.ptg.graph.total_wcet
+        self._actual_acc[status.name] = 0.0
+
+    def on_node_end(
+        self,
+        view: SchedulerView,
+        graph_name: str,
+        node: str,
+        wc: float,
+        ac: float,
+        job_complete: bool,
+    ) -> None:
+        if self.granularity == "node":
+            # WC_i = WC_i + ac_ij - wc_ij  (Algorithm 1, endofnode)
+            self._wc[graph_name] += ac - wc
+            return
+        # Graph granularity: accumulate silently; only the instance's
+        # completion reveals its actual demand to the task-level DVS.
+        self._actual_acc[graph_name] = (
+            self._actual_acc.get(graph_name, 0.0) + ac
+        )
+        if job_complete:
+            self._wc[graph_name] = self._actual_acc[graph_name]
+
+    # ------------------------------------------------------------------
+    def utilization(self, view: SchedulerView) -> float:
+        return sum(
+            self._wc.get(g.name, g.ptg.graph.total_wcet) / g.ptg.period
+            for g in view.graphs
+        )
+
+    def select_speed(self, view: SchedulerView) -> float:
+        if not view.has_pending_work():
+            return 0.0
+        return self.utilization(view)
+
+    def hypothetical_speed(
+        self, view: SchedulerView, cand: Candidate, estimate: float
+    ) -> float:
+        """U after ``cand``'s node would finish with ``estimate`` cycles.
+
+        Completing the node replaces its remaining worst case by the
+        estimated remaining actual, so the graph's budget shifts by
+        ``estimate − wc_remaining`` (non-positive for honest estimates).
+        """
+        delta = (estimate - cand.wc_remaining) / cand.job.ptg.period
+        return self.utilization(view) + delta

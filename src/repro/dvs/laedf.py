@@ -1,0 +1,126 @@
+"""Look-ahead EDF (laEDF) extended to task graphs.
+
+Pillai & Shin's second algorithm: instead of budgeting each task at its
+(actual-adjusted) worst case across its whole period like ccEDF, laEDF
+*defers* as much work as possible past the earliest deadline ``d_n``,
+reserving just enough capacity after ``d_n`` for everyone's worst case,
+and runs only the un-deferrable remainder ``s`` before ``d_n``:
+
+    for tasks in reverse-EDF order (latest deadline first):
+        U   = U - wc_util_i                    # stop counting WC rate
+        x   = max(0, c_left_i - (1 - U)(d_i - d_n))
+        U   = U + (c_left_i - x) / (d_i - d_n) # deferred work's rate
+        s   = s + x
+    f_ref = s / (d_n - t)
+
+Extension to task graphs is the natural one used throughout the paper:
+``c_left_i`` is the remaining worst-case cycle sum of graph *i*'s
+current job (0 if it already finished), its deadline is the job's
+absolute deadline (or the *next* job's, when idle), and the static rate
+``wc_util_i = WC_i / D_i`` uses the whole graph's WCET.
+
+laEDF is more aggressive than ccEDF early in a busy interval (it dips
+to lower frequencies sooner) at the price of higher frequencies close
+to deadlines when worst cases materialize; the paper's Table 2 uses it
+for both BAS variants.
+
+Granularity
+-----------
+As with :class:`~repro.dvs.ccedf.CcEDF`, ``granularity="node"`` lets
+``c_left_i`` shed a node's unspent worst case the moment the node
+completes (the BAS methodology's view), while ``granularity="graph"``
+models the baseline laEDF row: the graph is a monolithic EDF task, so
+``c_left_i`` is its WCET minus executed cycles — early node
+completions release no slack until the instance ends.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import SchedulingError
+from ..sim.state import Candidate, GraphStatus, JobState, SchedulerView
+from .base import FrequencySetter
+
+__all__ = ["LaEDF"]
+
+_EPS = 1e-12
+
+
+class LaEDF(FrequencySetter):
+    """Look-ahead EDF for periodic task graphs."""
+
+    name = "laEDF"
+
+    def __init__(self, granularity: str = "node") -> None:
+        if granularity not in ("node", "graph"):
+            raise SchedulingError(
+                f"granularity must be 'node' or 'graph', got {granularity!r}"
+            )
+        self.granularity = granularity
+
+    def _c_left(self, job: JobState) -> float:
+        if self.granularity == "node":
+            return job.remaining_wc()
+        return job.remaining_wc_coarse()
+
+    def select_speed(self, view: SchedulerView) -> float:
+        if not view.has_pending_work():
+            return 0.0
+        infos = self._collect(view)
+        return self._lookahead(infos, view.time)
+
+    def hypothetical_speed(
+        self, view: SchedulerView, cand: Candidate, estimate: float
+    ) -> float:
+        """Re-run the lookahead as if ``cand`` finished with ``estimate``
+        actual cycles, the elapsed time being ``estimate / s_now``."""
+        s_now = max(self.select_speed(view), _EPS)
+        dt = estimate / s_now
+        infos = []
+        for d, c_left, u, name in self._collect(view):
+            if name == cand.graph_name:
+                c_left = max(0.0, c_left - cand.wc_remaining)
+            infos.append((d, c_left, u, name))
+        return self._lookahead(infos, view.time + dt)
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self, view: SchedulerView
+    ) -> List[Tuple[float, float, float, str]]:
+        """(deadline, c_left, wc_utilization, name) per graph."""
+        out = []
+        for g in view.graphs:
+            c_left = self._c_left(g.job) if g.job is not None else 0.0
+            out.append(
+                (g.effective_deadline(), c_left, g.ptg.utilization, g.name)
+            )
+        return out
+
+    @staticmethod
+    def _lookahead(
+        infos: List[Tuple[float, float, float, str]], t: float
+    ) -> float:
+        pending = [(d, c) for d, c, _, _ in infos if c > _EPS]
+        if not pending:
+            return 0.0
+        d_n = min(d for d, _ in pending)
+        horizon = d_n - t
+        if horizon <= _EPS:
+            # At (or numerically past) the earliest deadline with work
+            # left: demand full speed.
+            return 1.0
+        u = sum(u_i for _, _, u_i, _ in infos)
+        s = 0.0
+        # Latest deadline first (reverse EDF).
+        for d_i, c_left, u_i, _ in sorted(infos, key=lambda x: -x[0]):
+            u -= u_i
+            span = d_i - d_n
+            if span <= _EPS:
+                # The earliest-deadline job itself: nothing is deferrable.
+                x = c_left
+            else:
+                x = max(0.0, c_left - (1.0 - u) * span)
+                u += (c_left - x) / span
+            s += x
+        return s / horizon

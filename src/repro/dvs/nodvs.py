@@ -1,0 +1,28 @@
+"""No-DVS frequency setting: always run flat out.
+
+Table 2's first row — plain EDF with the processor pinned at f_max
+whenever there is pending work.  The most energy-hungry scheme and the
+battery's worst case (maximal currents, idle gaps instead of stretched
+execution, violating guideline 2).
+"""
+
+from __future__ import annotations
+
+from ..sim.state import Candidate, SchedulerView
+from .base import FrequencySetter
+
+__all__ = ["NoDVS"]
+
+
+class NoDVS(FrequencySetter):
+    """Always f_max while work is pending."""
+
+    name = "none"
+
+    def select_speed(self, view: SchedulerView) -> float:
+        return 1.0 if view.has_pending_work() else 0.0
+
+    def hypothetical_speed(
+        self, view: SchedulerView, cand: Candidate, estimate: float
+    ) -> float:
+        return 1.0

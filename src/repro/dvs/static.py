@@ -1,0 +1,45 @@
+"""Static utilization-based frequency setting.
+
+Runs at the constant worst-case utilization speed ``U = Σ WC_i / D_i``
+whenever work is pending.  This is the classical static-optimal DVS for
+periodic tasks that always take their worst case; it is used as an
+ablation reference between NoDVS and the dynamic algorithms (it never
+reclaims slack, so everything the dynamic schemes gain over it comes
+from slack recovery).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.state import Candidate, SchedulerView
+from .base import FrequencySetter
+
+__all__ = ["StaticUtilization"]
+
+
+class StaticUtilization(FrequencySetter):
+    """Constant speed equal to the task set's worst-case utilization."""
+
+    name = "static"
+
+    def __init__(self) -> None:
+        self._u: Optional[float] = None
+
+    def on_sim_start(self, view: SchedulerView) -> None:
+        self._u = view.task_set.utilization
+
+    def _util(self, view: SchedulerView) -> float:
+        if self._u is None:
+            self._u = view.task_set.utilization
+        return self._u
+
+    def select_speed(self, view: SchedulerView) -> float:
+        if not view.has_pending_work():
+            return 0.0
+        return self._util(view)
+
+    def hypothetical_speed(
+        self, view: SchedulerView, cand: Candidate, estimate: float
+    ) -> float:
+        return self._util(view)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TaskGraphError(ReproError):
+    """Raised when a task graph is malformed (cycles, bad WCETs, ...)."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduling policy is mis-configured or infeasible."""
+
+
+class DeadlineMissError(SchedulingError):
+    """Raised by the simulator when a task graph misses its deadline.
+
+    The paper's methodology guarantees deadline adherence; a miss in
+    simulation therefore indicates either a bug or an over-utilized task
+    set, and is surfaced loudly instead of being silently recorded.
+    """
+
+    def __init__(self, graph_name: str, deadline: float, time: float):
+        self.graph_name = graph_name
+        self.deadline = deadline
+        self.time = time
+        super().__init__(
+            f"task graph {graph_name!r} missed deadline {deadline:.6g} "
+            f"(violation detected at t={time:.6g})"
+        )
+
+
+class BatteryError(ReproError):
+    """Raised for invalid battery model parameters or usage."""
+
+
+class CalibrationError(BatteryError):
+    """Raised when battery parameter calibration fails to converge."""
+
+
+class ProfileError(ReproError):
+    """Raised for malformed load-current profiles."""

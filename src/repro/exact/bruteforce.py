@@ -1,0 +1,196 @@
+"""Exhaustive minimum-energy schedule search (Table 1's normalizer).
+
+Enumerates all linear extensions of a task graph by depth-first search,
+evaluating energy incrementally with the same one-shot speed rule the
+heuristics use (:mod:`repro.core.oneshot`), and keeps the minimum.
+The paper: "We have not considered taskgraphs with more than 15 tasks
+because it takes prohibitively long time to find the optimal schedule
+by exhaustive search on all feasible schedules."
+
+Two safeguards make this practical:
+
+* :func:`count_linear_extensions` (dynamic programming over downsets,
+  ≤ 2^n states) lets callers skip graphs whose extension count exceeds
+  a budget *before* paying for the search;
+* a branch-and-bound cut: any partial schedule whose energy plus the
+  cheapest-conceivable continuation (all remaining actual cycles at the
+  hardware's most efficient speed) already exceeds the incumbent is
+  pruned.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SchedulingError
+from ..processor.platform import Processor
+from ..taskgraph.graph import TaskGraph
+
+__all__ = [
+    "count_linear_extensions",
+    "optimal_one_shot",
+    "OptimalResult",
+]
+
+_EPS = 1e-12
+
+
+def count_linear_extensions(graph: TaskGraph, *, limit: int = 10**9) -> int:
+    """Number of linear extensions (topological orders), capped at ``limit``.
+
+    DP over downsets: ``count(S) = Σ_{τ maximal in S} count(S − τ)``.
+    Returns ``limit`` as soon as the count provably reaches it, so the
+    call stays cheap for explosive graphs.
+    """
+    names = graph.topological_order()
+    index = {n: i for i, n in enumerate(names)}
+    preds = {
+        index[n]: frozenset(index[p] for p in graph.predecessors(n))
+        for n in names
+    }
+    full = frozenset(range(len(names)))
+    memo: Dict[FrozenSet[int], int] = {frozenset(): 1}
+
+    def count(s: FrozenSet[int]) -> int:
+        if s in memo:
+            return memo[s]
+        total = 0
+        for i in s:
+            # i can be scheduled last within s iff no successor of i is in s,
+            # equivalently i is maximal: no j in s has i among its preds.
+            if all(i not in preds[j] for j in s if j != i):
+                total += count(s - {i})
+                if total >= limit:
+                    total = limit
+                    break
+        memo[s] = total
+        return total
+
+    return count(full)
+
+
+class OptimalResult:
+    """Best order found by the exhaustive search."""
+
+    def __init__(
+        self,
+        order: Tuple[str, ...],
+        energy: float,
+        explored: int,
+        pruned: int,
+    ) -> None:
+        self.order = order
+        self.energy = energy
+        #: Complete schedules whose energy was fully evaluated.
+        self.explored = explored
+        #: Partial schedules cut by the lower bound.
+        self.pruned = pruned
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OptimalResult(energy={self.energy:.6g}, "
+            f"explored={self.explored}, pruned={self.pruned})"
+        )
+
+
+def optimal_one_shot(
+    graph: TaskGraph,
+    deadline: float,
+    processor: Processor,
+    actual: Mapping[str, float],
+    *,
+    max_extensions: Optional[int] = 500_000,
+) -> OptimalResult:
+    """Exhaustive minimum-energy schedule for one graph, one deadline.
+
+    Energy accounting matches
+    :func:`repro.core.oneshot.evaluate_order` exactly (same speed rule,
+    same processor model), so heuristic-vs-optimal ratios are apples to
+    apples.
+
+    Raises
+    ------
+    SchedulingError
+        If the graph's linear-extension count exceeds ``max_extensions``
+        (pass ``None`` to search unconditionally).
+    """
+    if max_extensions is not None:
+        n_ext = count_linear_extensions(graph, limit=max_extensions + 1)
+        if n_ext > max_extensions:
+            raise SchedulingError(
+                f"graph {graph.name!r} has more than {max_extensions} "
+                f"linear extensions; refusing exhaustive search "
+                f"(pass max_extensions=None to force)"
+            )
+    names = graph.topological_order()
+    wc = {n: graph.wcet(n) for n in names}
+    ac = {}
+    for n in names:
+        a = float(actual[n])
+        if not (0 < a <= wc[n] + 1e-9):
+            raise SchedulingError(
+                f"actual cycles of {n!r} must be in (0, wcet], got {a}"
+            )
+        ac[n] = min(a, wc[n])
+    total_wc = sum(wc.values())
+    if total_wc > deadline + 1e-9:
+        raise SchedulingError(
+            f"worst case {total_wc:.6g} does not fit deadline {deadline:.6g}"
+        )
+    v_bat = processor.power.v_bat
+
+    @lru_cache(maxsize=4096)
+    def step_cost(s_req: float, cycles: float) -> Tuple[float, float]:
+        """(duration, energy) of running `cycles` at the realization of
+        s_req.  Cached — the same (speed, cycles) pairs recur across
+        branches that executed the same prefix set in different orders."""
+        s_eff = processor.effective_speed(s_req)
+        current = processor.current_at(s_req)
+        dt = cycles / s_eff
+        return dt, current * v_bat * dt
+
+    # Cheapest conceivable energy per cycle: the most efficient point.
+    epc_floor = min(
+        processor.power.battery_current(p) * v_bat / (p.frequency / processor.f_max)
+        for p in processor.table.points
+    )
+
+    preds = {n: graph.predecessors(n) for n in names}
+    best_energy = float("inf")
+    best_order: Tuple[str, ...] = ()
+    explored = 0
+    pruned = 0
+    order: List[str] = []
+    done: set = set()
+
+    def ready() -> List[str]:
+        return [
+            n
+            for n in names
+            if n not in done and all(p in done for p in preds[n])
+        ]
+
+    def dfs(t: float, energy: float, rem_wc: float, rem_ac: float) -> None:
+        nonlocal best_energy, best_order, explored, pruned
+        if rem_wc <= _EPS:
+            explored += 1
+            if energy < best_energy:
+                best_energy = energy
+                best_order = tuple(order)
+            return
+        if energy + rem_ac * epc_floor >= best_energy:
+            pruned += 1
+            return
+        span = deadline - t
+        s_req = rem_wc / max(span, _EPS)
+        for n in ready():
+            dt, e = step_cost(round(s_req, 12), round(ac[n], 12))
+            order.append(n)
+            done.add(n)
+            dfs(t + dt, energy + e, rem_wc - wc[n], rem_ac - ac[n])
+            done.discard(n)
+            order.pop()
+
+    dfs(0.0, 0.0, total_wc, sum(ac.values()))
+    return OptimalResult(best_order, best_energy, explored, pruned)

@@ -1,0 +1,5 @@
+"""Partitioned multiprocessor extension (paper refs [1], [15])."""
+
+from .partition import MultiprocResult, partition_task_set, run_partitioned
+
+__all__ = ["partition_task_set", "run_partitioned", "MultiprocResult"]

@@ -1,0 +1,15 @@
+"""DVS processor substrate: operating points, power model, platform."""
+
+from .dvfs import PAPER_TABLE, FrequencyTable, OperatingPoint, SpeedMix
+from .platform import Processor, paper_processor
+from .power import PowerModel
+
+__all__ = [
+    "OperatingPoint",
+    "FrequencyTable",
+    "SpeedMix",
+    "PAPER_TABLE",
+    "PowerModel",
+    "Processor",
+    "paper_processor",
+]

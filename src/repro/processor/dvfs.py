@@ -1,0 +1,185 @@
+"""DVFS operating points and frequency tables.
+
+The paper's simulated processor supports three frequency/voltage
+tuples: ``[(0.5 GHz, 3 V), (0.75 GHz, 4 V), (1.0 GHz, 5 V)]``.  A DVS
+algorithm computes a *reference frequency* ``fref`` which generally
+falls between two available levels; per Gaujal-Navet (paper ref [4]) a
+linear combination of the two adjacent levels realizes ``fref``
+optimally.  :meth:`FrequencyTable.mix` returns that combination.
+
+Throughout the library, *speed* means normalized frequency
+``s = f / f_max`` in (0, 1]; task WCETs are expressed in seconds at
+``f_max``, so a task with WCET ``w`` executed at speed ``s`` takes
+``w / s`` seconds.  This normalization makes the ccEDF utilization
+``U = Σ WC_i / D_i`` directly the required fraction of ``f_max``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import SchedulingError
+
+__all__ = ["OperatingPoint", "FrequencyTable", "PAPER_TABLE", "SpeedMix"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (frequency, voltage) tuple of a voltage-scalable processor.
+
+    ``frequency`` is in Hz and ``voltage`` in volts; only ratios matter
+    for scheduling, but physical units keep the battery current model
+    honest.
+    """
+
+    frequency: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if not (self.frequency > 0):
+            raise SchedulingError(
+                f"operating point frequency must be > 0, got {self.frequency}"
+            )
+        if not (self.voltage > 0):
+            raise SchedulingError(
+                f"operating point voltage must be > 0, got {self.voltage}"
+            )
+
+
+@dataclass(frozen=True)
+class SpeedMix:
+    """A time-weighted mix of (at most two) operating points.
+
+    ``fractions[i]`` is the fraction of *wall-clock time* spent at
+    ``points[i]``; fractions sum to 1.  The mix realizes an average
+    normalized speed equal to the requested reference speed.
+    Points are ordered by decreasing frequency so that executing the mix
+    front-to-back keeps the voltage locally non-increasing (battery
+    guideline 1).
+    """
+
+    points: Tuple[OperatingPoint, ...]
+    fractions: Tuple[float, ...]
+
+    def average_speed(self, f_max: float) -> float:
+        return sum(
+            p.frequency / f_max * x for p, x in zip(self.points, self.fractions)
+        )
+
+
+class FrequencyTable:
+    """An immutable, sorted set of operating points.
+
+    Parameters
+    ----------
+    points:
+        Available (frequency, voltage) tuples.  Voltage must be
+        non-decreasing in frequency (physically: higher clock needs
+        higher supply).
+    """
+
+    def __init__(self, points: Sequence[OperatingPoint]) -> None:
+        if not points:
+            raise SchedulingError("frequency table must not be empty")
+        ordered = sorted(points, key=lambda p: p.frequency)
+        freqs = [p.frequency for p in ordered]
+        if len(set(freqs)) != len(freqs):
+            raise SchedulingError(f"duplicate frequencies in table: {freqs}")
+        for a, b in zip(ordered, ordered[1:]):
+            if b.voltage < a.voltage:
+                raise SchedulingError(
+                    "voltage must be non-decreasing with frequency: "
+                    f"{a} vs {b}"
+                )
+        self._points: Tuple[OperatingPoint, ...] = tuple(ordered)
+        self._freqs: Tuple[float, ...] = tuple(freqs)
+
+    @property
+    def points(self) -> Tuple[OperatingPoint, ...]:
+        return self._points
+
+    @property
+    def f_max(self) -> float:
+        return self._freqs[-1]
+
+    @property
+    def f_min(self) -> float:
+        return self._freqs[0]
+
+    @property
+    def max_point(self) -> OperatingPoint:
+        return self._points[-1]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    # ------------------------------------------------------------------
+    def speed_of(self, point: OperatingPoint) -> float:
+        return point.frequency / self.f_max
+
+    def speeds(self) -> Tuple[float, ...]:
+        return tuple(f / self.f_max for f in self._freqs)
+
+    def clamp_speed(self, s_ref: float) -> float:
+        """Clamp a reference speed into the realizable range.
+
+        Speeds below ``f_min/f_max`` are *raised* to the minimum (we
+        never run slower than the slowest level while work is pending —
+        guideline 2 prefers stretching work over idling, but the
+        hardware floor binds); speeds above 1 indicate infeasibility and
+        are clamped to 1 (the DVS layer is responsible for never
+        requesting them on feasible sets).
+        """
+        return min(1.0, max(s_ref, self._freqs[0] / self.f_max))
+
+    def quantize_up(self, s_ref: float) -> OperatingPoint:
+        """The slowest single level with speed >= ``s_ref`` (conservative)."""
+        s_ref = self.clamp_speed(s_ref)
+        target = s_ref * self.f_max
+        idx = bisect.bisect_left(self._freqs, target * (1 - 1e-12))
+        idx = min(idx, len(self._freqs) - 1)
+        return self._points[idx]
+
+    def mix(self, s_ref: float) -> SpeedMix:
+        """Realize ``s_ref`` as a linear combination of adjacent levels.
+
+        Returns a :class:`SpeedMix` whose time-weighted average speed is
+        exactly the clamped ``s_ref``.  If ``s_ref`` coincides with an
+        available level the mix has a single point.  Per Gaujal-Navet
+        this two-level mix is the minimum-energy realization of a
+        fractional frequency on a discrete-DVS processor.
+        """
+        s_ref = self.clamp_speed(s_ref)
+        f_target = s_ref * self.f_max
+        idx = bisect.bisect_left(self._freqs, f_target * (1 - 1e-12))
+        idx = min(idx, len(self._freqs) - 1)
+        hi = self._points[idx]
+        if idx == 0 or abs(hi.frequency - f_target) <= 1e-9 * self.f_max:
+            return SpeedMix((hi,), (1.0,))
+        lo = self._points[idx - 1]
+        # Time fraction x at the high level: x*f_hi + (1-x)*f_lo = f_target.
+        x = (f_target - lo.frequency) / (hi.frequency - lo.frequency)
+        x = min(1.0, max(0.0, x))
+        # High level first => locally non-increasing voltage within the mix.
+        return SpeedMix((hi, lo), (x, 1.0 - x))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pts = ", ".join(
+            f"({p.frequency/1e9:.3g}GHz,{p.voltage:.3g}V)" for p in self._points
+        )
+        return f"FrequencyTable([{pts}])"
+
+
+#: The paper's three-level table (§5): 0.5 GHz @ 3 V, 0.75 GHz @ 4 V, 1 GHz @ 5 V.
+PAPER_TABLE = FrequencyTable(
+    [
+        OperatingPoint(0.5e9, 3.0),
+        OperatingPoint(0.75e9, 4.0),
+        OperatingPoint(1.0e9, 5.0),
+    ]
+)

@@ -1,0 +1,114 @@
+"""The single-processor DVS platform: frequency table + power model.
+
+A :class:`Processor` is what the simulator executes on.  It resolves a
+reference speed requested by the DVS layer into either a single
+(conservative) operating point or an optimal two-level mix, and reports
+the battery current of whatever it runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Tuple
+
+from ..errors import SchedulingError
+from .dvfs import FrequencyTable, OperatingPoint, PAPER_TABLE, SpeedMix
+from .power import PowerModel
+
+__all__ = ["Processor", "paper_processor"]
+
+SpeedPolicy = Literal["mix", "quantize"]
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A DVS-capable processor with an attached power model.
+
+    Parameters
+    ----------
+    table:
+        Available operating points.
+    power:
+        Battery-current model.
+    speed_policy:
+        How a fractional reference speed is realized: ``"mix"`` uses the
+        optimal two-adjacent-level combination (the paper's choice,
+        following Gaujal-Navet), ``"quantize"`` rounds up to the next
+        discrete level (simpler, slightly wasteful).
+    """
+
+    table: FrequencyTable
+    power: PowerModel
+    speed_policy: SpeedPolicy = "mix"
+
+    def __post_init__(self) -> None:
+        if self.speed_policy not in ("mix", "quantize"):
+            raise SchedulingError(
+                f"speed_policy must be 'mix' or 'quantize', "
+                f"got {self.speed_policy!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def f_max(self) -> float:
+        return self.table.f_max
+
+    def resolve(self, s_ref: float) -> SpeedMix:
+        """Turn a reference speed into the operating-point mix to run."""
+        if self.speed_policy == "quantize":
+            return SpeedMix((self.table.quantize_up(s_ref),), (1.0,))
+        return self.table.mix(s_ref)
+
+    def effective_speed(self, s_ref: float) -> float:
+        """Realized normalized speed for ``s_ref`` under the policy."""
+        return self.resolve(s_ref).average_speed(self.f_max)
+
+    def run_segments(
+        self, s_ref: float, duration: float
+    ) -> Tuple[Tuple[float, OperatingPoint, float], ...]:
+        """Split ``duration`` seconds at ``s_ref`` into per-point segments.
+
+        Returns ``(seconds, point, battery_current)`` triples ordered by
+        decreasing frequency (locally non-increasing current within the
+        interval, battery guideline 1).  Fractions of the mix are
+        applied to wall-clock time.
+        """
+        if duration < 0:
+            raise SchedulingError(f"duration must be >= 0, got {duration}")
+        mix = self.resolve(s_ref)
+        return tuple(
+            (duration * x, p, self.power.battery_current(p))
+            for p, x in zip(mix.points, mix.fractions)
+            if x > 0
+        )
+
+    def idle_current(self) -> float:
+        return self.power.idle_current
+
+    def current_at(self, s_ref: float) -> float:
+        """Time-averaged battery current while running at ``s_ref``."""
+        return self.power.mix_current(self.resolve(s_ref))
+
+
+def paper_processor(
+    *,
+    i_max: float = 2.8,
+    v_bat: float = 1.2,
+    efficiency: float = 0.85,
+    idle_current: float = 0.03,
+    speed_policy: SpeedPolicy = "mix",
+) -> Processor:
+    """The paper's platform: 3-level table, AAA NiMH supply.
+
+    ``i_max`` (battery current at 1 GHz / 5 V) is the calibration anchor
+    discussed in DESIGN.md §5; the default reproduces Table 2's no-DVS
+    lifetime of roughly 74 minutes on the 2000 mAh cell.
+    """
+    power = PowerModel.calibrated(
+        PAPER_TABLE,
+        i_max=i_max,
+        v_bat=v_bat,
+        efficiency=efficiency,
+        idle_current=idle_current,
+    )
+    return Processor(PAPER_TABLE, power, speed_policy)

@@ -1,0 +1,128 @@
+"""Processor power and battery-current model.
+
+Figure 1 of the paper shows the system: battery -> DC-DC converter ->
+voltage-scalable processor.  With converter efficiency ``η`` constant
+over the voltage range, power balance gives
+
+    η · V_bat · I_bat = V_proc · I_proc.
+
+Switching power of a CMOS core is ``P_proc = C_eff · V_proc² · f``, so
+the battery current is
+
+    I_bat = C_eff · V_proc² · f / (η · V_bat).
+
+When voltage scales (roughly) linearly with frequency, scaling the
+clock by ``s`` scales the battery current by ``s³`` — exactly the
+paper's observation that "the current I_bat is scaled by a factor of
+s³".  With a *discrete* voltage table the exponent is implied by the
+table entries instead of an idealized cube law.
+
+``C_eff`` is not reported by the paper; :func:`PowerModel.calibrated`
+fixes it from a chosen battery current at the maximum operating point
+(DESIGN.md §5, anchor calibration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import SchedulingError
+from .dvfs import FrequencyTable, OperatingPoint, SpeedMix
+
+__all__ = ["PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Maps operating points to processor power and battery current.
+
+    Parameters
+    ----------
+    c_eff:
+        Effective switched capacitance (farads).  Includes activity
+        factor.
+    v_bat:
+        Battery terminal voltage seen by the DC-DC converter (volts).
+    efficiency:
+        DC-DC converter efficiency ``η`` in (0, 1].
+    idle_current:
+        Battery current drawn when the processor idles (amperes).  The
+        paper does not model idle consumption explicitly; a small
+        nonzero default keeps lifetime finite even for empty schedules.
+    """
+
+    c_eff: float
+    v_bat: float = 1.2
+    efficiency: float = 0.85
+    idle_current: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.c_eff > 0):
+            raise SchedulingError(f"c_eff must be > 0, got {self.c_eff}")
+        if not (self.v_bat > 0):
+            raise SchedulingError(f"v_bat must be > 0, got {self.v_bat}")
+        if not (0 < self.efficiency <= 1):
+            raise SchedulingError(
+                f"efficiency must be in (0,1], got {self.efficiency}"
+            )
+        if self.idle_current < 0:
+            raise SchedulingError(
+                f"idle_current must be >= 0, got {self.idle_current}"
+            )
+
+    # ------------------------------------------------------------------
+    def processor_power(self, point: OperatingPoint) -> float:
+        """Switching power ``C_eff · V² · f`` in watts."""
+        return self.c_eff * point.voltage**2 * point.frequency
+
+    def battery_current(self, point: OperatingPoint) -> float:
+        """Battery-side current for one operating point (amperes)."""
+        return self.processor_power(point) / (self.efficiency * self.v_bat)
+
+    def mix_current(self, mix: SpeedMix) -> float:
+        """Time-averaged battery current of a :class:`SpeedMix`."""
+        return sum(
+            self.battery_current(p) * x
+            for p, x in zip(mix.points, mix.fractions)
+        )
+
+    def energy(self, point: OperatingPoint, duration: float) -> float:
+        """Battery-side energy (joules) for running ``duration`` seconds."""
+        return self.battery_current(point) * self.v_bat * duration
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def calibrated(
+        cls,
+        table: FrequencyTable,
+        *,
+        i_max: float,
+        v_bat: float = 1.2,
+        efficiency: float = 0.85,
+        idle_current: float = 0.0,
+    ) -> "PowerModel":
+        """Build a model whose current at ``table.max_point`` equals ``i_max``.
+
+        This is the single free parameter of the reproduction's power
+        model; Table 2's no-DVS row anchors it (see DESIGN.md §5).
+        """
+        if not (i_max > 0):
+            raise SchedulingError(f"i_max must be > 0, got {i_max}")
+        top = table.max_point
+        c_eff = i_max * efficiency * v_bat / (top.voltage**2 * top.frequency)
+        return cls(
+            c_eff=c_eff,
+            v_bat=v_bat,
+            efficiency=efficiency,
+            idle_current=idle_current,
+        )
+
+    def current_scaling(self, table: FrequencyTable) -> Tuple[float, ...]:
+        """Battery current of each table point relative to the maximum.
+
+        For an idealized continuous V ∝ f processor this would be s³;
+        with the paper's discrete table it is (V/V_max)²·(f/f_max).
+        """
+        ref = self.battery_current(table.max_point)
+        return tuple(self.battery_current(p) / ref for p in table.points)

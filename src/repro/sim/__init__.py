@@ -1,0 +1,28 @@
+"""Event-driven simulation: engine, traces, current profiles."""
+
+from .engine import (
+    ActualsProvider,
+    DeadlineMiss,
+    SimulationResult,
+    Simulator,
+    worst_case_actuals,
+)
+from .profile import CurrentProfile
+from .state import Candidate, GraphStatus, JobState, SchedulerView
+from .trace import IDLE, ExecutionTrace, TraceSegment
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "DeadlineMiss",
+    "ActualsProvider",
+    "worst_case_actuals",
+    "CurrentProfile",
+    "ExecutionTrace",
+    "TraceSegment",
+    "IDLE",
+    "JobState",
+    "GraphStatus",
+    "SchedulerView",
+    "Candidate",
+]

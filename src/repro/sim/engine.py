@@ -1,0 +1,345 @@
+"""Event-driven single-processor simulator for periodic task graphs.
+
+The engine realizes the paper's execution model:
+
+* task graphs release periodically (deadline = period);
+* at every *release* and every *node end* the DVS algorithm recomputes
+  the reference frequency and the scheduling policy picks the next task
+  from the ready list (releases preempt the running node, which returns
+  to the ready list with its remaining cycles — preemptive EDF);
+* a fractional reference frequency is realized as the optimal
+  two-adjacent-level mix, executed high-level-first so the current is
+  locally non-increasing inside every dispatch interval;
+* every dispatched slice is recorded in an :class:`ExecutionTrace`,
+  whose :class:`~repro.sim.profile.CurrentProfile` is what the battery
+  models consume.
+
+Actual (as opposed to worst-case) cycle demands come from an
+*actuals provider* ``(graph, node, job_index, wcet) -> cycles``,
+defaulting to worst case; the paper's 20-100 % uniform workload lives
+in :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # import only for annotations; avoids a core<->sim cycle
+    from ..core.methodology import SchedulingPolicy
+
+from ..dvs.base import FrequencySetter
+from ..errors import DeadlineMissError, SchedulingError
+from ..processor.platform import Processor
+from ..taskgraph.periodic import TaskGraphSet
+from .profile import CurrentProfile
+from .state import Candidate, GraphStatus, JobState, SchedulerView
+from .trace import IDLE, ExecutionTrace, TraceSegment
+
+__all__ = ["Simulator", "SimulationResult", "ActualsProvider", "worst_case_actuals"]
+
+_EPS = 1e-9
+
+ActualsProvider = Callable[[str, str, int, float], float]
+
+
+def worst_case_actuals(graph: str, node: str, job_index: int, wc: float) -> float:
+    """Default provider: every node takes its full worst case."""
+    return wc
+
+
+@dataclass(frozen=True)
+class DeadlineMiss:
+    """A recorded deadline violation (only with ``on_miss='record'``)."""
+
+    graph: str
+    job_index: int
+    time: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced."""
+
+    trace: ExecutionTrace
+    horizon: float
+    misses: Tuple[DeadlineMiss, ...]
+    released_jobs: int
+    completed_jobs: int
+    completed_nodes: int
+    task_set: TaskGraphSet
+    processor: Processor
+    release_times: Tuple[float, ...]
+
+    def profile(self, *, merge: bool = True) -> CurrentProfile:
+        return self.trace.to_profile(merge=merge)
+
+    @property
+    def charge(self) -> float:
+        """Battery charge drawn over the horizon (coulombs)."""
+        return self.trace.charge()
+
+    @property
+    def energy(self) -> float:
+        """Battery-side energy over the horizon (joules)."""
+        return self.trace.energy(self.processor.power.v_bat)
+
+    @property
+    def mean_current(self) -> float:
+        return self.charge / self.horizon
+
+    def guideline1_holds(self, atol: float = 1e-9) -> bool:
+        """Locally non-increasing reference current between releases.
+
+        Evaluated on per-dispatch *mean* currents (label runs): the
+        two-adjacent-level mix that realizes a fractional reference
+        frequency toggles the instantaneous current inside a dispatch,
+        but guideline 1 constrains the reference-frequency staircase,
+        which the run means track.  Idle runs are exempt (an idle dip
+        never hurts the battery and does not license a later step-up).
+        """
+        marks = sorted(set(float(t) for t in self.release_times))
+
+        # Coalesce same-label segments into dispatch runs, but break a
+        # run at every release mark: a node resuming after a release may
+        # legitimately continue at a higher frequency.
+        runs = []  # (start, mean_current, is_idle)
+        mark_idx = 0
+        for s in self.trace:
+            while mark_idx < len(marks) and marks[mark_idx] <= s.start + atol:
+                mark_idx += 1
+            epoch = mark_idx
+            if runs and runs[-1][0] == s.label and runs[-1][1] == epoch:
+                runs[-1][3] += s.duration
+                runs[-1][4] += s.current * s.duration
+            else:
+                runs.append(
+                    [s.label, epoch, s.start, s.duration,
+                     s.current * s.duration, s.is_idle]
+                )
+
+        mark_idx = 0
+        ceiling = float("inf")
+        for label, _epoch, start, dur, charge, is_idle in runs:
+            while mark_idx < len(marks) and marks[mark_idx] <= start + atol:
+                ceiling = float("inf")
+                mark_idx += 1
+            if is_idle or dur <= 0:
+                continue
+            mean_i = charge / dur
+            if mean_i > ceiling + atol:
+                return False
+            ceiling = min(ceiling, mean_i)
+        return True
+
+
+class _DVSOracle:
+    """Speed oracle backed by the run's live DVS algorithm."""
+
+    def __init__(
+        self, dvs: FrequencySetter, view: SchedulerView, s_now: float
+    ) -> None:
+        self._dvs = dvs
+        self._view = view
+        self._s_now = s_now
+
+    def speed_now(self) -> float:
+        return self._s_now
+
+    def speed_after(self, cand: Candidate, estimate: float) -> float:
+        return self._dvs.hypothetical_speed(self._view, cand, estimate)
+
+
+class Simulator:
+    """One run = one task set × one processor × one scheme instance.
+
+    Parameters
+    ----------
+    task_set:
+        The periodic task graphs to schedule.
+    processor:
+        The DVS platform (frequency table + power model).
+    dvs:
+        A *fresh* frequency setter (stateful across the run).
+    policy:
+        A *fresh* scheduling policy (priority function + ready list).
+    actuals:
+        Actual-cycles provider; defaults to worst case.
+    on_miss:
+        ``"raise"`` (default) raises :class:`DeadlineMissError`;
+        ``"record"`` logs the miss, abandons the late job and goes on —
+        used by the ablation that removes the feasibility check.
+    """
+
+    def __init__(
+        self,
+        task_set: TaskGraphSet,
+        processor: Processor,
+        dvs: FrequencySetter,
+        policy: "SchedulingPolicy",
+        *,
+        actuals: Optional[ActualsProvider] = None,
+        on_miss: str = "raise",
+    ) -> None:
+        if on_miss not in ("raise", "record"):
+            raise SchedulingError(
+                f"on_miss must be 'raise' or 'record', got {on_miss!r}"
+            )
+        self.task_set = task_set
+        self.processor = processor
+        self.dvs = dvs
+        self.policy = policy
+        self.actuals: ActualsProvider = (
+            actuals if actuals is not None else worst_case_actuals
+        )
+        self.on_miss = on_miss
+
+    # ------------------------------------------------------------------
+    def run(self, horizon: float) -> SimulationResult:
+        if not (horizon > 0):
+            raise SchedulingError(f"horizon must be > 0, got {horizon}")
+        trace = ExecutionTrace()
+        next_release: Dict[str, float] = {
+            g.name: g.phase for g in self.task_set
+        }
+        job_counter: Dict[str, int] = {g.name: 0 for g in self.task_set}
+        jobs: Dict[str, JobState] = {}
+        misses: List[DeadlineMiss] = []
+        release_times: List[float] = []
+        released = completed_jobs = completed_nodes = 0
+
+        def make_view(t: float) -> SchedulerView:
+            statuses = []
+            for g in self.task_set:
+                job = jobs.get(g.name)
+                if job is not None and job.is_complete():
+                    job = None  # finished instances are no longer schedulable
+                statuses.append(
+                    GraphStatus(g, job, next_release[g.name])
+                )
+            return SchedulerView(self.task_set, t, statuses)
+
+        self.dvs.on_sim_start(make_view(0.0))
+
+        t = 0.0
+        while t < horizon - _EPS:
+            # --- 1. process due releases --------------------------------
+            newly: List[str] = []
+            for g in self.task_set:
+                while next_release[g.name] <= t + _EPS:
+                    name = g.name
+                    if name in jobs:
+                        miss = DeadlineMiss(name, jobs[name].job_index, t)
+                        if self.on_miss == "raise":
+                            raise DeadlineMissError(
+                                name, jobs[name].abs_deadline, t
+                            )
+                        misses.append(miss)
+                        del jobs[name]  # abandon the late job
+                    idx = job_counter[name]
+                    job_counter[name] += 1
+                    actual = {
+                        node.name: self.actuals(
+                            name, node.name, idx, node.wcet
+                        )
+                        for node in g.graph
+                    }
+                    jobs[name] = JobState(g, idx, next_release[name], actual)
+                    release_times.append(next_release[name])
+                    next_release[name] += g.period
+                    released += 1
+                    newly.append(name)
+            view = make_view(t)
+            for name in newly:
+                status = next(s for s in view.graphs if s.name == name)
+                self.dvs.on_release(view, status)
+
+            t_next = min(min(next_release.values()), horizon)
+
+            # --- 2. frequency setting and task selection ---------------
+            s_raw = self.dvs.select_speed(view)
+            oracle = _DVSOracle(self.dvs, view, s_raw)
+            mix = self.processor.resolve(s_raw) if s_raw > 0 else None
+            s_eff = (
+                mix.average_speed(self.processor.f_max) if mix else 0.0
+            )
+            cand = self.policy.select(view, s_eff, oracle) if s_eff > 0 else None
+
+            if cand is None:
+                # Idle until the next release (or the horizon).
+                trace.append(
+                    TraceSegment(
+                        start=t,
+                        duration=t_next - t,
+                        graph=IDLE,
+                        node="",
+                        speed=0.0,
+                        voltage=0.0,
+                        current=self.processor.idle_current(),
+                    )
+                )
+                t = t_next
+                continue
+
+            # --- 3. dispatch until completion or the next event --------
+            # The two-level mix is laid over the *execution interval*
+            # (to completion, or to the next release if that comes
+            # first), so every dispatch's mean speed equals the
+            # reference frequency exactly — this is what keeps the
+            # per-dispatch current staircase faithful to f_ref.
+            window = t_next - t
+            remaining = cand.job.remaining_ac_node(cand.node)
+            t_complete = remaining / s_eff
+            finished = t_complete <= window + _EPS
+            span = min(t_complete, window)
+            chunks = self.processor.run_segments(s_raw, span)
+            executed = 0.0
+            for k, (dur, point, current) in enumerate(chunks):
+                speed = point.frequency / self.processor.f_max
+                if finished and k == len(chunks) - 1:
+                    # Absorb float residue: the last chunk completes the
+                    # node exactly.
+                    cycles = remaining - executed
+                else:
+                    cycles = speed * dur
+                trace.append(
+                    TraceSegment(
+                        t, dur, cand.graph_name, cand.node,
+                        speed, point.voltage, current,
+                    )
+                )
+                cand.job.advance_node(cand.node, cycles)
+                executed += cycles
+                t += dur
+
+            if finished:
+                completed_nodes += 1
+                wc = cand.wc_full
+                ac = cand.job.actual[cand.node]
+                view = make_view(t)
+                self.dvs.on_node_end(
+                    view, cand.graph_name, cand.node, wc, ac,
+                    cand.job.is_complete(),
+                )
+                self.policy.observe_completion(
+                    cand.graph_name, cand.node, wc, ac
+                )
+                if cand.job.is_complete():
+                    completed_jobs += 1
+                    del jobs[cand.graph_name]
+            else:
+                # Window exhausted: land exactly on the event boundary to
+                # avoid drift.
+                t = t_next
+
+        return SimulationResult(
+            trace=trace,
+            horizon=horizon,
+            misses=tuple(misses),
+            released_jobs=released,
+            completed_jobs=completed_jobs,
+            completed_nodes=completed_nodes,
+            task_set=self.task_set,
+            processor=self.processor,
+            release_times=tuple(release_times),
+        )

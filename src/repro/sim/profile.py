@@ -1,0 +1,223 @@
+"""Piecewise-constant load-current profiles.
+
+The interface between the scheduling world and the battery world: a
+schedule's execution trace reduces to a :class:`CurrentProfile` — what
+the battery sees.  Profiles support merging of equal-current runs,
+tiling, rebinning to a coarser grid (a large speedup for slot-based
+battery models with no visible accuracy cost when the bin is far below
+the battery's kinetic time constant), and summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ProfileError
+
+__all__ = ["CurrentProfile"]
+
+
+@dataclass(frozen=True)
+class CurrentProfile:
+    """An immutable piecewise-constant current profile.
+
+    Attributes
+    ----------
+    durations:
+        Segment lengths in seconds (> 0).
+    currents:
+        Segment currents in amperes (>= 0).
+    """
+
+    durations: np.ndarray
+    currents: np.ndarray
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.durations, dtype=float)
+        i = np.asarray(self.currents, dtype=float)
+        if d.ndim != 1 or i.ndim != 1 or d.shape != i.shape:
+            raise ProfileError(
+                f"durations/currents must be equal-length 1-D, got "
+                f"{d.shape} vs {i.shape}"
+            )
+        if d.size == 0:
+            raise ProfileError("profile needs at least one segment")
+        if np.any(d <= 0):
+            raise ProfileError("segment durations must be > 0")
+        if np.any(i < 0):
+            raise ProfileError("currents must be >= 0")
+        object.__setattr__(self, "durations", d)
+        object.__setattr__(self, "currents", i)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_segments(
+        cls, segments: Iterable[Tuple[float, float]]
+    ) -> "CurrentProfile":
+        """Build from ``(duration, current)`` pairs, dropping empty ones."""
+        pairs = [(d, c) for d, c in segments if d > 0]
+        if not pairs:
+            raise ProfileError("no non-empty segments")
+        d, c = zip(*pairs)
+        return cls(np.array(d, dtype=float), np.array(c, dtype=float))
+
+    # ------------------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        return float(self.durations.sum())
+
+    @property
+    def total_charge(self) -> float:
+        """Coulombs drawn over one pass of the profile."""
+        return float(np.dot(self.durations, self.currents))
+
+    @property
+    def mean_current(self) -> float:
+        return self.total_charge / self.total_time
+
+    @property
+    def peak_current(self) -> float:
+        return float(self.currents.max())
+
+    def boundaries(self) -> np.ndarray:
+        """Segment end times, starting from 0 (length = n_segments + 1)."""
+        return np.concatenate([[0.0], np.cumsum(self.durations)])
+
+    def __len__(self) -> int:
+        return int(self.durations.size)
+
+    # ------------------------------------------------------------------
+    def merged(self, rtol: float = 1e-12) -> "CurrentProfile":
+        """Coalesce adjacent segments with (numerically) equal current."""
+        d, c = self.durations, self.currents
+        out_d = [float(d[0])]
+        out_c = [float(c[0])]
+        for k in range(1, len(d)):
+            if abs(c[k] - out_c[-1]) <= rtol * max(1.0, abs(out_c[-1])):
+                out_d[-1] += float(d[k])
+            else:
+                out_d.append(float(d[k]))
+                out_c.append(float(c[k]))
+        return CurrentProfile(np.array(out_d), np.array(out_c))
+
+    def tiled(self, repeats: int) -> "CurrentProfile":
+        """The profile repeated ``repeats`` times back to back."""
+        if repeats < 1:
+            raise ProfileError(f"repeats must be >= 1, got {repeats}")
+        return CurrentProfile(
+            np.tile(self.durations, repeats), np.tile(self.currents, repeats)
+        )
+
+    def rebinned(self, bin_width: float) -> "CurrentProfile":
+        """Resample onto a uniform grid, preserving charge exactly.
+
+        Each bin's current is the charge-weighted average over the bin;
+        total charge is conserved to floating-point accuracy (property
+        tested).  Use a ``bin_width`` well below the battery's kinetic
+        time constant; the last bin may be shorter.
+        """
+        if bin_width <= 0:
+            raise ProfileError(f"bin_width must be > 0, got {bin_width}")
+        total = self.total_time
+        edges = np.arange(0.0, total, bin_width)
+        edges = np.append(edges, total)
+        if len(edges) < 2:
+            return CurrentProfile(
+                np.array([total]), np.array([self.mean_current])
+            )
+        # Cumulative charge at arbitrary times via interpolation of the
+        # piecewise-linear cumulative-charge function.
+        bounds = self.boundaries()
+        cum_charge = np.concatenate(
+            [[0.0], np.cumsum(self.durations * self.currents)]
+        )
+        charge_at = np.interp(edges, bounds, cum_charge)
+        bin_charge = np.diff(charge_at)
+        bin_width_actual = np.diff(edges)
+        return CurrentProfile(bin_width_actual, bin_charge / bin_width_actual)
+
+    def concat(self, other: "CurrentProfile") -> "CurrentProfile":
+        return CurrentProfile(
+            np.concatenate([self.durations, other.durations]),
+            np.concatenate([self.currents, other.currents]),
+        )
+
+    def add(self, other: "CurrentProfile", rtol: float = 1e-9) -> "CurrentProfile":
+        """Pointwise sum of two equal-length profiles.
+
+        Models several loads sharing one battery (e.g. the processors
+        of a multiprocessor platform): the cell sees the sum of the
+        individual currents.  Segment boundaries are merged, so the
+        result is exact, not resampled.
+        """
+        if abs(self.total_time - other.total_time) > rtol * max(
+            self.total_time, other.total_time
+        ):
+            raise ProfileError(
+                f"profiles must cover the same span to be added: "
+                f"{self.total_time:.9g}s vs {other.total_time:.9g}s"
+            )
+        edges = np.union1d(self.boundaries(), other.boundaries())
+        # Guard against float dust creating zero-width slivers.
+        edges = edges[np.concatenate([[True], np.diff(edges) > 1e-12])]
+        mids = 0.5 * (edges[:-1] + edges[1:])
+
+        def sample(p: "CurrentProfile") -> np.ndarray:
+            idx = np.clip(
+                np.searchsorted(p.boundaries(), mids, side="right") - 1,
+                0,
+                len(p) - 1,
+            )
+            return p.currents[idx]
+
+        return CurrentProfile(
+            np.diff(edges), sample(self) + sample(other)
+        )
+
+    # ------------------------------------------------------------------
+    def is_locally_non_increasing(
+        self,
+        instance_boundaries: Sequence[float],
+        *,
+        ignore: Sequence[bool] = (),
+        atol: float = 1e-9,
+    ) -> bool:
+        """Check battery guideline 1 on a trace.
+
+        ``instance_boundaries`` are the times (e.g. task-graph releases)
+        at which the current is allowed to step *up*; between two
+        consecutive boundaries the profile must be non-increasing.
+        ``ignore`` optionally marks segments (e.g. idle slots) that
+        neither violate the staircase nor lower the ceiling for later
+        segments — the guideline constrains the voltage/clock staircase
+        of *busy* intervals, and an idle dip never hurts the battery.
+        """
+        mask = np.zeros(len(self), dtype=bool)
+        if len(ignore):
+            mask[: len(ignore)] = np.asarray(ignore, dtype=bool)[: len(self)]
+        seg_start = self.boundaries()[:-1]
+        marks = sorted(set(float(b) for b in instance_boundaries))
+        mark_idx = 0
+        ceiling = np.inf
+        for k in range(len(self)):
+            t0 = seg_start[k]
+            while mark_idx < len(marks) and marks[mark_idx] <= t0 + atol:
+                ceiling = np.inf  # reset at an instance boundary
+                mark_idx += 1
+            if mask[k]:
+                continue
+            cur = self.currents[k]
+            if cur > ceiling + atol:
+                return False
+            ceiling = min(ceiling, cur)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CurrentProfile(segments={len(self)}, "
+            f"T={self.total_time:.6g}s, mean={self.mean_current:.4g}A, "
+            f"peak={self.peak_current:.4g}A)"
+        )

@@ -1,0 +1,211 @@
+"""Execution traces recorded by the simulator.
+
+A trace is the full record of what ran when, at which operating point,
+drawing how much battery current.  It reduces to a
+:class:`~repro.sim.profile.CurrentProfile` for battery evaluation and
+renders as ASCII for the paper's trace figures (Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ProfileError
+from .profile import CurrentProfile
+
+__all__ = ["TraceSegment", "ExecutionTrace", "IDLE"]
+
+#: Label used for idle segments.
+IDLE = "<idle>"
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One homogeneous stretch of execution.
+
+    Attributes
+    ----------
+    start, duration:
+        Wall-clock placement in seconds.
+    graph, node:
+        What ran (``IDLE``/empty for idle time).
+    speed:
+        Normalized frequency in [0, 1] (0 when idle).
+    voltage:
+        Supply voltage of the operating point (0 when idle).
+    current:
+        Battery current drawn (amperes).
+    """
+
+    start: float
+    duration: float
+    graph: str
+    node: str
+    speed: float
+    voltage: float
+    current: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def is_idle(self) -> bool:
+        return self.graph == IDLE
+
+    @property
+    def label(self) -> str:
+        return IDLE if self.is_idle else f"{self.graph}.{self.node}"
+
+    @property
+    def cycles(self) -> float:
+        """Work executed, in normalized cycles (seconds at f_max)."""
+        return self.speed * self.duration
+
+
+class ExecutionTrace:
+    """An append-only sequence of contiguous :class:`TraceSegment`."""
+
+    def __init__(self) -> None:
+        self._segments: List[TraceSegment] = []
+
+    def append(self, segment: TraceSegment) -> None:
+        if segment.duration <= 0:
+            return  # zero-length dispatches carry no information
+        if self._segments:
+            gap = segment.start - self._segments[-1].end
+            if abs(gap) > 1e-6:
+                raise ProfileError(
+                    f"trace segments must be contiguous: previous ends at "
+                    f"{self._segments[-1].end:.9g}, next starts at "
+                    f"{segment.start:.9g}"
+                )
+        self._segments.append(segment)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self):
+        return iter(self._segments)
+
+    def __getitem__(self, i):
+        return self._segments[i]
+
+    @property
+    def end_time(self) -> float:
+        return self._segments[-1].end if self._segments else 0.0
+
+    # ------------------------------------------------------------------
+    def busy_segments(self) -> Tuple[TraceSegment, ...]:
+        return tuple(s for s in self._segments if not s.is_idle)
+
+    def busy_time(self) -> float:
+        return sum(s.duration for s in self._segments if not s.is_idle)
+
+    def executed_cycles(self) -> float:
+        return sum(s.cycles for s in self._segments if not s.is_idle)
+
+    def charge(self) -> float:
+        """Total battery charge drawn (coulombs)."""
+        return sum(s.current * s.duration for s in self._segments)
+
+    def energy(self, v_bat: float) -> float:
+        """Battery-side energy in joules for terminal voltage ``v_bat``."""
+        return self.charge() * v_bat
+
+    def node_order(self) -> Tuple[str, ...]:
+        """Distinct task labels in first-execution order (idle skipped)."""
+        seen = []
+        for s in self._segments:
+            if not s.is_idle and (not seen or seen[-1] != s.label):
+                seen.append(s.label)
+        out: List[str] = []
+        for label in seen:
+            if label not in out:
+                out.append(label)
+        return tuple(out)
+
+    def completion_order(self) -> Tuple[str, ...]:
+        """Task labels ordered by the end of their *last* segment."""
+        last_end = {}
+        for s in self._segments:
+            if not s.is_idle:
+                last_end[s.label] = s.end
+        return tuple(sorted(last_end, key=last_end.get))
+
+    # ------------------------------------------------------------------
+    def to_profile(self, *, merge: bool = True) -> CurrentProfile:
+        """The battery-facing current profile of this trace."""
+        if not self._segments:
+            raise ProfileError("empty trace has no profile")
+        prof = CurrentProfile.from_segments(
+            (s.duration, s.current) for s in self._segments
+        )
+        return prof.merged() if merge else prof
+
+    def idle_mask(self) -> np.ndarray:
+        """Boolean mask aligned with the *unmerged* profile segments."""
+        return np.array(
+            [s.is_idle for s in self._segments if s.duration > 0], dtype=bool
+        )
+
+    def label_runs(self) -> Tuple[Tuple[float, float, str, float, bool], ...]:
+        """Consecutive same-label segments coalesced.
+
+        Returns ``(start, duration, label, mean_current, is_idle)``
+        tuples.  A run is one uninterrupted stretch of a task (or of
+        idleness); within a run the two-level frequency mix may toggle
+        the instantaneous current, but the run's *mean* current tracks
+        the reference frequency — the quantity battery guideline 1
+        constrains.
+        """
+        runs: List[List] = []
+        for s in self._segments:
+            if runs and runs[-1][2] == s.label:
+                runs[-1][1] += s.duration
+                runs[-1][3] += s.current * s.duration
+            else:
+                runs.append(
+                    [s.start, s.duration, s.label,
+                     s.current * s.duration, s.is_idle]
+                )
+        return tuple(
+            (r[0], r[1], r[2], r[3] / r[1], r[4]) for r in runs if r[1] > 0
+        )
+
+    # ------------------------------------------------------------------
+    def render_ascii(self, *, width: int = 72, until: Optional[float] = None) -> str:
+        """A compact timeline like the paper's Figure 4/5 traces.
+
+        One row per distinct label; columns are time bins; a cell shows
+        a block if the label ran for the majority of that bin.
+        """
+        horizon = until if until is not None else self.end_time
+        if horizon <= 0:
+            return "(empty trace)"
+        labels = []
+        for s in self._segments:
+            if s.label not in labels:
+                labels.append(s.label)
+        bin_w = horizon / width
+        rows = {lab: [" "] * width for lab in labels}
+        for s in self._segments:
+            b0 = int(np.clip(s.start / bin_w, 0, width - 1))
+            b1 = int(np.clip(np.ceil(s.end / bin_w), 1, width))
+            for b in range(b0, b1):
+                rows[s.label][b] = "#" if not s.is_idle else "."
+        name_w = max(len(lab) for lab in labels)
+        lines = [
+            f"{lab.rjust(name_w)} |{''.join(rows[lab])}|" for lab in labels
+        ]
+        axis = f"{'t'.rjust(name_w)}  0{' ' * (width - 8)}{horizon:.4g}"
+        return "\n".join(lines + [axis])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionTrace(segments={len(self)}, end={self.end_time:.6g}s, "
+            f"busy={self.busy_time():.6g}s)"
+        )

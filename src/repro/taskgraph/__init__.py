@@ -1,0 +1,25 @@
+"""Task-graph substrate: DAG model, periodic sets, random generation."""
+
+from .graph import TaskGraph, TaskNode
+from .periodic import PeriodicTaskGraph, TaskGraphSet
+from .tgff import (
+    chain,
+    fork_join,
+    independent_tasks,
+    layered_dag,
+    random_dag,
+    random_taskgraph_series,
+)
+
+__all__ = [
+    "TaskGraph",
+    "TaskNode",
+    "PeriodicTaskGraph",
+    "TaskGraphSet",
+    "random_dag",
+    "layered_dag",
+    "chain",
+    "fork_join",
+    "independent_tasks",
+    "random_taskgraph_series",
+]

@@ -1,0 +1,21 @@
+"""WCET scaling helper shared by workload generators."""
+
+from __future__ import annotations
+
+from ..errors import TaskGraphError
+from .graph import TaskGraph, TaskNode
+
+__all__ = ["scale_wcets"]
+
+
+def scale_wcets(graph: TaskGraph, factor: float) -> TaskGraph:
+    """A copy of ``graph`` with every node's WCET multiplied by ``factor``.
+
+    Used to hit a target utilization while keeping periods on a
+    harmonic-friendly menu (bounded hyperperiods); structure and the
+    *relative* task sizes are untouched.
+    """
+    if not (factor > 0):
+        raise TaskGraphError(f"factor must be > 0, got {factor}")
+    nodes = [TaskNode(n.name, n.wcet * factor) for n in graph]
+    return TaskGraph(graph.name, nodes, graph.edges())

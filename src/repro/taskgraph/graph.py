@@ -1,0 +1,229 @@
+"""Directed-acyclic task-graph model.
+
+A :class:`TaskGraph` is the paper's unit of work: a DAG whose nodes are
+tasks with worst-case computation requirements (in cycles) and whose
+edges are precedence constraints.  All tasks in a graph share the
+graph's deadline; the graph is released periodically (see
+:mod:`repro.taskgraph.periodic`).
+
+The model is deliberately minimal and immutable after construction:
+runtime bookkeeping (remaining cycles, completion state) lives in the
+simulator, not here, so one graph object can back many concurrent
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..errors import TaskGraphError
+
+__all__ = ["TaskNode", "TaskGraph"]
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One task (node) of a task graph.
+
+    Parameters
+    ----------
+    name:
+        Unique (within the graph) identifier.
+    wcet:
+        Worst-case computation in *cycles* at the maximum frequency.
+        Must be strictly positive.
+    """
+
+    name: str
+    wcet: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TaskGraphError("task node needs a non-empty name")
+        if not (self.wcet > 0):
+            raise TaskGraphError(
+                f"task {self.name!r}: wcet must be > 0, got {self.wcet!r}"
+            )
+
+
+class TaskGraph:
+    """Immutable DAG of :class:`TaskNode` objects with precedence edges.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces and error messages.
+    nodes:
+        The tasks.  Names must be unique.
+    edges:
+        ``(pred, succ)`` pairs of node *names*; ``pred`` must complete
+        before ``succ`` may start.
+
+    Raises
+    ------
+    TaskGraphError
+        If names collide, an edge references an unknown node, or the
+        edges contain a cycle.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Sequence[TaskNode],
+        edges: Iterable[Tuple[str, str]] = (),
+    ) -> None:
+        if not name:
+            raise TaskGraphError("task graph needs a non-empty name")
+        self._name = name
+        self._nodes: Dict[str, TaskNode] = {}
+        for node in nodes:
+            if node.name in self._nodes:
+                raise TaskGraphError(
+                    f"graph {name!r}: duplicate task name {node.name!r}"
+                )
+            self._nodes[node.name] = node
+        if not self._nodes:
+            raise TaskGraphError(f"graph {name!r}: needs at least one task")
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self._nodes)
+        for pred, succ in edges:
+            for endpoint in (pred, succ):
+                if endpoint not in self._nodes:
+                    raise TaskGraphError(
+                        f"graph {name!r}: edge references unknown task "
+                        f"{endpoint!r}"
+                    )
+            if pred == succ:
+                raise TaskGraphError(
+                    f"graph {name!r}: self-loop on task {pred!r}"
+                )
+            g.add_edge(pred, succ)
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            raise TaskGraphError(
+                f"graph {name!r}: precedence edges contain a cycle {cycle}"
+            )
+        self._graph = g
+        # Frozen views computed once; the graph is immutable afterwards.
+        self._topo_order: Tuple[str, ...] = tuple(nx.topological_sort(g))
+        self._total_wcet = float(sum(n.wcet for n in self._nodes.values()))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def total_wcet(self) -> float:
+        """Sum of worst-case cycles over all tasks (the paper's ``WCi``)."""
+        return self._total_wcet
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return self._topo_order
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[TaskNode]:
+        for name in self._topo_order:
+            yield self._nodes[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> TaskNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TaskGraphError(
+                f"graph {self._name!r}: no task named {name!r}"
+            ) from None
+
+    def wcet(self, name: str) -> float:
+        return self.node(name).wcet
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def predecessors(self, name: str) -> Tuple[str, ...]:
+        self.node(name)
+        return tuple(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        self.node(name)
+        return tuple(self._graph.successors(name))
+
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(self._graph.edges())
+
+    def sources(self) -> Tuple[str, ...]:
+        """Tasks with no predecessors (initially ready)."""
+        return tuple(
+            n for n in self._topo_order if self._graph.in_degree(n) == 0
+        )
+
+    def sinks(self) -> Tuple[str, ...]:
+        return tuple(
+            n for n in self._topo_order if self._graph.out_degree(n) == 0
+        )
+
+    def topological_order(self) -> Tuple[str, ...]:
+        """One fixed topological order of the task names."""
+        return self._topo_order
+
+    def ready_after(self, completed: Set[str]) -> Tuple[str, ...]:
+        """Names of tasks whose predecessors are all in ``completed``.
+
+        Tasks already in ``completed`` are excluded.  This is the pure
+        (stateless) ready-set computation used by the simulator and by
+        the exhaustive search.
+        """
+        out: List[str] = []
+        for name in self._topo_order:
+            if name in completed:
+                continue
+            if all(p in completed for p in self._graph.predecessors(name)):
+                out.append(name)
+        return tuple(out)
+
+    def is_linear_extension(self, order: Sequence[str]) -> bool:
+        """``True`` iff ``order`` is a full schedule respecting precedence."""
+        if sorted(order) != sorted(self._nodes):
+            return False
+        position = {name: i for i, name in enumerate(order)}
+        return all(position[u] < position[v] for u, v in self._graph.edges())
+
+    def critical_path_wcet(self) -> float:
+        """WCET sum along the longest (cycle-weighted) path."""
+        dist: Dict[str, float] = {}
+        for name in self._topo_order:
+            preds = self.predecessors(name)
+            base = max((dist[p] for p in preds), default=0.0)
+            dist[name] = base + self._nodes[name].wcet
+        return max(dist.values())
+
+    def as_networkx(self) -> nx.DiGraph:
+        """A *copy* of the underlying directed graph (node attr ``wcet``)."""
+        g = self._graph.copy()
+        for name, node in self._nodes.items():
+            g.nodes[name]["wcet"] = node.wcet
+        return g
+
+    # ------------------------------------------------------------------
+    def relabeled(self, name: str) -> "TaskGraph":
+        """A copy of this graph under a new name (shares node objects)."""
+        return TaskGraph(name, list(self._nodes.values()), self.edges())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskGraph({self._name!r}, tasks={len(self)}, "
+            f"edges={self._graph.number_of_edges()}, "
+            f"total_wcet={self._total_wcet:.6g})"
+        )

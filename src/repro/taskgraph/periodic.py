@@ -1,0 +1,179 @@
+"""Periodic task-graph sets.
+
+The paper schedules *periodically arriving* task graphs whose deadlines
+equal their periods, on one processor.  A :class:`PeriodicTaskGraph`
+binds a :class:`~repro.taskgraph.graph.TaskGraph` to a period; a
+:class:`TaskGraphSet` is the schedulable collection with utilization
+accounting and scaling (the paper keeps system utilization at 70 %).
+
+Utilization here is defined exactly as in ccEDF for task graphs
+(§4.1): ``U = Σ_i WC_i / D_i`` where ``WC_i`` is the summed worst-case
+cycle count of graph *i*, expressed in units of the maximum frequency
+(cycles are stored at f_max; dividing by seconds yields a fraction of
+f_max when f_max is normalized to 1 cycle per time unit — see
+:mod:`repro.processor`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import reduce
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import TaskGraphError
+from .graph import TaskGraph, TaskNode
+
+__all__ = ["PeriodicTaskGraph", "TaskGraphSet"]
+
+
+@dataclass(frozen=True)
+class PeriodicTaskGraph:
+    """A task graph released every ``period`` time units.
+
+    The relative deadline equals the period (the paper's assumption).
+    ``phase`` allows a first release later than t=0 (the paper uses
+    synchronous release, phase 0, which is also the default).
+    """
+
+    graph: TaskGraph
+    period: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.period > 0):
+            raise TaskGraphError(
+                f"graph {self.graph.name!r}: period must be > 0, got "
+                f"{self.period!r}"
+            )
+        if self.phase < 0:
+            raise TaskGraphError(
+                f"graph {self.graph.name!r}: phase must be >= 0, got "
+                f"{self.phase!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    @property
+    def deadline(self) -> float:
+        """Relative deadline (= period)."""
+        return self.period
+
+    @property
+    def utilization(self) -> float:
+        """``WC_i / D_i`` with cycles measured at normalized f_max = 1."""
+        return self.graph.total_wcet / self.period
+
+    def release_time(self, job_index: int) -> float:
+        """Absolute release instant of the ``job_index``-th job (0-based)."""
+        if job_index < 0:
+            raise TaskGraphError("job_index must be >= 0")
+        return self.phase + job_index * self.period
+
+    def absolute_deadline(self, job_index: int) -> float:
+        return self.release_time(job_index) + self.period
+
+    def with_period(self, period: float) -> "PeriodicTaskGraph":
+        return PeriodicTaskGraph(self.graph, period, self.phase)
+
+
+def _float_lcm(values: Sequence[float], resolution: float = 1e-9) -> float:
+    """LCM of positive floats on a fixed grid (for hyperperiod computation)."""
+    ints = []
+    for v in values:
+        n = round(v / resolution)
+        if n <= 0 or abs(n * resolution - v) > resolution:
+            # Periods not representable on the grid: fall back to product.
+            return math.prod(values) if hasattr(math, "prod") else reduce(
+                lambda a, b: a * b, values, 1.0
+            )
+        ints.append(n)
+    lcm = reduce(lambda a, b: a * b // math.gcd(a, b), ints, 1)
+    return lcm * resolution
+
+
+class TaskGraphSet:
+    """An ordered collection of periodic task graphs sharing one processor."""
+
+    def __init__(self, graphs: Iterable[PeriodicTaskGraph]) -> None:
+        self._graphs: Tuple[PeriodicTaskGraph, ...] = tuple(graphs)
+        if not self._graphs:
+            raise TaskGraphError("task graph set must not be empty")
+        names = [g.name for g in self._graphs]
+        if len(set(names)) != len(names):
+            raise TaskGraphError(f"duplicate task graph names in set: {names}")
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __iter__(self) -> Iterator[PeriodicTaskGraph]:
+        return iter(self._graphs)
+
+    def __getitem__(self, i: int) -> PeriodicTaskGraph:
+        return self._graphs[i]
+
+    def by_name(self, name: str) -> PeriodicTaskGraph:
+        for g in self._graphs:
+            if g.name == name:
+                return g
+        raise TaskGraphError(f"no task graph named {name!r} in set")
+
+    @property
+    def utilization(self) -> float:
+        """Total worst-case utilization ``Σ WC_i / D_i`` (f_max = 1)."""
+        return sum(g.utilization for g in self._graphs)
+
+    def hyperperiod(self) -> float:
+        """Least common multiple of the periods (phase-0 repeat interval)."""
+        return _float_lcm([g.period for g in self._graphs])
+
+    def total_tasks(self) -> int:
+        return sum(len(g.graph) for g in self._graphs)
+
+    # ------------------------------------------------------------------
+    def scaled_to_utilization(self, target: float) -> "TaskGraphSet":
+        """Uniformly rescale periods so worst-case utilization == target.
+
+        The paper keeps utilization at 70 %; generators produce graphs
+        with arbitrary WCETs and this method normalizes the set.  WCETs
+        are untouched — only periods move — so graph *structure* and the
+        relative sizes of tasks are preserved.
+        """
+        if not (0 < target <= 1):
+            raise TaskGraphError(
+                f"target utilization must be in (0, 1], got {target!r}"
+            )
+        current = self.utilization
+        factor = current / target
+        return TaskGraphSet(
+            PeriodicTaskGraph(g.graph, g.period * factor, g.phase * factor)
+            for g in self._graphs
+        )
+
+    def scaled_wcets_to_utilization(self, target: float) -> "TaskGraphSet":
+        """Uniformly rescale *WCETs* so worst-case utilization == target.
+
+        Unlike :meth:`scaled_to_utilization`, periods are untouched, so
+        a harmonic period structure (and with it a bounded hyperperiod)
+        survives the rescale — the right knob when periods carry
+        real-world meaning (frame rates, polling intervals).
+        """
+        from ._scale import scale_wcets
+
+        if not (0 < target <= 1):
+            raise TaskGraphError(
+                f"target utilization must be in (0, 1], got {target!r}"
+            )
+        factor = target / self.utilization
+        return TaskGraphSet(
+            PeriodicTaskGraph(scale_wcets(g.graph, factor), g.period, g.phase)
+            for g in self._graphs
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskGraphSet(n={len(self)}, tasks={self.total_tasks()}, "
+            f"U={self.utilization:.3f})"
+        )

@@ -1,0 +1,227 @@
+"""TGFF-style random task-graph generation.
+
+The paper generates its workload with Princeton's TGFF ("Task Graphs
+For Free") tool: DAGs "with random dependencies" whose node WCETs are
+drawn from a uniform distribution.  TGFF itself is a C program we do
+not have; this module is the substitution documented in DESIGN.md §5 —
+a seeded generator family producing connected random DAGs with bounded
+fan-in/fan-out, plus a few structured families (chains, fork–join,
+layered) useful for tests and ablations.
+
+All generators take a :class:`numpy.random.Generator` (or a seed) so
+every experiment in the repository is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import TaskGraphError
+from .graph import TaskGraph, TaskNode
+
+__all__ = [
+    "random_dag",
+    "layered_dag",
+    "chain",
+    "fork_join",
+    "independent_tasks",
+    "random_taskgraph_series",
+]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _uniform_wcets(
+    rng: np.random.Generator, n: int, wcet_range: Tuple[float, float]
+) -> np.ndarray:
+    lo, hi = wcet_range
+    if not (0 < lo <= hi):
+        raise TaskGraphError(
+            f"wcet_range must satisfy 0 < lo <= hi, got {wcet_range!r}"
+        )
+    return rng.uniform(lo, hi, size=n)
+
+
+def random_dag(
+    n_tasks: int,
+    *,
+    name: str = "tg",
+    edge_prob: float = 0.3,
+    max_in_degree: int = 3,
+    max_out_degree: int = 3,
+    wcet_range: Tuple[float, float] = (1.0, 10.0),
+    rng: RngLike = None,
+) -> TaskGraph:
+    """Generate a connected random DAG in TGFF's spirit.
+
+    Nodes are labelled ``t0..t{n-1}`` in topological order; an edge
+    ``ti -> tj`` (i < j) is inserted with probability ``edge_prob``
+    subject to the degree bounds.  Afterwards every node other than
+    ``t0`` that ends up with no predecessor is attached to a random
+    earlier node, which keeps the DAG weakly connected the way TGFF's
+    series-parallel expansions do.
+
+    Parameters mirror the paper's workload: uniform WCETs, random
+    dependencies, 5-15 tasks in the evaluation.
+    """
+    if n_tasks < 1:
+        raise TaskGraphError(f"n_tasks must be >= 1, got {n_tasks}")
+    if not (0 <= edge_prob <= 1):
+        raise TaskGraphError(f"edge_prob must be in [0,1], got {edge_prob}")
+    if max_in_degree < 1 or max_out_degree < 1:
+        raise TaskGraphError("degree bounds must be >= 1")
+    gen = _rng(rng)
+    wcets = _uniform_wcets(gen, n_tasks, wcet_range)
+    nodes = [TaskNode(f"t{i}", float(wcets[i])) for i in range(n_tasks)]
+
+    in_deg = [0] * n_tasks
+    out_deg = [0] * n_tasks
+    edges: List[Tuple[str, str]] = []
+    for j in range(1, n_tasks):
+        for i in range(j):
+            if in_deg[j] >= max_in_degree:
+                break
+            if out_deg[i] >= max_out_degree:
+                continue
+            if gen.random() < edge_prob:
+                edges.append((f"t{i}", f"t{j}"))
+                in_deg[j] += 1
+                out_deg[i] += 1
+    # Connect orphan nodes to keep the graph weakly connected.
+    # Connectivity takes precedence over the out-degree bound: when all
+    # earlier nodes are saturated the least-loaded one is used anyway
+    # (the in-degree bound is always strict).
+    for j in range(1, n_tasks):
+        if in_deg[j] == 0:
+            candidates = [i for i in range(j) if out_deg[i] < max_out_degree]
+            if candidates:
+                i = int(gen.choice(candidates))
+            else:
+                i = min(range(j), key=lambda k: out_deg[k])
+            edges.append((f"t{i}", f"t{j}"))
+            in_deg[j] += 1
+            out_deg[i] += 1
+    return TaskGraph(name, nodes, edges)
+
+
+def layered_dag(
+    layers: Sequence[int],
+    *,
+    name: str = "tg",
+    inter_layer_prob: float = 0.5,
+    wcet_range: Tuple[float, float] = (1.0, 10.0),
+    rng: RngLike = None,
+) -> TaskGraph:
+    """A DAG organized in layers; edges go only to the next layer.
+
+    Every node in layer k+1 receives at least one edge from layer k, so
+    the precedence depth equals ``len(layers)``.  Useful for ablations
+    that separate "wide" from "deep" graphs.
+    """
+    if not layers or any(w < 1 for w in layers):
+        raise TaskGraphError(f"layers must be positive widths, got {layers!r}")
+    gen = _rng(rng)
+    n = sum(layers)
+    wcets = _uniform_wcets(gen, n, wcet_range)
+    nodes = [TaskNode(f"t{i}", float(wcets[i])) for i in range(n)]
+    # Node index ranges per layer.
+    starts = np.concatenate([[0], np.cumsum(layers)])
+    edges: List[Tuple[str, str]] = []
+    for k in range(len(layers) - 1):
+        prev = range(int(starts[k]), int(starts[k + 1]))
+        cur = range(int(starts[k + 1]), int(starts[k + 2]))
+        for j in cur:
+            preds = [i for i in prev if gen.random() < inter_layer_prob]
+            if not preds:
+                preds = [int(gen.choice(list(prev)))]
+            edges.extend((f"t{i}", f"t{j}") for i in preds)
+    return TaskGraph(name, nodes, edges)
+
+
+def chain(
+    n_tasks: int,
+    *,
+    name: str = "tg",
+    wcet_range: Tuple[float, float] = (1.0, 10.0),
+    rng: RngLike = None,
+) -> TaskGraph:
+    """A fully serial graph t0 -> t1 -> ... (worst case for ordering freedom)."""
+    if n_tasks < 1:
+        raise TaskGraphError(f"n_tasks must be >= 1, got {n_tasks}")
+    gen = _rng(rng)
+    wcets = _uniform_wcets(gen, n_tasks, wcet_range)
+    nodes = [TaskNode(f"t{i}", float(wcets[i])) for i in range(n_tasks)]
+    edges = [(f"t{i}", f"t{i+1}") for i in range(n_tasks - 1)]
+    return TaskGraph(name, nodes, edges)
+
+
+def fork_join(
+    n_branches: int,
+    *,
+    name: str = "tg",
+    wcet_range: Tuple[float, float] = (1.0, 10.0),
+    rng: RngLike = None,
+) -> TaskGraph:
+    """Source -> n parallel branches -> sink (maximal ordering freedom)."""
+    if n_branches < 1:
+        raise TaskGraphError(f"n_branches must be >= 1, got {n_branches}")
+    gen = _rng(rng)
+    n = n_branches + 2
+    wcets = _uniform_wcets(gen, n, wcet_range)
+    nodes = [TaskNode("src", float(wcets[0]))]
+    nodes += [TaskNode(f"b{i}", float(wcets[i + 1])) for i in range(n_branches)]
+    nodes.append(TaskNode("sink", float(wcets[-1])))
+    edges = [("src", f"b{i}") for i in range(n_branches)]
+    edges += [(f"b{i}", "sink") for i in range(n_branches)]
+    return TaskGraph(name, nodes, edges)
+
+
+def independent_tasks(
+    wcets: Sequence[float], *, name: str = "tg"
+) -> TaskGraph:
+    """A graph with no edges (the reduced problem of §4.2 / Gruian's UBS)."""
+    nodes = [TaskNode(f"t{i}", float(w)) for i, w in enumerate(wcets)]
+    return TaskGraph(name, nodes, [])
+
+
+def random_taskgraph_series(
+    count: int,
+    *,
+    n_tasks_range: Tuple[int, int] = (5, 15),
+    edge_prob: float = 0.3,
+    wcet_range: Tuple[float, float] = (1.0, 10.0),
+    name_prefix: str = "tg",
+    rng: RngLike = None,
+) -> List[TaskGraph]:
+    """A list of random DAGs with node counts uniform in ``n_tasks_range``.
+
+    This is the paper's evaluation workload shape: "taskgraphs with
+    nodes varying from 5 to 15".
+    """
+    if count < 1:
+        raise TaskGraphError(f"count must be >= 1, got {count}")
+    lo, hi = n_tasks_range
+    if not (1 <= lo <= hi):
+        raise TaskGraphError(f"bad n_tasks_range {n_tasks_range!r}")
+    gen = _rng(rng)
+    out = []
+    for i in range(count):
+        n = int(gen.integers(lo, hi + 1))
+        out.append(
+            random_dag(
+                n,
+                name=f"{name_prefix}{i}",
+                edge_prob=edge_prob,
+                wcet_range=wcet_range,
+                rng=gen,
+            )
+        )
+    return out

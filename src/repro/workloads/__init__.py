@@ -1,0 +1,14 @@
+"""Workload generation: the paper's §5 model and figure presets."""
+
+from .generator import PERIOD_MENU, UniformActuals, paper_task_set
+from .presets import fig4_cases, fig4_pair, fig5_actuals, fig5_set
+
+__all__ = [
+    "UniformActuals",
+    "paper_task_set",
+    "PERIOD_MENU",
+    "fig4_pair",
+    "fig4_cases",
+    "fig5_set",
+    "fig5_actuals",
+]

@@ -1,0 +1,113 @@
+"""The paper's evaluation workload (§5).
+
+"Task graphs were generated from TGFF with random dependencies and the
+worst case computation of each node was chosen randomly following a
+uniform distribution.  Utilization of the system was kept to 70 %.
+Actual computation of a task is assumed to be chosen at random between
+20 % and 100 % of the WCET."
+
+:func:`paper_task_set` builds a periodic set in exactly that shape
+(periods drawn from a small harmonic-friendly menu, then the whole set
+rescaled to the target utilization so hyperperiods stay bounded);
+:class:`UniformActuals` is the 20-100 % actuals provider, keyed by
+``(graph, node, job_index)`` so *every scheme sees the identical
+workload* regardless of the order in which it asks.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import TaskGraphError
+from ..taskgraph._scale import scale_wcets
+from ..taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+from ..taskgraph.tgff import random_taskgraph_series
+
+__all__ = ["UniformActuals", "paper_task_set", "PERIOD_MENU"]
+
+#: Unscaled period choices; LCM = 400, so a scaled set's hyperperiod is
+#: at most 100x its smallest period.
+PERIOD_MENU: Tuple[float, ...] = (4.0, 5.0, 8.0, 10.0, 16.0, 20.0, 25.0, 40.0, 50.0)
+
+
+class UniformActuals:
+    """Actual cycles uniform in ``[low, high] * wcet``, reproducibly.
+
+    Each ``(graph, node, job_index)`` triple gets an independent draw
+    derived from the seed by hashing the key, so the value a node gets
+    does not depend on when (or whether) other schemes query it.
+    """
+
+    def __init__(
+        self, low: float = 0.2, high: float = 1.0, seed: int = 0
+    ) -> None:
+        if not (0 < low <= high <= 1):
+            raise TaskGraphError(
+                f"need 0 < low <= high <= 1, got low={low}, high={high}"
+            )
+        self.low = float(low)
+        self.high = float(high)
+        self.seed = int(seed)
+
+    def __call__(
+        self, graph: str, node: str, job_index: int, wc: float
+    ) -> float:
+        key = np.random.SeedSequence(
+            [
+                self.seed,
+                zlib.crc32(graph.encode()),
+                zlib.crc32(node.encode()),
+                job_index,
+            ]
+        )
+        u = np.random.default_rng(key).random()
+        return wc * (self.low + (self.high - self.low) * u)
+
+
+def paper_task_set(
+    n_graphs: int,
+    *,
+    utilization: float = 0.7,
+    n_tasks_range: Tuple[int, int] = (5, 15),
+    edge_prob: float = 0.3,
+    wcet_range: Tuple[float, float] = (1.0, 10.0),
+    period_menu: Sequence[float] = PERIOD_MENU,
+    seed: Optional[int] = 0,
+) -> TaskGraphSet:
+    """A random periodic task-graph set at the paper's operating point.
+
+    Graph structure and WCETs follow the TGFF-style generator; each
+    graph draws a period from ``period_menu`` and every WCET is then
+    uniformly rescaled so the set's worst-case utilization hits the
+    target (70 % in every paper experiment).  Scaling *WCETs* rather
+    than periods keeps periods on the harmonic-friendly menu, so the
+    hyperperiod stays bounded (LCM of the default menu is 400).
+    """
+    if n_graphs < 1:
+        raise TaskGraphError(f"n_graphs must be >= 1, got {n_graphs}")
+    if not (0 < utilization <= 1):
+        raise TaskGraphError(
+            f"utilization must be in (0, 1], got {utilization}"
+        )
+    rng = np.random.default_rng(seed)
+    graphs = random_taskgraph_series(
+        n_graphs,
+        n_tasks_range=n_tasks_range,
+        edge_prob=edge_prob,
+        wcet_range=wcet_range,
+        rng=rng,
+    )
+    menu = np.asarray(period_menu, dtype=float)
+    if menu.size == 0 or np.any(menu <= 0):
+        raise TaskGraphError(f"bad period menu {period_menu!r}")
+    periods = [float(rng.choice(menu)) for _ in graphs]
+    u_raw = sum(g.total_wcet / p for g, p in zip(graphs, periods))
+    factor = utilization / u_raw
+    periodic = [
+        PeriodicTaskGraph(scale_wcets(g, factor), p)
+        for g, p in zip(graphs, periods)
+    ]
+    return TaskGraphSet(periodic)

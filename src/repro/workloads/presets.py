@@ -1,0 +1,69 @@
+"""Canonical scenarios lifted verbatim from the paper's figures.
+
+* :func:`fig4_pair` — the Figure 4 motivational example: two
+  independent tasks, common deadline 10, WCETs 4 and 6, with the two
+  actual-computation cases (40 %/60 % and 60 %/40 %).
+* :func:`fig5_set` — the Figure 5 trace example: T1 (one task, wc 5,
+  D 20), T2 (one task, wc 5, D 50), T3 (three tasks, wc 5 each, D 100);
+  utilization 0.5, all tasks at worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..taskgraph.graph import TaskGraph, TaskNode
+from ..taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+
+__all__ = ["fig4_pair", "fig4_cases", "fig5_set", "fig5_actuals"]
+
+
+def fig4_pair() -> TaskGraph:
+    """Two independent tasks: task1 wc=4, task2 wc=6, common deadline 10."""
+    return TaskGraph(
+        "fig4",
+        [TaskNode("task1", 4.0), TaskNode("task2", 6.0)],
+        [],
+    )
+
+
+def fig4_cases() -> Dict[str, Dict[str, float]]:
+    """The two actual-computation cases of Figure 4.
+
+    Case 1: tasks take 40 % and 60 % of their worst cases; STF recovers
+    more slack.  Case 2: 60 % and 40 %; LTF wins.  Values are actual
+    cycles (fractions times the WCETs 4 and 6).
+    """
+    return {
+        "case1": {"task1": 0.4 * 4.0, "task2": 0.6 * 6.0},
+        "case2": {"task1": 0.6 * 4.0, "task2": 0.4 * 6.0},
+    }
+
+
+def fig5_set() -> TaskGraphSet:
+    """The three periodic task graphs of the Figure 5 trace example.
+
+    T1: single task wc=5, D=20; T2: single task wc=5, D=50; T3: three
+    independent tasks wc=5 each, D=100.  U = 5/20 + 5/50 + 15/100 = 0.5,
+    so f_ref = 0.5 f_max, constant while every task takes its worst
+    case.
+    """
+    t1 = TaskGraph("T1", [TaskNode("a", 5.0)], [])
+    t2 = TaskGraph("T2", [TaskNode("a", 5.0)], [])
+    t3 = TaskGraph(
+        "T3",
+        [TaskNode("a", 5.0), TaskNode("b", 5.0), TaskNode("c", 5.0)],
+        [],
+    )
+    return TaskGraphSet(
+        [
+            PeriodicTaskGraph(t1, 20.0),
+            PeriodicTaskGraph(t2, 50.0),
+            PeriodicTaskGraph(t3, 100.0),
+        ]
+    )
+
+
+def fig5_actuals(graph: str, node: str, job_index: int, wc: float) -> float:
+    """Figure 5 assumes every task takes its worst case."""
+    return wc

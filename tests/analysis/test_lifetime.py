@@ -1,0 +1,64 @@
+"""Unit tests for battery-lifetime evaluation of schedules."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifetime import evaluate_lifetime
+from repro.battery.kibam import KiBaM
+from repro.core.methodology import SchedulingPolicy
+from repro.core.priority import RandomPriority
+from repro.dvs import NoDVS
+from repro.errors import BatteryError
+from repro.sim.engine import Simulator
+from repro.sim.profile import CurrentProfile
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+
+
+@pytest.fixture
+def cell():
+    return KiBaM(capacity=200.0, c=0.5, kp=0.01)
+
+
+class TestFromProfile:
+    def test_tiles_until_death(self, cell):
+        prof = CurrentProfile(np.array([5.0, 5.0]), np.array([2.0, 0.1]))
+        report = evaluate_lifetime(prof, cell)
+        assert report.run.died
+        assert report.mean_current == pytest.approx(1.05)
+        assert report.peak_current == pytest.approx(2.0)
+        # Lifetime bounded by ideal charge budget.
+        assert report.run.lifetime <= 200.0 / 1.05 + 10.0
+
+    def test_rebin_close_to_exact(self, cell):
+        prof = CurrentProfile(
+            np.array([3.0, 2.0, 5.0]), np.array([2.0, 0.5, 1.0])
+        )
+        exact = evaluate_lifetime(prof, cell)
+        binned = evaluate_lifetime(prof, cell, rebin=0.5)
+        assert binned.run.lifetime == pytest.approx(
+            exact.run.lifetime, rel=0.05
+        )
+
+    def test_rejects_bad_source(self, cell):
+        with pytest.raises(BatteryError, match="source"):
+            evaluate_lifetime([1, 2, 3], cell)
+
+    def test_undying_raises(self, cell):
+        prof = CurrentProfile(np.array([1.0]), np.array([1e-6]))
+        with pytest.raises(BatteryError):
+            evaluate_lifetime(prof, cell, max_time=1e4)
+
+
+class TestFromSimulation:
+    def test_simulation_source(self, proc, cell):
+        g = TaskGraph("T", [TaskNode("a", 5.0)])
+        ts = TaskGraphSet([PeriodicTaskGraph(g, 10.0)])
+        sim = Simulator(
+            ts, proc, NoDVS(), SchedulingPolicy(RandomPriority(0))
+        )
+        res = sim.run(10.0)
+        report = evaluate_lifetime(res, cell)
+        assert report.run.died
+        assert report.delivered_mah > 0
+        assert report.work_delivered == report.run.delivered_charge

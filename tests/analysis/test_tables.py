@@ -1,0 +1,44 @@
+"""Unit tests for the table formatter."""
+
+from repro.analysis.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1].replace(" ", "")) == {"-"}
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in out
+        assert "1.235" not in out
+
+    def test_string_cells_untouched(self):
+        out = format_table(["who"], [["winner"]])
+        assert "winner" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        out = format_series(
+            "n", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]}
+        )
+        lines = out.splitlines()
+        assert "s1" in lines[0] and "s2" in lines[0]
+        assert len(lines) == 4

@@ -1,0 +1,89 @@
+"""Tests for the battery base driver (profiles, tiling, runs)."""
+
+import numpy as np
+import pytest
+
+from repro.battery.base import BatteryRun, as_segments
+from repro.battery.kibam import KiBaM
+from repro.errors import BatteryError
+
+
+@pytest.fixture
+def cell():
+    return KiBaM(capacity=100.0, c=0.5, kp=0.01)
+
+
+class TestAsSegments:
+    def test_basic(self):
+        d, i = as_segments([1.0, 2.0], [0.5, 0.0])
+        assert list(d) == [1.0, 2.0]
+        assert list(i) == [0.5, 0.0]
+
+    def test_drops_zero_duration(self):
+        d, i = as_segments([1.0, 0.0, 2.0], [0.5, 9.0, 0.1])
+        assert list(d) == [1.0, 2.0]
+        assert list(i) == [0.5, 0.1]
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(BatteryError):
+            as_segments([1.0, 2.0], [0.5])
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(BatteryError):
+            as_segments([-1.0], [0.5])
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(BatteryError):
+            as_segments([1.0], [-0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(BatteryError):
+            as_segments([], [])
+
+    def test_rejects_all_zero_duration(self):
+        with pytest.raises(BatteryError):
+            as_segments([0.0, 0.0], [1.0, 1.0])
+
+
+class TestBatteryRun:
+    def test_unit_conversions(self):
+        run = BatteryRun(died=True, lifetime=120.0, delivered_charge=36.0)
+        assert run.delivered_mah == pytest.approx(10.0)
+        assert run.lifetime_minutes == pytest.approx(2.0)
+
+
+class TestRunProfile:
+    def test_single_pass_survival(self, cell):
+        run = cell.run_profile([10.0], [0.5], repeat=1)
+        assert not run.died
+        assert run.lifetime == pytest.approx(10.0)
+        assert run.delivered_charge == pytest.approx(5.0)
+
+    def test_tiling_until_death(self, cell):
+        run = cell.run_profile([10.0], [2.0], repeat=None)
+        assert run.died
+        # Must beat the ideal bound capacity/I and at least drain the well.
+        assert 50.0 / 2.0 <= run.lifetime <= 100.0 / 2.0
+
+    def test_repeat_counts(self, cell):
+        run = cell.run_profile([1.0, 1.0], [0.5, 0.0], repeat=3)
+        assert run.lifetime == pytest.approx(6.0)
+        assert run.delivered_charge == pytest.approx(1.5)
+
+    def test_rejects_bad_repeat(self, cell):
+        with pytest.raises(BatteryError):
+            cell.run_profile([1.0], [0.5], repeat=0)
+
+    def test_undying_profile_raises(self, cell):
+        with pytest.raises(BatteryError, match="max_time"):
+            cell.run_profile([1.0], [1e-9], repeat=None, max_time=100.0)
+
+    def test_death_mid_profile_truncates_charge(self, cell):
+        # One pass long enough to die inside the single segment.
+        run = cell.run_profile([1000.0], [5.0], repeat=1)
+        assert run.died
+        assert run.delivered_charge == pytest.approx(5.0 * run.lifetime)
+
+    def test_lifetime_constant_rejects_zero_current(self, cell):
+        with pytest.raises(BatteryError):
+            cell.lifetime_constant(0.0)

@@ -1,0 +1,133 @@
+"""Unit + property tests for the Rakhmatov-Vrudhula diffusion model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.diffusion import DiffusionBattery
+from repro.errors import BatteryError
+
+
+@pytest.fixture
+def cell():
+    # beta sets the diffusion speed; too small and the unavailable
+    # charge (2*sum 1/(beta^2 m^2) per ampere) dwarfs alpha.
+    return DiffusionBattery(alpha=100.0, beta=0.7, terms=20)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("a,b,m", [(0, 0.1, 10), (100, 0, 10), (100, 0.1, 0)])
+    def test_rejects_bad_params(self, a, b, m):
+        with pytest.raises(BatteryError):
+            DiffusionBattery(a, b, m)
+
+    def test_fresh_state(self, cell):
+        s = cell.fresh_state()
+        assert s.consumed == 0.0
+        assert np.all(s.memory == 0.0)
+        assert cell.sigma(s) == 0.0
+
+
+class TestSigmaDynamics:
+    def test_sigma_grows_under_load(self, cell):
+        s1, _ = cell.advance(cell.fresh_state(), 1.0, 10.0)
+        s2, _ = cell.advance(s1, 1.0, 10.0)
+        assert cell.sigma(s2) > cell.sigma(s1) > 0
+
+    def test_sigma_exceeds_consumed_under_load(self, cell):
+        """Apparent charge = consumed + unavailable > consumed."""
+        s, _ = cell.advance(cell.fresh_state(), 1.0, 10.0)
+        assert cell.sigma(s) > s.consumed
+        assert cell.unavailable_charge(s) > 0
+
+    def test_recovery_reduces_sigma(self, cell):
+        s, _ = cell.advance(cell.fresh_state(), 2.0, 10.0)
+        sigma_loaded = cell.sigma(s)
+        s_rest, death = cell.advance(s, 0.0, 100.0)
+        assert death is None
+        assert cell.sigma(s_rest) < sigma_loaded
+        # Consumed charge is not recovered, only the unavailable part.
+        assert s_rest.consumed == pytest.approx(s.consumed)
+
+    def test_memory_decays_to_zero(self, cell):
+        s, _ = cell.advance(cell.fresh_state(), 2.0, 10.0)
+        s_rest, _ = cell.advance(s, 0.0, 1e5)
+        assert cell.unavailable_charge(s_rest) == pytest.approx(0.0, abs=1e-6)
+
+    @given(
+        current=st.floats(min_value=0.01, max_value=1.0),
+        t=st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_consumed_is_exact_integral(self, current, t):
+        cell = DiffusionBattery(1e6, 0.2, terms=10)
+        s, death = cell.advance(cell.fresh_state(), current, t)
+        assert death is None
+        assert s.consumed == pytest.approx(current * t, rel=1e-9)
+
+    @given(
+        beta=st.floats(min_value=0.01, max_value=1.0),
+        current=st.floats(min_value=0.5, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_segmentation_invariance(self, beta, current):
+        """State after 20 s is the same via one or twenty segments."""
+        cell = DiffusionBattery(1e9, beta, terms=8)
+        one, _ = cell.advance(cell.fresh_state(), current, 20.0)
+        many = cell.fresh_state()
+        for _ in range(20):
+            many, _ = cell.advance(many, current, 1.0)
+        assert many.consumed == pytest.approx(one.consumed, rel=1e-9)
+        np.testing.assert_allclose(many.memory, one.memory, rtol=1e-7)
+
+
+class TestDeath:
+    def test_dies_when_sigma_hits_alpha(self, cell):
+        state, death = cell.advance(cell.fresh_state(), 5.0, 1000.0)
+        assert death is not None
+        assert cell.sigma(state) == pytest.approx(cell.alpha, rel=1e-6)
+
+    def test_death_earlier_than_ideal(self, cell):
+        """Unavailable charge makes death earlier than alpha/I."""
+        _, death = cell.advance(cell.fresh_state(), 5.0, 1000.0)
+        assert death < cell.alpha / 5.0
+
+    def test_zero_current_never_dies(self, cell):
+        _, death = cell.advance(cell.fresh_state(), 0.0, 1e6)
+        assert death is None
+
+    def test_dead_stays_dead(self, cell):
+        state, death = cell.advance(cell.fresh_state(), 5.0, 1000.0)
+        _, death2 = cell.advance(state, 1.0, 1.0)
+        assert death2 == 0.0
+
+    def test_rate_capacity_effect(self, cell):
+        q = [
+            cell.lifetime_constant(i).delivered_charge
+            for i in (0.2, 1.0, 5.0)
+        ]
+        assert q[0] > q[1] > q[2]
+
+    def test_infinitesimal_load_delivers_alpha(self, cell):
+        run = cell.lifetime_constant(0.005, max_time=1e9)
+        assert run.delivered_charge == pytest.approx(cell.alpha, rel=0.02)
+
+    def test_recovery_extends_life(self, cell):
+        cont = cell.run_profile([1000.0], [3.0], repeat=None)
+        pulsed = cell.run_profile([5.0, 5.0], [3.0, 0.0], repeat=None)
+        assert pulsed.delivered_charge > cont.delivered_charge
+
+
+class TestSeriesTruncation:
+    def test_more_terms_converge(self):
+        """Truncation error shrinks with term count."""
+        deaths = []
+        for m in (5, 20, 60):
+            cell = DiffusionBattery(100.0, 0.7, terms=m)
+            _, d = cell.advance(cell.fresh_state(), 5.0, 1000.0)
+            deaths.append(d)
+        # Truncation error shrinks ~1/M: 20 vs 60 terms within ~2%.
+        assert deaths[1] == pytest.approx(deaths[2], rel=2e-2)
+        # 5 terms is further from converged than 20 terms.
+        assert abs(deaths[0] - deaths[2]) > abs(deaths[1] - deaths[2])

@@ -1,0 +1,169 @@
+"""Unit + property tests for the Kinetic Battery Model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.kibam import KiBaM, KiBaMState
+from repro.errors import BatteryError
+
+
+@pytest.fixture
+def cell():
+    return KiBaM(capacity=100.0, c=0.5, kp=0.01)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "cap,c,kp",
+        [(0, 0.5, 0.01), (100, 0.0, 0.01), (100, 1.0, 0.01), (100, 0.5, 0)],
+    )
+    def test_rejects_bad_params(self, cap, c, kp):
+        with pytest.raises(BatteryError):
+            KiBaM(cap, c, kp)
+
+    def test_fresh_state_split(self, cell):
+        s = cell.fresh_state()
+        assert s.y1 == pytest.approx(50.0)
+        assert s.y2 == pytest.approx(50.0)
+        assert s.total == pytest.approx(100.0)
+
+    def test_available_capacity(self, cell):
+        assert cell.available_capacity() == pytest.approx(50.0)
+
+
+class TestChargeConservation:
+    def test_analytic_conservation(self, cell):
+        """y1 + y2 == y0 - I*t identically (closed form check)."""
+        state = cell.fresh_state()
+        new = cell.state_at(state, 0.5, 37.0)
+        assert new.total == pytest.approx(100.0 - 0.5 * 37.0)
+
+    @given(
+        current=st.floats(min_value=0.0, max_value=2.0),
+        t=st.floats(min_value=0.0, max_value=50.0),
+        c=st.floats(min_value=0.1, max_value=0.9),
+        kp=st.floats(min_value=1e-4, max_value=0.5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_conservation(self, current, t, c, kp):
+        cell = KiBaM(100.0, c, kp)
+        new = cell.state_at(cell.fresh_state(), current, t)
+        assert new.total == pytest.approx(100.0 - current * t, abs=1e-6)
+
+    @given(
+        kp=st.floats(min_value=1e-3, max_value=0.5),
+        t=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_recovery_never_creates_charge(self, kp, t):
+        """Under zero load the wells only redistribute."""
+        cell = KiBaM(100.0, 0.3, kp)
+        # Start from an unbalanced state (available partially drained).
+        start = KiBaMState(10.0, 70.0)
+        new = cell.state_at(start, 0.0, t)
+        assert new.total == pytest.approx(80.0, abs=1e-9)
+        assert new.y1 >= 10.0 - 1e-9  # recovery fills the available well
+
+
+class TestEquilibration:
+    def test_zero_load_equalizes_heights(self, cell):
+        start = KiBaMState(10.0, 70.0)
+        new = cell.state_at(start, 0.0, 10_000.0)
+        h1 = new.y1 / cell.c
+        h2 = new.y2 / (1 - cell.c)
+        assert h1 == pytest.approx(h2, rel=1e-6)
+
+    def test_heights_equal_when_full(self, cell):
+        s = cell.fresh_state()
+        assert s.y1 / cell.c == pytest.approx(s.y2 / (1 - cell.c))
+
+
+class TestDeath:
+    def test_survives_light_load(self, cell):
+        state, death = cell.advance(cell.fresh_state(), 0.1, 10.0)
+        assert death is None
+        assert state.y1 > 0
+
+    def test_dies_under_heavy_load(self, cell):
+        # I=10 A: available well (50 C) empties in ~5 s ignoring recovery.
+        state, death = cell.advance(cell.fresh_state(), 10.0, 100.0)
+        assert death is not None
+        assert 4.0 < death < 7.0
+        assert state.y1 == pytest.approx(0.0, abs=1e-9)
+        assert state.y2 > 0  # charge remains bound — the paper's Fig 2(d)
+
+    def test_death_time_has_y1_zero(self, cell):
+        _, death = cell.advance(cell.fresh_state(), 5.0, 1000.0)
+        y1 = cell._y1_at(cell.fresh_state(), 5.0, death)
+        assert y1 == pytest.approx(0.0, abs=1e-6)
+
+    def test_dead_state_stays_dead(self, cell):
+        state, death = cell.advance(cell.fresh_state(), 10.0, 100.0)
+        state2, death2 = cell.advance(state, 1.0, 5.0)
+        assert death2 == 0.0
+
+    def test_zero_current_never_dies(self, cell):
+        state, death = cell.advance(cell.fresh_state(), 0.0, 1e6)
+        assert death is None
+
+    def test_zero_dt(self, cell):
+        state, death = cell.advance(cell.fresh_state(), 1.0, 0.0)
+        assert death is None
+
+    def test_negative_dt_rejected(self, cell):
+        with pytest.raises(BatteryError):
+            cell.advance(cell.fresh_state(), 1.0, -1.0)
+
+    @given(
+        current=st.floats(min_value=0.5, max_value=20.0),
+        c=st.floats(min_value=0.2, max_value=0.8),
+        kp=st.floats(min_value=1e-4, max_value=0.2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_death_consistent_with_segmentation(self, current, c, kp):
+        """Death time is identical whether we advance in one segment or
+        in many small ones (Markov property of the analytic model)."""
+        cell = KiBaM(50.0, c, kp)
+        _, death_one = cell.advance(cell.fresh_state(), current, 1000.0)
+        state = cell.fresh_state()
+        t = 0.0
+        death_many = None
+        for _ in range(2000):
+            state, d = cell.advance(state, current, 1.0)
+            if d is not None:
+                death_many = t + d
+                break
+            t += 1.0
+        assert death_one is not None and death_many is not None
+        assert death_many == pytest.approx(death_one, rel=1e-6, abs=1e-6)
+
+
+class TestRateCapacityEffect:
+    def test_lower_current_delivers_more(self, cell):
+        q = [
+            cell.lifetime_constant(i).delivered_charge
+            for i in (0.2, 0.5, 1.0, 2.0, 5.0)
+        ]
+        assert all(a > b for a, b in zip(q, q[1:]))
+
+    def test_infinitesimal_load_delivers_near_capacity(self, cell):
+        run = cell.lifetime_constant(0.01, max_time=1e9)
+        assert run.delivered_charge == pytest.approx(100.0, rel=0.02)
+
+    def test_huge_load_delivers_available_well(self, cell):
+        run = cell.lifetime_constant(1000.0)
+        assert run.delivered_charge == pytest.approx(
+            cell.available_capacity(), rel=0.05
+        )
+
+
+class TestRecoveryEffect:
+    def test_rest_extends_life(self, cell):
+        """Pulsed load with rest gaps delivers more than continuous."""
+        cont = cell.run_profile([1000.0], [2.0], repeat=None)
+        pulsed = cell.run_profile([5.0, 5.0], [2.0, 0.0], repeat=None)
+        assert pulsed.delivered_charge > cont.delivered_charge

@@ -1,0 +1,74 @@
+"""Unit tests for the Peukert's-law baseline model."""
+
+import pytest
+
+from repro.battery.peukert import PeukertBattery
+from repro.errors import BatteryError
+
+
+@pytest.fixture
+def cell():
+    return PeukertBattery(capacity=100.0, exponent=1.2, i_ref=1.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "cap,b,i", [(0, 1.2, 1.0), (100, 0.9, 1.0), (100, 1.2, 0)]
+    )
+    def test_rejects_bad_params(self, cap, b, i):
+        with pytest.raises(BatteryError):
+            PeukertBattery(cap, b, i)
+
+
+class TestClosedForm:
+    def test_reference_current_lifetime(self, cell):
+        assert cell.constant_lifetime(1.0) == pytest.approx(100.0)
+
+    def test_peukert_law_shape(self, cell):
+        # L(I) = a / I^b: doubling current cuts life by 2^1.2.
+        assert cell.constant_lifetime(2.0) == pytest.approx(
+            100.0 / 2**1.2
+        )
+
+    def test_ideal_battery_exponent_one(self):
+        cell = PeukertBattery(100.0, exponent=1.0)
+        # Ideal: delivered charge independent of rate.
+        for i in (0.5, 1.0, 4.0):
+            run = cell.lifetime_constant(i)
+            assert run.delivered_charge == pytest.approx(100.0, rel=1e-6)
+
+    def test_advance_matches_closed_form(self, cell):
+        _, death = cell.advance(cell.fresh_state(), 2.0, 1e6)
+        assert death == pytest.approx(cell.constant_lifetime(2.0))
+
+    def test_rate_capacity_effect(self, cell):
+        q = [cell.lifetime_constant(i).delivered_charge for i in (0.5, 1, 2)]
+        assert q[0] > q[1] > q[2]
+
+
+class TestNoRecovery:
+    def test_rest_does_not_recover(self, cell):
+        """Peukert has no recovery: inserting idle gaps changes nothing
+        about the total high-current charge delivered."""
+        cont = cell.run_profile([1000.0], [2.0], repeat=None)
+        pulsed = cell.run_profile([5.0, 5.0], [2.0, 0.0], repeat=None)
+        assert pulsed.delivered_charge == pytest.approx(
+            cont.delivered_charge, rel=1e-6
+        )
+
+    def test_permutation_invariant_death_budget(self, cell):
+        """∫ I^b dt decides death regardless of segment order."""
+        up = cell.run_profile([30.0, 30.0, 30.0], [1.0, 2.0, 3.0], repeat=1)
+        down = cell.run_profile([30.0, 30.0, 30.0], [3.0, 2.0, 1.0], repeat=1)
+        assert up.died == down.died
+
+    def test_zero_current_segment(self, cell):
+        state, death = cell.advance(cell.fresh_state(), 0.0, 100.0)
+        assert death is None
+        assert state.spent == 0.0
+
+    def test_dead_stays_dead(self, cell):
+        state, death = cell.advance(cell.fresh_state(), 5.0, 1e6)
+        assert death is not None
+        _, d2 = cell.advance(state, 1.0, 1.0)
+        assert d2 == 0.0

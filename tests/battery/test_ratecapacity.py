@@ -1,0 +1,63 @@
+"""Tests for rate-capacity sweeps and capacity extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.battery.kibam import KiBaM
+from repro.battery.ratecapacity import (
+    extrapolated_capacities,
+    sweep_rate_capacity,
+)
+from repro.errors import BatteryError
+
+
+@pytest.fixture
+def cell():
+    return KiBaM(capacity=100.0, c=0.5, kp=0.01)
+
+
+class TestSweep:
+    def test_sorted_and_monotone(self, cell):
+        curve = sweep_rate_capacity(cell, [2.0, 0.5, 1.0])
+        assert list(curve.currents) == [0.5, 1.0, 2.0]
+        assert np.all(np.diff(curve.delivered) < 0)
+        assert np.all(np.diff(curve.lifetimes) < 0)
+
+    def test_delivered_equals_current_times_life(self, cell):
+        curve = sweep_rate_capacity(cell, [0.5, 2.0])
+        np.testing.assert_allclose(
+            curve.delivered, curve.currents * curve.lifetimes, rtol=1e-9
+        )
+
+    def test_mah_conversion(self, cell):
+        curve = sweep_rate_capacity(cell, [1.0])
+        assert curve.delivered_mah[0] == pytest.approx(
+            curve.delivered[0] / 3.6
+        )
+
+    def test_rows_format(self, cell):
+        curve = sweep_rate_capacity(cell, [1.0, 2.0])
+        rows = curve.rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 1.0
+
+    def test_rejects_empty(self, cell):
+        with pytest.raises(BatteryError):
+            sweep_rate_capacity(cell, [])
+
+    def test_rejects_nonpositive_current(self, cell):
+        with pytest.raises(BatteryError):
+            sweep_rate_capacity(cell, [1.0, 0.0])
+
+
+class TestExtrapolation:
+    def test_limits_match_paper_definitions(self, cell):
+        """Maximum capacity = infinitesimal-load limit; available
+        capacity = infinite-load limit (§5 of the paper)."""
+        maximum, available = extrapolated_capacities(cell)
+        assert maximum == pytest.approx(cell.capacity, rel=0.02)
+        assert available == pytest.approx(cell.available_capacity(), rel=1e-9)
+
+    def test_maximum_exceeds_available(self, cell):
+        maximum, available = extrapolated_capacities(cell)
+        assert maximum > available

@@ -1,0 +1,121 @@
+"""Unit + property tests for the stochastic KiBaM (paper ref [13] substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.kibam import KiBaM
+from repro.battery.stochastic import StochasticKiBaM
+from repro.errors import BatteryError
+
+
+@pytest.fixture
+def cell():
+    return StochasticKiBaM(100.0, 0.5, 0.01, dt=1.0, noise=0.25, seed=7)
+
+
+class TestValidation:
+    def test_rejects_coarse_dt(self):
+        with pytest.raises(BatteryError, match="too coarse"):
+            StochasticKiBaM(100.0, 0.5, kp=0.5, dt=1.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(BatteryError):
+            StochasticKiBaM(100.0, 0.5, 0.01, noise=-0.1)
+
+    @pytest.mark.parametrize("cap,c,kp", [(0, 0.5, 0.01), (100, 1.0, 0.01), (100, 0.5, 0)])
+    def test_rejects_bad_kinetics(self, cap, c, kp):
+        with pytest.raises(BatteryError):
+            StochasticKiBaM(cap, c, kp)
+
+
+class TestDeterministicLimit:
+    def test_zero_noise_matches_kibam(self):
+        """noise=0 is forward-Euler KiBaM: states track the analytic
+        model closely at small dt."""
+        sto = StochasticKiBaM(100.0, 0.5, 0.01, dt=0.1, noise=0.0, seed=0)
+        ana = KiBaM(100.0, 0.5, 0.01)
+        s_sto = sto.fresh_state()
+        s_ana = ana.fresh_state()
+        for _ in range(30):
+            s_sto, d1 = sto.advance(s_sto, 1.0, 1.0)
+            s_ana, d2 = ana.advance(s_ana, 1.0, 1.0)
+            assert d1 is None and d2 is None
+        assert s_sto.y1 == pytest.approx(s_ana.y1, rel=2e-3)
+        assert s_sto.y2 == pytest.approx(s_ana.y2, rel=2e-3)
+
+    def test_zero_noise_death_matches_kibam(self):
+        sto = StochasticKiBaM(100.0, 0.5, 0.01, dt=0.05, noise=0.0, seed=0)
+        ana = KiBaM(100.0, 0.5, 0.01)
+        r_sto = sto.lifetime_constant(5.0)
+        r_ana = ana.lifetime_constant(5.0)
+        assert r_sto.lifetime == pytest.approx(r_ana.lifetime, rel=0.02)
+
+
+class TestStochasticBehaviour:
+    def test_reproducible_given_seed(self):
+        a = StochasticKiBaM(100.0, 0.5, 0.01, seed=42).lifetime_constant(3.0)
+        b = StochasticKiBaM(100.0, 0.5, 0.01, seed=42).lifetime_constant(3.0)
+        assert a.lifetime == b.lifetime
+
+    def test_seeds_differ(self):
+        a = StochasticKiBaM(100.0, 0.5, 0.01, seed=1).lifetime_constant(3.0)
+        b = StochasticKiBaM(100.0, 0.5, 0.01, seed=2).lifetime_constant(3.0)
+        assert a.lifetime != b.lifetime
+
+    def test_mean_tracks_kibam(self):
+        """Expectation over seeds matches the analytic model (DESIGN.md
+        substitution property)."""
+        ana = KiBaM(100.0, 0.5, 0.01).lifetime_constant(3.0)
+        lifetimes = [
+            StochasticKiBaM(100.0, 0.5, 0.01, noise=0.3, seed=s)
+            .lifetime_constant(3.0)
+            .lifetime
+            for s in range(30)
+        ]
+        assert np.mean(lifetimes) == pytest.approx(ana.lifetime, rel=0.05)
+
+    def test_charge_never_negative(self, cell):
+        state = cell.fresh_state()
+        for _ in range(300):
+            state, d = cell.advance(state, 2.0, 1.0)
+            if d is not None:
+                break
+            assert state.y1 >= 0
+            assert state.y2 >= -1e-9
+
+    def test_conservation_within_slots(self, cell):
+        """Total charge decreases exactly by I*dt while alive."""
+        state = cell.fresh_state()
+        new, d = cell.advance(state, 1.0, 10.0)
+        assert d is None
+        total_drop = (state.y1 + state.y2) - (new.y1 + new.y2)
+        assert total_drop == pytest.approx(10.0, rel=1e-9)
+
+
+class TestDeath:
+    def test_heavy_load_dies(self, cell):
+        _, death = cell.advance(cell.fresh_state(), 10.0, 100.0)
+        assert death is not None
+        assert 3.0 < death < 9.0
+
+    def test_dead_stays_dead(self, cell):
+        state, _ = cell.advance(cell.fresh_state(), 10.0, 100.0)
+        _, d2 = cell.advance(state, 1.0, 1.0)
+        assert d2 == 0.0
+
+    def test_rate_capacity_effect(self, cell):
+        q = [
+            cell.lifetime_constant(i).delivered_charge
+            for i in (0.5, 2.0, 8.0)
+        ]
+        assert q[0] > q[1] > q[2]
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_property_death_within_physical_bounds(self, seed):
+        """Lifetime under I is bounded by [available/I, capacity/I]."""
+        cell = StochasticKiBaM(100.0, 0.5, 0.01, noise=0.4, seed=seed)
+        run = cell.lifetime_constant(2.0)
+        assert 50.0 / 2.0 - 1.0 <= run.lifetime <= 100.0 / 2.0 + 1.0

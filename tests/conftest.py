@@ -1,0 +1,78 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.battery.kibam import KiBaM
+from repro.processor.dvfs import PAPER_TABLE, FrequencyTable, OperatingPoint
+from repro.processor.platform import Processor, paper_processor
+from repro.processor.power import PowerModel
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+
+
+@pytest.fixture
+def proc() -> Processor:
+    """The paper's processor with default calibration."""
+    return paper_processor()
+
+
+@pytest.fixture
+def proc_quantize() -> Processor:
+    return paper_processor(speed_policy="quantize")
+
+
+@pytest.fixture
+def diamond() -> TaskGraph:
+    """Classic 4-node diamond: a -> (b, c) -> d."""
+    return TaskGraph(
+        "diamond",
+        [
+            TaskNode("a", 2.0),
+            TaskNode("b", 3.0),
+            TaskNode("c", 5.0),
+            TaskNode("d", 1.0),
+        ],
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+
+
+@pytest.fixture
+def chain3() -> TaskGraph:
+    return TaskGraph(
+        "chain3",
+        [TaskNode("x", 1.0), TaskNode("y", 2.0), TaskNode("z", 3.0)],
+        [("x", "y"), ("y", "z")],
+    )
+
+
+@pytest.fixture
+def indep2() -> TaskGraph:
+    """The Figure 4 pair: two independent tasks, wc 4 and 6."""
+    return TaskGraph(
+        "indep2", [TaskNode("task1", 4.0), TaskNode("task2", 6.0)], []
+    )
+
+
+@pytest.fixture
+def small_set(diamond, indep2) -> TaskGraphSet:
+    """A tiny 2-graph periodic set (U ~= 0.77)."""
+    return TaskGraphSet(
+        [
+            PeriodicTaskGraph(diamond, 20.0),
+            PeriodicTaskGraph(indep2, 50.0),
+        ]
+    )
+
+
+@pytest.fixture
+def fast_cell() -> KiBaM:
+    """A small battery that dies quickly (for cheap lifetime tests)."""
+    return KiBaM(capacity=100.0, c=0.5, kp=0.01)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

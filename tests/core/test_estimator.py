@@ -1,0 +1,104 @@
+"""Unit tests for X_k estimators."""
+
+import pytest
+
+from repro.core.estimator import (
+    HistoryEstimator,
+    OracleEstimator,
+    ScaledEstimator,
+    WorstCaseEstimator,
+)
+from repro.errors import SchedulingError
+from repro.sim.state import Candidate, JobState
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph
+
+
+def cand(wc=10.0, executed=0.0, actual=6.0, graph="g", node="t0"):
+    g = TaskGraph(graph, [TaskNode(node, wc)], [])
+    job = JobState(PeriodicTaskGraph(g, 100.0), 0, 0.0, {node: actual})
+    if executed:
+        job.advance_node(node, executed)
+    return Candidate(
+        job=job,
+        node=node,
+        wc_full=wc,
+        wc_remaining=wc - executed,
+        executed=executed,
+        actual_remaining=actual - executed,
+    )
+
+
+class TestWorstCase:
+    def test_full(self):
+        assert WorstCaseEstimator().estimate(cand()) == 10.0
+
+    def test_after_execution(self):
+        assert WorstCaseEstimator().estimate(cand(executed=4.0)) == 6.0
+
+
+class TestScaled:
+    def test_fraction_of_wcet(self):
+        assert ScaledEstimator(0.6).estimate(cand()) == pytest.approx(6.0)
+
+    def test_subtracts_executed(self):
+        assert ScaledEstimator(0.6).estimate(cand(executed=2.0)) == (
+            pytest.approx(4.0)
+        )
+
+    def test_clamped_to_remaining_worst_case(self):
+        est = ScaledEstimator(1.0)
+        c = cand(executed=0.0)
+        assert est.estimate(c) <= c.wc_remaining
+
+    def test_never_nonpositive(self):
+        est = ScaledEstimator(0.2)
+        c = cand(executed=5.0, actual=9.0)  # 0.2*10 - 5 < 0
+        assert est.estimate(c) > 0
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(SchedulingError):
+            ScaledEstimator(0.0)
+        with pytest.raises(SchedulingError):
+            ScaledEstimator(1.5)
+
+
+class TestHistory:
+    def test_default_before_observations(self):
+        est = HistoryEstimator(default_factor=0.5)
+        assert est.estimate(cand()) == pytest.approx(5.0)
+
+    def test_learns_mean(self):
+        est = HistoryEstimator(window=4)
+        for ac in (4.0, 6.0):
+            est.observe("g", "t0", 10.0, ac)
+        assert est.estimate(cand()) == pytest.approx(5.0)
+
+    def test_window_slides(self):
+        est = HistoryEstimator(window=2)
+        for ac in (2.0, 4.0, 6.0):
+            est.observe("g", "t0", 10.0, ac)
+        assert est.estimate(cand()) == pytest.approx(5.0)
+
+    def test_keyed_per_graph_and_node(self):
+        est = HistoryEstimator()
+        est.observe("other", "t0", 10.0, 1.0)
+        est.observe("g", "other", 10.0, 1.0)
+        # No observation for (g, t0): falls back to the default factor.
+        assert est.estimate(cand()) == pytest.approx(6.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(SchedulingError):
+            HistoryEstimator(window=0)
+        with pytest.raises(SchedulingError):
+            HistoryEstimator(default_factor=0.0)
+
+
+class TestOracle:
+    def test_exact(self):
+        assert OracleEstimator().estimate(cand(actual=6.0)) == 6.0
+
+    def test_after_execution(self):
+        assert OracleEstimator().estimate(
+            cand(executed=2.0, actual=6.0)
+        ) == pytest.approx(4.0)

@@ -1,0 +1,100 @@
+"""Unit tests for the Algorithm 2 feasibility check."""
+
+import pytest
+
+from repro.core.feasibility import feasibility_check
+from repro.sim.state import GraphStatus, JobState, SchedulerView
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+from repro.workloads.presets import fig5_set
+
+
+def fig5_view(t=0.0):
+    """The paper's Figure 5 scenario: T1 (5, D20), T2 (5, D50),
+    T3 (3x5, D100), all released at 0, fref = 0.5."""
+    ts = fig5_set()
+    jobs = {}
+    statuses = []
+    for ptg in ts:
+        job = JobState(
+            ptg, 0, 0.0, {n.name: n.wcet for n in ptg.graph}
+        )
+        jobs[ptg.name] = job
+        statuses.append(GraphStatus(ptg, job, ptg.period))
+    return SchedulerView(ts, t, statuses), jobs
+
+
+def cand_of(view, jobs, graph, node):
+    job = jobs[graph]
+    return [
+        c for c in view.candidates_of(job) if c.node == node
+    ][0]
+
+
+class TestFig5Scenario:
+    """Hand-checked conditions from the paper's own trace example."""
+
+    def test_t3_feasible_at_t0(self):
+        view, jobs = fig5_view(0.0)
+        c = cand_of(view, jobs, "T3", "a")
+        # j=T1: 5+5=10 <= 0.5*20; j=T2: 10+5=15 <= 0.5*50.
+        assert feasibility_check(view, c, 0.5)
+
+    def test_most_imminent_always_feasible(self):
+        view, jobs = fig5_view(0.0)
+        c = cand_of(view, jobs, "T1", "a")
+        assert feasibility_check(view, c, 0.5)
+        # Even at a tiny reference speed the position-1 task passes
+        # (zero conditions are checked).
+        assert feasibility_check(view, c, 0.01)
+
+    def test_t3_infeasible_after_one_execution(self):
+        """At t=10 with T1 still pending (job 1 consumed), running
+        another T3 node would make T1 (D=20) miss: 5+5 > 0.5*(20-10)."""
+        view, jobs = fig5_view(10.0)
+        jobs["T3"].advance_node("a", 5.0)  # T3.a done during [0,10]
+        c = cand_of(view, jobs, "T3", "b")
+        assert not feasibility_check(view, c, 0.5)
+
+    def test_t2_infeasible_after_one_execution(self):
+        view, jobs = fig5_view(10.0)
+        jobs["T3"].advance_node("a", 5.0)
+        c = cand_of(view, jobs, "T2", "a")
+        assert not feasibility_check(view, c, 0.5)
+
+    def test_higher_fref_admits_more(self):
+        view, jobs = fig5_view(10.0)
+        jobs["T3"].advance_node("a", 5.0)
+        c = cand_of(view, jobs, "T3", "b")
+        assert feasibility_check(view, c, 1.0)
+
+
+class TestEdgeCases:
+    def test_zero_speed_rejects(self):
+        view, jobs = fig5_view(0.0)
+        c = cand_of(view, jobs, "T3", "a")
+        assert not feasibility_check(view, c, 0.0)
+
+    def test_cumulative_not_individual(self):
+        """The budget condition must accumulate earlier graphs' work:
+        three 4-cycle graphs with staggered deadlines where each pair
+        fits but the cumulative sum does not."""
+        graphs = []
+        jobs = []
+        for i, period in enumerate((10.0, 11.0, 100.0)):
+            g = TaskGraph(f"G{i}", [TaskNode("a", 4.0)])
+            ptg = PeriodicTaskGraph(g, period)
+            graphs.append(ptg)
+            jobs.append(JobState(ptg, 0, 0.0, {"a": 4.0}))
+        ts = TaskGraphSet(graphs)
+        view = SchedulerView(
+            ts,
+            0.0,
+            [GraphStatus(p, j, p.period) for p, j in zip(graphs, jobs)],
+        )
+        cand = view.candidates_of(jobs[2])[0]
+        # At fref=0.9: j=G0: 4+4=8 <= 9.  j=G1 cumulative: 8+4=12 > 9.9.
+        assert not feasibility_check(view, cand, 0.9)
+        # Individually G1 alone would have passed: 4+4=8 <= 9.9 — the
+        # cumulative reading is what catches the overload.
+        assert feasibility_check(view, cand, 1.25)

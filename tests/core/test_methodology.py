@@ -1,0 +1,157 @@
+"""Unit tests for SchedulingPolicy, Scheme and the paper's presets."""
+
+import pytest
+
+from repro.core.estimator import HistoryEstimator, OracleEstimator
+from repro.core.methodology import (
+    Scheme,
+    SchedulingPolicy,
+    make_scheme,
+    paper_schemes,
+)
+from repro.core.priority import LTF, PUBS, RandomPriority
+from repro.core.ready_list import ALL_RELEASED, MOST_IMMINENT
+from repro.dvs import CcEDF, LaEDF, NoDVS
+from repro.errors import SchedulingError
+from repro.sim.state import GraphStatus, JobState, SchedulerView
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+from repro.workloads.presets import fig5_set
+
+
+def fig5_view():
+    ts = fig5_set()
+    statuses = []
+    jobs = {}
+    for ptg in ts:
+        job = JobState(ptg, 0, 0.0, {n.name: n.wcet for n in ptg.graph})
+        jobs[ptg.name] = job
+        statuses.append(GraphStatus(ptg, job, ptg.period))
+    return SchedulerView(ts, 0.0, statuses), jobs
+
+
+class TestSelect:
+    def test_most_imminent_restricts_to_earliest_graph(self):
+        view, _ = fig5_view()
+        policy = SchedulingPolicy(LTF(), MOST_IMMINENT)
+        cand = policy.select(view, 0.5, None)
+        assert cand.graph_name == "T1"
+
+    def test_all_released_with_guard(self):
+        view, _ = fig5_view()
+        policy = SchedulingPolicy(LTF(), ALL_RELEASED)
+        cand = policy.select(view, 0.5, None)
+        # All tasks have wc=5; LTF tie-break is stable by (graph, node):
+        # T1.a wins and is trivially feasible.
+        assert cand is not None
+
+    def test_no_candidates_returns_none(self):
+        ts = fig5_set()
+        view = SchedulerView(
+            ts, 0.0, [GraphStatus(p, None, p.period) for p in ts]
+        )
+        policy = SchedulingPolicy(LTF(), ALL_RELEASED)
+        assert policy.select(view, 0.5, None) is None
+
+    def test_guard_filters_infeasible(self):
+        """With a tiny fref, only the most imminent graph's task is
+        admitted even though the priority function prefers others."""
+        view, _ = fig5_view()
+
+        class PreferT3(LTF):
+            def order(self, candidates, oracle):
+                return sorted(
+                    candidates,
+                    key=lambda c: (c.graph_name != "T3", c.node),
+                )
+
+        policy = SchedulingPolicy(PreferT3(), ALL_RELEASED)
+        cand = policy.select(view, 0.25, None)
+        assert cand.graph_name == "T1"
+
+    def test_unguarded_takes_priority_order(self):
+        view, _ = fig5_view()
+
+        class PreferT3(LTF):
+            def order(self, candidates, oracle):
+                return sorted(
+                    candidates,
+                    key=lambda c: (c.graph_name != "T3", c.node),
+                )
+
+        policy = SchedulingPolicy(
+            PreferT3(), ALL_RELEASED, enforce_feasibility=False
+        )
+        cand = policy.select(view, 0.25, None)
+        assert cand.graph_name == "T3"
+
+    def test_broken_priority_detected(self):
+        view, _ = fig5_view()
+
+        class Dropper(LTF):
+            def order(self, candidates, oracle):
+                return list(candidates)[:-1]
+
+        policy = SchedulingPolicy(Dropper(), ALL_RELEASED)
+        with pytest.raises(SchedulingError, match="dropped"):
+            policy.select(view, 0.5, None)
+
+    def test_zero_speed_with_guard_raises(self):
+        view, _ = fig5_view()
+        policy = SchedulingPolicy(LTF(), ALL_RELEASED)
+        with pytest.raises(SchedulingError, match="s_ref"):
+            policy.select(view, 0.0, None)
+
+
+class TestObservation:
+    def test_forwards_to_estimator(self):
+        est = HistoryEstimator()
+        policy = SchedulingPolicy(PUBS(est), MOST_IMMINENT)
+        policy.observe_completion("g", "n", 10.0, 4.0)
+        assert est._hist[("g", "n")][-1] == 4.0
+
+    def test_noop_without_estimator(self):
+        policy = SchedulingPolicy(LTF(), MOST_IMMINENT)
+        policy.observe_completion("g", "n", 10.0, 4.0)  # must not raise
+
+
+class TestSchemes:
+    def test_paper_schemes_roster(self):
+        schemes = paper_schemes()
+        assert [s.name for s in schemes] == [
+            "EDF", "ccEDF", "laEDF", "BAS-1", "BAS-2"
+        ]
+
+    def test_instantiate_fresh_objects(self):
+        scheme = paper_schemes()[1]
+        d1, p1 = scheme.instantiate()
+        d2, p2 = scheme.instantiate()
+        assert d1 is not d2
+        assert p1 is not p2
+
+    def test_dvs_types(self):
+        schemes = paper_schemes()
+        assert isinstance(schemes[0].instantiate()[0], NoDVS)
+        assert isinstance(schemes[1].instantiate()[0], CcEDF)
+        for s in schemes[2:]:
+            assert isinstance(s.instantiate()[0], LaEDF)
+
+    def test_baseline_granularity(self):
+        schemes = paper_schemes()
+        assert schemes[1].instantiate()[0].granularity == "graph"
+        assert schemes[2].instantiate()[0].granularity == "graph"
+        assert schemes[3].instantiate()[0].granularity == "node"
+
+    def test_baseline_granularity_override(self):
+        schemes = paper_schemes(baseline_granularity="node")
+        assert schemes[1].instantiate()[0].granularity == "node"
+
+    def test_bas2_uses_all_released_with_guard(self):
+        policy = paper_schemes()[4].instantiate()[1]
+        assert policy.ready_list is ALL_RELEASED
+        assert policy.enforce_feasibility
+
+    def test_make_scheme_feasibility_default(self):
+        s = make_scheme(
+            "x", dvs=LaEDF, priority=LTF, ready_list=MOST_IMMINENT
+        )
+        assert not s.instantiate()[1].enforce_feasibility

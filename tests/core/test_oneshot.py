@@ -1,0 +1,113 @@
+"""Unit tests for the one-shot (common-deadline) executor."""
+
+import pytest
+
+from repro.core.oneshot import OneShotOracle, evaluate_order, run_one_shot
+from repro.core.priority import LTF, PUBS, STF
+from repro.core.estimator import OracleEstimator
+from repro.errors import SchedulingError
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.workloads.presets import fig4_cases, fig4_pair
+
+
+class TestRunOneShot:
+    def test_completes_all_tasks(self, proc, diamond):
+        actual = {n.name: n.wcet for n in diamond}
+        res = run_one_shot(diamond, 20.0, proc, LTF(), actual)
+        assert sorted(res.order) == sorted(diamond.node_names)
+        assert res.feasible
+
+    def test_respects_precedence(self, proc, diamond):
+        actual = {n.name: 0.5 * n.wcet for n in diamond}
+        res = run_one_shot(diamond, 20.0, proc, STF(), actual)
+        assert diamond.is_linear_extension(res.order)
+
+    def test_worst_case_fills_deadline_exactly(self, proc, indep2):
+        """At D = total WC with worst-case actuals the speed rule keeps
+        the processor at 1.0 and finishes exactly at the deadline."""
+        actual = {"task1": 4.0, "task2": 6.0}
+        res = run_one_shot(indep2, 10.0, proc, LTF(), actual)
+        assert res.finish_time == pytest.approx(10.0)
+        assert res.feasible
+
+    def test_early_actuals_finish_early(self, proc, indep2):
+        actual = {"task1": 2.0, "task2": 3.0}
+        res = run_one_shot(indep2, 10.0, proc, LTF(), actual)
+        assert res.finish_time < 10.0
+
+    def test_infeasible_worst_case_rejected(self, proc, indep2):
+        with pytest.raises(SchedulingError, match="does not fit"):
+            run_one_shot(indep2, 9.0, proc, LTF(), {"task1": 4, "task2": 6})
+
+    def test_energy_charge_consistency(self, proc, indep2):
+        actual = {"task1": 2.0, "task2": 3.0}
+        res = run_one_shot(indep2, 10.0, proc, LTF(), actual)
+        assert res.energy == pytest.approx(
+            res.charge * proc.power.v_bat
+        )
+
+
+class TestEvaluateOrder:
+    def test_rejects_non_extension(self, proc, diamond):
+        actual = {n.name: n.wcet for n in diamond}
+        with pytest.raises(SchedulingError, match="linear extension"):
+            evaluate_order(diamond, 20.0, proc, ["b", "a", "c", "d"], actual)
+
+    def test_matches_run_one_shot(self, proc, indep2):
+        """evaluate_order on the order run_one_shot chose reproduces the
+        same energy (the executor is deterministic)."""
+        actual = {"task1": 2.0, "task2": 3.0}
+        res = run_one_shot(indep2, 10.0, proc, LTF(), actual)
+        replay = evaluate_order(indep2, 10.0, proc, res.order, actual)
+        assert replay.energy == pytest.approx(res.energy, rel=1e-12)
+
+    def test_order_changes_energy(self, proc, indep2):
+        """Figure 4's point: execution order changes energy."""
+        actual = fig4_cases()["case1"]
+        e1 = evaluate_order(
+            indep2, 10.0, proc, ["task1", "task2"], actual
+        ).energy
+        e2 = evaluate_order(
+            indep2, 10.0, proc, ["task2", "task1"], actual
+        ).energy
+        assert e1 != pytest.approx(e2)
+
+
+class TestFig4:
+    def test_case1_stf_wins(self, proc):
+        g = fig4_pair()
+        actual = fig4_cases()["case1"]
+        e_ltf = run_one_shot(g, 10.0, proc, LTF(), actual).energy
+        e_stf = run_one_shot(g, 10.0, proc, STF(), actual).energy
+        assert e_stf < e_ltf
+
+    def test_case2_ltf_wins(self, proc):
+        g = fig4_pair()
+        actual = fig4_cases()["case2"]
+        e_ltf = run_one_shot(g, 10.0, proc, LTF(), actual).energy
+        e_stf = run_one_shot(g, 10.0, proc, STF(), actual).energy
+        assert e_ltf < e_stf
+
+
+class TestOneShotOracle:
+    def test_speed_now(self):
+        oracle = OneShotOracle(remaining_wc=8.0, deadline=10.0, time=2.0)
+        assert oracle.speed_now() == pytest.approx(1.0)
+
+    def test_speed_after_drops_with_early_finish(self, indep2):
+        from repro.sim.state import Candidate, JobState
+        from repro.taskgraph.periodic import PeriodicTaskGraph
+
+        job = JobState(
+            PeriodicTaskGraph(indep2, 20.0), 0, 0.0,
+            {"task1": 2.0, "task2": 3.0},
+        )
+        cand = Candidate(job, "task1", 4.0, 4.0, 0.0, 2.0)
+        oracle = OneShotOracle(10.0, 20.0, 0.0)
+        s_now = oracle.speed_now()
+        s_after = oracle.speed_after(cand, 2.0)
+        assert s_after < s_now
+
+    def test_at_deadline_infinite(self):
+        oracle = OneShotOracle(5.0, 10.0, 10.0)
+        assert oracle.speed_now() == float("inf")

@@ -1,0 +1,126 @@
+"""Unit tests for priority functions (Random, LTF, STF, pUBS)."""
+
+import math
+
+import pytest
+
+from repro.core.estimator import OracleEstimator, WorstCaseEstimator
+from repro.core.priority import LTF, PUBS, RandomPriority, STF
+from repro.errors import SchedulingError
+from repro.sim.state import Candidate, JobState
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph
+
+
+def make_candidates(wcets, fracs, deadline=100.0):
+    nodes = [TaskNode(f"t{i}", w) for i, w in enumerate(wcets)]
+    g = TaskGraph("g", nodes, [])
+    ptg = PeriodicTaskGraph(g, deadline)
+    actual = {f"t{i}": w * f for i, (w, f) in enumerate(zip(wcets, fracs))}
+    job = JobState(ptg, 0, 0.0, actual)
+    return [
+        Candidate(
+            job=job,
+            node=f"t{i}",
+            wc_full=w,
+            wc_remaining=w,
+            executed=0.0,
+            actual_remaining=actual[f"t{i}"],
+        )
+        for i, w in enumerate(wcets)
+    ]
+
+
+class FakeOracle:
+    """s_o fixed; s_{o,k} drops proportionally to expected slack."""
+
+    def __init__(self, s=0.8):
+        self.s = s
+
+    def speed_now(self):
+        return self.s
+
+    def speed_after(self, cand, estimate):
+        drop = (cand.wc_remaining - estimate) / 100.0
+        return self.s - drop
+
+
+class TestRandom:
+    def test_is_permutation(self):
+        cands = make_candidates([1, 2, 3, 4], [1, 1, 1, 1])
+        out = RandomPriority(0).order(cands, None)
+        assert sorted(c.node for c in out) == sorted(c.node for c in cands)
+
+    def test_seeded_reproducible(self):
+        cands = make_candidates([1, 2, 3, 4, 5, 6], [1] * 6)
+        a = [c.node for c in RandomPriority(7).order(cands, None)]
+        b = [c.node for c in RandomPriority(7).order(cands, None)]
+        # Same seed but the generator advances: orders come from one
+        # stream; two fresh priorities with the same seed agree.
+        assert a != [c.node for c in cands] or b != [c.node for c in cands]
+        p1, p2 = RandomPriority(7), RandomPriority(7)
+        assert [c.node for c in p1.order(cands, None)] == [
+            c.node for c in p2.order(cands, None)
+        ]
+
+
+class TestLTFSTF:
+    def test_ltf_descending(self):
+        cands = make_candidates([2, 5, 3], [1, 1, 1])
+        out = LTF().order(cands, None)
+        assert [c.node for c in out] == ["t1", "t2", "t0"]
+
+    def test_stf_ascending(self):
+        cands = make_candidates([2, 5, 3], [1, 1, 1])
+        out = STF().order(cands, None)
+        assert [c.node for c in out] == ["t0", "t2", "t1"]
+
+    def test_stable_tie_break(self):
+        cands = make_candidates([2, 2], [1, 1])
+        assert [c.node for c in LTF().order(cands, None)] == ["t0", "t1"]
+
+
+class TestPUBS:
+    def test_requires_oracle(self):
+        cands = make_candidates([1, 2], [1, 1])
+        with pytest.raises(SchedulingError, match="oracle"):
+            PUBS().order(cands, None)
+
+    def test_prefers_high_slack_recovery(self):
+        """Equal WCETs: the task expected to finish earliest recovers
+        the most slack per cycle and must be ranked first."""
+        cands = make_candidates([4, 4, 4], [0.2, 0.9, 0.5])
+        out = PUBS(OracleEstimator()).order(cands, FakeOracle())
+        assert [c.node for c in out] == ["t0", "t2", "t1"]
+
+    def test_worst_case_estimates_give_infinite_scores(self):
+        cands = make_candidates([4, 6], [1, 1])
+        pubs = PUBS(WorstCaseEstimator())
+        for c in cands:
+            assert pubs.score(c, FakeOracle()) == math.inf
+
+    def test_score_formula(self):
+        cands = make_candidates([4], [0.5])
+        pubs = PUBS(OracleEstimator())
+        oracle = FakeOracle(s=0.8)
+        # X = 2, s_o = 0.8, s_ok = 0.8 - 2/100 = 0.78
+        expected = 2.0 / (0.8**2 - 0.78**2)
+        assert pubs.score(cands[0], oracle) == pytest.approx(expected)
+
+    def test_speed_insensitive_oracle_degenerates(self):
+        class FlatOracle:
+            def speed_now(self):
+                return 0.7
+
+            def speed_after(self, cand, estimate):
+                return 0.7
+
+        cands = make_candidates([4, 2], [0.5, 0.5])
+        out = PUBS(OracleEstimator()).order(cands, FlatOracle())
+        # All scores infinite -> tie-break by estimate ascending.
+        assert [c.node for c in out] == ["t1", "t0"]
+
+    def test_is_permutation(self):
+        cands = make_candidates([4, 2, 7, 1], [0.5, 0.3, 0.9, 0.2])
+        out = PUBS(OracleEstimator()).order(cands, FakeOracle())
+        assert sorted(c.node for c in out) == ["t0", "t1", "t2", "t3"]

@@ -1,0 +1,131 @@
+"""Unit tests for ccEDF (Algorithm 1) at both granularities."""
+
+import pytest
+
+from repro.dvs.ccedf import CcEDF
+from repro.errors import SchedulingError
+from repro.sim.state import GraphStatus, JobState, SchedulerView
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+
+
+def make_env(diamond, indep2):
+    g1 = PeriodicTaskGraph(diamond, 20.0)  # WC 11 -> u 0.55
+    g2 = PeriodicTaskGraph(indep2, 50.0)  # WC 10 -> u 0.20
+    ts = TaskGraphSet([g1, g2])
+
+    def view(t=0.0, jobs=(None, None)):
+        statuses = [
+            GraphStatus(g1, jobs[0], 20.0),
+            GraphStatus(g2, jobs[1], 50.0),
+        ]
+        return SchedulerView(ts, t, statuses)
+
+    def job(g, frac=1.0):
+        return JobState(
+            g, 0, 0.0, {n.name: n.wcet * frac for n in g.graph}
+        )
+
+    return g1, g2, view, job
+
+
+class TestNodeGranular:
+    def test_initial_utilization(self, diamond, indep2):
+        g1, g2, view, job = make_env(diamond, indep2)
+        dvs = CcEDF()
+        dvs.on_sim_start(view())
+        v = view(jobs=(job(g1), job(g2)))
+        assert dvs.select_speed(v) == pytest.approx(0.55 + 0.2)
+
+    def test_idle_speed_zero(self, diamond, indep2):
+        _, _, view, _ = make_env(diamond, indep2)
+        dvs = CcEDF()
+        dvs.on_sim_start(view())
+        assert dvs.select_speed(view()) == 0.0
+
+    def test_node_end_lowers_u(self, diamond, indep2):
+        g1, g2, view, job = make_env(diamond, indep2)
+        dvs = CcEDF()
+        dvs.on_sim_start(view())
+        v = view(jobs=(job(g1), job(g2)))
+        u0 = dvs.select_speed(v)
+        # Node 'a' of diamond (wc 2) finishes using only 0.5 cycles.
+        dvs.on_node_end(v, "diamond", "a", 2.0, 0.5, False)
+        u1 = dvs.select_speed(v)
+        assert u1 == pytest.approx(u0 - 1.5 / 20.0)
+
+    def test_release_restores_worst_case(self, diamond, indep2):
+        g1, g2, view, job = make_env(diamond, indep2)
+        dvs = CcEDF()
+        dvs.on_sim_start(view())
+        v = view(jobs=(job(g1), job(g2)))
+        dvs.on_node_end(v, "diamond", "a", 2.0, 0.5, False)
+        status = v.graphs[0]
+        dvs.on_release(v, status)
+        assert dvs.select_speed(v) == pytest.approx(0.75)
+
+    def test_worst_case_node_no_change(self, diamond, indep2):
+        g1, g2, view, job = make_env(diamond, indep2)
+        dvs = CcEDF()
+        dvs.on_sim_start(view())
+        v = view(jobs=(job(g1), job(g2)))
+        u0 = dvs.select_speed(v)
+        dvs.on_node_end(v, "diamond", "a", 2.0, 2.0, False)
+        assert dvs.select_speed(v) == pytest.approx(u0)
+
+
+class TestGraphGranular:
+    def test_node_end_invisible(self, diamond, indep2):
+        g1, g2, view, job = make_env(diamond, indep2)
+        dvs = CcEDF(granularity="graph")
+        dvs.on_sim_start(view())
+        v = view(jobs=(job(g1), job(g2)))
+        u0 = dvs.select_speed(v)
+        dvs.on_node_end(v, "diamond", "a", 2.0, 0.5, False)
+        assert dvs.select_speed(v) == pytest.approx(u0)
+
+    def test_instance_completion_reveals_actuals(self, diamond, indep2):
+        g1, g2, view, job = make_env(diamond, indep2)
+        dvs = CcEDF(granularity="graph")
+        dvs.on_sim_start(view())
+        v = view(jobs=(job(g1), job(g2)))
+        dvs.on_release(v, v.graphs[0])
+        # All four diamond nodes finish at half their worst case.
+        for node, wc in (("a", 2.0), ("b", 3.0), ("c", 5.0), ("d", 1.0)):
+            dvs.on_node_end(
+                v, "diamond", node, wc, wc / 2, node == "d"
+            )
+        # diamond's budget is now 5.5 cycles -> u = 0.275.
+        assert dvs.select_speed(v) == pytest.approx(0.275 + 0.2)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(SchedulingError):
+            CcEDF(granularity="banana")
+
+
+class TestHypothetical:
+    def test_hypothetical_matches_update(self, diamond, indep2):
+        """hypothetical_speed predicts exactly what on_node_end does
+        when the estimate is the true actual."""
+        g1, g2, view, job = make_env(diamond, indep2)
+        dvs = CcEDF()
+        dvs.on_sim_start(view())
+        j1 = job(g1)
+        v = view(jobs=(j1, job(g2)))
+        cands = v.candidates_of(j1)
+        cand = cands[0]  # node 'a', wc 2
+        predicted = dvs.hypothetical_speed(v, cand, 0.5)
+        dvs.on_node_end(v, "diamond", "a", 2.0, 0.5, False)
+        assert dvs.select_speed(v) == pytest.approx(predicted)
+
+    def test_worst_case_estimate_no_drop(self, diamond, indep2):
+        g1, g2, view, job = make_env(diamond, indep2)
+        dvs = CcEDF()
+        dvs.on_sim_start(view())
+        j1 = job(g1)
+        v = view(jobs=(j1, job(g2)))
+        cand = v.candidates_of(j1)[0]
+        now = dvs.select_speed(v)
+        assert dvs.hypothetical_speed(v, cand, cand.wc_remaining) == (
+            pytest.approx(now)
+        )

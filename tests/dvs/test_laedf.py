@@ -1,0 +1,128 @@
+"""Unit tests for laEDF (look-ahead EDF) extended to task graphs."""
+
+import pytest
+
+from repro.dvs.laedf import LaEDF
+from repro.errors import SchedulingError
+from repro.sim.state import GraphStatus, JobState, SchedulerView
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+
+
+def single_env(wc=5.0, period=10.0):
+    g = TaskGraph("T", [TaskNode("a", wc)])
+    ptg = PeriodicTaskGraph(g, period)
+    ts = TaskGraphSet([ptg])
+    job = JobState(ptg, 0, 0.0, {"a": wc})
+    view = SchedulerView(ts, 0.0, [GraphStatus(ptg, job, period)])
+    return ptg, job, view
+
+
+def two_env():
+    ga = TaskGraph("A", [TaskNode("a", 4.0)])
+    gb = TaskGraph("B", [TaskNode("b", 10.0)])
+    pa = PeriodicTaskGraph(ga, 10.0)  # u = 0.4
+    pb = PeriodicTaskGraph(gb, 40.0)  # u = 0.25
+    ts = TaskGraphSet([pa, pb])
+    ja = JobState(pa, 0, 0.0, {"a": 4.0})
+    jb = JobState(pb, 0, 0.0, {"b": 10.0})
+    view = SchedulerView(
+        ts, 0.0, [GraphStatus(pa, ja, 10.0), GraphStatus(pb, jb, 40.0)]
+    )
+    return ts, ja, jb, view
+
+
+class TestSingleTask:
+    def test_single_task_runs_at_utilization(self):
+        """With one task, nothing can be deferred past its own deadline
+        beyond the reserved worst-case rate: s = C/T."""
+        _, _, view = single_env(wc=5.0, period=10.0)
+        assert LaEDF().select_speed(view) == pytest.approx(0.5)
+
+    def test_idle_zero(self):
+        ptg, _, _ = single_env()
+        ts = TaskGraphSet([ptg])
+        view = SchedulerView(ts, 0.0, [GraphStatus(ptg, None, 10.0)])
+        assert LaEDF().select_speed(view) == 0.0
+
+    def test_at_deadline_full_speed(self):
+        ptg, job, _ = single_env(wc=5.0, period=10.0)
+        ts = TaskGraphSet([ptg])
+        view = SchedulerView(ts, 10.0, [GraphStatus(ptg, job, 10.0)])
+        assert LaEDF().select_speed(view) == pytest.approx(1.0)
+
+
+class TestDeferral:
+    def test_defers_far_deadline_work(self):
+        """The far-deadline graph's work is mostly deferred past d_n,
+        so laEDF's speed is below ccEDF's utilization-based one."""
+        ts, ja, jb, view = two_env()
+        s = LaEDF().select_speed(view)
+        assert s < 0.65  # ccEDF would say 0.65
+        # But the imminent job's work must still fit before d_n = 10.
+        assert s >= 4.0 / 10.0
+
+    def test_speed_rises_as_deadline_nears(self):
+        ts, ja, jb, _ = two_env()
+        speeds = []
+        for t in (0.0, 5.0, 8.0):
+            view = SchedulerView(
+                ts,
+                t,
+                [
+                    GraphStatus(ts[0], ja, 10.0),
+                    GraphStatus(ts[1], jb, 40.0),
+                ],
+            )
+            speeds.append(LaEDF().select_speed(view))
+        assert speeds[0] < speeds[1] < speeds[2]
+
+    def test_completed_imminent_job_frees_capacity(self):
+        ts, ja, jb, _ = two_env()
+        ja.advance_node("a", 4.0)
+        assert ja.is_complete()
+        view = SchedulerView(
+            ts,
+            4.0,
+            [GraphStatus(ts[0], None, 10.0), GraphStatus(ts[1], jb, 40.0)],
+        )
+        s = LaEDF().select_speed(view)
+        # B alone, deadline 40, 10 cycles left, next A release reserved:
+        # far below 1.
+        assert 0.0 < s < 0.5
+
+
+class TestGranularity:
+    def test_graph_granularity_sees_phantom_work(self, diamond):
+        ptg = PeriodicTaskGraph(diamond, 20.0)
+        ts = TaskGraphSet([ptg])
+        job = JobState(
+            ptg, 0, 0.0, {n.name: n.wcet * 0.5 for n in diamond}
+        )
+        job.advance_node("a", 1.0)  # completes at half its wc of 2
+        view = SchedulerView(ts, 2.0, [GraphStatus(ptg, job, 20.0)])
+        s_node = LaEDF(granularity="node").select_speed(view)
+        s_graph = LaEDF(granularity="graph").select_speed(view)
+        assert s_graph > s_node  # phantom remaining worst case
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(SchedulingError):
+            LaEDF(granularity="x")
+
+
+class TestHypothetical:
+    def test_completing_work_lowers_speed(self):
+        ts, ja, jb, view = two_env()
+        dvs = LaEDF()
+        cand = view.candidates_of(ja)[0]
+        s_now = dvs.select_speed(view)
+        s_after = dvs.hypothetical_speed(view, cand, 1.0)
+        assert s_after < s_now
+
+    def test_does_not_mutate(self):
+        ts, ja, jb, view = two_env()
+        dvs = LaEDF()
+        cand = view.candidates_of(ja)[0]
+        before = dvs.select_speed(view)
+        dvs.hypothetical_speed(view, cand, 1.0)
+        assert dvs.select_speed(view) == pytest.approx(before)

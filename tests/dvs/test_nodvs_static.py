@@ -1,0 +1,55 @@
+"""Unit tests for the NoDVS and StaticUtilization frequency setters."""
+
+import pytest
+
+from repro.dvs.nodvs import NoDVS
+from repro.dvs.static import StaticUtilization
+from repro.sim.state import GraphStatus, JobState, SchedulerView
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+
+
+@pytest.fixture
+def env():
+    g = TaskGraph("T", [TaskNode("a", 3.0)])
+    ptg = PeriodicTaskGraph(g, 10.0)
+    ts = TaskGraphSet([ptg])
+    job = JobState(ptg, 0, 0.0, {"a": 3.0})
+    busy = SchedulerView(ts, 0.0, [GraphStatus(ptg, job, 10.0)])
+    idle = SchedulerView(ts, 5.0, [GraphStatus(ptg, None, 10.0)])
+    return busy, idle
+
+
+class TestNoDVS:
+    def test_full_speed_when_busy(self, env):
+        busy, idle = env
+        assert NoDVS().select_speed(busy) == 1.0
+
+    def test_zero_when_idle(self, env):
+        busy, idle = env
+        assert NoDVS().select_speed(idle) == 0.0
+
+    def test_hypothetical_always_one(self, env):
+        busy, _ = env
+        cand = busy.candidates_of(busy.active_jobs()[0])[0]
+        assert NoDVS().hypothetical_speed(busy, cand, 1.0) == 1.0
+
+
+class TestStaticUtilization:
+    def test_constant_utilization_speed(self, env):
+        busy, idle = env
+        dvs = StaticUtilization()
+        dvs.on_sim_start(busy)
+        assert dvs.select_speed(busy) == pytest.approx(0.3)
+        assert dvs.select_speed(idle) == 0.0
+
+    def test_hypothetical_equals_static(self, env):
+        busy, _ = env
+        dvs = StaticUtilization()
+        dvs.on_sim_start(busy)
+        cand = busy.candidates_of(busy.active_jobs()[0])[0]
+        assert dvs.hypothetical_speed(busy, cand, 0.1) == pytest.approx(0.3)
+
+    def test_lazy_init_without_on_sim_start(self, env):
+        busy, _ = env
+        assert StaticUtilization().select_speed(busy) == pytest.approx(0.3)

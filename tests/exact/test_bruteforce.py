@@ -1,0 +1,104 @@
+"""Unit tests for exhaustive optimal search and extension counting."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.oneshot import evaluate_order
+from repro.exact.bruteforce import count_linear_extensions, optimal_one_shot
+from repro.errors import SchedulingError
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.tgff import chain, fork_join, independent_tasks, random_dag
+
+
+class TestCountLinearExtensions:
+    def test_chain_has_one(self):
+        assert count_linear_extensions(chain(6, rng=0)) == 1
+
+    def test_independent_has_factorial(self):
+        g = independent_tasks([1.0] * 5)
+        assert count_linear_extensions(g) == math.factorial(5)
+
+    def test_diamond(self, diamond):
+        # a first, d last, b/c in either order.
+        assert count_linear_extensions(diamond) == 2
+
+    def test_fork_join(self):
+        g = fork_join(4, rng=0)
+        assert count_linear_extensions(g) == math.factorial(4)
+
+    def test_limit_cap(self):
+        g = independent_tasks([1.0] * 10)  # 3.6M extensions
+        assert count_linear_extensions(g, limit=1000) == 1000
+
+    def test_matches_brute_enumeration(self):
+        g = random_dag(6, edge_prob=0.3, rng=5)
+        count = 0
+        for perm in itertools.permutations(g.node_names):
+            if g.is_linear_extension(perm):
+                count += 1
+        assert count_linear_extensions(g) == count
+
+
+class TestOptimalOneShot:
+    def test_single_node(self, proc):
+        g = TaskGraph("g", [TaskNode("a", 4.0)])
+        res = optimal_one_shot(g, 10.0, proc, {"a": 2.0})
+        assert res.order == ("a",)
+        assert res.explored >= 1
+
+    def test_chain_unique_order(self, proc, chain3):
+        actual = {"x": 0.5, "y": 1.0, "z": 1.5}
+        res = optimal_one_shot(chain3, 6.0, proc, actual)
+        assert res.order == ("x", "y", "z")
+
+    def test_optimal_beats_every_order(self, proc, diamond):
+        actual = {"a": 1.0, "b": 1.5, "c": 4.0, "d": 0.5}
+        res = optimal_one_shot(diamond, 11.0, proc, actual)
+        for order in (["a", "b", "c", "d"], ["a", "c", "b", "d"]):
+            e = evaluate_order(diamond, 11.0, proc, order, actual).energy
+            assert res.energy <= e + 1e-9
+
+    def test_matches_exhaustive_evaluate(self, proc):
+        """Energy agrees with explicitly evaluating every extension."""
+        g = random_dag(6, edge_prob=0.3, rng=3)
+        actual = {n.name: 0.4 * n.wcet for n in g}
+        deadline = g.total_wcet
+        res = optimal_one_shot(g, deadline, proc, actual)
+        best = min(
+            evaluate_order(g, deadline, proc, perm, actual).energy
+            for perm in itertools.permutations(g.node_names)
+            if g.is_linear_extension(perm)
+        )
+        assert res.energy == pytest.approx(best, rel=1e-9)
+
+    def test_respects_extension_budget(self, proc):
+        g = independent_tasks([1.0] * 9)
+        with pytest.raises(SchedulingError, match="extensions"):
+            optimal_one_shot(
+                g, 9.0, proc, {n.name: 0.5 for n in g},
+                max_extensions=1000,
+            )
+
+    def test_rejects_bad_actuals(self, proc, chain3):
+        with pytest.raises(SchedulingError, match="actual"):
+            optimal_one_shot(chain3, 6.0, proc, {"x": 99, "y": 1, "z": 1})
+
+    def test_rejects_infeasible_deadline(self, proc, chain3):
+        actual = {"x": 1.0, "y": 2.0, "z": 3.0}
+        with pytest.raises(SchedulingError, match="deadline"):
+            optimal_one_shot(chain3, 5.0, proc, actual)
+
+    def test_pruning_does_not_change_result(self, proc):
+        """Branch-and-bound must be exact: compare against a no-pruning
+        run emulated by an enormous incumbent via order enumeration."""
+        g = random_dag(7, edge_prob=0.4, rng=9)
+        actual = {n.name: 0.3 * n.wcet for n in g}
+        res = optimal_one_shot(g, g.total_wcet, proc, actual)
+        exhaustive_best = min(
+            evaluate_order(g, g.total_wcet, proc, perm, actual).energy
+            for perm in itertools.permutations(g.node_names)
+            if g.is_linear_extension(perm)
+        )
+        assert res.energy == pytest.approx(exhaustive_best, rel=1e-9)

@@ -1,0 +1,110 @@
+"""Unit tests for operating points and frequency tables."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.processor.dvfs import PAPER_TABLE, FrequencyTable, OperatingPoint
+
+
+class TestOperatingPoint:
+    def test_valid(self):
+        p = OperatingPoint(1e9, 5.0)
+        assert p.frequency == 1e9
+        assert p.voltage == 5.0
+
+    @pytest.mark.parametrize("f,v", [(0, 1.0), (-1e9, 1.0), (1e9, 0), (1e9, -2)])
+    def test_rejects_nonpositive(self, f, v):
+        with pytest.raises(SchedulingError):
+            OperatingPoint(f, v)
+
+
+class TestFrequencyTable:
+    def test_paper_table(self):
+        assert len(PAPER_TABLE) == 3
+        assert PAPER_TABLE.f_max == 1.0e9
+        assert PAPER_TABLE.f_min == 0.5e9
+        assert PAPER_TABLE.max_point.voltage == 5.0
+        assert PAPER_TABLE.speeds() == (0.5, 0.75, 1.0)
+
+    def test_sorts_points(self):
+        t = FrequencyTable(
+            [OperatingPoint(2e9, 4.0), OperatingPoint(1e9, 2.0)]
+        )
+        assert [p.frequency for p in t.points] == [1e9, 2e9]
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchedulingError):
+            FrequencyTable([])
+
+    def test_rejects_duplicate_frequency(self):
+        with pytest.raises(SchedulingError, match="duplicate"):
+            FrequencyTable(
+                [OperatingPoint(1e9, 2.0), OperatingPoint(1e9, 3.0)]
+            )
+
+    def test_rejects_decreasing_voltage(self):
+        with pytest.raises(SchedulingError, match="non-decreasing"):
+            FrequencyTable(
+                [OperatingPoint(1e9, 5.0), OperatingPoint(2e9, 3.0)]
+            )
+
+    def test_single_point_table(self):
+        t = FrequencyTable([OperatingPoint(1e9, 3.0)])
+        mix = t.mix(0.4)
+        assert len(mix.points) == 1
+        assert mix.fractions == (1.0,)
+
+
+class TestClampSpeed:
+    def test_below_floor_raised(self):
+        assert PAPER_TABLE.clamp_speed(0.2) == pytest.approx(0.5)
+
+    def test_above_one_clamped(self):
+        assert PAPER_TABLE.clamp_speed(1.7) == 1.0
+
+    def test_in_range_passthrough(self):
+        assert PAPER_TABLE.clamp_speed(0.6) == pytest.approx(0.6)
+
+
+class TestQuantizeUp:
+    @pytest.mark.parametrize(
+        "s,expected_f",
+        [
+            (0.4, 0.5e9),
+            (0.5, 0.5e9),
+            (0.51, 0.75e9),
+            (0.75, 0.75e9),
+            (0.76, 1.0e9),
+            (1.0, 1.0e9),
+        ],
+    )
+    def test_rounds_to_next_level(self, s, expected_f):
+        assert PAPER_TABLE.quantize_up(s).frequency == pytest.approx(expected_f)
+
+
+class TestMix:
+    def test_exact_level_single_point(self):
+        mix = PAPER_TABLE.mix(0.75)
+        assert len(mix.points) == 1
+        assert mix.points[0].frequency == 0.75e9
+
+    def test_fractional_two_points_high_first(self):
+        mix = PAPER_TABLE.mix(0.6)
+        assert len(mix.points) == 2
+        assert mix.points[0].frequency > mix.points[1].frequency
+        assert sum(mix.fractions) == pytest.approx(1.0)
+
+    def test_average_speed_exact(self):
+        for s in (0.5, 0.55, 0.6, 0.7, 0.75, 0.9, 1.0):
+            mix = PAPER_TABLE.mix(s)
+            assert mix.average_speed(PAPER_TABLE.f_max) == pytest.approx(s)
+
+    def test_below_floor_mixes_to_floor(self):
+        mix = PAPER_TABLE.mix(0.3)
+        assert mix.average_speed(PAPER_TABLE.f_max) == pytest.approx(0.5)
+
+    def test_fraction_formula(self):
+        # s=0.6 between 0.5 and 0.75: x*0.75 + (1-x)*0.5 = 0.6 -> x = 0.4
+        mix = PAPER_TABLE.mix(0.6)
+        assert mix.fractions[0] == pytest.approx(0.4)
+        assert mix.fractions[1] == pytest.approx(0.6)

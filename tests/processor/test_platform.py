@@ -1,0 +1,74 @@
+"""Unit tests for the Processor platform facade."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.processor.dvfs import PAPER_TABLE
+from repro.processor.platform import Processor, paper_processor
+from repro.processor.power import PowerModel
+
+
+class TestConstruction:
+    def test_rejects_bad_policy(self):
+        pm = PowerModel.calibrated(PAPER_TABLE, i_max=2.8)
+        with pytest.raises(SchedulingError):
+            Processor(PAPER_TABLE, pm, "banana")
+
+    def test_paper_processor_defaults(self):
+        p = paper_processor()
+        assert p.f_max == 1e9
+        assert p.speed_policy == "mix"
+        assert p.idle_current() == pytest.approx(0.03)
+
+
+class TestResolve:
+    def test_mix_effective_speed_exact(self, proc):
+        for s in (0.5, 0.62, 0.75, 0.88, 1.0):
+            assert proc.effective_speed(s) == pytest.approx(s)
+
+    def test_quantize_effective_speed_rounds_up(self, proc_quantize):
+        assert proc_quantize.effective_speed(0.6) == pytest.approx(0.75)
+        assert proc_quantize.effective_speed(0.75) == pytest.approx(0.75)
+        assert proc_quantize.effective_speed(0.76) == pytest.approx(1.0)
+
+    def test_below_floor_raised(self, proc):
+        assert proc.effective_speed(0.1) == pytest.approx(0.5)
+
+    def test_current_monotone_in_speed(self, proc):
+        speeds = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+        currents = [proc.current_at(s) for s in speeds]
+        assert all(a < b for a, b in zip(currents, currents[1:]))
+
+
+class TestRunSegments:
+    def test_segments_cover_duration(self, proc):
+        segs = proc.run_segments(0.6, 10.0)
+        assert sum(d for d, _, _ in segs) == pytest.approx(10.0)
+
+    def test_high_frequency_first(self, proc):
+        segs = proc.run_segments(0.6, 10.0)
+        freqs = [p.frequency for _, p, _ in segs]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_cycles_match_reference_speed(self, proc):
+        segs = proc.run_segments(0.6, 10.0)
+        cycles = sum(d * p.frequency / proc.f_max for d, p, _ in segs)
+        assert cycles == pytest.approx(6.0)
+
+    def test_exact_level_single_segment(self, proc):
+        segs = proc.run_segments(0.75, 4.0)
+        assert len(segs) == 1
+        assert segs[0][0] == pytest.approx(4.0)
+
+    def test_zero_duration(self, proc):
+        segs = proc.run_segments(0.6, 0.0)
+        assert all(d == 0 for d, _, _ in segs) or segs == ()
+
+    def test_negative_duration_rejected(self, proc):
+        with pytest.raises(SchedulingError):
+            proc.run_segments(0.6, -1.0)
+
+    def test_quantize_single_segment(self, proc_quantize):
+        segs = proc_quantize.run_segments(0.6, 10.0)
+        assert len(segs) == 1
+        assert segs[0][1].frequency == pytest.approx(0.75e9)

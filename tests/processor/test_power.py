@@ -1,0 +1,79 @@
+"""Unit tests for the power / battery-current model."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.processor.dvfs import PAPER_TABLE, OperatingPoint
+from repro.processor.power import PowerModel
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(SchedulingError):
+            PowerModel(c_eff=0.0)
+        with pytest.raises(SchedulingError):
+            PowerModel(c_eff=1e-9, v_bat=0)
+        with pytest.raises(SchedulingError):
+            PowerModel(c_eff=1e-9, efficiency=0)
+        with pytest.raises(SchedulingError):
+            PowerModel(c_eff=1e-9, efficiency=1.2)
+        with pytest.raises(SchedulingError):
+            PowerModel(c_eff=1e-9, idle_current=-0.1)
+
+
+class TestPhysics:
+    def test_power_formula(self):
+        pm = PowerModel(c_eff=1e-9, v_bat=1.2, efficiency=1.0)
+        p = OperatingPoint(1e9, 5.0)
+        assert pm.processor_power(p) == pytest.approx(1e-9 * 25 * 1e9)
+
+    def test_converter_balance(self):
+        """η · V_bat · I_bat == V_proc · I_proc (Figure 1's equation)."""
+        pm = PowerModel(c_eff=2e-9, v_bat=1.2, efficiency=0.85)
+        p = OperatingPoint(0.75e9, 4.0)
+        lhs = pm.efficiency * pm.v_bat * pm.battery_current(p)
+        assert lhs == pytest.approx(pm.processor_power(p))
+
+    def test_current_scaling_s_cubed_for_linear_vf(self):
+        """With V strictly proportional to f, I_bat scales as s^3."""
+        from repro.processor.dvfs import FrequencyTable
+
+        table = FrequencyTable(
+            [
+                OperatingPoint(0.5e9, 2.5),
+                OperatingPoint(0.75e9, 3.75),
+                OperatingPoint(1.0e9, 5.0),
+            ]
+        )
+        pm = PowerModel.calibrated(table, i_max=2.0)
+        scaling = pm.current_scaling(table)
+        assert scaling[0] == pytest.approx(0.5**3)
+        assert scaling[1] == pytest.approx(0.75**3)
+        assert scaling[2] == pytest.approx(1.0)
+
+    def test_paper_table_scaling(self):
+        """The discrete paper table gives (V/Vmax)^2 * (f/fmax)."""
+        pm = PowerModel.calibrated(PAPER_TABLE, i_max=2.8)
+        scaling = pm.current_scaling(PAPER_TABLE)
+        assert scaling[0] == pytest.approx((3 / 5) ** 2 * 0.5)
+        assert scaling[1] == pytest.approx((4 / 5) ** 2 * 0.75)
+
+    def test_calibration_anchors_imax(self):
+        pm = PowerModel.calibrated(PAPER_TABLE, i_max=2.8)
+        assert pm.battery_current(PAPER_TABLE.max_point) == pytest.approx(2.8)
+
+    def test_calibration_rejects_bad_imax(self):
+        with pytest.raises(SchedulingError):
+            PowerModel.calibrated(PAPER_TABLE, i_max=0.0)
+
+    def test_energy_is_current_times_vbat_time(self):
+        pm = PowerModel.calibrated(PAPER_TABLE, i_max=2.8, v_bat=1.2)
+        p = PAPER_TABLE.max_point
+        assert pm.energy(p, 10.0) == pytest.approx(2.8 * 1.2 * 10.0)
+
+    def test_mix_current_weighted(self):
+        pm = PowerModel.calibrated(PAPER_TABLE, i_max=2.8)
+        mix = PAPER_TABLE.mix(0.6)  # 0.4 @ 0.75GHz + 0.6 @ 0.5GHz
+        expected = 0.4 * pm.battery_current(PAPER_TABLE.points[1]) + \
+            0.6 * pm.battery_current(PAPER_TABLE.points[0])
+        assert pm.mix_current(mix) == pytest.approx(expected)

@@ -1,0 +1,148 @@
+"""Unit + property tests for piecewise-constant current profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProfileError
+from repro.sim.profile import CurrentProfile
+
+
+def prof(durations, currents):
+    return CurrentProfile(np.asarray(durations, float), np.asarray(currents, float))
+
+
+class TestValidation:
+    def test_rejects_mismatched(self):
+        with pytest.raises(ProfileError):
+            prof([1.0, 2.0], [0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProfileError):
+            prof([], [])
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ProfileError):
+            prof([1.0, 0.0], [0.5, 0.5])
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(ProfileError):
+            prof([1.0], [-0.5])
+
+    def test_from_segments_drops_empty(self):
+        p = CurrentProfile.from_segments([(1.0, 0.5), (0.0, 9.0), (2.0, 0.1)])
+        assert len(p) == 2
+
+    def test_from_segments_all_empty_raises(self):
+        with pytest.raises(ProfileError):
+            CurrentProfile.from_segments([(0.0, 1.0)])
+
+
+class TestStats:
+    def test_totals(self):
+        p = prof([2.0, 3.0], [1.0, 0.5])
+        assert p.total_time == pytest.approx(5.0)
+        assert p.total_charge == pytest.approx(3.5)
+        assert p.mean_current == pytest.approx(0.7)
+        assert p.peak_current == pytest.approx(1.0)
+
+    def test_boundaries(self):
+        p = prof([2.0, 3.0], [1.0, 0.5])
+        np.testing.assert_allclose(p.boundaries(), [0.0, 2.0, 5.0])
+
+
+class TestMerged:
+    def test_merges_equal_neighbours(self):
+        p = prof([1.0, 2.0, 3.0], [0.5, 0.5, 1.0]).merged()
+        assert len(p) == 2
+        assert p.durations[0] == pytest.approx(3.0)
+
+    def test_preserves_charge(self):
+        p = prof([1.0, 2.0, 3.0, 1.0], [0.5, 0.5, 1.0, 1.0])
+        assert p.merged().total_charge == pytest.approx(p.total_charge)
+
+    def test_no_merge_needed(self):
+        p = prof([1.0, 2.0], [0.5, 1.0]).merged()
+        assert len(p) == 2
+
+
+class TestTiled:
+    def test_tiles(self):
+        p = prof([1.0, 2.0], [0.5, 1.0]).tiled(3)
+        assert len(p) == 6
+        assert p.total_time == pytest.approx(9.0)
+        assert p.total_charge == pytest.approx(3 * 2.5)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ProfileError):
+            prof([1.0], [0.5]).tiled(0)
+
+
+class TestRebinned:
+    def test_charge_preserved(self):
+        p = prof([1.5, 2.7, 0.8], [0.2, 1.9, 0.4])
+        rb = p.rebinned(0.5)
+        assert rb.total_charge == pytest.approx(p.total_charge, rel=1e-12)
+        assert rb.total_time == pytest.approx(p.total_time, rel=1e-12)
+
+    def test_uniform_bins(self):
+        p = prof([10.0], [1.0])
+        rb = p.rebinned(3.0)
+        # 3+3+3+1 second bins.
+        assert len(rb) == 4
+        np.testing.assert_allclose(rb.durations, [3, 3, 3, 1])
+        np.testing.assert_allclose(rb.currents, 1.0)
+
+    def test_coarser_than_profile(self):
+        p = prof([1.0, 1.0], [0.0, 2.0])
+        rb = p.rebinned(10.0)
+        assert len(rb) == 1
+        assert rb.currents[0] == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ProfileError):
+            prof([1.0], [0.5]).rebinned(0.0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        width=st.floats(min_value=0.1, max_value=5.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_rebin_conserves_charge(self, n, width, seed):
+        rng = np.random.default_rng(seed)
+        p = prof(rng.uniform(0.1, 3.0, n), rng.uniform(0.0, 2.0, n))
+        rb = p.rebinned(width)
+        assert rb.total_charge == pytest.approx(p.total_charge, rel=1e-9)
+
+
+class TestConcat:
+    def test_concat(self):
+        p = prof([1.0], [0.5]).concat(prof([2.0], [1.0]))
+        assert len(p) == 2
+        assert p.total_time == pytest.approx(3.0)
+
+
+class TestLocallyNonIncreasing:
+    def test_flat_ok(self):
+        p = prof([1.0, 1.0], [0.5, 0.5])
+        assert p.is_locally_non_increasing([])
+
+    def test_decreasing_ok(self):
+        p = prof([1.0, 1.0, 1.0], [1.0, 0.7, 0.3])
+        assert p.is_locally_non_increasing([])
+
+    def test_increase_fails(self):
+        p = prof([1.0, 1.0], [0.5, 0.8])
+        assert not p.is_locally_non_increasing([])
+
+    def test_increase_at_boundary_ok(self):
+        p = prof([1.0, 1.0], [0.5, 0.8])
+        assert p.is_locally_non_increasing([1.0])
+
+    def test_ignored_segments_skipped(self):
+        # busy 1.0, idle dip, busy 1.0 again: idle must not tighten.
+        p = prof([1.0, 1.0, 1.0], [1.0, 0.03, 1.0])
+        assert p.is_locally_non_increasing([], ignore=[False, True, False])
+        assert not p.is_locally_non_increasing([])

@@ -1,0 +1,115 @@
+"""Unit tests for job state and scheduler views."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.state import GraphStatus, JobState, SchedulerView
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+
+
+def make_job(diamond, period=20.0, frac=0.5, release=0.0):
+    ptg = PeriodicTaskGraph(diamond, period)
+    actual = {n.name: n.wcet * frac for n in diamond}
+    return JobState(ptg, 0, release, actual)
+
+
+class TestJobState:
+    def test_deadline(self, diamond):
+        job = make_job(diamond, period=20.0, release=5.0)
+        assert job.abs_deadline == pytest.approx(25.0)
+
+    def test_rejects_missing_actual(self, diamond):
+        ptg = PeriodicTaskGraph(diamond, 20.0)
+        with pytest.raises(SchedulingError, match="no actual"):
+            JobState(ptg, 0, 0.0, {"a": 1.0})
+
+    def test_rejects_actual_above_wcet(self, diamond):
+        ptg = PeriodicTaskGraph(diamond, 20.0)
+        actual = {n.name: n.wcet for n in diamond}
+        actual["a"] = 99.0
+        with pytest.raises(SchedulingError, match="actual"):
+            JobState(ptg, 0, 0.0, actual)
+
+    def test_initial_remaining(self, diamond):
+        job = make_job(diamond)
+        assert job.remaining_wc() == pytest.approx(11.0)
+        assert job.remaining_wc_coarse() == pytest.approx(11.0)
+        assert job.ready_nodes() == ("a",)
+
+    def test_advance_partial(self, diamond):
+        job = make_job(diamond, frac=0.5)
+        done = job.advance_node("a", 0.4)  # a actual = 1.0
+        assert not done
+        assert job.remaining_wc_node("a") == pytest.approx(1.6)
+        assert job.remaining_ac_node("a") == pytest.approx(0.6)
+
+    def test_advance_completes(self, diamond):
+        job = make_job(diamond, frac=0.5)
+        assert job.advance_node("a", 1.0)
+        assert "a" in job.completed
+        assert job.remaining_wc_node("a") == 0.0
+        assert set(job.ready_nodes()) == {"b", "c"}
+
+    def test_advance_completed_node_rejected(self, diamond):
+        job = make_job(diamond, frac=0.5)
+        job.advance_node("a", 1.0)
+        with pytest.raises(SchedulingError, match="already complete"):
+            job.advance_node("a", 0.1)
+
+    def test_node_vs_graph_granularity(self, diamond):
+        """After an early completion, node-granular remaining drops by
+        the node's full WCET; coarse remaining only by executed cycles."""
+        job = make_job(diamond, frac=0.5)
+        job.advance_node("a", 1.0)  # wcet 2.0, actual 1.0
+        assert job.remaining_wc() == pytest.approx(9.0)
+        assert job.remaining_wc_coarse() == pytest.approx(10.0)
+
+    def test_complete_job(self, diamond):
+        job = make_job(diamond, frac=0.5)
+        for node in ("a", "b", "c", "d"):
+            job.advance_node(node, job.remaining_ac_node(node))
+        assert job.is_complete()
+        assert job.remaining_wc() == 0.0
+        assert job.remaining_wc_coarse() == 0.0
+        assert job.ready_nodes() == ()
+
+
+class TestSchedulerView:
+    def _view(self, diamond, indep2):
+        g1 = PeriodicTaskGraph(diamond, 20.0)
+        g2 = PeriodicTaskGraph(indep2, 50.0)
+        ts = TaskGraphSet([g1, g2])
+        j1 = JobState(g1, 0, 0.0, {n.name: n.wcet for n in diamond})
+        j2 = JobState(g2, 0, 0.0, {n.name: n.wcet for n in indep2})
+        statuses = [
+            GraphStatus(g1, j1, 20.0),
+            GraphStatus(g2, j2, 50.0),
+        ]
+        return SchedulerView(ts, 0.0, statuses)
+
+    def test_active_jobs_edf_order(self, diamond, indep2):
+        view = self._view(diamond, indep2)
+        jobs = view.active_jobs()
+        assert [j.name for j in jobs] == ["diamond", "indep2"]
+
+    def test_earliest_deadline(self, diamond, indep2):
+        assert self._view(diamond, indep2).earliest_deadline() == 20.0
+
+    def test_candidates(self, diamond, indep2):
+        view = self._view(diamond, indep2)
+        cands = view.candidates_of(view.active_jobs()[0])
+        assert [c.node for c in cands] == ["a"]
+        assert cands[0].wc_full == 2.0
+        assert cands[0].label == "diamond.a"
+
+    def test_effective_deadline_idle_graph(self, diamond):
+        g1 = PeriodicTaskGraph(diamond, 20.0)
+        status = GraphStatus(g1, None, 40.0)
+        assert status.effective_deadline() == pytest.approx(60.0)
+
+    def test_has_pending_work(self, diamond):
+        g1 = PeriodicTaskGraph(diamond, 20.0)
+        ts = TaskGraphSet([g1])
+        view = SchedulerView(ts, 0.0, [GraphStatus(g1, None, 20.0)])
+        assert not view.has_pending_work()
+        assert view.earliest_deadline() is None

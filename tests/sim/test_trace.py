@@ -1,0 +1,111 @@
+"""Unit tests for execution traces."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.sim.trace import IDLE, ExecutionTrace, TraceSegment
+
+
+def seg(start, dur, graph="g", node="n", speed=0.5, volt=3.0, cur=0.5):
+    return TraceSegment(start, dur, graph, node, speed, volt, cur)
+
+
+def idle(start, dur, cur=0.03):
+    return TraceSegment(start, dur, IDLE, "", 0.0, 0.0, cur)
+
+
+class TestSegment:
+    def test_end_and_cycles(self):
+        s = seg(1.0, 2.0, speed=0.75)
+        assert s.end == pytest.approx(3.0)
+        assert s.cycles == pytest.approx(1.5)
+
+    def test_labels(self):
+        assert seg(0, 1, "T1", "a").label == "T1.a"
+        assert idle(0, 1).label == IDLE
+        assert idle(0, 1).is_idle
+
+
+class TestAppend:
+    def test_contiguity_enforced(self):
+        tr = ExecutionTrace()
+        tr.append(seg(0.0, 1.0))
+        with pytest.raises(ProfileError, match="contiguous"):
+            tr.append(seg(2.0, 1.0))
+
+    def test_zero_duration_skipped(self):
+        tr = ExecutionTrace()
+        tr.append(seg(0.0, 0.0))
+        assert len(tr) == 0
+
+    def test_end_time(self):
+        tr = ExecutionTrace()
+        assert tr.end_time == 0.0
+        tr.append(seg(0.0, 1.5))
+        assert tr.end_time == pytest.approx(1.5)
+
+
+class TestAccounting:
+    def _trace(self):
+        tr = ExecutionTrace()
+        tr.append(seg(0.0, 2.0, "T1", "a", speed=1.0, cur=2.8))
+        tr.append(idle(2.0, 1.0))
+        tr.append(seg(3.0, 2.0, "T2", "b", speed=0.5, cur=0.5))
+        return tr
+
+    def test_busy_time(self):
+        assert self._trace().busy_time() == pytest.approx(4.0)
+
+    def test_executed_cycles(self):
+        assert self._trace().executed_cycles() == pytest.approx(3.0)
+
+    def test_charge_and_energy(self):
+        tr = self._trace()
+        charge = 2 * 2.8 + 1 * 0.03 + 2 * 0.5
+        assert tr.charge() == pytest.approx(charge)
+        assert tr.energy(1.2) == pytest.approx(charge * 1.2)
+
+    def test_node_order_and_completion_order(self):
+        tr = self._trace()
+        assert tr.node_order() == ("T1.a", "T2.b")
+        assert tr.completion_order() == ("T1.a", "T2.b")
+
+    def test_busy_segments(self):
+        assert len(self._trace().busy_segments()) == 2
+
+
+class TestToProfile:
+    def test_profile_matches_segments(self):
+        tr = ExecutionTrace()
+        tr.append(seg(0.0, 2.0, cur=1.0))
+        tr.append(seg(2.0, 1.0, cur=1.0))
+        tr.append(idle(3.0, 1.0, cur=0.03))
+        p = tr.to_profile(merge=True)
+        assert len(p) == 2  # equal currents merged
+        assert p.total_charge == pytest.approx(tr.charge())
+
+    def test_unmerged_aligns_with_idle_mask(self):
+        tr = ExecutionTrace()
+        tr.append(seg(0.0, 2.0))
+        tr.append(idle(2.0, 1.0))
+        p = tr.to_profile(merge=False)
+        mask = tr.idle_mask()
+        assert len(p) == len(mask) == 2
+        assert list(mask) == [False, True]
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ProfileError):
+            ExecutionTrace().to_profile()
+
+
+class TestRenderAscii:
+    def test_renders_rows(self):
+        tr = ExecutionTrace()
+        tr.append(seg(0.0, 5.0, "T1", "a"))
+        tr.append(seg(5.0, 5.0, "T2", "b"))
+        art = tr.render_ascii(width=20)
+        assert "T1.a" in art and "T2.b" in art
+        assert "#" in art
+
+    def test_empty(self):
+        assert "empty" in ExecutionTrace().render_ascii()

@@ -1,0 +1,168 @@
+"""Unit tests for the TaskGraph DAG model."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.graph import TaskGraph, TaskNode
+
+
+class TestTaskNode:
+    def test_valid(self):
+        n = TaskNode("t", 3.5)
+        assert n.name == "t"
+        assert n.wcet == 3.5
+
+    def test_rejects_zero_wcet(self):
+        with pytest.raises(TaskGraphError, match="wcet"):
+            TaskNode("t", 0.0)
+
+    def test_rejects_negative_wcet(self):
+        with pytest.raises(TaskGraphError, match="wcet"):
+            TaskNode("t", -1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TaskGraphError, match="name"):
+            TaskNode("", 1.0)
+
+    def test_frozen(self):
+        n = TaskNode("t", 1.0)
+        with pytest.raises(Exception):
+            n.wcet = 2.0
+
+
+class TestConstruction:
+    def test_rejects_empty_graph(self):
+        with pytest.raises(TaskGraphError, match="at least one"):
+            TaskGraph("g", [])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TaskGraphError, match="name"):
+            TaskGraph("", [TaskNode("a", 1.0)])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(TaskGraphError, match="duplicate"):
+            TaskGraph("g", [TaskNode("a", 1.0), TaskNode("a", 2.0)])
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(TaskGraphError, match="unknown"):
+            TaskGraph("g", [TaskNode("a", 1.0)], [("a", "b")])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TaskGraphError, match="self-loop"):
+            TaskGraph("g", [TaskNode("a", 1.0)], [("a", "a")])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(TaskGraphError, match="cycle"):
+            TaskGraph(
+                "g",
+                [TaskNode("a", 1.0), TaskNode("b", 1.0)],
+                [("a", "b"), ("b", "a")],
+            )
+
+    def test_single_node(self):
+        g = TaskGraph("g", [TaskNode("only", 7.0)])
+        assert len(g) == 1
+        assert g.total_wcet == 7.0
+        assert g.sources() == ("only",)
+        assert g.sinks() == ("only",)
+
+
+class TestQueries:
+    def test_total_wcet(self, diamond):
+        assert diamond.total_wcet == pytest.approx(11.0)
+
+    def test_len_and_iter(self, diamond):
+        assert len(diamond) == 4
+        assert {n.name for n in diamond} == {"a", "b", "c", "d"}
+
+    def test_contains(self, diamond):
+        assert "a" in diamond
+        assert "zz" not in diamond
+
+    def test_node_lookup(self, diamond):
+        assert diamond.node("b").wcet == 3.0
+        assert diamond.wcet("c") == 5.0
+
+    def test_node_lookup_unknown(self, diamond):
+        with pytest.raises(TaskGraphError, match="no task named"):
+            diamond.node("nope")
+
+    def test_predecessors_successors(self, diamond):
+        assert set(diamond.predecessors("d")) == {"b", "c"}
+        assert set(diamond.successors("a")) == {"b", "c"}
+        assert diamond.predecessors("a") == ()
+        assert diamond.successors("d") == ()
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.sources() == ("a",)
+        assert diamond.sinks() == ("d",)
+
+    def test_edges(self, diamond):
+        assert set(diamond.edges()) == {
+            ("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")
+        }
+
+    def test_topological_order_valid(self, diamond):
+        order = diamond.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v in diamond.edges():
+            assert pos[u] < pos[v]
+
+    def test_critical_path_diamond(self, diamond):
+        # a -> c -> d = 2 + 5 + 1
+        assert diamond.critical_path_wcet() == pytest.approx(8.0)
+
+    def test_critical_path_chain(self, chain3):
+        assert chain3.critical_path_wcet() == pytest.approx(6.0)
+
+    def test_critical_path_independent(self, indep2):
+        assert indep2.critical_path_wcet() == pytest.approx(6.0)
+
+
+class TestReadyAfter:
+    def test_initial(self, diamond):
+        assert diamond.ready_after(set()) == ("a",)
+
+    def test_after_source(self, diamond):
+        assert set(diamond.ready_after({"a"})) == {"b", "c"}
+
+    def test_join_waits_for_both(self, diamond):
+        assert set(diamond.ready_after({"a", "b"})) == {"c"}
+        assert set(diamond.ready_after({"a", "b", "c"})) == {"d"}
+
+    def test_complete(self, diamond):
+        assert diamond.ready_after({"a", "b", "c", "d"}) == ()
+
+    def test_excludes_completed(self, diamond):
+        assert "a" not in diamond.ready_after({"a"})
+
+
+class TestLinearExtension:
+    def test_valid(self, diamond):
+        assert diamond.is_linear_extension(["a", "b", "c", "d"])
+        assert diamond.is_linear_extension(["a", "c", "b", "d"])
+
+    def test_violates_precedence(self, diamond):
+        assert not diamond.is_linear_extension(["b", "a", "c", "d"])
+
+    def test_wrong_multiset(self, diamond):
+        assert not diamond.is_linear_extension(["a", "b", "c"])
+        assert not diamond.is_linear_extension(["a", "b", "c", "c"])
+
+
+class TestConversions:
+    def test_as_networkx(self, diamond):
+        g = diamond.as_networkx()
+        assert isinstance(g, nx.DiGraph)
+        assert g.number_of_nodes() == 4
+        assert g.nodes["c"]["wcet"] == 5.0
+        # Mutating the copy must not affect the original.
+        g.add_edge("d", "a")
+        assert ("d", "a") not in diamond.edges()
+
+    def test_relabeled(self, diamond):
+        g2 = diamond.relabeled("other")
+        assert g2.name == "other"
+        assert g2.total_wcet == diamond.total_wcet
+        assert set(g2.edges()) == set(diamond.edges())

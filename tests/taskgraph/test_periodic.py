@@ -1,0 +1,117 @@
+"""Unit tests for periodic task-graph sets."""
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+
+
+def _graph(name, wcets):
+    return TaskGraph(name, [TaskNode(f"t{i}", w) for i, w in enumerate(wcets)])
+
+
+class TestPeriodicTaskGraph:
+    def test_deadline_equals_period(self):
+        p = PeriodicTaskGraph(_graph("g", [2.0]), 10.0)
+        assert p.deadline == 10.0
+
+    def test_utilization(self):
+        p = PeriodicTaskGraph(_graph("g", [2.0, 3.0]), 10.0)
+        assert p.utilization == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(TaskGraphError, match="period"):
+            PeriodicTaskGraph(_graph("g", [1.0]), 0.0)
+
+    def test_rejects_negative_phase(self):
+        with pytest.raises(TaskGraphError, match="phase"):
+            PeriodicTaskGraph(_graph("g", [1.0]), 5.0, phase=-1.0)
+
+    def test_release_times(self):
+        p = PeriodicTaskGraph(_graph("g", [1.0]), 5.0, phase=2.0)
+        assert p.release_time(0) == 2.0
+        assert p.release_time(3) == 17.0
+        assert p.absolute_deadline(0) == 7.0
+
+    def test_release_negative_index(self):
+        p = PeriodicTaskGraph(_graph("g", [1.0]), 5.0)
+        with pytest.raises(TaskGraphError):
+            p.release_time(-1)
+
+    def test_with_period(self):
+        p = PeriodicTaskGraph(_graph("g", [1.0]), 5.0)
+        q = p.with_period(10.0)
+        assert q.period == 10.0
+        assert q.graph is p.graph
+
+
+class TestTaskGraphSet:
+    def test_rejects_empty(self):
+        with pytest.raises(TaskGraphError, match="empty"):
+            TaskGraphSet([])
+
+    def test_rejects_duplicate_names(self):
+        g = _graph("same", [1.0])
+        with pytest.raises(TaskGraphError, match="duplicate"):
+            TaskGraphSet(
+                [PeriodicTaskGraph(g, 5.0), PeriodicTaskGraph(g, 7.0)]
+            )
+
+    def test_utilization_sums(self):
+        ts = TaskGraphSet(
+            [
+                PeriodicTaskGraph(_graph("a", [2.0]), 10.0),  # 0.2
+                PeriodicTaskGraph(_graph("b", [3.0]), 10.0),  # 0.3
+            ]
+        )
+        assert ts.utilization == pytest.approx(0.5)
+
+    def test_by_name(self):
+        ts = TaskGraphSet([PeriodicTaskGraph(_graph("a", [1.0]), 5.0)])
+        assert ts.by_name("a").period == 5.0
+        with pytest.raises(TaskGraphError):
+            ts.by_name("nope")
+
+    def test_indexing_and_len(self):
+        ts = TaskGraphSet(
+            [
+                PeriodicTaskGraph(_graph("a", [1.0]), 5.0),
+                PeriodicTaskGraph(_graph("b", [1.0]), 10.0),
+            ]
+        )
+        assert len(ts) == 2
+        assert ts[1].name == "b"
+        assert ts.total_tasks() == 2
+
+    def test_hyperperiod_harmonic(self):
+        ts = TaskGraphSet(
+            [
+                PeriodicTaskGraph(_graph("a", [1.0]), 4.0),
+                PeriodicTaskGraph(_graph("b", [1.0]), 10.0),
+            ]
+        )
+        assert ts.hyperperiod() == pytest.approx(20.0)
+
+    def test_hyperperiod_single(self):
+        ts = TaskGraphSet([PeriodicTaskGraph(_graph("a", [1.0]), 7.5)])
+        assert ts.hyperperiod() == pytest.approx(7.5)
+
+    def test_scaled_to_utilization(self):
+        ts = TaskGraphSet(
+            [
+                PeriodicTaskGraph(_graph("a", [2.0]), 10.0),
+                PeriodicTaskGraph(_graph("b", [3.0]), 10.0),
+            ]
+        )
+        scaled = ts.scaled_to_utilization(0.7)
+        assert scaled.utilization == pytest.approx(0.7)
+        # Period ratios preserved.
+        assert scaled[0].period == pytest.approx(scaled[1].period)
+
+    def test_scaled_rejects_bad_target(self):
+        ts = TaskGraphSet([PeriodicTaskGraph(_graph("a", [1.0]), 5.0)])
+        with pytest.raises(TaskGraphError):
+            ts.scaled_to_utilization(0.0)
+        with pytest.raises(TaskGraphError):
+            ts.scaled_to_utilization(1.5)

@@ -1,0 +1,141 @@
+"""Unit + property tests for the TGFF-style generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TaskGraphError
+from repro.taskgraph._scale import scale_wcets
+from repro.taskgraph.tgff import (
+    chain,
+    fork_join,
+    independent_tasks,
+    layered_dag,
+    random_dag,
+    random_taskgraph_series,
+)
+
+
+class TestRandomDag:
+    def test_node_count(self):
+        assert len(random_dag(8, rng=0)) == 8
+
+    def test_reproducible(self):
+        g1, g2 = random_dag(10, rng=123), random_dag(10, rng=123)
+        assert g1.edges() == g2.edges()
+        assert [n.wcet for n in g1] == [n.wcet for n in g2]
+
+    def test_different_seeds_differ(self):
+        g1, g2 = random_dag(10, rng=1), random_dag(10, rng=2)
+        assert (
+            g1.edges() != g2.edges()
+            or [n.wcet for n in g1] != [n.wcet for n in g2]
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TaskGraphError):
+            random_dag(0)
+        with pytest.raises(TaskGraphError):
+            random_dag(5, edge_prob=1.5)
+        with pytest.raises(TaskGraphError):
+            random_dag(5, max_in_degree=0)
+        with pytest.raises(TaskGraphError):
+            random_dag(5, wcet_range=(0.0, 1.0))
+
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=1000),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_connected_and_degree_bounded(self, n, seed, p):
+        g = random_dag(n, edge_prob=p, max_in_degree=3, max_out_degree=3, rng=seed)
+        nxg = g.as_networkx()
+        if n > 1:
+            import networkx as nx
+
+            assert nx.is_weakly_connected(nxg)
+        # In-degree bound is strict; out-degree yields to connectivity
+        # (orphan hookups may overshoot by a small amount).
+        assert all(d <= 3 for _, d in nxg.in_degree())
+        assert all(d <= 3 + 2 for _, d in nxg.out_degree())
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_property_wcets_in_range(self, seed):
+        g = random_dag(12, wcet_range=(2.0, 5.0), rng=seed)
+        assert all(2.0 <= n.wcet <= 5.0 for n in g)
+
+
+class TestStructuredGenerators:
+    def test_chain_is_serial(self):
+        g = chain(5, rng=0)
+        assert len(g.edges()) == 4
+        assert g.sources() == ("t0",)
+        assert g.sinks() == ("t4",)
+        assert g.critical_path_wcet() == pytest.approx(g.total_wcet)
+
+    def test_chain_single(self):
+        assert len(chain(1, rng=0)) == 1
+
+    def test_fork_join_shape(self):
+        g = fork_join(4, rng=0)
+        assert len(g) == 6
+        assert g.sources() == ("src",)
+        assert g.sinks() == ("sink",)
+        assert set(g.ready_after({"src"})) == {"b0", "b1", "b2", "b3"}
+
+    def test_independent_no_edges(self):
+        g = independent_tasks([1.0, 2.0, 3.0])
+        assert g.edges() == ()
+        assert set(g.ready_after(set())) == {"t0", "t1", "t2"}
+
+    def test_layered_depth(self):
+        g = layered_dag([2, 3, 2], rng=0)
+        assert len(g) == 7
+        # Every non-first-layer node has a predecessor.
+        firsts = {"t0", "t1"}
+        for name in g.node_names:
+            if name not in firsts:
+                assert g.predecessors(name)
+
+    def test_layered_rejects_bad_layers(self):
+        with pytest.raises(TaskGraphError):
+            layered_dag([])
+        with pytest.raises(TaskGraphError):
+            layered_dag([2, 0, 1])
+
+
+class TestSeries:
+    def test_count_and_sizes(self):
+        graphs = random_taskgraph_series(7, n_tasks_range=(5, 9), rng=0)
+        assert len(graphs) == 7
+        assert all(5 <= len(g) <= 9 for g in graphs)
+        assert len({g.name for g in graphs}) == 7
+
+    def test_shared_generator_advances(self):
+        rng = np.random.default_rng(0)
+        a = random_taskgraph_series(2, rng=rng)
+        b = random_taskgraph_series(2, rng=rng)
+        assert a[0].edges() != b[0].edges() or len(a[0]) != len(b[0]) or [
+            n.wcet for n in a[0]
+        ] != [n.wcet for n in b[0]]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TaskGraphError):
+            random_taskgraph_series(0)
+        with pytest.raises(TaskGraphError):
+            random_taskgraph_series(3, n_tasks_range=(5, 2))
+
+
+class TestScaleWcets:
+    def test_scales_uniformly(self, diamond):
+        g = scale_wcets(diamond, 2.0)
+        assert g.total_wcet == pytest.approx(2 * diamond.total_wcet)
+        assert g.wcet("b") == pytest.approx(6.0)
+        assert set(g.edges()) == set(diamond.edges())
+
+    def test_rejects_nonpositive(self, diamond):
+        with pytest.raises(TaskGraphError):
+            scale_wcets(diamond, 0.0)

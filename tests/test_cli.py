@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.sets == 5
+        assert args.graphs == 5
+
+    def test_table1_sizes(self):
+        args = build_parser().parse_args(["table1", "--sizes", "5", "7"])
+        assert args.sizes == [5, 7]
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tableX"])
+
+
+class TestMain:
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "STF" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_table2_tiny(self, capsys):
+        assert main(["table2", "--sets", "1", "--graphs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "BAS-2" in out
+
+    def test_coherence(self, capsys):
+        assert main(["coherence"]) == 0
+        assert "rankings agree" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Error hierarchy and public-API surface tests."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    BatteryError,
+    CalibrationError,
+    DeadlineMissError,
+    ProfileError,
+    ReproError,
+    SchedulingError,
+    TaskGraphError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TaskGraphError,
+            SchedulingError,
+            BatteryError,
+            ProfileError,
+        ],
+    )
+    def test_subclasses_of_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_deadline_miss_is_scheduling_error(self):
+        assert issubclass(DeadlineMissError, SchedulingError)
+
+    def test_calibration_is_battery_error(self):
+        assert issubclass(CalibrationError, BatteryError)
+
+    def test_deadline_miss_message(self):
+        err = DeadlineMissError("G", 10.0, 10.5)
+        assert "G" in str(err)
+        assert err.graph_name == "G"
+        assert err.deadline == 10.0
+        assert err.time == 10.5
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_paper_constants_exposed(self):
+        assert len(repro.PAPER_TABLE) == 3
+        assert repro.PAPER_TABLE.f_max == 1e9

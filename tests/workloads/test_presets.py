@@ -1,0 +1,38 @@
+"""Unit tests for the paper's figure presets."""
+
+import pytest
+
+from repro.workloads.presets import fig4_cases, fig4_pair, fig5_actuals, fig5_set
+
+
+class TestFig4:
+    def test_pair_shape(self):
+        g = fig4_pair()
+        assert len(g) == 2
+        assert g.edges() == ()
+        assert g.wcet("task1") == 4.0
+        assert g.wcet("task2") == 6.0
+
+    def test_cases(self):
+        cases = fig4_cases()
+        assert cases["case1"]["task1"] == pytest.approx(1.6)
+        assert cases["case1"]["task2"] == pytest.approx(3.6)
+        assert cases["case2"]["task1"] == pytest.approx(2.4)
+        assert cases["case2"]["task2"] == pytest.approx(2.4)
+
+
+class TestFig5:
+    def test_set_shape(self):
+        ts = fig5_set()
+        assert [p.name for p in ts] == ["T1", "T2", "T3"]
+        assert [p.period for p in ts] == [20.0, 50.0, 100.0]
+        assert len(ts.by_name("T3").graph) == 3
+
+    def test_utilization_half(self):
+        assert fig5_set().utilization == pytest.approx(0.5)
+
+    def test_hyperperiod(self):
+        assert fig5_set().hyperperiod() == pytest.approx(100.0)
+
+    def test_actuals_worst_case(self):
+        assert fig5_actuals("T1", "a", 0, 5.0) == 5.0
