@@ -46,6 +46,16 @@ from .battery import (
     paper_cell_kibam,
     paper_cell_stochastic,
 )
+from .campaign import (
+    CampaignResult,
+    CampaignRunner,
+    ResultCache,
+    ScenarioResult,
+    ScenarioSpec,
+    StreamingAggregator,
+    run_spec,
+    spawn_seeds,
+)
 from .core import (
     ALL_RELEASED,
     LTF,
@@ -148,6 +158,15 @@ __all__ = [
     "partition_task_set",
     "run_partitioned",
     "MultiprocResult",
+    # campaign engine
+    "CampaignResult",
+    "CampaignRunner",
+    "ResultCache",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "StreamingAggregator",
+    "run_spec",
+    "spawn_seeds",
     # analysis
     "run_scheme",
     "evaluate_lifetime",

@@ -2,13 +2,17 @@
 
 Usage::
 
-    python -m repro table2 --sets 10
+    python -m repro table2 --sets 10 --workers 4
     python -m repro table1 --sizes 5 10 15
     python -m repro fig5
+    python -m repro campaign --scenarios 20 --workers 4
     python -m repro all            # everything, default scales
 
 Each subcommand prints the same rows/series the paper reports; scales
 default to quick settings (see EXPERIMENTS.md for paper-scale flags).
+Sweep-shaped subcommands accept ``--workers N`` to spread their
+scenarios over a multiprocessing pool — results are bit-identical to
+sequential runs.
 """
 
 from __future__ import annotations
@@ -17,6 +21,14 @@ import argparse
 import sys
 
 from .analysis import experiments as ex
+from .analysis.tables import format_table
+from .campaign import (
+    CampaignRunner,
+    ResultCache,
+    ScenarioSpec,
+    StreamingAggregator,
+    spawn_seeds,
+)
 
 
 def _cmd_table1(args) -> str:
@@ -24,12 +36,16 @@ def _cmd_table1(args) -> str:
         sizes=tuple(args.sizes),
         graphs_per_size=args.graphs_per_size,
         seed=args.seed,
+        workers=args.workers,
     ).format()
 
 
 def _cmd_table2(args) -> str:
     return ex.table2(
-        n_sets=args.sets, n_graphs=args.graphs, seed=args.seed
+        n_sets=args.sets,
+        n_graphs=args.graphs,
+        seed=args.seed,
+        workers=args.workers,
     ).format()
 
 
@@ -47,6 +63,7 @@ def _cmd_fig6(args) -> str:
         sets_per_point=args.sets,
         seed=args.seed,
         utilization=args.utilization,
+        workers=args.workers,
     ).format()
 
 
@@ -60,12 +77,85 @@ def _cmd_coherence(args) -> str:
 
 def _cmd_ablations(args) -> str:
     parts = [
-        ex.ablation_estimator(seed=args.seed).format(),
-        ex.ablation_freqset(seed=args.seed).format(),
-        ex.ablation_dvs(seed=args.seed).format(),
-        ex.ablation_feasibility(seed=args.seed).format(),
+        ex.ablation_estimator(seed=args.seed, workers=args.workers).format(),
+        ex.ablation_freqset(seed=args.seed, workers=args.workers).format(),
+        ex.ablation_dvs(seed=args.seed, workers=args.workers).format(),
+        ex.ablation_feasibility(
+            seed=args.seed, workers=args.workers
+        ).format(),
     ]
     return "\n\n".join(parts)
+
+
+def _cmd_campaign(args) -> str:
+    """Run a seeded scenario campaign and print per-scheme aggregates.
+
+    Spawns ``--scenarios`` independent child seeds from ``--seed`` via
+    ``numpy.random.SeedSequence`` and runs every ``--schemes`` entry on
+    each seeded workload (one hyperperiod, battery-evaluated), across
+    ``--workers`` processes.  Results are cached on disk keyed by spec
+    content hash (``--cache-dir``, default
+    ``~/.cache/repro/campaign``; disable with ``--no-cache``), so
+    re-running an unchanged campaign is free.  Aggregates are
+    bit-identical for any worker count.
+    """
+    if args.scenarios < 1:
+        raise SystemExit("error: --scenarios must be >= 1")
+    if not args.schemes:
+        raise SystemExit("error: --schemes must name at least one scheme")
+    seeds = spawn_seeds(args.seed, args.scenarios)
+    specs = [
+        ScenarioSpec(
+            scheme=scheme,
+            n_graphs=args.graphs,
+            utilization=args.utilization,
+            seed=s,
+            battery=args.battery,
+            # Record misses instead of aborting the campaign: the
+            # look-ahead schemes can legitimately overcommit near
+            # worst-case actuals, and the misses column should say so.
+            on_miss="record",
+        )
+        for s in seeds
+        for scheme in args.schemes
+    ]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = CampaignRunner(args.workers, cache=cache)
+    agg = StreamingAggregator(
+        percentiles=(50.0,), group_by=lambda r: r.spec.scheme
+    )
+    campaign = runner.run(specs, aggregators=[agg])
+    stats = agg.summary()
+    rows = []
+    for scheme in args.schemes:
+        st = stats[scheme]
+        life = st["lifetime_min"]
+        rows.append(
+            [
+                scheme,
+                life.mean,
+                life.minimum,
+                life.maximum,
+                life.percentiles[50.0],
+                st["delivered_mah"].mean,
+                st["misses"].mean,
+            ]
+        )
+    table = format_table(
+        ["Scheme", "Life mean", "min", "max", "p50", "mAh mean", "misses"],
+        rows,
+        title=(
+            f"Campaign — {args.scenarios} scenarios x "
+            f"{len(args.schemes)} schemes (root seed {args.seed})"
+        ),
+        precision=1,
+    )
+    footer = (
+        f"{len(specs)} scenarios, {campaign.n_workers} worker(s), "
+        f"{campaign.wall_time_s:.2f}s wall, {campaign.cache_hits} cache "
+        f"hit(s)"
+    )
+    return table + "\n" + footer
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,12 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", type=int, nargs="+", default=list(range(5, 16)))
     p.add_argument("--graphs-per-size", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(fn=_cmd_table1)
 
     p = sub.add_parser("table2", help="charge delivered + battery lifetime")
     p.add_argument("--sets", type=int, default=5)
     p.add_argument("--graphs", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(fn=_cmd_table2)
 
     p = sub.add_parser("fig4", help="LTF vs STF motivational example")
@@ -101,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sets", type=int, default=2)
     p.add_argument("--utilization", type=float, default=0.85)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(fn=_cmd_fig6)
 
     p = sub.add_parser("ratecapacity", help="load vs delivered capacity")
@@ -111,7 +204,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ablations", help="all four design-choice ablations")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(fn=_cmd_ablations)
+
+    p = sub.add_parser(
+        "campaign",
+        help="seeded scenario campaign (parallel, cached, deterministic)",
+        description=_cmd_campaign.__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument(
+        "--scenarios", type=int, default=10,
+        help="number of independent seeded workloads",
+    )
+    p.add_argument("--graphs", type=int, default=4)
+    p.add_argument("--utilization", type=float, default=0.7)
+    p.add_argument(
+        "--schemes", nargs="+",
+        default=["EDF", "ccEDF", "laEDF", "BAS-1", "BAS-2"],
+        help="campaign-registry scheme names to run per scenario",
+    )
+    p.add_argument("--battery", default="stochastic")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default ~/.cache/repro/campaign "
+        "or $REPRO_CAMPAIGN_CACHE)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p.set_defaults(fn=_cmd_campaign)
 
     p = sub.add_parser("all", help="every table and figure, quick scales")
     p.add_argument("--seed", type=int, default=0)

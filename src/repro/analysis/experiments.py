@@ -8,6 +8,13 @@ tests exercise them at reduced scale.
 Scale knobs: each driver takes counts/sizes with fast defaults and
 accepts the paper's full scale (e.g. ``table2(n_sets=100)``) when you
 have the minutes to spend.
+
+Campaign execution: every sweep-shaped driver (``table1``, ``table2``,
+``fig6``, ``model_coherence``, the ablations) builds a declarative
+spec list and delegates to :class:`repro.campaign.CampaignRunner` —
+pass ``workers=N`` for a multiprocessing pool, or a pre-built
+``runner`` (e.g. with a result cache attached).  Results are
+bit-identical across worker counts.
 """
 
 from __future__ import annotations
@@ -19,33 +26,36 @@ import numpy as np
 
 from ..battery.base import BatteryModel
 from ..battery.calibrate import paper_cell_kibam, paper_cell_stochastic
-from ..battery.diffusion import DiffusionBattery
-from ..battery.kibam import KiBaM
-from ..battery.peukert import PeukertBattery
-from ..core.estimator import (
-    Estimator,
-    HistoryEstimator,
-    OracleEstimator,
-    ScaledEstimator,
-    WorstCaseEstimator,
+from ..campaign.registry import (
+    NEAR_OPTIMAL,
+    estimator_name_for,
+    fresh_name,
+    register_battery,
+    register_estimator,
+    register_processor,
+    register_scheme,
+    unregister,
 )
-from ..core.methodology import Scheme, SchedulingPolicy, make_scheme, paper_schemes
+from ..campaign.runner import CampaignRunner
+from ..campaign.spec import (
+    OneShotSpec,
+    ScenarioSpec,
+    Spec,
+    SurvivalSpec,
+    spawn_seeds,
+)
+from ..core.estimator import Estimator, HistoryEstimator, OracleEstimator
+from ..core.methodology import Scheme, SchedulingPolicy
 from ..core.oneshot import run_one_shot
-from ..core.priority import LTF, PUBS, PriorityFunction, RandomPriority, STF
+from ..core.priority import LTF, STF, PriorityFunction
 from ..core.ready_list import ALL_RELEASED, MOST_IMMINENT
-from ..dvs import CcEDF, LaEDF, NoDVS
+from ..dvs import CcEDF
 from ..errors import SchedulingError
-from ..exact.bounds import near_optimal_run
-from ..exact.bruteforce import count_linear_extensions, optimal_one_shot
-from ..processor.dvfs import FrequencyTable, OperatingPoint
 from ..processor.platform import Processor, paper_processor
 from ..sim.engine import SimulationResult, Simulator
 from ..sim.profile import CurrentProfile
-from ..taskgraph.graph import TaskGraph
-from ..taskgraph.tgff import random_dag
-from ..workloads.generator import UniformActuals, paper_task_set
 from ..workloads.presets import fig4_cases, fig4_pair, fig5_actuals, fig5_set
-from .lifetime import evaluate_lifetime
+from .lifetime import survival_scale
 from .tables import format_series, format_table
 
 __all__ = [
@@ -93,29 +103,60 @@ def run_scheme(
     return sim.run(horizon)
 
 
-def _fig6_schemes(estimator: Callable[[], Estimator]) -> List[Scheme]:
-    """The ordering schemes compared in Figure 6 (all use laEDF)."""
-    return [
-        make_scheme(
-            "random", dvs=LaEDF, priority=lambda: RandomPriority(1),
-            ready_list=MOST_IMMINENT,
-        ),
-        make_scheme(
-            "LTF", dvs=LaEDF, priority=LTF, ready_list=MOST_IMMINENT
-        ),
-        make_scheme(
-            "pUBS-imminent",
-            dvs=LaEDF,
-            priority=lambda: PUBS(estimator()),
-            ready_list=MOST_IMMINENT,
-        ),
-        make_scheme(
-            "pUBS-all",
-            dvs=LaEDF,
-            priority=lambda: PUBS(estimator()),
-            ready_list=ALL_RELEASED,
-        ),
-    ]
+#: Table 2 scheme rows (campaign-registry names, paper order).
+PAPER_SCHEME_NAMES: Tuple[str, ...] = (
+    "EDF", "ccEDF", "laEDF", "BAS-1", "BAS-2"
+)
+
+#: Figure 6 ordering schemes (campaign-registry names; all use laEDF).
+FIG6_SCHEME_NAMES: Tuple[str, ...] = (
+    "random", "LTF", "pUBS-imminent", "pUBS-all"
+)
+
+
+def _campaign_runner(
+    workers: int, runner: Optional[CampaignRunner]
+) -> CampaignRunner:
+    """The runner a driver should use (explicit runner wins)."""
+    return runner if runner is not None else CampaignRunner(workers)
+
+
+def _run_specs(
+    workers: int,
+    runner: Optional[CampaignRunner],
+    specs: Sequence[Spec],
+    ad_hoc_names: Sequence[str] = (),
+):
+    """Run a driver's spec list, then drop any ad-hoc registry entries
+    so repeated driver calls don't accumulate factory closures."""
+    try:
+        return _campaign_runner(workers, runner).run(specs)
+    finally:
+        for name in ad_hoc_names:
+            if name.startswith("@"):
+                unregister(name)
+
+
+def _processor_name(processor: Optional[Processor]) -> str:
+    """Registry name for an optional caller-supplied processor.
+
+    Ad-hoc processors are registered process-locally; parallel workers
+    see them via ``fork`` inheritance (see
+    :mod:`repro.campaign.registry`).
+    """
+    if processor is None:
+        return "paper"
+    return register_processor(
+        fresh_name("processor"), lambda p=processor, **_kw: p
+    )
+
+
+def _estimator_name(factory: Callable[[], Estimator]) -> str:
+    """Registry name for an estimator factory (registering if novel)."""
+    name = estimator_name_for(factory)
+    if name is not None:
+        return name
+    return register_estimator(fresh_name("estimator"), factory)
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +198,8 @@ def table1(
     edge_prob: float = 0.4,
     max_extensions: int = 200_000,
     n_random: int = 5,
+    workers: int = 1,
+    runner: Optional[CampaignRunner] = None,
 ) -> Table1Result:
     """Reproduce Table 1: Random / LTF / pUBS vs exhaustive optimal.
 
@@ -168,43 +211,39 @@ def table1(
     the dispersion.  DAGs whose linear-extension count exceeds
     ``max_extensions`` are resampled (the paper's own cap is "no more
     than 15 tasks" for the same reason).
+
+    Each (size, replicate) DAG is an independent campaign scenario with
+    its own ``SeedSequence``-spawned child seed, so the sweep
+    parallelizes freely (``workers=N``) without changing any number.
     """
-    proc = processor if processor is not None else paper_processor()
-    rng = np.random.default_rng(seed)
+    lo, hi = actual_range
+    proc_name = _processor_name(processor)
+    unit_seeds = spawn_seeds(seed, len(sizes) * graphs_per_size)
+    specs: List[Spec] = [
+        OneShotSpec(
+            n_tasks=int(n),
+            seed=unit_seeds[si * graphs_per_size + gi],
+            edge_prob=edge_prob,
+            utilization=utilization,
+            actual_low=lo,
+            actual_high=hi,
+            max_extensions=max_extensions,
+            n_random=n_random,
+            processor=proc_name,
+        )
+        for si, n in enumerate(sizes)
+        for gi in range(graphs_per_size)
+    ]
+    campaign = _run_specs(workers, runner, specs, [proc_name])
     sums: Dict[str, np.ndarray] = {
         k: np.zeros(len(sizes)) for k in ("random", "ltf", "pubs")
     }
-    for si, n in enumerate(sizes):
-        for _ in range(graphs_per_size):
-            graph = _sample_bounded_dag(
-                n, rng, edge_prob=edge_prob, max_extensions=max_extensions
-            )
-            lo, hi = actual_range
-            actual = {
-                node.name: node.wcet * rng.uniform(lo, hi) for node in graph
-            }
-            deadline = graph.total_wcet / utilization
-            opt = optimal_one_shot(
-                graph, deadline, proc, actual, max_extensions=max_extensions
-            )
-            if opt.energy <= 0:
-                raise SchedulingError("optimal energy must be positive")
-            rand_e = np.mean(
-                [
-                    run_one_shot(
-                        graph, deadline, proc,
-                        RandomPriority(int(rng.integers(1 << 31))), actual,
-                    ).energy
-                    for _ in range(n_random)
-                ]
-            )
-            ltf_e = run_one_shot(graph, deadline, proc, LTF(), actual).energy
-            pubs_e = run_one_shot(
-                graph, deadline, proc, PUBS(OracleEstimator()), actual
-            ).energy
-            sums["random"][si] += rand_e / opt.energy
-            sums["ltf"][si] += ltf_e / opt.energy
-            sums["pubs"][si] += pubs_e / opt.energy
+    for si in range(len(sizes)):
+        for gi in range(graphs_per_size):
+            metrics = campaign.results[si * graphs_per_size + gi].metrics
+            sums["random"][si] += metrics["random"]
+            sums["ltf"][si] += metrics["ltf"]
+            sums["pubs"][si] += metrics["pubs"]
     k = float(graphs_per_size)
     return Table1Result(
         sizes=tuple(int(n) for n in sizes),
@@ -212,27 +251,6 @@ def table1(
         ltf=tuple(sums["ltf"] / k),
         pubs=tuple(sums["pubs"] / k),
         graphs_per_size=graphs_per_size,
-    )
-
-
-def _sample_bounded_dag(
-    n: int,
-    rng: np.random.Generator,
-    *,
-    edge_prob: float,
-    max_extensions: int,
-    attempts: int = 50,
-) -> TaskGraph:
-    """A random DAG whose linear-extension count stays searchable."""
-    for _ in range(attempts):
-        g = random_dag(n, edge_prob=edge_prob, rng=rng)
-        if count_linear_extensions(g, limit=max_extensions + 1) <= max_extensions:
-            return g
-        # Densify: more edges => fewer linear extensions.
-        edge_prob = min(1.0, edge_prob + 0.1)
-    raise SchedulingError(
-        f"could not sample a {n}-task DAG with <= {max_extensions} "
-        f"linear extensions in {attempts} attempts"
     )
 
 
@@ -266,33 +284,48 @@ def fig6(
     utilization: float = 0.7,
     horizon: Optional[float] = None,
     estimator: Callable[[], Estimator] = OracleEstimator,
+    workers: int = 1,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig6Result:
     """Reproduce Figure 6: energy of ordering schemes vs graph count.
 
     All schemes use laEDF for frequency setting (as in the paper); each
     point averages ``sets_per_point`` random 70 %-utilization task-graph
     sets; energies are normalized by the precedence-relaxed near-optimal
-    run on the identical workload.
+    run on the identical workload.  Each (point, replicate) expands to
+    five campaign scenarios (the near-optimal reference plus the four
+    ordering schemes), all sharing one workload seed.
     """
-    proc = processor if processor is not None else paper_processor()
-    schemes = _fig6_schemes(estimator)
-    acc: Dict[str, np.ndarray] = {
-        s.name: np.zeros(len(graph_counts)) for s in schemes
-    }
+    proc_name = _processor_name(processor)
+    est_name = _estimator_name(estimator)
+    specs: List[Spec] = []
     for ci, count in enumerate(graph_counts):
         for rep in range(sets_per_point):
             set_seed = seed + 1000 * ci + rep
-            task_set = paper_task_set(
-                count, utilization=utilization, seed=set_seed
-            )
-            actuals = UniformActuals(seed=set_seed)
-            h = horizon if horizon is not None else task_set.hyperperiod()
-            ref = near_optimal_run(task_set, proc, h, actuals=actuals)
-            if ref.energy <= 0:
+            for name in (NEAR_OPTIMAL,) + FIG6_SCHEME_NAMES:
+                specs.append(
+                    ScenarioSpec(
+                        scheme=name,
+                        n_graphs=int(count),
+                        utilization=utilization,
+                        seed=set_seed,
+                        horizon=horizon,
+                        estimator=est_name,
+                        processor=proc_name,
+                    )
+                )
+    campaign = _run_specs(workers, runner, specs, [proc_name, est_name])
+    acc: Dict[str, np.ndarray] = {
+        name: np.zeros(len(graph_counts)) for name in FIG6_SCHEME_NAMES
+    }
+    results = iter(campaign.results)
+    for ci in range(len(graph_counts)):
+        for _rep in range(sets_per_point):
+            ref_energy = next(results).metrics["energy_j"]
+            if ref_energy <= 0:
                 raise SchedulingError("near-optimal energy must be positive")
-            for scheme in schemes:
-                res = run_scheme(scheme, task_set, proc, actuals, h)
-                acc[scheme.name][ci] += res.energy / ref.energy
+            for name in FIG6_SCHEME_NAMES:
+                acc[name][ci] += next(results).metrics["energy_j"] / ref_energy
     return Fig6Result(
         graph_counts=tuple(int(c) for c in graph_counts),
         series={
@@ -360,6 +393,8 @@ def table2(
     rebin: Optional[float] = 1.0,
     estimator_factory: Callable[[], Estimator] = HistoryEstimator,
     schemes: Optional[Sequence[Scheme]] = None,
+    workers: int = 1,
+    runner: Optional[CampaignRunner] = None,
 ) -> Table2Result:
     """Reproduce Table 2: five schemes' charge delivered and lifetime.
 
@@ -367,34 +402,61 @@ def table2(
     per scheme; the resulting current profile is tiled through a fresh
     calibrated AAA-NiMH cell (the stochastic model by default) until
     the cell dies.  The paper uses 100 sets; the default here is 5 —
-    pass ``n_sets=100`` for paper scale.
+    pass ``n_sets=100`` for paper scale (and ``workers=N`` to spread
+    the (set × scheme) scenarios over a pool).
     """
-    proc = processor if processor is not None else paper_processor()
-    cell_of: Callable[[int], BatteryModel] = (
-        battery_factory
-        if battery_factory is not None
-        else (lambda s: paper_cell_stochastic(seed=s))
+    proc_name = _processor_name(processor)
+    est_name = _estimator_name(estimator_factory)
+    battery_name = (
+        "stochastic"
+        if battery_factory is None
+        else register_battery(
+            fresh_name("battery"),
+            lambda s, _factory=battery_factory, **_kw: _factory(s),
+        )
     )
-    scheme_list = (
-        list(schemes)
-        if schemes is not None
-        else paper_schemes(estimator_factory=estimator_factory)
-    )
-    delivered = {s.name: 0.0 for s in scheme_list}
-    lifetime = {s.name: 0.0 for s in scheme_list}
+    if schemes is None:
+        scheme_entries = [(name, name) for name in PAPER_SCHEME_NAMES]
+    else:
+        # Caller-supplied Scheme objects: register each under a fresh
+        # name; the display name stays the scheme's own.
+        scheme_entries = [
+            (register_scheme(fresh_name("scheme"), lambda est, s=s: s), s.name)
+            for s in schemes
+        ]
+    specs: List[Spec] = []
     for rep in range(n_sets):
         set_seed = seed + rep
-        task_set = paper_task_set(
-            n_graphs, utilization=utilization, seed=set_seed
-        )
-        actuals = UniformActuals(seed=set_seed)
-        h = task_set.hyperperiod()
-        for scheme in scheme_list:
-            res = run_scheme(scheme, task_set, proc, actuals, h)
-            report = evaluate_lifetime(res, cell_of(set_seed), rebin=rebin)
-            delivered[scheme.name] += report.delivered_mah
-            lifetime[scheme.name] += report.lifetime_minutes
-    names = tuple(s.name for s in scheme_list)
+        for reg_name, _display in scheme_entries:
+            specs.append(
+                ScenarioSpec(
+                    scheme=reg_name,
+                    n_graphs=n_graphs,
+                    utilization=utilization,
+                    seed=set_seed,
+                    battery=battery_name,
+                    battery_seed=set_seed,
+                    estimator=est_name,
+                    processor=proc_name,
+                    rebin=rebin,
+                )
+            )
+    campaign = _run_specs(
+        workers,
+        runner,
+        specs,
+        [proc_name, est_name, battery_name]
+        + [reg for reg, _display in scheme_entries],
+    )
+    names = tuple(display for _reg, display in scheme_entries)
+    delivered = {name: 0.0 for name in names}
+    lifetime = {name: 0.0 for name in names}
+    results = iter(campaign.results)
+    for _rep in range(n_sets):
+        for _reg, display in scheme_entries:
+            metrics = next(results).metrics
+            delivered[display] += metrics["delivered_mah"]
+            lifetime[display] += metrics["lifetime_min"]
     return Table2Result(
         scheme_names=names,
         delivered_mah=tuple(delivered[n] / n_sets for n in names),
@@ -646,45 +708,17 @@ class ModelCoherenceResult:
         )
 
 
-def survival_scale(
-    cell: BatteryModel,
-    profile: CurrentProfile,
-    *,
-    lo: float = 0.1,
-    hi: float = 10.0,
-    iters: int = 40,
-) -> float:
-    """Largest multiplier on the profile's currents the cell survives.
-
-    Bisection on "does one pass of the scaled profile complete before
-    the battery dies".  This is the guideline-1 metric: a permutation
-    that survives a larger scale is strictly friendlier to the battery.
-    """
-    def survives(scale: float) -> bool:
-        run = cell.run_profile(
-            profile.durations, profile.currents * scale, repeat=1
-        )
-        return not run.died
-
-    if not survives(lo):
-        raise SchedulingError(
-            f"profile already kills the cell at scale {lo}; lower `lo`"
-        )
-    if survives(hi):
-        raise SchedulingError(
-            f"profile survives even at scale {hi}; raise `hi`"
-        )
-    for _ in range(iters):
-        mid = 0.5 * (lo + hi)
-        if survives(mid):
-            lo = mid
-        else:
-            hi = mid
-    return lo
+# survival_scale lives in repro.analysis.lifetime (imported above) so
+# the campaign executors can use it without a circular import; it stays
+# re-exported here for backward compatibility.
 
 
 def model_coherence(
-    *, mean_current: float = 1.8, fill: float = 0.75
+    *,
+    mean_current: float = 1.8,
+    fill: float = 0.75,
+    workers: int = 1,
+    runner: Optional[CampaignRunner] = None,
 ) -> ModelCoherenceResult:
     """Permutations of one three-step workload, ranked by the largest
     load scaling each battery model lets them complete.
@@ -696,9 +730,10 @@ def model_coherence(
     every recovery-aware model; Peukert's integral is permutation-
     invariant, so its column is flat — recovery-free models cannot see
     ordering at all, which is why the paper needs the §3 models.
-    """
-    from ..battery.calibrate import paper_cell_diffusion
 
+    Each (model, permutation) survival bisection is one campaign
+    scenario (12 in total), so the sweep parallelizes with ``workers``.
+    """
     base = paper_cell_kibam()
     step_t = fill * base.capacity / mean_current / 3.0
     perms = {
@@ -710,19 +745,29 @@ def model_coherence(
         name: CurrentProfile(np.array([step_t] * 3), factors * mean_current)
         for name, factors in perms.items()
     }
-    cells: Dict[str, BatteryModel] = {
-        "KiBaM": paper_cell_kibam(),
-        "diffusion": paper_cell_diffusion(),
-        "stochastic": paper_cell_stochastic(seed=0, noise=0.05),
-        "Peukert": PeukertBattery(
-            capacity=paper_cell_kibam().capacity * 0.8, exponent=1.2
-        ),
+    cells = {
+        "KiBaM": "kibam",
+        "diffusion": "diffusion",
+        "stochastic": "stochastic:noise=0.05",
+        "Peukert": "peukert",
     }
     names = tuple(shapes.keys())
+    specs: List[Spec] = [
+        SurvivalSpec(
+            battery=battery_name,
+            battery_seed=0,
+            durations=tuple(float(d) for d in shapes[shape].durations),
+            currents=tuple(float(c) for c in shapes[shape].currents),
+        )
+        for battery_name in cells.values()
+        for shape in names
+    ]
+    campaign = _run_specs(workers, runner, specs)
+    results = iter(campaign.results)
     margins: Dict[str, Tuple[float, ...]] = {}
-    for model_name, cell in cells.items():
+    for model_name in cells:
         margins[model_name] = tuple(
-            survival_scale(cell, shapes[shape]) for shape in names
+            next(results).metrics["survival_scale"] for _shape in names
         )
     return ModelCoherenceResult(shapes=names, margins=margins)
 
@@ -759,6 +804,8 @@ def ablation_estimator(
     seed: int = 0,
     utilization: float = 0.9,
     processor: Optional[Processor] = None,
+    workers: int = 1,
+    runner: Optional[CampaignRunner] = None,
 ) -> AblationResult:
     """X_k estimate accuracy: worst-case -> scaled -> history -> oracle.
 
@@ -767,31 +814,27 @@ def ablation_estimator(
     quality.  Run above the frequency floor (default U = 0.9) or the
     floor masks ordering entirely.
     """
-    proc = processor if processor is not None else paper_processor()
-    estimators: Dict[str, Callable[[], Estimator]] = {
-        "worst-case": WorstCaseEstimator,
-        "scaled": ScaledEstimator,
-        "history": HistoryEstimator,
-        "oracle": OracleEstimator,
-    }
-    energies = {name: 0.0 for name in estimators}
-    for rep in range(n_sets):
-        set_seed = seed + rep
-        task_set = paper_task_set(
-            n_graphs, utilization=utilization, seed=set_seed
+    proc_name = _processor_name(processor)
+    estimator_names = ("worst-case", "scaled", "history", "oracle")
+    specs: List[Spec] = [
+        ScenarioSpec(
+            scheme="BAS-2",
+            n_graphs=n_graphs,
+            utilization=utilization,
+            seed=seed + rep,
+            estimator=name,
+            processor=proc_name,
         )
-        actuals = UniformActuals(seed=set_seed)
-        h = task_set.hyperperiod()
-        for name, factory in estimators.items():
-            scheme = make_scheme(
-                f"BAS-2/{name}",
-                dvs=LaEDF,
-                priority=lambda f=factory: PUBS(f()),
-                ready_list=ALL_RELEASED,
-            )
-            res = run_scheme(scheme, task_set, proc, actuals, h)
-            energies[name] += res.energy
-    levels = tuple(estimators.keys())
+        for rep in range(n_sets)
+        for name in estimator_names
+    ]
+    campaign = _run_specs(workers, runner, specs, [proc_name])
+    energies = {name: 0.0 for name in estimator_names}
+    results = iter(campaign.results)
+    for _rep in range(n_sets):
+        for name in estimator_names:
+            energies[name] += next(results).metrics["energy_j"]
+    levels = estimator_names
     return AblationResult(
         title="Ablation — pUBS estimate accuracy (BAS-2 energy, J)",
         factor="estimator",
@@ -807,6 +850,8 @@ def ablation_freqset(
     n_sets: int = 3,
     n_graphs: int = 4,
     seed: int = 0,
+    workers: int = 1,
+    runner: Optional[CampaignRunner] = None,
 ) -> AblationResult:
     """Frequency-table granularity: the paper's 3 levels vs finer tables.
 
@@ -814,40 +859,27 @@ def ablation_freqset(
     2-level mix already captures most of it (Gaujal-Navet), so gains
     should be modest.
     """
-    def table_with(levels: int) -> Processor:
-        pts = [
-            OperatingPoint(0.5e9 + i * (0.5e9 / (levels - 1)),
-                           3.0 + i * (2.0 / (levels - 1)))
-            for i in range(levels)
-        ]
-        table = FrequencyTable(pts)
-        base = paper_processor()
-        from ..processor.power import PowerModel
-
-        power = PowerModel.calibrated(
-            table,
-            i_max=base.power.battery_current(base.table.max_point),
-            v_bat=base.power.v_bat,
-            efficiency=base.power.efficiency,
-            idle_current=base.power.idle_current,
-        )
-        return Processor(table, power, "mix")
-
     processors = {
-        "3 levels (paper)": table_with(3),
-        "5 levels": table_with(5),
-        "9 levels": table_with(9),
+        "3 levels (paper)": "freqset:levels=3",
+        "5 levels": "freqset:levels=5",
+        "9 levels": "freqset:levels=9",
     }
+    specs: List[Spec] = [
+        ScenarioSpec(
+            scheme="BAS-2",
+            n_graphs=n_graphs,
+            seed=seed + rep,
+            processor=proc_name,
+        )
+        for rep in range(n_sets)
+        for proc_name in processors.values()
+    ]
+    campaign = _run_specs(workers, runner, specs)
     energies = {name: 0.0 for name in processors}
-    scheme = paper_schemes()[-1]  # BAS-2
-    for rep in range(n_sets):
-        set_seed = seed + rep
-        task_set = paper_task_set(n_graphs, seed=set_seed)
-        actuals = UniformActuals(seed=set_seed)
-        h = task_set.hyperperiod()
-        for name, proc in processors.items():
-            res = run_scheme(scheme, task_set, proc, actuals, h)
-            energies[name] += res.energy
+    results = iter(campaign.results)
+    for _rep in range(n_sets):
+        for name in processors:
+            energies[name] += next(results).metrics["energy_j"]
     levels = tuple(processors.keys())
     return AblationResult(
         title="Ablation — frequency-table granularity (BAS-2 energy, J)",
@@ -865,31 +897,35 @@ def ablation_dvs(
     n_graphs: int = 4,
     seed: int = 0,
     processor: Optional[Processor] = None,
+    workers: int = 1,
+    runner: Optional[CampaignRunner] = None,
 ) -> AblationResult:
     """DVS algorithm x ready-list policy grid (§4's plug-and-play claim)."""
-    proc = processor if processor is not None else paper_processor()
-    grid: Dict[str, Scheme] = {}
-    for dvs_name, dvs_factory in (("ccEDF", CcEDF), ("laEDF", LaEDF)):
-        for rl_name, rl in (
-            ("imminent", MOST_IMMINENT),
-            ("all-released", ALL_RELEASED),
-        ):
-            grid[f"{dvs_name}+{rl_name}"] = make_scheme(
-                f"{dvs_name}+{rl_name}",
-                dvs=dvs_factory,
-                priority=lambda: PUBS(HistoryEstimator()),
-                ready_list=rl,
-            )
+    proc_name = _processor_name(processor)
+    grid = (
+        "ccEDF+imminent",
+        "ccEDF+all-released",
+        "laEDF+imminent",
+        "laEDF+all-released",
+    )
+    specs: List[Spec] = [
+        ScenarioSpec(
+            scheme=name,
+            n_graphs=n_graphs,
+            seed=seed + rep,
+            estimator="history",
+            processor=proc_name,
+        )
+        for rep in range(n_sets)
+        for name in grid
+    ]
+    campaign = _run_specs(workers, runner, specs, [proc_name])
     energies = {name: 0.0 for name in grid}
-    for rep in range(n_sets):
-        set_seed = seed + rep
-        task_set = paper_task_set(n_graphs, seed=set_seed)
-        actuals = UniformActuals(seed=set_seed)
-        h = task_set.hyperperiod()
-        for name, scheme in grid.items():
-            res = run_scheme(scheme, task_set, proc, actuals, h)
-            energies[name] += res.energy
-    levels = tuple(grid.keys())
+    results = iter(campaign.results)
+    for _rep in range(n_sets):
+        for name in grid:
+            energies[name] += next(results).metrics["energy_j"]
+    levels = grid
     return AblationResult(
         title="Ablation — DVS algorithm x ready list (pUBS energy, J)",
         factor="combination",
@@ -908,6 +944,8 @@ def ablation_feasibility(
     utilization: float = 0.92,
     actual_range: Tuple[float, float] = (0.6, 1.0),
     processor: Optional[Processor] = None,
+    workers: int = 1,
+    runner: Optional[CampaignRunner] = None,
 ) -> AblationResult:
     """Remove the Algorithm 2 guard from BAS-2 and count deadline misses.
 
@@ -924,34 +962,30 @@ def ablation_feasibility(
     regime), not an adversarial-proof admission test; see
     EXPERIMENTS.md.
     """
-    proc = processor if processor is not None else paper_processor()
-    guarded = make_scheme(
-        "guarded",
-        dvs=LaEDF,
-        priority=lambda: PUBS(HistoryEstimator()),
-        ready_list=ALL_RELEASED,
-    )
-    unguarded = make_scheme(
-        "unguarded",
-        dvs=LaEDF,
-        priority=lambda: PUBS(HistoryEstimator()),
-        ready_list=ALL_RELEASED,
-        enforce_feasibility=False,
-    )
-    misses = {"guarded": 0.0, "unguarded": 0.0}
-    for rep in range(n_sets):
-        set_seed = seed + rep
-        task_set = paper_task_set(
-            n_graphs, utilization=utilization, seed=set_seed
+    proc_name = _processor_name(processor)
+    lo, hi = actual_range
+    variants = (("guarded", "BAS-2"), ("unguarded", "BAS-2/unguarded"))
+    specs: List[Spec] = [
+        ScenarioSpec(
+            scheme=scheme_name,
+            n_graphs=n_graphs,
+            utilization=utilization,
+            seed=seed + rep,
+            estimator="history",
+            processor=proc_name,
+            actual_low=lo,
+            actual_high=hi,
+            on_miss="record",
         )
-        lo, hi = actual_range
-        actuals = UniformActuals(low=lo, high=hi, seed=set_seed)
-        h = task_set.hyperperiod()
-        for name, scheme in (("guarded", guarded), ("unguarded", unguarded)):
-            res = run_scheme(
-                scheme, task_set, proc, actuals, h, on_miss="record"
-            )
-            misses[name] += len(res.misses)
+        for rep in range(n_sets)
+        for _label, scheme_name in variants
+    ]
+    campaign = _run_specs(workers, runner, specs, [proc_name])
+    misses = {"guarded": 0.0, "unguarded": 0.0}
+    results = iter(campaign.results)
+    for _rep in range(n_sets):
+        for label, _scheme_name in variants:
+            misses[label] += next(results).metrics["misses"]
     levels = ("guarded", "unguarded")
     return AblationResult(
         title="Ablation — feasibility check (deadline misses per set)",

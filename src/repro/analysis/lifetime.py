@@ -15,11 +15,11 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..battery.base import BatteryModel, BatteryRun
-from ..errors import BatteryError
+from ..errors import BatteryError, SchedulingError
 from ..sim.engine import SimulationResult
 from ..sim.profile import CurrentProfile
 
-__all__ = ["evaluate_lifetime", "LifetimeReport"]
+__all__ = ["evaluate_lifetime", "LifetimeReport", "survival_scale"]
 
 
 @dataclass(frozen=True)
@@ -88,3 +88,40 @@ def evaluate_lifetime(
         mean_current=profile.mean_current,
         peak_current=profile.peak_current,
     )
+
+
+def survival_scale(
+    cell: BatteryModel,
+    profile: CurrentProfile,
+    *,
+    lo: float = 0.1,
+    hi: float = 10.0,
+    iters: int = 40,
+) -> float:
+    """Largest multiplier on the profile's currents the cell survives.
+
+    Bisection on "does one pass of the scaled profile complete before
+    the battery dies".  This is the guideline-1 metric: a permutation
+    that survives a larger scale is strictly friendlier to the battery.
+    """
+    def survives(scale: float) -> bool:
+        run = cell.run_profile(
+            profile.durations, profile.currents * scale, repeat=1
+        )
+        return not run.died
+
+    if not survives(lo):
+        raise SchedulingError(
+            f"profile already kills the cell at scale {lo}; lower `lo`"
+        )
+    if survives(hi):
+        raise SchedulingError(
+            f"profile survives even at scale {hi}; raise `hi`"
+        )
+    for _ in range(iters):
+        mid = 0.5 * (lo + hi)
+        if survives(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

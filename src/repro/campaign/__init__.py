@@ -1,0 +1,78 @@
+"""Parallel experiment-campaign engine with deterministic seeding.
+
+Turns the repo's scenario sweeps (paper tables/figures, ablations,
+user-defined studies) into declarative spec lists executed by a
+multiprocessing runner with per-scenario ``SeedSequence``-derived
+seeds, an on-disk result cache keyed by spec content hash, and
+streaming order-deterministic aggregators.  Sequential and parallel
+execution of the same campaign are bit-identical.
+
+Quick start::
+
+    from repro.campaign import (
+        CampaignRunner, ResultCache, ScenarioSpec, spawn_seeds,
+    )
+
+    seeds = spawn_seeds(root_seed=0, n=20)
+    specs = [
+        ScenarioSpec(scheme=name, n_graphs=4, seed=s, battery="stochastic")
+        for s in seeds
+        for name in ("ccEDF", "BAS-2")
+    ]
+    campaign = CampaignRunner(n_workers=4, cache=ResultCache()).run(specs)
+    print(campaign.summary(group_by=lambda r: r.spec.scheme))
+"""
+
+from .aggregate import MetricSummary, StreamingAggregator, summarize
+from .cache import ResultCache, default_cache_dir
+from .registry import (
+    NEAR_OPTIMAL,
+    build_scheme,
+    register_battery,
+    register_estimator,
+    register_processor,
+    register_scheme,
+    resolve_battery,
+    resolve_estimator,
+    resolve_processor,
+    unregister,
+)
+from .runner import CampaignResult, CampaignRunner, run_spec, sample_bounded_dag
+from .spec import (
+    OneShotSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    SurvivalSpec,
+    content_hash,
+    is_cacheable,
+    spawn_seeds,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "MetricSummary",
+    "NEAR_OPTIMAL",
+    "OneShotSpec",
+    "ResultCache",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "StreamingAggregator",
+    "SurvivalSpec",
+    "build_scheme",
+    "content_hash",
+    "default_cache_dir",
+    "is_cacheable",
+    "register_battery",
+    "register_estimator",
+    "register_processor",
+    "register_scheme",
+    "resolve_battery",
+    "resolve_estimator",
+    "resolve_processor",
+    "run_spec",
+    "sample_bounded_dag",
+    "spawn_seeds",
+    "summarize",
+    "unregister",
+]

@@ -1,0 +1,147 @@
+"""Streaming, order-deterministic aggregation of scenario results.
+
+An aggregator consumes ``(scenario_index, result)`` pairs *as workers
+finish* — arrival order is whatever the pool produces — but every
+summary statistic is computed over values laid out in scenario-index
+order.  That makes aggregates bit-identical between sequential and
+parallel execution (floating-point reduction order is fixed), which is
+the campaign engine's core determinism guarantee.
+
+Memory is one retained :class:`ScenarioResult` (spec + metric floats)
+per scenario: bounded and small for any realistic campaign, and the
+price of exact order-independence — a classic running-mean (Welford)
+update would make the result depend on worker scheduling in the last
+few ulps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SchedulingError
+from .spec import ScenarioResult
+
+__all__ = ["MetricSummary", "StreamingAggregator", "summarize"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Summary statistics of one metric over a group of scenarios."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    percentiles: Mapping[float, float]
+
+    def format(self, precision: int = 3) -> str:
+        pct = " ".join(
+            f"p{int(q) if float(q).is_integer() else q}={v:.{precision}g}"
+            for q, v in self.percentiles.items()
+        )
+        return (
+            f"n={self.count} mean={self.mean:.{precision}g} "
+            f"min={self.minimum:.{precision}g} "
+            f"max={self.maximum:.{precision}g}"
+            + (f" {pct}" if pct else "")
+        )
+
+
+GroupKey = Callable[[ScenarioResult], str]
+
+
+class StreamingAggregator:
+    """Accumulates results as they arrive; summarizes deterministically.
+
+    Parameters
+    ----------
+    percentiles:
+        Percentile levels (0-100) reported per metric.
+    group_by:
+        Optional result → group-name function (e.g.
+        ``lambda r: r.spec.scheme``); the default puts everything in
+        one ``"all"`` group.
+    """
+
+    def __init__(
+        self,
+        *,
+        percentiles: Sequence[float] = (50.0, 90.0),
+        group_by: Optional[GroupKey] = None,
+    ) -> None:
+        for q in percentiles:
+            if not (0.0 <= q <= 100.0):
+                raise SchedulingError(f"percentile {q} outside [0, 100]")
+        self.percentiles = tuple(float(q) for q in percentiles)
+        self.group_by = group_by
+        self._results: Dict[int, ScenarioResult] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, index: int, result: ScenarioResult) -> None:
+        """Record the result of scenario ``index`` (any arrival order)."""
+        if index in self._results:
+            raise SchedulingError(f"scenario {index} aggregated twice")
+        self._results[index] = result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    # ------------------------------------------------------------------
+    def _grouped_values(self) -> Dict[str, Dict[str, List[float]]]:
+        groups: Dict[str, Dict[str, List[float]]] = {}
+        for index in sorted(self._results):
+            result = self._results[index]
+            key = self.group_by(result) if self.group_by else "all"
+            metrics = groups.setdefault(key, {})
+            for name, value in result.metrics.items():
+                metrics.setdefault(name, []).append(float(value))
+        return groups
+
+    def summary(self) -> Dict[str, Dict[str, MetricSummary]]:
+        """``{group: {metric: MetricSummary}}`` over index-ordered values."""
+        out: Dict[str, Dict[str, MetricSummary]] = {}
+        for key, metrics in self._grouped_values().items():
+            out[key] = {
+                name: _summarize_values(values, self.percentiles)
+                for name, values in metrics.items()
+            }
+        return out
+
+    def group_means(self, metric: str) -> Dict[str, float]:
+        """Mean of one metric per group (missing metric → absent group)."""
+        return {
+            key: stats[metric].mean
+            for key, stats in self.summary().items()
+            if metric in stats
+        }
+
+
+def _summarize_values(
+    values: Sequence[float], percentiles: Tuple[float, ...]
+) -> MetricSummary:
+    arr = np.asarray(values, dtype=float)
+    return MetricSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        percentiles={
+            q: float(np.percentile(arr, q)) for q in percentiles
+        },
+    )
+
+
+def summarize(
+    results: Sequence[ScenarioResult],
+    *,
+    percentiles: Sequence[float] = (50.0, 90.0),
+    group_by: Optional[GroupKey] = None,
+) -> Dict[str, Dict[str, MetricSummary]]:
+    """One-shot aggregation of an already-ordered result list."""
+    agg = StreamingAggregator(percentiles=percentiles, group_by=group_by)
+    for index, result in enumerate(results):
+        agg.add(index, result)
+    return agg.summary()

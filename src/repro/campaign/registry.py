@@ -1,0 +1,320 @@
+"""Name → factory resolution for campaign specs.
+
+Specs are pure data; this module turns their string fields into live
+objects at execution time.  Every entry a paper experiment needs ships
+built in; :func:`register_scheme` / :func:`register_battery` /
+:func:`register_processor` let drivers (and users) add custom factories
+under fresh names.  Registration is process-local: with the ``fork``
+start method (the default on Linux) workers inherit entries registered
+before the pool is created, so drivers that accept caller-supplied
+factories keep working in parallel mode; on spawn-only platforms,
+custom entries require ``n_workers=1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from ..battery.base import BatteryModel
+from ..battery.calibrate import (
+    paper_cell_diffusion,
+    paper_cell_kibam,
+    paper_cell_stochastic,
+)
+from ..battery.peukert import PeukertBattery
+from ..core.estimator import (
+    Estimator,
+    HistoryEstimator,
+    OracleEstimator,
+    ScaledEstimator,
+    WorstCaseEstimator,
+)
+from ..core.methodology import Scheme, make_scheme, paper_schemes
+from ..core.priority import LTF, PUBS, RandomPriority
+from ..core.ready_list import ALL_RELEASED, MOST_IMMINENT
+from ..dvs import CcEDF, LaEDF
+from ..errors import SchedulingError
+from ..processor.dvfs import FrequencyTable, OperatingPoint
+from ..processor.platform import Processor, paper_processor
+from ..processor.power import PowerModel
+
+__all__ = [
+    "ESTIMATORS",
+    "resolve_estimator",
+    "estimator_name_for",
+    "register_estimator",
+    "build_scheme",
+    "resolve_battery",
+    "resolve_processor",
+    "register_scheme",
+    "register_battery",
+    "register_processor",
+    "unregister",
+    "fresh_name",
+    "NEAR_OPTIMAL",
+]
+
+#: Pseudo-scheme handled specially by the executor: the precedence-
+#: relaxed near-optimal reference run (Figure 6's normalizer).
+NEAR_OPTIMAL = "near-optimal"
+
+EstimatorFactory = Callable[[], Estimator]
+
+ESTIMATORS: Dict[str, EstimatorFactory] = {
+    "worst-case": WorstCaseEstimator,
+    "scaled": ScaledEstimator,
+    "history": HistoryEstimator,
+    "oracle": OracleEstimator,
+}
+
+
+def resolve_estimator(name: str) -> EstimatorFactory:
+    try:
+        return ESTIMATORS[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown estimator {name!r}; known: {sorted(ESTIMATORS)}"
+        ) from None
+
+
+def estimator_name_for(factory: EstimatorFactory) -> Optional[str]:
+    """Reverse lookup: the registry name of a known factory, else None."""
+    for name, known in ESTIMATORS.items():
+        if factory is known:
+            return name
+    return None
+
+
+def register_estimator(name: str, factory: EstimatorFactory) -> str:
+    """Register an estimator factory; returns the name for spec use."""
+    ESTIMATORS[name] = factory
+    return name
+
+
+# ----------------------------------------------------------------------
+# Schemes
+# ----------------------------------------------------------------------
+def _paper_row(name: str) -> Callable[[EstimatorFactory], Scheme]:
+    def build(estimator: EstimatorFactory) -> Scheme:
+        for scheme in paper_schemes(estimator_factory=estimator):
+            if scheme.name == name:
+                return scheme
+        raise SchedulingError(f"paper scheme {name!r} vanished")
+
+    return build
+
+
+def _grid_scheme(
+    name: str, dvs_factory, ready_list
+) -> Callable[[EstimatorFactory], Scheme]:
+    return lambda estimator: make_scheme(
+        name,
+        dvs=dvs_factory,
+        priority=lambda: PUBS(estimator()),
+        ready_list=ready_list,
+    )
+
+
+_SCHEMES: Dict[str, Callable[[EstimatorFactory], Scheme]] = {
+    # Table 2 rows (baseline granularity and random seeds exactly as
+    # paper_schemes defines them).
+    "EDF": _paper_row("EDF"),
+    "ccEDF": _paper_row("ccEDF"),
+    "laEDF": _paper_row("laEDF"),
+    "BAS-1": _paper_row("BAS-1"),
+    "BAS-2": _paper_row("BAS-2"),
+    # Figure 6 ordering schemes (all laEDF).
+    "random": lambda est: make_scheme(
+        "random",
+        dvs=LaEDF,
+        priority=lambda: RandomPriority(1),
+        ready_list=MOST_IMMINENT,
+    ),
+    "LTF": lambda est: make_scheme(
+        "LTF", dvs=LaEDF, priority=LTF, ready_list=MOST_IMMINENT
+    ),
+    "pUBS-imminent": _grid_scheme("pUBS-imminent", LaEDF, MOST_IMMINENT),
+    "pUBS-all": _grid_scheme("pUBS-all", LaEDF, ALL_RELEASED),
+    # DVS-algorithm × ready-list ablation grid (node granularity).
+    "ccEDF+imminent": _grid_scheme("ccEDF+imminent", CcEDF, MOST_IMMINENT),
+    "ccEDF+all-released": _grid_scheme(
+        "ccEDF+all-released", CcEDF, ALL_RELEASED
+    ),
+    "laEDF+imminent": _grid_scheme("laEDF+imminent", LaEDF, MOST_IMMINENT),
+    "laEDF+all-released": _grid_scheme(
+        "laEDF+all-released", LaEDF, ALL_RELEASED
+    ),
+    # Feasibility ablation: BAS-2 with the Algorithm 2 guard removed.
+    "BAS-2/unguarded": lambda est: make_scheme(
+        "BAS-2/unguarded",
+        dvs=LaEDF,
+        priority=lambda: PUBS(est()),
+        ready_list=ALL_RELEASED,
+        enforce_feasibility=False,
+    ),
+}
+
+
+def build_scheme(name: str, estimator: EstimatorFactory) -> Scheme:
+    try:
+        builder = _SCHEMES[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown scheme {name!r}; known: {sorted(_SCHEMES)}"
+        ) from None
+    return builder(estimator)
+
+
+def register_scheme(
+    name: str, builder: Callable[[EstimatorFactory], Scheme]
+) -> str:
+    """Register a scheme builder; returns the name for spec use."""
+    _SCHEMES[name] = builder
+    return name
+
+
+# ----------------------------------------------------------------------
+# Batteries
+# ----------------------------------------------------------------------
+def _parse_params(parts) -> Dict[str, float]:
+    params: Dict[str, float] = {}
+    for part in parts:
+        if "=" not in part:
+            raise SchedulingError(
+                f"battery/processor parameter {part!r} must look like k=v"
+            )
+        key, value = part.split("=", 1)
+        params[key] = float(value)
+    return params
+
+
+def _build_peukert(seed: Optional[int], **params: float) -> PeukertBattery:
+    capacity = params.pop("capacity", paper_cell_kibam().capacity * 0.8)
+    exponent = params.pop("exponent", 1.2)
+    if params:
+        raise SchedulingError(f"unknown Peukert parameters {sorted(params)}")
+    return PeukertBattery(capacity=capacity, exponent=exponent)
+
+
+def _build_stochastic(seed: Optional[int], **params: float):
+    return paper_cell_stochastic(
+        seed=0 if seed is None else seed, **params
+    )
+
+
+_BATTERIES: Dict[str, Callable[..., BatteryModel]] = {
+    "kibam": lambda seed, **p: paper_cell_kibam(**p),
+    "diffusion": lambda seed, **p: paper_cell_diffusion(**p),
+    "stochastic": _build_stochastic,
+    "peukert": _build_peukert,
+}
+
+
+def resolve_battery(name: str, seed: Optional[int] = None) -> BatteryModel:
+    """Build a fresh battery from a name like ``"stochastic"`` or
+    ``"stochastic:noise=0.05"`` (parameters after ``:`` as ``k=v``)."""
+    base, *parts = name.split(":")
+    try:
+        factory = _BATTERIES[base]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown battery {base!r}; known: {sorted(_BATTERIES)}"
+        ) from None
+    return factory(seed, **_parse_params(parts))
+
+
+def register_battery(
+    name: str, factory: Callable[..., BatteryModel]
+) -> str:
+    """Register a battery factory ``(seed, **params) -> BatteryModel``."""
+    _BATTERIES[name] = factory
+    return name
+
+
+# ----------------------------------------------------------------------
+# Processors
+# ----------------------------------------------------------------------
+def _freqset_processor(levels: int) -> Processor:
+    """An evenly-spaced ``levels``-point table on the paper's f/V span,
+    calibrated to the paper cell (the frequency-granularity ablation)."""
+    if levels < 2:
+        raise SchedulingError(f"freqset needs >= 2 levels, got {levels}")
+    pts = [
+        OperatingPoint(
+            0.5e9 + i * (0.5e9 / (levels - 1)),
+            3.0 + i * (2.0 / (levels - 1)),
+        )
+        for i in range(levels)
+    ]
+    table = FrequencyTable(pts)
+    base = paper_processor()
+    power = PowerModel.calibrated(
+        table,
+        i_max=base.power.battery_current(base.table.max_point),
+        v_bat=base.power.v_bat,
+        efficiency=base.power.efficiency,
+        idle_current=base.power.idle_current,
+    )
+    return Processor(table, power, "mix")
+
+
+def _build_freqset(**params: float) -> Processor:
+    if "levels" not in params:
+        raise SchedulingError(
+            "freqset requires a level count, e.g. 'freqset:levels=5'"
+        )
+    levels = int(params.pop("levels"))
+    if params:
+        raise SchedulingError(f"unknown freqset parameters {sorted(params)}")
+    return _freqset_processor(levels)
+
+
+_PROCESSORS: Dict[str, Callable[..., Processor]] = {
+    "paper": lambda **p: paper_processor(**p),
+    "freqset": _build_freqset,
+}
+
+
+def resolve_processor(name: str) -> Processor:
+    """Build a processor from ``"paper"`` or ``"freqset:levels=5"``."""
+    base, *parts = name.split(":")
+    try:
+        factory = _PROCESSORS[base]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown processor {base!r}; known: {sorted(_PROCESSORS)}"
+        ) from None
+    return factory(**_parse_params(parts))
+
+
+def register_processor(name: str, factory: Callable[..., Processor]) -> str:
+    _PROCESSORS[name] = factory
+    return name
+
+
+_counter = itertools.count()
+
+
+def fresh_name(prefix: str) -> str:
+    """A unique process-local registry name for an ad-hoc factory.
+
+    Used by drivers that accept caller-supplied factory objects: the
+    factory is registered under this name so the declarative spec can
+    still reference it.  The ``@`` prefix marks the name process-local:
+    the runner refuses to cache such specs on disk (see
+    :func:`repro.campaign.spec.is_cacheable`), and callers should
+    :func:`unregister` the entry once the run is done.
+    """
+    return f"@{prefix}/{next(_counter)}"
+
+
+def unregister(name: str) -> None:
+    """Drop a registry entry by name from whichever table holds it.
+
+    A no-op for unknown names; intended for ad-hoc (:func:`fresh_name`)
+    entries so long-lived processes don't accumulate closures over
+    caller-supplied factories.
+    """
+    for table in (_SCHEMES, _BATTERIES, _PROCESSORS, ESTIMATORS):
+        table.pop(name, None)

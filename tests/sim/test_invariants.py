@@ -1,0 +1,151 @@
+"""Property-based physics invariants of the simulator.
+
+Seeded random task sets × schemes, checked for the conservation laws
+and structural properties every refactor must preserve:
+
+* charge/energy conservation — the battery-facing profile carries
+  exactly the charge the trace recorded
+  (``sum(segment.current * duration) == profile.total_charge``), and
+  rebinning preserves it;
+* traces are contiguous, monotone, gap-free partitions of the horizon;
+* executed cycles never exceed busy wall-clock (speeds are ≤ 1);
+* job accounting is consistent, and EDF/ccEDF never miss a deadline
+  at sub-unit utilization (laEDF-based schemes are run with
+  ``on_miss="record"`` — with every actual at its worst case the
+  look-ahead can legitimately overcommit; see the honesty note on
+  ``ablation_feasibility``);
+* ccEDF runs satisfy battery guideline 1 (locally non-increasing
+  reference current between releases).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.registry import build_scheme, resolve_estimator
+from repro.processor.platform import paper_processor
+from repro.sim.engine import Simulator
+from repro.workloads.generator import UniformActuals, paper_task_set
+
+SCHEMES = ("EDF", "ccEDF", "laEDF", "BAS-1", "BAS-2")
+
+scenario_st = st.fixed_dictionaries(
+    {
+        "scheme": st.sampled_from(SCHEMES),
+        "seed": st.integers(min_value=0, max_value=9999),
+        "n_graphs": st.integers(min_value=1, max_value=3),
+        "utilization": st.sampled_from((0.6, 0.7, 0.85)),
+        "actual_low": st.sampled_from((0.2, 0.5, 1.0)),
+    }
+)
+
+_settings = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _simulate(scheme, seed, n_graphs, utilization, actual_low):
+    task_set = paper_task_set(
+        n_graphs, utilization=utilization, seed=seed
+    )
+    dvs, policy = build_scheme(
+        scheme, resolve_estimator("history")
+    ).instantiate()
+    sim = Simulator(
+        task_set,
+        paper_processor(),
+        dvs,
+        policy,
+        actuals=UniformActuals(low=actual_low, high=1.0, seed=seed),
+        on_miss="record",
+    )
+    horizon = min(task_set.hyperperiod(), 100.0)
+    return sim.run(horizon), horizon, task_set
+
+
+class TestConservation:
+    @given(scenario=scenario_st)
+    @_settings
+    def test_charge_and_energy_conserved(self, scenario):
+        res, horizon, _ts = _simulate(**scenario)
+        segment_charge = sum(
+            s.current * s.duration for s in res.trace
+        )
+        profile = res.profile()
+        assert segment_charge == pytest.approx(res.charge, rel=1e-9)
+        assert profile.total_charge == pytest.approx(res.charge, rel=1e-9)
+        assert res.energy == pytest.approx(
+            res.charge * res.processor.power.v_bat, rel=1e-12
+        )
+        # Rebinning onto a coarse uniform grid must not create or
+        # destroy charge.
+        rebinned = profile.rebinned(1.0)
+        assert rebinned.total_charge == pytest.approx(
+            profile.total_charge, rel=1e-9
+        )
+
+    @given(scenario=scenario_st)
+    @_settings
+    def test_trace_partitions_the_horizon(self, scenario):
+        res, horizon, _ts = _simulate(**scenario)
+        segments = list(res.trace)
+        assert segments, "simulation produced an empty trace"
+        assert segments[0].start == pytest.approx(0.0, abs=1e-9)
+        for prev, cur in zip(segments, segments[1:]):
+            assert cur.duration > 0
+            assert cur.start == pytest.approx(prev.end, abs=1e-6)
+            assert cur.start >= prev.start  # monotone
+        assert res.trace.end_time == pytest.approx(horizon, rel=1e-9)
+
+    @given(scenario=scenario_st)
+    @_settings
+    def test_cycles_bounded_by_busy_time(self, scenario):
+        res, horizon, _ts = _simulate(**scenario)
+        busy = res.trace.busy_time()
+        assert busy <= horizon + 1e-6
+        # Normalized speeds are <= 1, so cycles (seconds at f_max)
+        # cannot exceed busy wall-clock.
+        assert res.trace.executed_cycles() <= busy + 1e-6
+        for s in res.trace:
+            assert 0.0 <= s.speed <= 1.0 + 1e-12
+            assert s.current >= 0.0
+
+    @given(scenario=scenario_st)
+    @_settings
+    def test_job_accounting(self, scenario):
+        res, horizon, ts = _simulate(**scenario)
+        if scenario["scheme"] in ("EDF", "ccEDF"):
+            # Plain/cycle-conserving EDF are deadline-safe below unit
+            # utilization; the look-ahead schemes may overcommit when
+            # every actual lands on its worst case.
+            assert not res.misses
+        assert res.completed_jobs <= res.released_jobs
+        # Unfinished jobs: at most one in-flight per graph, plus any
+        # abandoned on a recorded miss.
+        assert res.released_jobs - res.completed_jobs <= len(list(ts)) + len(
+            res.misses
+        )
+        assert res.completed_nodes >= res.completed_jobs
+        assert len(res.release_times) == res.released_jobs
+
+
+class TestGuideline1:
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        n_graphs=st.integers(min_value=1, max_value=3),
+        utilization=st.sampled_from((0.6, 0.8)),
+    )
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_ccedf_runs_hold(self, seed, n_graphs, utilization):
+        """ccEDF's reference frequency only steps down between
+        releases, so its per-dispatch current staircase obeys battery
+        guideline 1 on every seeded workload."""
+        res, _h, _ts = _simulate("ccEDF", seed, n_graphs, utilization, 0.2)
+        assert res.guideline1_holds()

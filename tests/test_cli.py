@@ -23,6 +23,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tableX"])
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.scenarios == 10
+        assert args.workers == 1
+        assert args.schemes == ["EDF", "ccEDF", "laEDF", "BAS-1", "BAS-2"]
+        assert not args.no_cache
+
+    def test_workers_flag_on_sweeps(self):
+        for cmd in (["table1"], ["table2"], ["fig6"], ["ablations"]):
+            args = build_parser().parse_args(cmd + ["--workers", "3"])
+            assert args.workers == 3
+
 
 class TestMain:
     def test_fig4(self, capsys):
@@ -44,3 +56,27 @@ class TestMain:
     def test_coherence(self, capsys):
         assert main(["coherence"]) == 0
         assert "rankings agree" in capsys.readouterr().out
+
+    def test_campaign_tiny_no_cache(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign", "--scenarios", "2", "--graphs", "2",
+                    "--schemes", "ccEDF", "--no-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Campaign — 2 scenarios x 1 schemes" in out
+        assert "cache hit(s)" in out
+
+    def test_campaign_cache_dir(self, capsys, tmp_path):
+        argv = [
+            "campaign", "--scenarios", "1", "--graphs", "2",
+            "--schemes", "EDF", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert "0 cache hit(s)" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "1 cache hit(s)" in capsys.readouterr().out
