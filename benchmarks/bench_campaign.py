@@ -9,7 +9,8 @@ gain; the determinism check is meaningful everywhere).
 
 Also runnable standalone (the CI smoke test)::
 
-    PYTHONPATH=src python benchmarks/bench_campaign.py --scenarios 8 --workers 2
+    PYTHONPATH=src python benchmarks/bench_campaign.py \\
+        --scenarios 8 --workers 2
 """
 
 from __future__ import annotations
@@ -26,7 +27,6 @@ if __name__ == "__main__":  # allow standalone runs without PYTHONPATH
 from repro.campaign import (
     CampaignResult,
     CampaignRunner,
-    ResultCache,
     ScenarioSpec,
     spawn_seeds,
     summarize,

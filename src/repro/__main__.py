@@ -6,13 +6,18 @@ Usage::
     python -m repro table1 --sizes 5 10 15
     python -m repro fig5
     python -m repro campaign --scenarios 20 --workers 4
+    python -m repro campaign --backend dist --dist-dir /shared/q \
+        --spawn-workers 4
+    python -m repro campaign-worker --dir /shared/q
     python -m repro all            # everything, default scales
 
 Each subcommand prints the same rows/series the paper reports; scales
 default to quick settings (see EXPERIMENTS.md for paper-scale flags).
 Sweep-shaped subcommands accept ``--workers N`` to spread their
 scenarios over a multiprocessing pool — results are bit-identical to
-sequential runs.
+sequential runs.  ``campaign --backend dist`` runs the same sweep as
+the broker of a distributed fleet (workers join via
+``campaign-worker``), still bit-identical.
 """
 
 from __future__ import annotations
@@ -27,7 +32,13 @@ from .campaign import (
     ResultCache,
     ScenarioSpec,
     StreamingAggregator,
+    known_schemes,
     spawn_seeds,
+)
+from .campaign.distributed import (
+    DistributedRunner,
+    run_directory_worker,
+    run_tcp_worker,
 )
 
 
@@ -87,22 +98,72 @@ def _cmd_ablations(args) -> str:
     return "\n\n".join(parts)
 
 
+def _parse_endpoint(text: str) -> tuple:
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(
+            f"error: endpoint {text!r} must look like HOST:PORT"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"error: bad port in endpoint {text!r}") from None
+
+
+def _make_campaign_runner(args, cache):
+    """The runner `campaign` should use: local pool or distributed broker."""
+    if args.backend == "local":
+        return CampaignRunner(args.workers, cache=cache)
+    if (args.dist_dir is None) == (args.listen is None):
+        raise SystemExit(
+            "error: --backend dist needs exactly one of --dist-dir/--listen"
+        )
+    transport = (
+        {"workdir": args.dist_dir}
+        if args.dist_dir is not None
+        else {"listen": _parse_endpoint(args.listen)}
+    )
+    if args.spawn_workers == 0 and args.result_timeout is None:
+        print(
+            "note: no --spawn-workers and no --result-timeout; the "
+            "broker will wait indefinitely for external workers to "
+            "attach",
+            file=sys.stderr,
+        )
+    return DistributedRunner(
+        cache=cache,
+        n_local_workers=args.spawn_workers,
+        lease_timeout=args.lease_timeout,
+        result_timeout=args.result_timeout,
+        **transport,
+    )
+
+
 def _cmd_campaign(args) -> str:
     """Run a seeded scenario campaign and print per-scheme aggregates.
 
     Spawns ``--scenarios`` independent child seeds from ``--seed`` via
     ``numpy.random.SeedSequence`` and runs every ``--schemes`` entry on
     each seeded workload (one hyperperiod, battery-evaluated), across
-    ``--workers`` processes.  Results are cached on disk keyed by spec
-    content hash (``--cache-dir``, default
+    ``--workers`` processes — or, with ``--backend dist``, across a
+    worker fleet attached over ``--dist-dir`` (shared directory) or
+    ``--listen`` (TCP); ``--spawn-workers K`` forks K local workers so
+    one command is a self-contained fleet.  Results are cached on disk
+    keyed by spec content hash (``--cache-dir``, default
     ``~/.cache/repro/campaign``; disable with ``--no-cache``), so
     re-running an unchanged campaign is free.  Aggregates are
-    bit-identical for any worker count.
+    bit-identical for any worker count and either backend.
     """
     if args.scenarios < 1:
         raise SystemExit("error: --scenarios must be >= 1")
     if not args.schemes:
         raise SystemExit("error: --schemes must name at least one scheme")
+    known = known_schemes()
+    for scheme in args.schemes:
+        if scheme not in known:
+            raise SystemExit(
+                f"error: unknown scheme {scheme!r}; known: {', '.join(known)}"
+            )
     seeds = spawn_seeds(args.seed, args.scenarios)
     specs = [
         ScenarioSpec(
@@ -120,11 +181,15 @@ def _cmd_campaign(args) -> str:
         for scheme in args.schemes
     ]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = CampaignRunner(args.workers, cache=cache)
+    runner = _make_campaign_runner(args, cache)
     agg = StreamingAggregator(
         percentiles=(50.0,), group_by=lambda r: r.spec.scheme
     )
-    campaign = runner.run(specs, aggregators=[agg])
+    try:
+        campaign = runner.run(specs, aggregators=[agg])
+    finally:
+        if isinstance(runner, DistributedRunner):
+            runner.close()
     stats = agg.summary()
     rows = []
     for scheme in args.schemes:
@@ -150,12 +215,41 @@ def _cmd_campaign(args) -> str:
         ),
         precision=1,
     )
+    if args.no_footer:
+        return table
     footer = (
         f"{len(specs)} scenarios, {campaign.n_workers} worker(s), "
         f"{campaign.wall_time_s:.2f}s wall, {campaign.cache_hits} cache "
         f"hit(s)"
     )
     return table + "\n" + footer
+
+
+def _cmd_campaign_worker(args) -> str:
+    """Serve a campaign broker as one worker process.
+
+    Attach to a shared-directory queue (``--dir``, also usable across
+    hosts via any shared mount) or a TCP broker (``--connect
+    HOST:PORT``).  The worker leases work units, executes them with
+    the exact seeds the broker assigned, streams results back, and
+    exits on broker shutdown, after ``--max-tasks`` units, or after
+    ``--idle-timeout`` seconds without work.
+    """
+    if (args.dir is None) == (args.connect is None):
+        raise SystemExit(
+            "error: campaign-worker needs exactly one of --dir/--connect"
+        )
+    options = dict(
+        poll=args.poll,
+        max_tasks=args.max_tasks,
+        idle_timeout=args.idle_timeout,
+    )
+    if args.dir is not None:
+        executed = run_directory_worker(args.dir, **options)
+    else:
+        host, port = _parse_endpoint(args.connect)
+        executed = run_tcp_worker(host, port, **options)
+    return f"campaign-worker: executed {executed} work unit(s)"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -235,7 +329,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
     )
+    p.add_argument(
+        "--backend", choices=("local", "dist"), default="local",
+        help="local multiprocessing pool, or distributed broker/worker",
+    )
+    p.add_argument(
+        "--dist-dir", default=None,
+        help="dist backend: shared work-queue directory for the fleet",
+    )
+    p.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="dist backend: TCP endpoint to serve workers on",
+    )
+    p.add_argument(
+        "--spawn-workers", type=int, default=0,
+        help="dist backend: worker subprocesses to fork on this host",
+    )
+    p.add_argument(
+        "--lease-timeout", type=float, default=60.0,
+        help="dist backend: seconds before a lost lease is requeued",
+    )
+    p.add_argument(
+        "--result-timeout", type=float, default=None,
+        help="dist backend: fail if no result arrives for this long",
+    )
+    p.add_argument(
+        "--no-footer", action="store_true",
+        help="omit the wall-clock footer (for byte-exact output diffs)",
+    )
     p.set_defaults(fn=_cmd_campaign)
+
+    p = sub.add_parser(
+        "campaign-worker",
+        help="serve a distributed campaign broker as one worker",
+        description=_cmd_campaign_worker.__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument(
+        "--dir", default=None,
+        help="shared work-queue directory published by the broker",
+    )
+    p.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="TCP broker endpoint to lease work from",
+    )
+    p.add_argument("--poll", type=float, default=0.05)
+    p.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="exit after executing this many work units",
+    )
+    p.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="exit after this many seconds without work (default: never)",
+    )
+    p.set_defaults(fn=_cmd_campaign_worker)
 
     p = sub.add_parser("all", help="every table and figure, quick scales")
     p.add_argument("--seed", type=int, default=0)

@@ -19,7 +19,7 @@ bit-identical across worker counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +36,7 @@ from ..campaign.registry import (
     register_scheme,
     unregister,
 )
+from ..campaign.growth import SpecRunner
 from ..campaign.runner import CampaignRunner
 from ..campaign.spec import (
     OneShotSpec,
@@ -115,15 +116,21 @@ FIG6_SCHEME_NAMES: Tuple[str, ...] = (
 
 
 def _campaign_runner(
-    workers: int, runner: Optional[CampaignRunner]
-) -> CampaignRunner:
-    """The runner a driver should use (explicit runner wins)."""
+    workers: int, runner: Optional[SpecRunner]
+) -> SpecRunner:
+    """The runner a driver should use (explicit runner wins).
+
+    Any :class:`~repro.campaign.growth.SpecRunner` works — the local
+    multiprocessing :class:`CampaignRunner` (possibly with a cache
+    attached) or a :class:`~repro.campaign.distributed.DistributedRunner`
+    whose fleet spans hosts; results are bit-identical either way.
+    """
     return runner if runner is not None else CampaignRunner(workers)
 
 
 def _run_specs(
     workers: int,
-    runner: Optional[CampaignRunner],
+    runner: Optional[SpecRunner],
     specs: Sequence[Spec],
     ad_hoc_names: Sequence[str] = (),
 ):
@@ -199,7 +206,7 @@ def table1(
     max_extensions: int = 200_000,
     n_random: int = 5,
     workers: int = 1,
-    runner: Optional[CampaignRunner] = None,
+    runner: Optional[SpecRunner] = None,
 ) -> Table1Result:
     """Reproduce Table 1: Random / LTF / pUBS vs exhaustive optimal.
 
@@ -285,7 +292,7 @@ def fig6(
     horizon: Optional[float] = None,
     estimator: Callable[[], Estimator] = OracleEstimator,
     workers: int = 1,
-    runner: Optional[CampaignRunner] = None,
+    runner: Optional[SpecRunner] = None,
 ) -> Fig6Result:
     """Reproduce Figure 6: energy of ordering schemes vs graph count.
 
@@ -394,7 +401,7 @@ def table2(
     estimator_factory: Callable[[], Estimator] = HistoryEstimator,
     schemes: Optional[Sequence[Scheme]] = None,
     workers: int = 1,
-    runner: Optional[CampaignRunner] = None,
+    runner: Optional[SpecRunner] = None,
 ) -> Table2Result:
     """Reproduce Table 2: five schemes' charge delivered and lifetime.
 
@@ -588,7 +595,9 @@ def fig5(*, processor: Optional[Processor] = None) -> Fig5Result:
         task_set,
         proc,
         CcEDF(),
-        SchedulingPolicy(_FixedGraphPriority(["T3", "T2", "T1"]), ALL_RELEASED),
+        SchedulingPolicy(
+            _FixedGraphPriority(["T3", "T2", "T1"]), ALL_RELEASED
+        ),
         actuals=fig5_actuals,
     )
     bas_res = bas_sim.run(100.0)
@@ -638,7 +647,10 @@ def rate_capacity(
     """Sweep constant loads through the calibrated cells and extrapolate
     the curve's ends (maximum and available capacity)."""
     from ..battery.calibrate import paper_cell_diffusion
-    from ..battery.ratecapacity import extrapolated_capacities, sweep_rate_capacity
+    from ..battery.ratecapacity import (
+        extrapolated_capacities,
+        sweep_rate_capacity,
+    )
 
     cells: Dict[str, BatteryModel] = (
         models
@@ -718,7 +730,7 @@ def model_coherence(
     mean_current: float = 1.8,
     fill: float = 0.75,
     workers: int = 1,
-    runner: Optional[CampaignRunner] = None,
+    runner: Optional[SpecRunner] = None,
 ) -> ModelCoherenceResult:
     """Permutations of one three-step workload, ranked by the largest
     load scaling each battery model lets them complete.
@@ -805,7 +817,7 @@ def ablation_estimator(
     utilization: float = 0.9,
     processor: Optional[Processor] = None,
     workers: int = 1,
-    runner: Optional[CampaignRunner] = None,
+    runner: Optional[SpecRunner] = None,
 ) -> AblationResult:
     """X_k estimate accuracy: worst-case -> scaled -> history -> oracle.
 
@@ -851,7 +863,7 @@ def ablation_freqset(
     n_graphs: int = 4,
     seed: int = 0,
     workers: int = 1,
-    runner: Optional[CampaignRunner] = None,
+    runner: Optional[SpecRunner] = None,
 ) -> AblationResult:
     """Frequency-table granularity: the paper's 3 levels vs finer tables.
 
@@ -898,7 +910,7 @@ def ablation_dvs(
     seed: int = 0,
     processor: Optional[Processor] = None,
     workers: int = 1,
-    runner: Optional[CampaignRunner] = None,
+    runner: Optional[SpecRunner] = None,
 ) -> AblationResult:
     """DVS algorithm x ready-list policy grid (§4's plug-and-play claim)."""
     proc_name = _processor_name(processor)
@@ -945,7 +957,7 @@ def ablation_feasibility(
     actual_range: Tuple[float, float] = (0.6, 1.0),
     processor: Optional[Processor] = None,
     workers: int = 1,
-    runner: Optional[CampaignRunner] = None,
+    runner: Optional[SpecRunner] = None,
 ) -> AblationResult:
     """Remove the Algorithm 2 guard from BAS-2 and count deadline misses.
 

@@ -25,7 +25,9 @@ def format_table(
     precision: int = 3,
 ) -> str:
     """Fixed-width table with a header rule, floats at ``precision``."""
-    cells: List[List[str]] = [[_fmt(v, precision) for v in row] for row in rows]
+    cells: List[List[str]] = [
+        [_fmt(v, precision) for v in row] for row in rows
+    ]
     widths = [
         max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
         for i, h in enumerate(headers)

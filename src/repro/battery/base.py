@@ -156,8 +156,11 @@ class BatteryModel(abc.ABC):
                     f"repeat=None; the load is too light to ever exhaust it"
                 )
 
-    def lifetime_constant(self, current: float, *, max_time: float = 1e7) -> BatteryRun:
-        """Lifetime under a constant discharge current (rate-capacity probe)."""
+    def lifetime_constant(
+        self, current: float, *, max_time: float = 1e7
+    ) -> BatteryRun:
+        """Lifetime under a constant discharge current (rate-capacity
+        probe)."""
         if current <= 0:
             raise BatteryError(
                 f"constant-load lifetime needs current > 0, got {current}"

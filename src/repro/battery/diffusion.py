@@ -28,7 +28,6 @@ suppressed by ``e^{-β² m²}``; the paper's own citations use 10).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -135,7 +134,10 @@ class DiffusionBattery(BatteryModel):
         """
         if current <= 0:
             return None  # recovery: sigma non-increasing
-        g = lambda t: self.sigma(self._state_at(state, current, t)) - self.alpha
+        def g(t):
+            return (
+                self.sigma(self._state_at(state, current, t)) - self.alpha
+            )
         if g(dt) < 0:
             for frac in (0.25, 0.5, 0.75):
                 t = dt * frac

@@ -20,7 +20,11 @@ from ..errors import BatteryError
 from .base import BatteryModel
 from .kibam import KiBaM
 
-__all__ = ["RateCapacityCurve", "sweep_rate_capacity", "extrapolated_capacities"]
+__all__ = [
+    "RateCapacityCurve",
+    "sweep_rate_capacity",
+    "extrapolated_capacities",
+]
 
 
 @dataclass(frozen=True)
@@ -88,7 +92,9 @@ def extrapolated_capacities(
     curve extrapolation.  For :class:`KiBaM` the infinite-load limit is
     known exactly (the available well) and is used directly.
     """
-    maximum = model.lifetime_constant(low_current, max_time=1e12).delivered_charge
+    maximum = model.lifetime_constant(
+        low_current, max_time=1e12
+    ).delivered_charge
     if isinstance(model, KiBaM):
         available = model.available_capacity()
     else:

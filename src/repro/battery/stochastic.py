@@ -19,7 +19,6 @@ averages over task-graph sets.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -27,7 +26,7 @@ import numpy as np
 
 from ..errors import BatteryError
 from .base import BatteryModel
-from .kibam import KiBaM, KiBaMState
+from .kibam import KiBaM
 
 __all__ = ["StochasticKiBaM"]
 
@@ -92,7 +91,9 @@ class StochasticKiBaM(BatteryModel):
 
     # ------------------------------------------------------------------
     def fresh_state(self) -> _StochState:
-        return _StochState(self.c * self.capacity, (1 - self.c) * self.capacity)
+        return _StochState(
+            self.c * self.capacity, (1 - self.c) * self.capacity
+        )
 
     def theoretical_capacity(self) -> float:
         return self.capacity

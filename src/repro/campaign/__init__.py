@@ -25,9 +25,11 @@ Quick start::
 
 from .aggregate import MetricSummary, StreamingAggregator, summarize
 from .cache import ResultCache, default_cache_dir
+from .growth import GrowableRunnerMixin, SpecRunner, SpecTemplate
 from .registry import (
     NEAR_OPTIMAL,
     build_scheme,
+    known_schemes,
     register_battery,
     register_estimator,
     register_processor,
@@ -37,7 +39,12 @@ from .registry import (
     resolve_processor,
     unregister,
 )
-from .runner import CampaignResult, CampaignRunner, run_spec, sample_bounded_dag
+from .runner import (
+    CampaignResult,
+    CampaignRunner,
+    run_spec,
+    sample_bounded_dag,
+)
 from .spec import (
     OneShotSpec,
     ScenarioResult,
@@ -45,24 +52,34 @@ from .spec import (
     SurvivalSpec,
     content_hash,
     is_cacheable,
+    is_spec,
     spawn_seeds,
 )
+
+# Imported last: the distributed backend builds on runner/growth/spec.
+from .distributed import DistributedRunner  # noqa: E402
 
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "DistributedRunner",
+    "GrowableRunnerMixin",
     "MetricSummary",
     "NEAR_OPTIMAL",
     "OneShotSpec",
     "ResultCache",
     "ScenarioResult",
     "ScenarioSpec",
+    "SpecRunner",
+    "SpecTemplate",
     "StreamingAggregator",
     "SurvivalSpec",
     "build_scheme",
     "content_hash",
     "default_cache_dir",
     "is_cacheable",
+    "is_spec",
+    "known_schemes",
     "register_battery",
     "register_estimator",
     "register_processor",

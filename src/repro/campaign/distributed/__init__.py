@@ -1,0 +1,39 @@
+"""Distributed (multi-host) execution backend for campaigns.
+
+A broker process owns the campaign — spec list, seeds, cache,
+aggregation — and any number of worker processes lease work units
+over a shared directory or TCP, execute them with
+:func:`~repro.campaign.runner.run_spec`, and stream results back.
+Because every spec carries its caller-assigned
+``SeedSequence``-derived seed, a distributed run is bit-identical to
+the sequential local runner whatever the fleet looks like.
+
+Broker side (see :class:`DistributedRunner`)::
+
+    from repro.campaign import ResultCache
+    from repro.campaign.distributed import DistributedRunner
+
+    with DistributedRunner(
+        workdir="/shared/queue", cache=ResultCache(), n_local_workers=2
+    ) as runner:
+        campaign = runner.run(specs)
+
+Worker side (one per core per host)::
+
+    python -m repro campaign-worker --dir /shared/queue
+"""
+
+from .broker import DirectoryBroker, TCPBroker
+from .runner import DistributedRunner
+from .worker import execute_payload, run_directory_worker, run_tcp_worker
+from .workdir import WorkDir
+
+__all__ = [
+    "DirectoryBroker",
+    "DistributedRunner",
+    "TCPBroker",
+    "WorkDir",
+    "execute_payload",
+    "run_directory_worker",
+    "run_tcp_worker",
+]

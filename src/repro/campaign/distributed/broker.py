@@ -1,0 +1,289 @@
+"""Broker side of the distributed campaign backends.
+
+A broker owns one campaign at a time: :meth:`submit` publishes the
+``(index, spec)`` work units, :meth:`outcomes` blocks yielding
+``(index, ScenarioResult)`` pairs as workers finish — deduplicated by
+index, with lost leases requeued — until every unit is resolved.  A
+worker-reported execution error fails the campaign immediately (the
+same spec would fail identically on any worker; there is nothing to
+retry).
+
+Two transports implement the interface: :class:`DirectoryBroker` over
+a shared filesystem (see :mod:`~repro.campaign.distributed.workdir`)
+and :class:`TCPBroker` over line-delimited JSON sockets.
+"""
+
+from __future__ import annotations
+
+import collections
+import queue
+import socketserver
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from ...errors import SchedulingError
+from ..spec import ScenarioResult, Spec
+from .protocol import (
+    PROTOCOL_VERSION,
+    parse_outcome,
+    recv_msg,
+    send_msg,
+    task_payload,
+)
+from .workdir import WorkDir
+
+__all__ = ["DirectoryBroker", "TCPBroker"]
+
+
+def _fresh_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+class _BrokerBase:
+    """Job bookkeeping shared by both transports."""
+
+    def __init__(self, *, poll: float, result_timeout: Optional[float]):
+        if poll <= 0:
+            raise SchedulingError(f"poll must be > 0, got {poll}")
+        self.poll = float(poll)
+        self.result_timeout = result_timeout
+        self.job: Optional[str] = None
+        self._expected: Set[int] = set()
+        self._resolved: Set[int] = set()
+
+    def _begin(self, items: List[Tuple[int, Spec]]) -> str:
+        if self._expected - self._resolved:
+            raise SchedulingError(
+                "broker already has an unfinished campaign"
+            )
+        self.job = _fresh_job_id()
+        self._expected = {index for index, _spec in items}
+        self._resolved = set()
+        return self.job
+
+    def _accept(self, payload: Dict) -> Optional[Tuple[int, ScenarioResult]]:
+        """Validate one outcome payload; ``None`` if stale/duplicate."""
+        job, index, outcome = parse_outcome(payload)
+        if job != self.job or index not in self._expected:
+            return None  # another campaign's straggler
+        if index in self._resolved:
+            return None  # duplicate after a lease requeue
+        if isinstance(outcome, SchedulingError):
+            raise SchedulingError(
+                f"worker failed executing scenario {index}: {outcome}"
+            )
+        self._resolved.add(index)
+        return index, outcome
+
+    @property
+    def done(self) -> bool:
+        return self._expected == self._resolved
+
+    def _check_stalled(self, last_progress: float) -> None:
+        if (
+            self.result_timeout is not None
+            and time.monotonic() - last_progress > self.result_timeout
+        ):
+            missing = sorted(self._expected - self._resolved)
+            raise SchedulingError(
+                f"no worker progress in {self.result_timeout:.0f}s; "
+                f"{len(missing)} unit(s) unresolved (first: "
+                f"{missing[:5]}) — are any workers attached?"
+            )
+
+
+# ----------------------------------------------------------------------
+# Shared-directory transport
+# ----------------------------------------------------------------------
+class DirectoryBroker(_BrokerBase):
+    """Serve a campaign out of a shared work directory."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        poll: float = 0.05,
+        lease_timeout: float = 60.0,
+        result_timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(poll=poll, result_timeout=result_timeout)
+        if lease_timeout <= 0:
+            raise SchedulingError(
+                f"lease_timeout must be > 0, got {lease_timeout}"
+            )
+        self.workdir = WorkDir(root)
+        self.lease_timeout = float(lease_timeout)
+        self.workdir.ensure_layout()
+
+    def submit(self, items: List[Tuple[int, Spec]]) -> None:
+        job = self._begin(items)
+        self.workdir.publish(job, items)
+
+    def outcomes(self) -> Iterator[Tuple[int, ScenarioResult]]:
+        last_progress = time.monotonic()
+        while not self.done:
+            got_any = False
+            for payload in self.workdir.pop_outcomes(self.job):
+                accepted = self._accept(payload)
+                if accepted is not None:
+                    got_any = True
+                    yield accepted
+            if got_any:
+                last_progress = time.monotonic()
+                continue
+            self.workdir.requeue_expired(self.lease_timeout)
+            self._check_stalled(last_progress)
+            time.sleep(self.poll)
+
+    def close(self) -> None:
+        """Tell idle workers to exit (the shutdown marker persists)."""
+        self.workdir.shutdown()
+
+
+# ----------------------------------------------------------------------
+# TCP transport
+# ----------------------------------------------------------------------
+class _TCPState:
+    """Queue state shared between the server threads and the broker."""
+
+    def __init__(self, poll: float) -> None:
+        self.lock = threading.Lock()
+        self.poll = poll
+        self.job: Optional[str] = None
+        self.pending: collections.deque = collections.deque()
+        self.outstanding: Dict[int, Dict] = {}
+        self.outcomes: "queue.Queue[Dict]" = queue.Queue()
+        self.closing = False
+
+
+class _WorkerConnection(socketserver.StreamRequestHandler):
+    """One worker's session: hello, then lease/outcome until close."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver hook
+        state: _TCPState = self.server.state  # type: ignore[attr-defined]
+        leased: Dict[int, Dict] = {}
+        try:
+            while True:
+                msg = recv_msg(self.rfile)
+                if msg is None:
+                    break
+                op = msg.get("op")
+                if op == "hello":
+                    if msg.get("version") != PROTOCOL_VERSION:
+                        send_msg(
+                            self.wfile,
+                            {
+                                "op": "reject",
+                                "reason": (
+                                    "protocol version mismatch: broker "
+                                    f"speaks {PROTOCOL_VERSION}"
+                                ),
+                            },
+                        )
+                        break
+                    send_msg(self.wfile, {"op": "welcome"})
+                elif op == "lease":
+                    with state.lock:
+                        if state.closing:
+                            reply = {"op": "shutdown"}
+                        elif state.pending:
+                            payload = state.pending.popleft()
+                            index = int(payload["index"])
+                            state.outstanding[index] = payload
+                            leased[index] = payload
+                            reply = {"op": "task", "task": payload}
+                        else:
+                            reply = {"op": "wait", "poll": state.poll}
+                    send_msg(self.wfile, reply)
+                elif op == "outcome":
+                    payload = msg.get("outcome")
+                    if not isinstance(payload, dict) or "index" not in payload:
+                        break
+                    index = int(payload["index"])
+                    with state.lock:
+                        state.outstanding.pop(index, None)
+                        leased.pop(index, None)
+                    state.outcomes.put(payload)
+                    send_msg(self.wfile, {"op": "ok"})
+                else:
+                    break
+        except (OSError, ValueError):
+            pass  # connection died; fall through to requeue
+        finally:
+            with state.lock:
+                for index, payload in leased.items():
+                    if index in state.outstanding:
+                        del state.outstanding[index]
+                        state.pending.appendleft(payload)
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class TCPBroker(_BrokerBase):
+    """Serve a campaign over a listening TCP socket.
+
+    Binding happens in the constructor, so ``address`` (useful with
+    port 0 for an ephemeral port) is known before any worker starts.
+    The accept loop runs in a daemon thread; lost connections requeue
+    their outstanding leases automatically.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        poll: float = 0.05,
+        result_timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(poll=poll, result_timeout=result_timeout)
+        self._state = _TCPState(self.poll)
+        self._server = _TCPServer((host, port), _WorkerConnection)
+        self._server.state = self._state  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-campaign-broker",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def submit(self, items: List[Tuple[int, Spec]]) -> None:
+        job = self._begin(items)
+        with self._state.lock:
+            self._state.job = job
+            self._state.pending.clear()
+            self._state.outstanding.clear()
+            self._state.pending.extend(
+                task_payload(job, index, spec) for index, spec in items
+            )
+
+    def outcomes(self) -> Iterator[Tuple[int, ScenarioResult]]:
+        last_progress = time.monotonic()
+        while not self.done:
+            try:
+                payload = self._state.outcomes.get(timeout=self.poll)
+            except queue.Empty:
+                self._check_stalled(last_progress)
+                continue
+            accepted = self._accept(payload)
+            if accepted is not None:
+                last_progress = time.monotonic()
+                yield accepted
+
+    def close(self) -> None:
+        with self._state.lock:
+            self._state.closing = True
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)

@@ -1,0 +1,133 @@
+"""Wire and file formats shared by the broker and its workers.
+
+A *task* is one leased work unit — a spec plus its campaign-global
+index; an *outcome* is a worker's answer — either the executed
+:class:`~repro.campaign.spec.ScenarioResult` or an error message.
+Both are plain JSON dicts so the same payloads travel over every
+transport (files in a shared directory, JSON-lines over TCP).
+
+Every payload carries the broker's ``job`` id, a per-campaign token:
+workers echo it back, and the broker silently drops outcomes from
+other jobs (e.g. a straggler worker finishing a task leased by a
+previous campaign in the same work directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ...errors import SchedulingError
+from ..spec import ScenarioResult, Spec, spec_from_json, spec_to_json
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "task_payload",
+    "parse_task",
+    "result_payload",
+    "error_payload",
+    "parse_outcome",
+    "atomic_write_json",
+    "read_json",
+    "send_msg",
+    "recv_msg",
+]
+
+#: Bumped on any incompatible change to the payloads below; brokers
+#: refuse workers announcing a different version.
+PROTOCOL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Payloads
+# ----------------------------------------------------------------------
+def task_payload(job: str, index: int, spec: Spec) -> Dict:
+    return {"job": job, "index": int(index), "spec": spec_to_json(spec)}
+
+
+def parse_task(payload: Dict) -> Tuple[str, int, Spec]:
+    try:
+        return (
+            str(payload["job"]),
+            int(payload["index"]),
+            spec_from_json(payload["spec"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchedulingError(f"malformed task payload: {exc}") from exc
+
+
+def result_payload(job: str, index: int, result: ScenarioResult) -> Dict:
+    return {"job": job, "index": int(index), "result": result.to_json()}
+
+
+def error_payload(job: str, index: int, message: str) -> Dict:
+    return {"job": job, "index": int(index), "error": str(message)}
+
+
+def parse_outcome(payload: Dict) -> Tuple[str, int, object]:
+    """``(job, index, ScenarioResult | SchedulingError)`` from a dict.
+
+    Execution errors come back as *values* (not raised) so the broker
+    can decide how to fail the campaign.
+    """
+    try:
+        job = str(payload["job"])
+        index = int(payload["index"])
+        if "error" in payload:
+            return job, index, SchedulingError(str(payload["error"]))
+        return job, index, ScenarioResult.from_json(payload["result"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchedulingError(f"malformed outcome payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Shared-directory primitives
+# ----------------------------------------------------------------------
+def atomic_write_json(path: Path, payload: Dict) -> None:
+    """Write ``payload`` so readers never observe a partial file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: Path) -> Optional[Dict]:
+    """Parse a JSON file; ``None`` if missing, truncated, or corrupt."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+# ----------------------------------------------------------------------
+# TCP framing: one JSON object per line
+# ----------------------------------------------------------------------
+def send_msg(wfile, obj: Dict) -> None:
+    wfile.write((json.dumps(obj) + "\n").encode("utf-8"))
+    wfile.flush()
+
+
+def recv_msg(rfile) -> Optional[Dict]:
+    """The next message, or ``None`` on a closed/garbled stream."""
+    line = rfile.readline()
+    if not line:
+        return None
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None

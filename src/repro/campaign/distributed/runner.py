@@ -1,0 +1,238 @@
+"""Drop-in distributed campaign runner (broker side).
+
+:class:`DistributedRunner` mirrors the
+:class:`~repro.campaign.runner.CampaignRunner` interface — ``run``,
+``run_campaign``/``extend``, optional result cache, streaming
+aggregators — but executes specs on a fleet of worker processes
+attached over one of two transports:
+
+``workdir=PATH``
+    A shared directory (local disk, NFS, …); see
+    :mod:`~repro.campaign.distributed.workdir`.
+``listen=(host, port)``
+    A TCP endpoint (port 0 picks an ephemeral port; read it back from
+    :attr:`address`).
+
+Workers join with ``python -m repro campaign-worker``; for same-host
+fleets ``n_local_workers=K`` spawns (and on :meth:`close` reaps) K
+worker subprocesses automatically.
+
+Determinism: specs carry their own ``SeedSequence``-derived seeds and
+results are streamed back index-tagged, so results and aggregates are
+bit-identical to the sequential local runner, regardless of fleet
+size, scheduling, or lease requeues.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ...errors import SchedulingError
+from ..cache import ResultCache
+from ..growth import GrowableRunnerMixin
+from ..runner import CampaignResult, OnResult
+from ..spec import ScenarioResult, Spec, is_cacheable
+from .broker import DirectoryBroker, TCPBroker
+
+__all__ = ["DistributedRunner"]
+
+
+def _repro_src_dir() -> str:
+    """The directory to put on a worker subprocess's PYTHONPATH."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parents[1])
+
+
+class DistributedRunner(GrowableRunnerMixin):
+    """Execute spec lists on external workers; aggregate broker-side.
+
+    Parameters
+    ----------
+    workdir / listen:
+        Exactly one transport: a shared queue directory, or a
+        ``(host, port)`` TCP endpoint to listen on.
+    cache:
+        Optional :class:`ResultCache`, consulted and filled broker-side
+        (workers never touch it; point ``$REPRO_CAMPAIGN_CACHE`` at a
+        shared directory only if you also want worker-side tooling to
+        see it).
+    n_local_workers:
+        Worker subprocesses to spawn on this host (0 = the fleet is
+        attached externally).
+    lease_timeout:
+        Directory transport only: seconds before an unfinished claim
+        is assumed dead and requeued.  Must exceed the slowest single
+        scenario.
+    result_timeout:
+        Fail the campaign if no outcome arrives for this many seconds
+        (``None`` waits forever) — the guard against running
+        broker-only with no fleet attached.
+    """
+
+    def __init__(
+        self,
+        *,
+        workdir: Union[str, Path, None] = None,
+        listen: Optional[Tuple[str, int]] = None,
+        cache: Optional[ResultCache] = None,
+        n_local_workers: int = 0,
+        poll: float = 0.05,
+        lease_timeout: float = 60.0,
+        result_timeout: Optional[float] = None,
+    ) -> None:
+        if (workdir is None) == (listen is None):
+            raise SchedulingError(
+                "exactly one of workdir= or listen= must be given"
+            )
+        if n_local_workers < 0:
+            raise SchedulingError(
+                f"n_local_workers must be >= 0, got {n_local_workers}"
+            )
+        self.cache = cache
+        self.n_local_workers = int(n_local_workers)
+        self.poll = float(poll)
+        self._procs: List[subprocess.Popen] = []
+        self._closed = False
+        if workdir is not None:
+            self._broker = DirectoryBroker(
+                workdir,
+                poll=poll,
+                lease_timeout=lease_timeout,
+                result_timeout=result_timeout,
+            )
+            self._worker_args = ["--dir", str(workdir)]
+        else:
+            host, port = listen
+            self._broker = TCPBroker(
+                host, int(port), poll=poll, result_timeout=result_timeout
+            )
+            bound_host, bound_port = self._broker.address
+            self._worker_args = ["--connect", f"{bound_host}:{bound_port}"]
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The bound TCP endpoint (``None`` for the directory transport)."""
+        broker = self._broker
+        return broker.address if isinstance(broker, TCPBroker) else None
+
+    @property
+    def n_workers(self) -> int:
+        return self.n_local_workers
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[Spec],
+        *,
+        on_result: Optional[OnResult] = None,
+        aggregators: Sequence = (),
+    ) -> CampaignResult:
+        """Execute ``specs`` on the fleet; results in spec order."""
+        if self._closed:
+            raise SchedulingError("runner is closed")
+        for spec in specs:
+            if not is_cacheable(spec):
+                raise SchedulingError(
+                    "spec references an ad-hoc '@' registry name; such "
+                    "bindings are process-local and cannot be resolved "
+                    "by remote workers — register the factory under a "
+                    "stable name on every worker instead"
+                )
+        start = time.perf_counter()
+        results: List[Optional[ScenarioResult]] = [None] * len(specs)
+        cache_hits = 0
+
+        def emit(index: int, result: ScenarioResult) -> None:
+            results[index] = result
+            for agg in aggregators:
+                agg.add(index, result)
+            if on_result is not None:
+                on_result(index, result)
+
+        pending: List[Tuple[int, Spec]] = []
+        for index, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                cache_hits += 1
+                emit(index, hit)
+            else:
+                pending.append((index, spec))
+
+        if pending:
+            self._broker.submit(pending)
+            self._ensure_local_workers()
+            for index, result in self._broker.outcomes():
+                if self.cache is not None:
+                    self.cache.put(result)
+                emit(index, result)
+
+        return CampaignResult(
+            results=[r for r in results if r is not None],
+            wall_time_s=time.perf_counter() - start,
+            n_workers=self.n_local_workers,
+            cache_hits=cache_hits,
+            executed=len(pending),
+        )
+
+    # ------------------------------------------------------------------
+    def _ensure_local_workers(self) -> None:
+        self._procs = [p for p in self._procs if p.poll() is None]
+        missing = self.n_local_workers - len(self._procs)
+        if missing <= 0:
+            return
+        env = os.environ.copy()
+        src = _repro_src_dir()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src if not existing else src + os.pathsep + existing
+        )
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "campaign-worker",
+            *self._worker_args,
+            "--poll",
+            str(self.poll),
+        ]
+        for _ in range(missing):
+            self._procs.append(
+                subprocess.Popen(
+                    cmd,
+                    env=env,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+
+    def close(self) -> None:
+        """Signal workers to exit and reap any spawned locally."""
+        if self._closed:
+            return
+        self._closed = True
+        self._broker.close()
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs:
+            timeout = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        self._procs = []
+
+    def __enter__(self) -> "DistributedRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,165 @@
+"""A shared-directory work queue (the filesystem transport).
+
+Any directory both sides can see — local disk for same-host workers,
+NFS or another shared mount for a multi-host fleet — becomes the
+queue.  Layout under the root:
+
+``pending/task-NNNNNN.json``
+    Published work units (:func:`~.protocol.task_payload`).
+``claimed/task-NNNNNN.json``
+    Units a worker has leased.  Claiming is a single ``os.rename``
+    from ``pending/`` — atomic on POSIX, so exactly one worker wins a
+    race.  The file's mtime (touched at claim time) is the lease
+    clock: the broker renames entries older than the lease timeout
+    back to ``pending/``.
+``results/<job>-NNNNNN.json``
+    Outcome payloads, written atomically; the broker consumes (and
+    deletes) them as they appear, ignoring alien jobs.
+``shutdown``
+    Marker telling idle workers to exit.
+
+Duplicate execution (a slow worker finishing after its lease was
+requeued) is harmless: execution is deterministic, outcomes are
+deduplicated by index broker-side, and the job token keeps campaigns
+in the same directory from cross-talking.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..spec import Spec
+from .protocol import atomic_write_json, read_json, task_payload
+
+__all__ = ["WorkDir"]
+
+
+def _task_name(index: int) -> str:
+    return f"task-{index:06d}.json"
+
+
+class WorkDir:
+    """Broker- and worker-side operations on one queue directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.pending = self.root / "pending"
+        self.claimed = self.root / "claimed"
+        self.results = self.root / "results"
+        self.shutdown_marker = self.root / "shutdown"
+
+    def ensure_layout(self) -> None:
+        for sub in (self.pending, self.claimed, self.results):
+            sub.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Broker side
+    # ------------------------------------------------------------------
+    def publish(self, job: str, items: List[Tuple[int, Spec]]) -> None:
+        """Begin a job: clear leftovers, enqueue every ``(index, spec)``.
+
+        Leftovers (tasks or results of a crashed or superseded
+        campaign) are safe to drop: this broker is the only consumer
+        of the directory, and stale workers' outcomes are filtered by
+        job token anyway.
+        """
+        self.ensure_layout()
+        self.clear_shutdown()
+        for sub in (self.pending, self.claimed, self.results):
+            for path in sub.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        for index, spec in items:
+            atomic_write_json(
+                self.pending / _task_name(index),
+                task_payload(job, index, spec),
+            )
+
+    def requeue_expired(self, lease_timeout: float) -> int:
+        """Return expired claims to ``pending/``; count requeued."""
+        requeued = 0
+        deadline = time.time() - lease_timeout
+        for path in self.claimed.glob("task-*.json"):
+            try:
+                if path.stat().st_mtime > deadline:
+                    continue
+                os.replace(path, self.pending / path.name)
+                requeued += 1
+            except OSError:
+                continue  # worker finished (or claimed anew) mid-scan
+        return requeued
+
+    def pop_outcomes(self, job: str) -> Iterator[Dict]:
+        """Consume result files, yielding payloads belonging to ``job``."""
+        for path in sorted(self.results.glob("*.json")):
+            payload = read_json(path)
+            try:
+                path.unlink()
+            except OSError:
+                continue  # another pass already consumed it
+            if payload is not None and payload.get("job") == job:
+                yield payload
+
+    def shutdown(self) -> None:
+        self.shutdown_marker.touch()
+
+    def clear_shutdown(self) -> None:
+        try:
+            self.shutdown_marker.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def claim(self) -> Optional[Dict]:
+        """Lease one pending task; ``None`` if nothing is available."""
+        if not self.pending.is_dir():
+            return None
+        for path in sorted(self.pending.glob("task-*.json")):
+            target = self.claimed / path.name
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue  # lost the race for this unit
+            try:
+                # Start the lease clock now: the rename preserved the
+                # publish-time mtime, which may already look expired.
+                os.utime(target, None)
+            except OSError:
+                continue  # broker requeued it in the window before utime
+            payload = read_json(target)
+            if payload is None:  # broker cleared the job mid-claim
+                try:
+                    target.unlink()
+                except OSError:
+                    pass
+                continue
+            return payload
+
+        return None
+
+    def submit(self, payload: Dict) -> None:
+        """Publish an outcome and release the matching claim."""
+        index = int(payload["index"])
+        try:
+            atomic_write_json(
+                self.results / f"{payload['job']}-{index:06d}.json", payload
+            )
+        except OSError:
+            # The queue root vanished: the broker is gone for good and
+            # nobody can consume this outcome.  Dropping it is safe —
+            # were the campaign still alive, the lease would requeue.
+            return
+        try:
+            (self.claimed / _task_name(index)).unlink()
+        except OSError:
+            pass  # requeued and re-claimed while we executed
+
+    def is_shutdown(self) -> bool:
+        return self.shutdown_marker.exists()

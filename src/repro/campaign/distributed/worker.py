@@ -1,0 +1,200 @@
+"""Worker side: lease work units, execute them, stream outcomes back.
+
+A worker is stateless and interchangeable: every unit carries its spec
+and its :func:`~repro.campaign.spec.spawn_seeds`-derived seed, so any
+worker executing any unit produces the bit-identical result the local
+sequential runner would.  Run one per core per host via the CLI::
+
+    python -m repro campaign-worker --dir /shared/campaign-queue
+    python -m repro campaign-worker --connect broker-host:7777
+
+Execution errors are reported back as outcome payloads (the broker
+fails the campaign); infrastructure errors (broker not up yet, broken
+connection) are retried until ``idle_timeout`` expires.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ...errors import SchedulingError
+from ..runner import run_spec
+from .protocol import (
+    PROTOCOL_VERSION,
+    error_payload,
+    parse_task,
+    recv_msg,
+    result_payload,
+    send_msg,
+)
+from .workdir import WorkDir
+
+__all__ = ["execute_payload", "run_directory_worker", "run_tcp_worker"]
+
+
+def execute_payload(payload: Dict) -> Dict:
+    """Run one task payload, capturing execution errors as data.
+
+    A malformed payload (schema drift, a spec kind this worker's
+    version doesn't know) is reported like any execution error rather
+    than raised — otherwise one poison-pill task would serially crash
+    every worker that leases it.
+    """
+    job = str(payload.get("job", ""))
+    try:
+        index = int(payload.get("index", -1))
+    except (TypeError, ValueError):
+        index = -1
+    try:
+        job, index, spec = parse_task(payload)
+        result = run_spec(spec)
+    except Exception as exc:  # deterministic failure: report, don't die
+        return error_payload(job, index, f"{type(exc).__name__}: {exc}")
+    return result_payload(job, index, result)
+
+
+class _IdleClock:
+    """Tracks how long a worker has gone without finding work."""
+
+    def __init__(self, idle_timeout: Optional[float]) -> None:
+        self.idle_timeout = idle_timeout
+        self._idle_since: Optional[float] = None
+
+    def worked(self) -> None:
+        self._idle_since = None
+
+    def expired(self) -> bool:
+        if self.idle_timeout is None:
+            return False
+        if self._idle_since is None:
+            self._idle_since = time.monotonic()
+        return time.monotonic() - self._idle_since > self.idle_timeout
+
+
+def run_directory_worker(
+    root: Union[str, Path],
+    *,
+    poll: float = 0.05,
+    max_tasks: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
+) -> int:
+    """Serve a shared-directory queue until told to stop.
+
+    Exits when the broker writes the shutdown marker, after
+    ``max_tasks`` executed units, or after ``idle_timeout`` seconds
+    without work.  Returns the number of units executed.
+    """
+    workdir = WorkDir(root)
+    clock = _IdleClock(idle_timeout)
+    executed = 0
+    while max_tasks is None or executed < max_tasks:
+        payload = workdir.claim()
+        if payload is None:
+            if workdir.is_shutdown() or clock.expired():
+                break
+            time.sleep(poll)
+            continue
+        clock.worked()
+        workdir.submit(execute_payload(payload))
+        executed += 1
+    return executed
+
+
+# ----------------------------------------------------------------------
+# TCP client
+# ----------------------------------------------------------------------
+class _BrokerSession:
+    """One connected, version-checked session with a TCP broker."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+        send_msg(self.wfile, {"op": "hello", "version": PROTOCOL_VERSION})
+        reply = recv_msg(self.rfile)
+        if reply is None or reply.get("op") != "welcome":
+            reason = (reply or {}).get("reason", "no welcome from broker")
+            self.close()
+            raise SchedulingError(f"broker rejected worker: {reason}")
+
+    def request(self, msg: Dict) -> Optional[Dict]:
+        send_msg(self.wfile, msg)
+        return recv_msg(self.rfile)
+
+    def close(self) -> None:
+        for closer in (self.rfile.close, self.wfile.close, self.sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
+def run_tcp_worker(
+    host: str,
+    port: int,
+    *,
+    poll: float = 0.05,
+    max_tasks: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
+) -> int:
+    """Serve a TCP broker until shutdown; returns units executed.
+
+    Connection failures (broker not yet listening, broker restarted)
+    count as idle time and are retried, so workers may be started
+    before the broker.
+    """
+    clock = _IdleClock(idle_timeout)
+    executed = 0
+    session: Optional[_BrokerSession] = None
+    ever_connected = False
+    try:
+        while max_tasks is None or executed < max_tasks:
+            if session is None:
+                try:
+                    session = _BrokerSession(host, port)
+                    ever_connected = True
+                except ConnectionRefusedError:
+                    if ever_connected:
+                        break  # broker shut down: our job is done
+                    if clock.expired():
+                        break
+                    time.sleep(poll)
+                    continue
+                except OSError:
+                    if clock.expired():
+                        break
+                    time.sleep(poll)
+                    continue
+            try:
+                reply = session.request({"op": "lease"})
+                if reply is None:
+                    raise OSError("broker closed the connection")
+                op = reply.get("op")
+                if op == "shutdown":
+                    break
+                if op == "wait":
+                    if clock.expired():
+                        break
+                    time.sleep(float(reply.get("poll", poll)))
+                    continue
+                if op != "task":
+                    raise OSError(f"unexpected broker reply {op!r}")
+                clock.worked()
+                outcome = execute_payload(reply["task"])
+                ack = session.request({"op": "outcome", "outcome": outcome})
+                if ack is None or ack.get("op") != "ok":
+                    raise OSError("broker did not acknowledge outcome")
+                executed += 1
+            except (OSError, ValueError):
+                session.close()
+                session = None  # reconnect; broker requeues our lease
+                if clock.expired():
+                    break
+                time.sleep(poll)
+    finally:
+        if session is not None:
+            session.close()
+    return executed

@@ -14,7 +14,7 @@ custom entries require ``n_workers=1``.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..battery.base import BatteryModel
 from ..battery.calibrate import (
@@ -45,6 +45,7 @@ __all__ = [
     "estimator_name_for",
     "register_estimator",
     "build_scheme",
+    "known_schemes",
     "resolve_battery",
     "resolve_processor",
     "register_scheme",
@@ -172,6 +173,16 @@ def register_scheme(
     """Register a scheme builder; returns the name for spec use."""
     _SCHEMES[name] = builder
     return name
+
+
+def known_schemes() -> Tuple[str, ...]:
+    """Every currently-registered scheme name (sorted).
+
+    Includes :data:`NEAR_OPTIMAL`, which the executor handles without
+    a registry entry.  Useful for validating user input *before*
+    shipping specs to a worker fleet.
+    """
+    return tuple(sorted(_SCHEMES)) + (NEAR_OPTIMAL,)
 
 
 # ----------------------------------------------------------------------

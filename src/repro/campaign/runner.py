@@ -21,7 +21,7 @@ from __future__ import annotations
 import multiprocessing
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,6 +39,7 @@ from ..taskgraph.tgff import random_dag
 from ..workloads.generator import UniformActuals, paper_task_set
 from .aggregate import MetricSummary, StreamingAggregator, summarize
 from .cache import ResultCache
+from .growth import GrowableRunnerMixin
 from .registry import (
     NEAR_OPTIMAL,
     build_scheme,
@@ -111,7 +112,9 @@ def _run_periodic(spec: ScenarioSpec) -> ScenarioResult:
         "completed_nodes": float(res.completed_nodes),
     }
     if spec.battery is not None:
-        seed = spec.battery_seed if spec.battery_seed is not None else spec.seed
+        seed = (
+            spec.battery_seed if spec.battery_seed is not None else spec.seed
+        )
         cell = resolve_battery(spec.battery, seed)
         report = evaluate_lifetime(res, cell, rebin=spec.rebin)
         metrics["lifetime_min"] = float(report.lifetime_minutes)
@@ -130,7 +133,8 @@ def sample_bounded_dag(
     """A random DAG whose linear-extension count stays searchable."""
     for _ in range(attempts):
         g = random_dag(n, edge_prob=edge_prob, rng=rng)
-        if count_linear_extensions(g, limit=max_extensions + 1) <= max_extensions:
+        extensions = count_linear_extensions(g, limit=max_extensions + 1)
+        if extensions <= max_extensions:
             return g
         # Densify: more edges => fewer linear extensions.
         edge_prob = min(1.0, edge_prob + 0.1)
@@ -219,12 +223,21 @@ def _worker(item: Tuple[int, Spec]) -> Tuple[int, ScenarioResult]:
 # ----------------------------------------------------------------------
 @dataclass
 class CampaignResult:
-    """Results of one campaign run, in spec order."""
+    """Results of one campaign run, in spec order.
+
+    ``cache_hits`` counts results served from the on-disk cache;
+    ``executed`` counts specs actually run (by a pool worker, the
+    calling process, or a distributed fleet) — the two sum to
+    ``len(results)`` for a plain :meth:`CampaignRunner.run`, while an
+    :meth:`~repro.campaign.growth.GrowableRunnerMixin.extend` reports
+    the suffix run's counts next to the full merged result list.
+    """
 
     results: List[ScenarioResult]
     wall_time_s: float
     n_workers: int
     cache_hits: int
+    executed: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -242,7 +255,7 @@ class CampaignResult:
 OnResult = Callable[[int, ScenarioResult], None]
 
 
-class CampaignRunner:
+class CampaignRunner(GrowableRunnerMixin):
     """Executes spec lists, optionally in parallel and cached.
 
     Parameters
@@ -330,6 +343,7 @@ class CampaignRunner:
             wall_time_s=time.perf_counter() - start,
             n_workers=self.n_workers,
             cache_hits=cache_hits,
+            executed=len(pending),
         )
 
     # ------------------------------------------------------------------

@@ -45,7 +45,10 @@ __all__ = [
     "ScenarioResult",
     "content_hash",
     "is_cacheable",
+    "is_spec",
     "spawn_seeds",
+    "spec_to_json",
+    "spec_from_json",
 ]
 
 #: Bumped whenever executor semantics change in a way that invalidates
@@ -159,6 +162,11 @@ _SPEC_TYPES: Dict[str, type] = {
 }
 
 
+def is_spec(obj) -> bool:
+    """Whether ``obj`` is one of the spec dataclasses."""
+    return type(obj) in _SPEC_TYPES.values()
+
+
 def _spec_kind(spec: Spec) -> str:
     for kind, cls in _SPEC_TYPES.items():
         if type(spec) is cls:
@@ -228,7 +236,9 @@ class ScenarioResult:
         }
 
     @classmethod
-    def from_json(cls, data: Dict, *, cached: bool = False) -> "ScenarioResult":
+    def from_json(
+        cls, data: Dict, *, cached: bool = False
+    ) -> "ScenarioResult":
         return cls(
             spec=spec_from_json(data["spec"]),
             metrics={k: float(v) for k, v in data["metrics"].items()},

@@ -10,7 +10,14 @@ from .estimator import (
 from .feasibility import feasibility_check
 from .methodology import Scheme, SchedulingPolicy, make_scheme, paper_schemes
 from .oneshot import OneShotOracle, OneShotResult, evaluate_order, run_one_shot
-from .priority import LTF, PUBS, STF, PriorityFunction, RandomPriority, SpeedOracle
+from .priority import (
+    LTF,
+    PUBS,
+    STF,
+    PriorityFunction,
+    RandomPriority,
+    SpeedOracle,
+)
 from .ready_list import ALL_RELEASED, MOST_IMMINENT, ReadyListPolicy
 
 __all__ = [

@@ -46,7 +46,8 @@ def feasibility_check(
     cum_wc = 0.0
     for job in view.active_jobs():
         if job is cand.job:
-            return True  # reached the candidate's own position: k-1 checks done
+            # Reached the candidate's own position: k-1 checks done.
+            return True
         cum_wc += job.remaining_wc()
         budget = s_ref * (job.abs_deadline - t)
         if cum_wc + cand.wc_remaining > budget + _ATOL:

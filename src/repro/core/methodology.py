@@ -15,8 +15,8 @@ ccEDF, laEDF, BAS-1, BAS-2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from ..dvs import CcEDF, FrequencySetter, LaEDF, NoDVS
 from ..errors import SchedulingError

@@ -19,7 +19,7 @@ exactly what Table 1 quantifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from ..errors import SchedulingError
 from ..processor.platform import Processor
@@ -57,7 +57,9 @@ class OneShotOracle:
     gives ``s_{o,k} = (W_rem - wc_k) / (D - t - X_k / s_o)``.
     """
 
-    def __init__(self, remaining_wc: float, deadline: float, time: float) -> None:
+    def __init__(
+        self, remaining_wc: float, deadline: float, time: float
+    ) -> None:
         self.remaining_wc = remaining_wc
         self.deadline = deadline
         self.time = time

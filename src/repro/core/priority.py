@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import List, Optional, Protocol, Sequence, Tuple, Union
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -38,7 +38,14 @@ from ..errors import SchedulingError
 from ..sim.state import Candidate
 from .estimator import Estimator, WorstCaseEstimator
 
-__all__ = ["SpeedOracle", "PriorityFunction", "RandomPriority", "LTF", "STF", "PUBS"]
+__all__ = [
+    "SpeedOracle",
+    "PriorityFunction",
+    "RandomPriority",
+    "LTF",
+    "STF",
+    "PUBS",
+]
 
 _EPS = 1e-12
 
@@ -129,7 +136,9 @@ class PUBS(PriorityFunction):
     name = "pUBS"
 
     def __init__(self, estimator: Optional[Estimator] = None) -> None:
-        self.estimator = estimator if estimator is not None else WorstCaseEstimator()
+        self.estimator = (
+            estimator if estimator is not None else WorstCaseEstimator()
+        )
 
     def score(self, cand: Candidate, oracle: SpeedOracle) -> float:
         """The raw ``p_ubs`` value (lower = run sooner)."""

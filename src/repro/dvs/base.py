@@ -17,7 +17,6 @@ values preserves the discrimination pUBS needs.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 from ..sim.state import Candidate, GraphStatus, SchedulerView
 

@@ -39,7 +39,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..errors import SchedulingError
-from ..sim.state import Candidate, GraphStatus, JobState, SchedulerView
+from ..sim.state import Candidate, JobState, SchedulerView
 from .base import FrequencySetter
 
 __all__ = ["LaEDF"]

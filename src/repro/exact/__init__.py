@@ -1,7 +1,11 @@
 """Exact optima and near-optimal bounds used as experiment normalizers."""
 
 from .bounds import near_optimal_run, relax_precedence, relax_set
-from .bruteforce import OptimalResult, count_linear_extensions, optimal_one_shot
+from .bruteforce import (
+    OptimalResult,
+    count_linear_extensions,
+    optimal_one_shot,
+)
 
 __all__ = [
     "count_linear_extensions",

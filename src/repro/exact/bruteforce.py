@@ -21,7 +21,7 @@ Two safeguards make this practical:
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..errors import SchedulingError
 from ..processor.platform import Processor
@@ -152,7 +152,9 @@ def optimal_one_shot(
 
     # Cheapest conceivable energy per cycle: the most efficient point.
     epc_floor = min(
-        processor.power.battery_current(p) * v_bat / (p.frequency / processor.f_max)
+        processor.power.battery_current(p)
+        * v_bat
+        / (p.frequency / processor.f_max)
         for p in processor.table.points
     )
 

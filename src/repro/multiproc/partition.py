@@ -21,7 +21,7 @@ Partitioning heuristics are the classic utilization bin-packers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.methodology import Scheme
 from ..errors import SchedulingError

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..errors import SchedulingError
 
@@ -65,7 +65,8 @@ class SpeedMix:
 
     def average_speed(self, f_max: float) -> float:
         return sum(
-            p.frequency / f_max * x for p, x in zip(self.points, self.fractions)
+            p.frequency / f_max * x
+            for p, x in zip(self.points, self.fractions)
         )
 
 
@@ -170,12 +171,14 @@ class FrequencyTable:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         pts = ", ".join(
-            f"({p.frequency/1e9:.3g}GHz,{p.voltage:.3g}V)" for p in self._points
+            f"({p.frequency / 1e9:.3g}GHz,{p.voltage:.3g}V)"
+            for p in self._points
         )
         return f"FrequencyTable([{pts}])"
 
 
-#: The paper's three-level table (§5): 0.5 GHz @ 3 V, 0.75 GHz @ 4 V, 1 GHz @ 5 V.
+#: The paper's three-level table (§5):
+#: 0.5 GHz @ 3 V, 0.75 GHz @ 4 V, 1 GHz @ 5 V.
 PAPER_TABLE = FrequencyTable(
     [
         OperatingPoint(0.5e9, 3.0),

@@ -8,7 +8,7 @@ the battery current of whatever it runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal, Tuple
 
 from ..errors import SchedulingError

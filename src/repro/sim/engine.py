@@ -22,7 +22,7 @@ in :mod:`repro.workloads`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # import only for annotations; avoids a core<->sim cycle
@@ -36,14 +36,21 @@ from .profile import CurrentProfile
 from .state import Candidate, GraphStatus, JobState, SchedulerView
 from .trace import IDLE, ExecutionTrace, TraceSegment
 
-__all__ = ["Simulator", "SimulationResult", "ActualsProvider", "worst_case_actuals"]
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "ActualsProvider",
+    "worst_case_actuals",
+]
 
 _EPS = 1e-9
 
 ActualsProvider = Callable[[str, str, int, float], float]
 
 
-def worst_case_actuals(graph: str, node: str, job_index: int, wc: float) -> float:
+def worst_case_actuals(
+    graph: str, node: str, job_index: int, wc: float
+) -> float:
     """Default provider: every node takes its full worst case."""
     return wc
 
@@ -263,7 +270,11 @@ class Simulator:
             s_eff = (
                 mix.average_speed(self.processor.f_max) if mix else 0.0
             )
-            cand = self.policy.select(view, s_eff, oracle) if s_eff > 0 else None
+            cand = (
+                self.policy.select(view, s_eff, oracle)
+                if s_eff > 0
+                else None
+            )
 
             if cand is None:
                 # Idle until the next release (or the horizon).

@@ -145,7 +145,9 @@ class CurrentProfile:
             np.concatenate([self.currents, other.currents]),
         )
 
-    def add(self, other: "CurrentProfile", rtol: float = 1e-9) -> "CurrentProfile":
+    def add(
+        self, other: "CurrentProfile", rtol: float = 1e-9
+    ) -> "CurrentProfile":
         """Pointwise sum of two equal-length profiles.
 
         Models several loads sharing one battery (e.g. the processors

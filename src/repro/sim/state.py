@@ -11,8 +11,8 @@ priority function").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import SchedulingError
 from ..taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet

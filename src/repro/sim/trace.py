@@ -8,8 +8,8 @@ renders as ASCII for the paper's trace figures (Figures 4 and 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -177,7 +177,9 @@ class ExecutionTrace:
         )
 
     # ------------------------------------------------------------------
-    def render_ascii(self, *, width: int = 72, until: Optional[float] = None) -> str:
+    def render_ascii(
+        self, *, width: int = 72, until: Optional[float] = None
+    ) -> str:
         """A compact timeline like the paper's Figure 4/5 traces.
 
         One row per distinct label; columns are time bins; a cell shows

@@ -19,10 +19,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import reduce
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Sequence, Tuple
 
 from ..errors import TaskGraphError
-from .graph import TaskGraph, TaskNode
+from .graph import TaskGraph
 
 __all__ = ["PeriodicTaskGraph", "TaskGraphSet"]
 

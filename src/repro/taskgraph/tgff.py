@@ -14,7 +14,7 @@ every experiment in the repository is exactly reproducible.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -153,7 +153,8 @@ def chain(
     wcet_range: Tuple[float, float] = (1.0, 10.0),
     rng: RngLike = None,
 ) -> TaskGraph:
-    """A fully serial graph t0 -> t1 -> ... (worst case for ordering freedom)."""
+    """A fully serial graph t0 -> t1 -> ... (worst case for ordering
+    freedom)."""
     if n_tasks < 1:
         raise TaskGraphError(f"n_tasks must be >= 1, got {n_tasks}")
     gen = _rng(rng)
@@ -177,7 +178,9 @@ def fork_join(
     n = n_branches + 2
     wcets = _uniform_wcets(gen, n, wcet_range)
     nodes = [TaskNode("src", float(wcets[0]))]
-    nodes += [TaskNode(f"b{i}", float(wcets[i + 1])) for i in range(n_branches)]
+    nodes += [
+        TaskNode(f"b{i}", float(wcets[i + 1])) for i in range(n_branches)
+    ]
     nodes.append(TaskNode("sink", float(wcets[-1])))
     edges = [("src", f"b{i}") for i in range(n_branches)]
     edges += [(f"b{i}", "sink") for i in range(n_branches)]

@@ -17,7 +17,7 @@ workload* regardless of the order in which it asks.
 from __future__ import annotations
 
 import zlib
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +30,9 @@ __all__ = ["UniformActuals", "paper_task_set", "PERIOD_MENU"]
 
 #: Unscaled period choices; LCM = 400, so a scaled set's hyperperiod is
 #: at most 100x its smallest period.
-PERIOD_MENU: Tuple[float, ...] = (4.0, 5.0, 8.0, 10.0, 16.0, 20.0, 25.0, 40.0, 50.0)
+PERIOD_MENU: Tuple[float, ...] = (
+    4.0, 5.0, 8.0, 10.0, 16.0, 20.0, 25.0, 40.0, 50.0,
+)
 
 
 class UniformActuals:

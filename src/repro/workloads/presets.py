@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from ..taskgraph.graph import TaskGraph, TaskNode
 from ..taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet

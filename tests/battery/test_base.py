@@ -1,6 +1,5 @@
 """Tests for the battery base driver (profiles, tiling, runs)."""
 
-import numpy as np
 import pytest
 
 from repro.battery.base import BatteryRun, as_segments

@@ -17,7 +17,9 @@ def cell():
 
 
 class TestValidation:
-    @pytest.mark.parametrize("a,b,m", [(0, 0.1, 10), (100, 0, 10), (100, 0.1, 0)])
+    @pytest.mark.parametrize(
+        "a,b,m", [(0, 0.1, 10), (100, 0, 10), (100, 0.1, 0)]
+    )
     def test_rejects_bad_params(self, a, b, m):
         with pytest.raises(BatteryError):
             DiffusionBattery(a, b, m)

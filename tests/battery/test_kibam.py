@@ -1,8 +1,6 @@
 """Unit + property tests for the Kinetic Battery Model."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,4 +1,5 @@
-"""Unit + property tests for the stochastic KiBaM (paper ref [13] substitute)."""
+"""Unit + property tests for the stochastic KiBaM (paper ref [13]
+substitute)."""
 
 import numpy as np
 import pytest
@@ -24,7 +25,9 @@ class TestValidation:
         with pytest.raises(BatteryError):
             StochasticKiBaM(100.0, 0.5, 0.01, noise=-0.1)
 
-    @pytest.mark.parametrize("cap,c,kp", [(0, 0.5, 0.01), (100, 1.0, 0.01), (100, 0.5, 0)])
+    @pytest.mark.parametrize(
+        "cap,c,kp", [(0, 0.5, 0.01), (100, 1.0, 0.01), (100, 0.5, 0)]
+    )
     def test_rejects_bad_kinetics(self, cap, c, kp):
         with pytest.raises(BatteryError):
             StochasticKiBaM(cap, c, kp)

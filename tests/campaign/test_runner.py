@@ -1,6 +1,5 @@
 """Runner, registry, cache and aggregator behaviour (single-process)."""
 
-import numpy as np
 import pytest
 
 from repro.campaign import (

@@ -6,9 +6,7 @@ import numpy as np
 import pytest
 
 from repro.battery.kibam import KiBaM
-from repro.processor.dvfs import PAPER_TABLE, FrequencyTable, OperatingPoint
 from repro.processor.platform import Processor, paper_processor
-from repro.processor.power import PowerModel
 from repro.taskgraph.graph import TaskGraph, TaskNode
 from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
 

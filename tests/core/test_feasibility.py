@@ -1,6 +1,5 @@
 """Unit tests for the Algorithm 2 feasibility check."""
 
-import pytest
 
 from repro.core.feasibility import feasibility_check
 from repro.sim.state import GraphStatus, JobState, SchedulerView

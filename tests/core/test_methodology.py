@@ -2,19 +2,13 @@
 
 import pytest
 
-from repro.core.estimator import HistoryEstimator, OracleEstimator
-from repro.core.methodology import (
-    Scheme,
-    SchedulingPolicy,
-    make_scheme,
-    paper_schemes,
-)
-from repro.core.priority import LTF, PUBS, RandomPriority
+from repro.core.estimator import HistoryEstimator
+from repro.core.methodology import SchedulingPolicy, make_scheme, paper_schemes
+from repro.core.priority import LTF, PUBS
 from repro.core.ready_list import ALL_RELEASED, MOST_IMMINENT
 from repro.dvs import CcEDF, LaEDF, NoDVS
 from repro.errors import SchedulingError
 from repro.sim.state import GraphStatus, JobState, SchedulerView
-from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
 from repro.workloads.presets import fig5_set
 
 

@@ -3,10 +3,8 @@
 import pytest
 
 from repro.core.oneshot import OneShotOracle, evaluate_order, run_one_shot
-from repro.core.priority import LTF, PUBS, STF
-from repro.core.estimator import OracleEstimator
+from repro.core.priority import LTF, STF
 from repro.errors import SchedulingError
-from repro.taskgraph.graph import TaskGraph, TaskNode
 from repro.workloads.presets import fig4_cases, fig4_pair
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.dvs.ccedf import CcEDF
 from repro.errors import SchedulingError
 from repro.sim.state import GraphStatus, JobState, SchedulerView
-from repro.taskgraph.graph import TaskGraph, TaskNode
 from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
 
 

@@ -9,7 +9,12 @@ from repro.core.oneshot import evaluate_order
 from repro.exact.bruteforce import count_linear_extensions, optimal_one_shot
 from repro.errors import SchedulingError
 from repro.taskgraph.graph import TaskGraph, TaskNode
-from repro.taskgraph.tgff import chain, fork_join, independent_tasks, random_dag
+from repro.taskgraph.tgff import (
+    chain,
+    fork_join,
+    independent_tasks,
+    random_dag,
+)
 
 
 class TestCountLinearExtensions:

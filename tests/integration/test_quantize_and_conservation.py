@@ -1,7 +1,6 @@
 """End-to-end checks under the quantize-up speed policy, plus
 workload-conservation properties of the engine."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -12,7 +12,9 @@ class TestOperatingPoint:
         assert p.frequency == 1e9
         assert p.voltage == 5.0
 
-    @pytest.mark.parametrize("f,v", [(0, 1.0), (-1e9, 1.0), (1e9, 0), (1e9, -2)])
+    @pytest.mark.parametrize(
+        "f,v", [(0, 1.0), (-1e9, 1.0), (1e9, 0), (1e9, -2)]
+    )
     def test_rejects_nonpositive(self, f, v):
         with pytest.raises(SchedulingError):
             OperatingPoint(f, v)
@@ -79,7 +81,9 @@ class TestQuantizeUp:
         ],
     )
     def test_rounds_to_next_level(self, s, expected_f):
-        assert PAPER_TABLE.quantize_up(s).frequency == pytest.approx(expected_f)
+        assert PAPER_TABLE.quantize_up(s).frequency == pytest.approx(
+            expected_f
+        )
 
 
 class TestMix:

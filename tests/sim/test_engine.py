@@ -5,10 +5,9 @@ import pytest
 
 from repro.core.methodology import SchedulingPolicy
 from repro.core.priority import LTF, RandomPriority
-from repro.core.ready_list import ALL_RELEASED, MOST_IMMINENT
 from repro.dvs import CcEDF, LaEDF, NoDVS
 from repro.errors import DeadlineMissError, SchedulingError
-from repro.sim.engine import Simulator, worst_case_actuals
+from repro.sim.engine import Simulator
 from repro.taskgraph.graph import TaskGraph, TaskNode
 from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
 from repro.workloads.generator import UniformActuals, paper_task_set

@@ -7,8 +7,6 @@ from repro.core.priority import RandomPriority
 from repro.dvs import CcEDF, LaEDF, NoDVS
 from repro.sim.engine import Simulator
 from repro.sim.trace import IDLE, ExecutionTrace, TraceSegment
-from repro.taskgraph.graph import TaskGraph, TaskNode
-from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
 from repro.workloads.generator import UniformActuals, paper_task_set
 
 

@@ -18,7 +18,6 @@ and structural properties every refactor must preserve:
   reference current between releases).
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

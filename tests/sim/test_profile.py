@@ -10,7 +10,9 @@ from repro.sim.profile import CurrentProfile
 
 
 def prof(durations, currents):
-    return CurrentProfile(np.asarray(durations, float), np.asarray(currents, float))
+    return CurrentProfile(
+        np.asarray(durations, float), np.asarray(currents, float)
+    )
 
 
 class TestValidation:

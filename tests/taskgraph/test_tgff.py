@@ -50,7 +50,9 @@ class TestRandomDag:
     )
     @settings(max_examples=40, deadline=None)
     def test_property_connected_and_degree_bounded(self, n, seed, p):
-        g = random_dag(n, edge_prob=p, max_in_degree=3, max_out_degree=3, rng=seed)
+        g = random_dag(
+            n, edge_prob=p, max_in_degree=3, max_out_degree=3, rng=seed
+        )
         nxg = g.as_networkx()
         if n > 1:
             import networkx as nx

@@ -35,6 +35,40 @@ class TestParser:
             args = build_parser().parse_args(cmd + ["--workers", "3"])
             assert args.workers == 3
 
+    def test_campaign_backend_flags(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.backend == "local"
+        assert args.spawn_workers == 0
+        assert not args.no_footer
+        args = build_parser().parse_args(
+            [
+                "campaign", "--backend", "dist", "--dist-dir", "/tmp/q",
+                "--spawn-workers", "4", "--lease-timeout", "5",
+                "--result-timeout", "30", "--no-footer",
+            ]
+        )
+        assert args.backend == "dist"
+        assert args.dist_dir == "/tmp/q"
+        assert args.spawn_workers == 4
+        assert args.lease_timeout == 5.0
+        assert args.result_timeout == 30.0
+        assert args.no_footer
+
+    def test_campaign_worker_flags(self):
+        args = build_parser().parse_args(["campaign-worker", "--dir", "/q"])
+        assert args.dir == "/q"
+        assert args.connect is None
+        assert args.max_tasks is None
+        args = build_parser().parse_args(
+            [
+                "campaign-worker", "--connect", "host:7777",
+                "--max-tasks", "3", "--idle-timeout", "2",
+            ]
+        )
+        assert args.connect == "host:7777"
+        assert args.max_tasks == 3
+        assert args.idle_timeout == 2.0
+
 
 class TestMain:
     def test_fig4(self, capsys):
@@ -80,3 +114,63 @@ class TestMain:
         assert "0 cache hit(s)" in capsys.readouterr().out
         assert main(argv) == 0
         assert "1 cache hit(s)" in capsys.readouterr().out
+
+    def test_campaign_unknown_scheme_fails_early(self):
+        with pytest.raises(SystemExit, match="unknown scheme"):
+            main(["campaign", "--schemes", "EDFF", "--no-cache"])
+
+    def test_campaign_dist_needs_one_transport(self, tmp_path):
+        base = ["campaign", "--backend", "dist", "--no-cache"]
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(base)
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(
+                base
+                + ["--dist-dir", str(tmp_path), "--listen", "127.0.0.1:0"]
+            )
+
+    def test_campaign_worker_needs_one_transport(self):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["campaign-worker"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["campaign-worker", "--dir", "/q", "--connect", "h:1"])
+
+    def test_bad_endpoint_rejected(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["campaign-worker", "--connect", "nocolon"])
+        with pytest.raises(SystemExit, match="bad port"):
+            main(["campaign-worker", "--connect", "host:seven"])
+
+    def test_campaign_dist_matches_local_output(self, capsys, tmp_path):
+        """The CI smoke contract: dist and local tables byte-identical."""
+        base = [
+            "campaign", "--scenarios", "1", "--graphs", "2",
+            "--schemes", "EDF", "--no-cache", "--no-footer",
+        ]
+        assert main(base) == 0
+        local_out = capsys.readouterr().out
+        dist = base + [
+            "--backend", "dist", "--dist-dir", str(tmp_path / "q"),
+            "--spawn-workers", "1", "--result-timeout", "120",
+        ]
+        assert main(dist) == 0
+        assert capsys.readouterr().out == local_out
+
+    def test_campaign_worker_drains_queue_and_exits(self, tmp_path):
+        """A worker with --max-tasks serves a pre-published queue."""
+        from repro.campaign import ScenarioSpec
+        from repro.campaign.distributed import DirectoryBroker
+
+        broker = DirectoryBroker(tmp_path, poll=0.01, result_timeout=60.0)
+        broker.submit(
+            [(0, ScenarioSpec(scheme="EDF", n_graphs=2, seed=1))]
+        )
+        assert main(
+            [
+                "campaign-worker", "--dir", str(tmp_path),
+                "--max-tasks", "1", "--poll", "0.01",
+            ]
+        ) == 0
+        collected = dict(broker.outcomes())
+        broker.close()
+        assert list(collected) == [0]

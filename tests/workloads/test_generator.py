@@ -1,6 +1,5 @@
 """Unit tests for the paper's workload generator and actuals provider."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TaskGraphError

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.workloads.presets import fig4_cases, fig4_pair, fig5_actuals, fig5_set
+from repro.workloads.presets import (
+    fig4_cases,
+    fig4_pair,
+    fig5_actuals,
+    fig5_set,
+)
 
 
 class TestFig4:
