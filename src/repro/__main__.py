@@ -51,13 +51,49 @@ def _cmd_table1(args) -> str:
     ).format()
 
 
+def _driver_runner(args):
+    """A distributed runner for a sweep driver, or ``None`` for local.
+
+    Lets ``table2``/``fig6`` run on a worker fleet (``--backend dist
+    --dist-dir DIR [--spawn-workers K]``) — the nightly paper-scale CI
+    job byte-diffs their output against the local backend.
+    """
+    if getattr(args, "backend", "local") == "local":
+        return None
+    if args.dist_dir is None:
+        raise SystemExit("error: --backend dist needs --dist-dir")
+    if args.spawn_workers == 0 and args.result_timeout is None:
+        print(
+            "note: no --spawn-workers and no --result-timeout; the "
+            "broker will wait indefinitely for external workers to "
+            "attach",
+            file=sys.stderr,
+        )
+    return DistributedRunner(
+        workdir=args.dist_dir,
+        n_local_workers=args.spawn_workers,
+        result_timeout=args.result_timeout,
+    )
+
+
+def _run_driver(args, fn, **kwargs) -> str:
+    runner = _driver_runner(args)
+    try:
+        return fn(**kwargs, runner=runner).format()
+    finally:
+        if runner is not None:
+            runner.close()
+
+
 def _cmd_table2(args) -> str:
-    return ex.table2(
+    return _run_driver(
+        args,
+        ex.table2,
         n_sets=args.sets,
         n_graphs=args.graphs,
         seed=args.seed,
         workers=args.workers,
-    ).format()
+    )
 
 
 def _cmd_fig4(args) -> str:
@@ -69,13 +105,15 @@ def _cmd_fig5(args) -> str:
 
 
 def _cmd_fig6(args) -> str:
-    return ex.fig6(
+    return _run_driver(
+        args,
+        ex.fig6,
         graph_counts=tuple(args.counts),
         sets_per_point=args.sets,
         seed=args.seed,
         utilization=args.utilization,
         workers=args.workers,
-    ).format()
+    )
 
 
 def _cmd_ratecapacity(args) -> str:
@@ -110,30 +148,67 @@ def _parse_endpoint(text: str) -> tuple:
         raise SystemExit(f"error: bad port in endpoint {text!r}") from None
 
 
+def _parse_autoscale(text):
+    lo, sep, hi = text.partition(":")
+    try:
+        bounds = (int(lo), int(hi if sep else lo))
+    except ValueError:
+        bounds = None
+    if bounds is None or not (0 <= bounds[0] <= bounds[1]) or (
+        bounds[1] < 1
+    ):
+        raise SystemExit(
+            f"error: --autoscale {text!r} must look like MIN:MAX "
+            "with 0 <= MIN <= MAX and MAX >= 1"
+        )
+    return bounds
+
+
 def _make_campaign_runner(args, cache):
     """The runner `campaign` should use: local pool or distributed broker."""
     if args.backend == "local":
+        for flag in ("resume", "autoscale"):
+            if getattr(args, flag):
+                raise SystemExit(
+                    f"error: --{flag} needs --backend dist"
+                )
         return CampaignRunner(args.workers, cache=cache)
     if (args.dist_dir is None) == (args.listen is None):
         raise SystemExit(
             "error: --backend dist needs exactly one of --dist-dir/--listen"
+        )
+    if args.resume and args.dist_dir is None:
+        raise SystemExit(
+            "error: --resume needs --dist-dir (the ledger lives in "
+            "the work directory)"
         )
     transport = (
         {"workdir": args.dist_dir}
         if args.dist_dir is not None
         else {"listen": _parse_endpoint(args.listen)}
     )
-    if args.spawn_workers == 0 and args.result_timeout is None:
+    autoscale = (
+        _parse_autoscale(args.autoscale) if args.autoscale else None
+    )
+    if (
+        args.spawn_workers == 0
+        and autoscale is None
+        and args.result_timeout is None
+    ):
         print(
-            "note: no --spawn-workers and no --result-timeout; the "
-            "broker will wait indefinitely for external workers to "
-            "attach",
+            "note: no --spawn-workers/--autoscale and no "
+            "--result-timeout; the broker will wait indefinitely for "
+            "external workers to attach",
             file=sys.stderr,
         )
     return DistributedRunner(
         cache=cache,
         n_local_workers=args.spawn_workers,
+        autoscale=autoscale,
         lease_timeout=args.lease_timeout,
+        heartbeat=args.heartbeat,
+        chunk_size=args.chunk,
+        resume=args.resume,
         result_timeout=args.result_timeout,
         **transport,
     )
@@ -222,6 +297,8 @@ def _cmd_campaign(args) -> str:
         f"{campaign.wall_time_s:.2f}s wall, {campaign.cache_hits} cache "
         f"hit(s)"
     )
+    if campaign.replayed:
+        footer += f", {campaign.replayed} replayed from ledger"
     return table + "\n" + footer
 
 
@@ -243,12 +320,15 @@ def _cmd_campaign_worker(args) -> str:
         poll=args.poll,
         max_tasks=args.max_tasks,
         idle_timeout=args.idle_timeout,
+        heartbeat=args.heartbeat,
     )
     if args.dir is not None:
         executed = run_directory_worker(args.dir, **options)
     else:
         host, port = _parse_endpoint(args.connect)
-        executed = run_tcp_worker(host, port, **options)
+        executed = run_tcp_worker(
+            host, port, reconnect_grace=args.reconnect_grace, **options
+        )
     return f"campaign-worker: executed {executed} work unit(s)"
 
 
@@ -269,11 +349,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1)
     p.set_defaults(fn=_cmd_table1)
 
+    def add_driver_backend(p) -> None:
+        """Distributed-backend flags shared by table2/fig6."""
+        p.add_argument(
+            "--backend", choices=("local", "dist"), default="local",
+            help="run the sweep on a local pool or a distributed fleet",
+        )
+        p.add_argument(
+            "--dist-dir", default=None,
+            help="dist backend: shared work-queue directory",
+        )
+        p.add_argument(
+            "--spawn-workers", type=int, default=0,
+            help="dist backend: worker subprocesses to fork on this host",
+        )
+        p.add_argument(
+            "--result-timeout", type=float, default=None,
+            help="dist backend: fail if no result arrives for this long",
+        )
+
     p = sub.add_parser("table2", help="charge delivered + battery lifetime")
     p.add_argument("--sets", type=int, default=5)
     p.add_argument("--graphs", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1)
+    add_driver_backend(p)
     p.set_defaults(fn=_cmd_table2)
 
     p = sub.add_parser("fig4", help="LTF vs STF motivational example")
@@ -288,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--utilization", type=float, default=0.85)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1)
+    add_driver_backend(p)
     p.set_defaults(fn=_cmd_fig6)
 
     p = sub.add_parser("ratecapacity", help="load vs delivered capacity")
@@ -347,7 +448,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--lease-timeout", type=float, default=60.0,
-        help="dist backend: seconds before a lost lease is requeued",
+        help="dist backend: seconds without lease renewal before a "
+        "claim is assumed dead and requeued",
+    )
+    p.add_argument(
+        "--heartbeat", type=float, default=15.0,
+        help="dist backend: lease-renewal interval passed to spawned "
+        "workers (keeps long scenarios from being requeued)",
+    )
+    p.add_argument(
+        "--chunk", type=int, default=1,
+        help="dist backend: tasks per lease; >1 amortizes claim "
+        "overhead for very short scenarios (idle workers steal "
+        "chunk tails)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="dist backend: replay the work directory's result ledger "
+        "from a previous (crashed) broker instead of re-running "
+        "completed scenarios",
+    )
+    p.add_argument(
+        "--autoscale", default=None, metavar="MIN:MAX",
+        help="dist backend: grow/shrink the local worker fleet with "
+        "the backlog (overrides --spawn-workers)",
     )
     p.add_argument(
         "--result-timeout", type=float, default=None,
@@ -381,6 +505,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--idle-timeout", type=float, default=None,
         help="exit after this many seconds without work (default: never)",
+    )
+    p.add_argument(
+        "--heartbeat", type=float, default=15.0,
+        help="renew the current lease every this many seconds while "
+        "a scenario executes (guards against false requeues)",
+    )
+    p.add_argument(
+        "--reconnect-grace", type=float, default=0.0,
+        help="TCP only: seconds to keep retrying a refused connection "
+        "after the broker was reached once (lets a restarting "
+        "--resume broker keep its fleet)",
     )
     p.set_defaults(fn=_cmd_campaign_worker)
 

@@ -8,6 +8,21 @@ worker-reported execution error fails the campaign immediately (the
 same spec would fail identically on any worker; there is nothing to
 retry).
 
+Fault tolerance:
+
+* **Heartbeat leases** — workers renew their lease while executing
+  (in-payload stamps over the directory, ``heartbeat`` messages over
+  TCP), so a lease expiring really means a dead worker, and requeue
+  timeouts can stay short even with hour-long scenarios.
+* **Resume ledger** — every accepted ``(index, result)`` is journaled
+  to an append-only JSON-lines ledger, headed by the campaign's
+  content hash.  A restarted broker given ``resume=True`` replays the
+  ledger (validated per entry against the resubmitted specs) instead
+  of re-running completed work.
+* **Chunked leases with stealing** — ``chunk_size > 1`` leases
+  index-contiguous runs of tasks; when the queue runs dry, the broker
+  splits the largest outstanding chunk so idle workers steal its tail.
+
 Two transports implement the interface: :class:`DirectoryBroker` over
 a shared filesystem (see :mod:`~repro.campaign.distributed.workdir`)
 and :class:`TCPBroker` over line-delimited JSON sockets.
@@ -16,6 +31,8 @@ and :class:`TCPBroker` over line-delimited JSON sockets.
 from __future__ import annotations
 
 import collections
+import hashlib
+import json
 import queue
 import socketserver
 import threading
@@ -25,7 +42,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from ...errors import SchedulingError
-from ..spec import ScenarioResult, Spec
+from ..spec import ScenarioResult, Spec, content_hash
 from .protocol import (
     PROTOCOL_VERSION,
     parse_outcome,
@@ -35,35 +52,209 @@ from .protocol import (
 )
 from .workdir import WorkDir
 
-__all__ = ["DirectoryBroker", "TCPBroker"]
+__all__ = ["DirectoryBroker", "TCPBroker", "campaign_hash"]
+
+#: Bumped on incompatible ledger format changes.
+LEDGER_VERSION = 1
 
 
 def _fresh_job_id() -> str:
     return uuid.uuid4().hex[:12]
 
 
-class _BrokerBase:
-    """Job bookkeeping shared by both transports."""
+def campaign_hash(items: List[Tuple[int, Spec]]) -> str:
+    """A stable identity for a submitted ``(index, spec)`` work list.
 
-    def __init__(self, *, poll: float, result_timeout: Optional[float]):
+    Built from the per-spec content hashes in index order, so the same
+    campaign resubmitted after a broker restart hashes identically —
+    and anything else (different sweep, different subset) does not.
+    """
+    blob = json.dumps(
+        [[int(i), content_hash(spec)] for i, spec in items],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class _BrokerBase:
+    """Job bookkeeping and the resume ledger, shared by both transports.
+
+    ``ledger_path=None`` disables journaling (and therefore resume).
+    """
+
+    def __init__(
+        self,
+        *,
+        poll: float,
+        result_timeout: Optional[float],
+        ledger_path: Optional[Path] = None,
+    ):
         if poll <= 0:
             raise SchedulingError(f"poll must be > 0, got {poll}")
         self.poll = float(poll)
         self.result_timeout = result_timeout
+        self.ledger_path = ledger_path
         self.job: Optional[str] = None
+        self.requeued_total = 0
         self._expected: Set[int] = set()
         self._resolved: Set[int] = set()
+        self._replayed: List[Tuple[int, ScenarioResult]] = []
 
-    def _begin(self, items: List[Tuple[int, Spec]]) -> str:
+    def _begin(
+        self,
+        items: List[Tuple[int, Spec]],
+        *,
+        resume: bool = False,
+        campaign: Optional[str] = None,
+    ) -> Tuple[str, List[Tuple[int, Spec]]]:
+        """Start a job; returns ``(job_id, still-to-run items)``.
+
+        With ``resume=True`` the ledger's validated entries are marked
+        resolved and excluded from the returned work list.
+
+        ``campaign`` is the *full* campaign's content hash.  Callers
+        that submit a filtered subset (the runner strips result-cache
+        hits before submitting) must pass the digest of the unfiltered
+        campaign — otherwise cache-state differences between the
+        crashed run and the resume run would change the hash and
+        defeat the ledger.  Defaults to hashing ``items`` itself.
+        """
         if self._expected - self._resolved:
             raise SchedulingError(
                 "broker already has an unfinished campaign"
             )
+        if resume and self.ledger_path is None:
+            raise SchedulingError(
+                "resume requested but this broker has no ledger: the "
+                "TCP transport only journals when ledger_path= is set"
+            )
         self.job = _fresh_job_id()
         self._expected = {index for index, _spec in items}
         self._resolved = set()
-        return self.job
+        self._replayed = []
+        self.requeued_total = 0
+        if self.ledger_path is not None:
+            digest = campaign or campaign_hash(items)
+            try:
+                self._open_ledger(items, resume, digest)
+            except SchedulingError:
+                # A refused resume must not wedge the broker in
+                # "unfinished campaign" state: the caller may retry
+                # submit() (e.g. without resume) on this instance.
+                self.job = None
+                self._expected = set()
+                self._resolved = set()
+                raise
+        todo = [
+            (index, spec)
+            for index, spec in items
+            if index not in self._resolved
+        ]
+        return self.job, todo
 
+    # ------------------------------------------------------------------
+    # Resume ledger
+    # ------------------------------------------------------------------
+    def _open_ledger(
+        self, items: List[Tuple[int, Spec]], resume: bool, digest: str
+    ) -> None:
+        header = {
+            "kind": "header",
+            "version": LEDGER_VERSION,
+            "campaign": digest,
+        }
+        if resume and self.ledger_path.exists():
+            replayed = self._load_ledger(items, digest)
+            if replayed is None:
+                # Never truncate on a failed resume: the journal may
+                # hold hours of another campaign's completed work, and
+                # a fat-fingered rerun must not destroy it silently.
+                raise SchedulingError(
+                    f"--resume: ledger {self.ledger_path} does not "
+                    f"match this campaign (content hash {digest}); "
+                    "check the sweep parameters, or delete the ledger "
+                    "/ rerun without resume to start fresh"
+                )
+            for index, result in sorted(replayed.items()):
+                self._resolved.add(index)
+                self._replayed.append((index, result))
+            return  # keep appending to the validated ledger
+        self.ledger_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.ledger_path, "w") as handle:
+            handle.write(json.dumps(header) + "\n")
+
+    def _load_ledger(
+        self, items: List[Tuple[int, Spec]], digest: str
+    ) -> Optional[Dict[int, ScenarioResult]]:
+        """Validated ``index -> result`` entries, or ``None`` to discard.
+
+        The header must carry this campaign's content hash (a ledger
+        from a *different* sweep in the same directory is ignored) and
+        every entry must match the resubmitted spec at its index — a
+        belt-and-braces check against torn or alien lines.  A torn
+        final line (broker killed mid-append) is skipped, not fatal.
+        """
+        specs = {int(i): spec for i, spec in items}
+        entries: Dict[int, ScenarioResult] = {}
+        try:
+            lines = self.ledger_path.read_text().splitlines()
+        except OSError:
+            return None
+        header_ok = False
+        for lineno, line in enumerate(lines):
+            try:
+                data = json.loads(line)
+            except ValueError:
+                continue  # torn append; later lines may still parse
+            if not isinstance(data, dict):
+                continue
+            if lineno == 0:
+                header_ok = (
+                    data.get("kind") == "header"
+                    and data.get("version") == LEDGER_VERSION
+                    and data.get("campaign") == digest
+                )
+                if not header_ok:
+                    return None
+                continue
+            try:
+                index = int(data["index"])
+                spec = specs.get(index)
+                if spec is None:
+                    continue  # not part of this submission
+                if data.get("spec_hash") != content_hash(spec):
+                    continue  # alien entry; do not trust it
+                entries[index] = ScenarioResult.from_json(data["result"])
+            except (KeyError, TypeError, ValueError):
+                continue
+        return entries if header_ok else None
+
+    def _journal(self, index: int, result: ScenarioResult) -> None:
+        if self.ledger_path is None:
+            return
+        line = json.dumps(
+            {
+                "index": int(index),
+                "spec_hash": result.spec_hash,
+                "result": result.to_json(),
+            }
+        )
+        try:
+            with open(self.ledger_path, "a") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            pass  # journaling is best-effort; the campaign continues
+
+    @property
+    def replayed(self) -> int:
+        """Results recovered from the ledger by the last ``submit``."""
+        return len(self._replayed)
+
+    def _drain_replayed(self) -> Iterator[Tuple[int, ScenarioResult]]:
+        while self._replayed:
+            yield self._replayed.pop(0)
+
+    # ------------------------------------------------------------------
     def _accept(self, payload: Dict) -> Optional[Tuple[int, ScenarioResult]]:
         """Validate one outcome payload; ``None`` if stale/duplicate."""
         job, index, outcome = parse_outcome(payload)
@@ -76,11 +267,17 @@ class _BrokerBase:
                 f"worker failed executing scenario {index}: {outcome}"
             )
         self._resolved.add(index)
+        self._journal(index, outcome)
         return index, outcome
 
     @property
     def done(self) -> bool:
         return self._expected == self._resolved
+
+    @property
+    def remaining(self) -> int:
+        """Unresolved work units (drives the runner's autoscaler)."""
+        return len(self._expected - self._resolved)
 
     def _check_stalled(self, last_progress: float) -> None:
         if (
@@ -99,7 +296,12 @@ class _BrokerBase:
 # Shared-directory transport
 # ----------------------------------------------------------------------
 class DirectoryBroker(_BrokerBase):
-    """Serve a campaign out of a shared work directory."""
+    """Serve a campaign out of a shared work directory.
+
+    The resume ledger lives at ``<root>/ledger.jsonl``; pass
+    ``submit(..., resume=True)`` after a broker crash to re-collect
+    journaled results instead of re-running them.
+    """
 
     def __init__(
         self,
@@ -108,21 +310,48 @@ class DirectoryBroker(_BrokerBase):
         poll: float = 0.05,
         lease_timeout: float = 60.0,
         result_timeout: Optional[float] = None,
+        chunk_size: int = 1,
     ) -> None:
-        super().__init__(poll=poll, result_timeout=result_timeout)
+        workdir = WorkDir(root)
+        super().__init__(
+            poll=poll,
+            result_timeout=result_timeout,
+            ledger_path=workdir.ledger_path,
+        )
         if lease_timeout <= 0:
             raise SchedulingError(
                 f"lease_timeout must be > 0, got {lease_timeout}"
             )
-        self.workdir = WorkDir(root)
+        if chunk_size < 1:
+            raise SchedulingError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workdir = workdir
         self.lease_timeout = float(lease_timeout)
+        self.chunk_size = int(chunk_size)
+        self.split_total = 0
+        # Persistent scan state for change-based lease/demand expiry:
+        # worker clocks never enter the comparisons (NFS fleets skew).
+        self._lease_obs: Dict[str, Tuple[float, float]] = {}
+        self._starve_obs: Dict[str, Tuple[float, float]] = {}
         self.workdir.ensure_layout()
 
-    def submit(self, items: List[Tuple[int, Spec]]) -> None:
-        job = self._begin(items)
-        self.workdir.publish(job, items)
+    def submit(
+        self,
+        items: List[Tuple[int, Spec]],
+        *,
+        resume: bool = False,
+        campaign: Optional[str] = None,
+    ) -> None:
+        job, todo = self._begin(items, resume=resume, campaign=campaign)
+        self.workdir.publish(job, todo, chunk_size=self.chunk_size)
 
     def outcomes(self) -> Iterator[Tuple[int, ScenarioResult]]:
+        yield from self._drain_replayed()
+        # Expiry/steal scans read every claimed chunk's payload; on a
+        # big fleet over NFS that is real I/O, and their resolution
+        # only needs to be a fraction of the lease timeout — not every
+        # poll tick.
+        scan_interval = min(1.0, self.lease_timeout / 4.0)
+        last_scan = -scan_interval
         last_progress = time.monotonic()
         while not self.done:
             got_any = False
@@ -134,7 +363,16 @@ class DirectoryBroker(_BrokerBase):
             if got_any:
                 last_progress = time.monotonic()
                 continue
-            self.workdir.requeue_expired(self.lease_timeout)
+            now = time.monotonic()
+            if now - last_scan >= scan_interval:
+                last_scan = now
+                self.requeued_total += self.workdir.requeue_expired(
+                    self.lease_timeout, self._lease_obs
+                )
+                if self.chunk_size > 1:  # single-task chunks never split
+                    self.split_total += self.workdir.split_starved(
+                        observed=self._starve_obs
+                    )
             self._check_stalled(last_progress)
             time.sleep(self.poll)
 
@@ -142,29 +380,118 @@ class DirectoryBroker(_BrokerBase):
         """Tell idle workers to exit (the shutdown marker persists)."""
         self.workdir.shutdown()
 
+    def abort(self) -> None:
+        """Stop serving without telling workers to exit.
+
+        The directory broker holds no live resources — workers keep
+        polling the directory and will serve whichever broker
+        publishes (or resumes) next.  Exists for interface symmetry
+        with :meth:`TCPBroker.abort` (crash simulation in tests,
+        emergency preemption).
+        """
+
 
 # ----------------------------------------------------------------------
 # TCP transport
 # ----------------------------------------------------------------------
 class _TCPState:
-    """Queue state shared between the server threads and the broker."""
+    """Queue state shared between the server threads and the broker.
+
+    ``pending`` holds chunks (lists of task payloads); ``owner`` maps
+    every leased task index to the session that holds it, ``sessions``
+    the reverse; ``last_beat`` is per-session heartbeat time driving
+    the optional lease timeout; ``stolen`` collects indices taken from
+    a session so its next outcome ack tells it to skip them.
+    """
 
     def __init__(self, poll: float) -> None:
         self.lock = threading.Lock()
         self.poll = poll
         self.job: Optional[str] = None
         self.pending: collections.deque = collections.deque()
-        self.outstanding: Dict[int, Dict] = {}
+        self.tasks: Dict[int, Dict] = {}
+        self.owner: Dict[int, str] = {}
+        self.sessions: Dict[str, Set[int]] = {}
+        self.last_beat: Dict[str, float] = {}
+        self.stolen: Dict[str, Set[int]] = {}
+        self.conns: Dict[str, object] = {}
         self.outcomes: "queue.Queue[Dict]" = queue.Queue()
         self.closing = False
+        self.requeued = 0
+
+    # All methods below assume ``self.lock`` is held by the caller.
+    def lease_to(self, session_id: str, chunk: List[Dict]) -> None:
+        for task in chunk:
+            index = int(task["index"])
+            self.tasks[index] = task
+            self.owner[index] = session_id
+            self.sessions.setdefault(session_id, set()).add(index)
+        self.last_beat[session_id] = time.monotonic()
+
+    def release(self, index: int) -> None:
+        self.tasks.pop(index, None)
+        session_id = self.owner.pop(index, None)
+        if session_id is not None:
+            self.sessions.get(session_id, set()).discard(index)
+
+    def requeue_session(self, session_id: str) -> int:
+        """Return a dead/stale session's leased tasks to the queue."""
+        indices = sorted(self.sessions.pop(session_id, set()))
+        chunk = []
+        for index in indices:
+            task = self.tasks.pop(index, None)
+            self.owner.pop(index, None)
+            if task is not None:
+                chunk.append(task)
+        if chunk:
+            self.pending.appendleft(chunk)
+            self.requeued += len(chunk)
+        self.last_beat.pop(session_id, None)
+        self.stolen.pop(session_id, None)
+        return len(chunk)
+
+    def steal_for(self, thief_id: str) -> Optional[List[Dict]]:
+        """Split the biggest outstanding lease's tail off for a thief.
+
+        The victim keeps the front half (it executes front-to-back, so
+        the tail is the least likely to be in flight); the stolen
+        indices are remembered and reported on the victim's next
+        outcome ack so it stops before executing them.
+        """
+        victim_id, victim_indices = None, ()
+        for session_id, indices in self.sessions.items():
+            if session_id == thief_id or len(indices) < 2:
+                continue
+            if len(indices) > len(victim_indices):
+                victim_id, victim_indices = session_id, indices
+        if victim_id is None:
+            return None
+        ordered = sorted(victim_indices)
+        take = ordered[(len(ordered) + 1) // 2 :]
+        if not take:
+            return None
+        chunk = []
+        for index in take:
+            task = self.tasks.get(index)
+            if task is None:
+                continue
+            self.sessions[victim_id].discard(index)
+            self.stolen.setdefault(victim_id, set()).add(index)
+            chunk.append(task)
+        if not chunk:
+            return None
+        self.lease_to(thief_id, chunk)
+        return chunk
 
 
 class _WorkerConnection(socketserver.StreamRequestHandler):
-    """One worker's session: hello, then lease/outcome until close."""
+    """One worker's session: hello, then lease/heartbeat/outcome."""
 
     def handle(self) -> None:  # noqa: D102 - socketserver hook
         state: _TCPState = self.server.state  # type: ignore[attr-defined]
-        leased: Dict[int, Dict] = {}
+        session_id = uuid.uuid4().hex
+        with state.lock:
+            state.conns[session_id] = self.connection
         try:
             while True:
                 msg = recv_msg(self.rfile)
@@ -190,34 +517,46 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
                         if state.closing:
                             reply = {"op": "shutdown"}
                         elif state.pending:
-                            payload = state.pending.popleft()
-                            index = int(payload["index"])
-                            state.outstanding[index] = payload
-                            leased[index] = payload
-                            reply = {"op": "task", "task": payload}
+                            chunk = state.pending.popleft()
+                            state.lease_to(session_id, chunk)
+                            reply = {"op": "task", "tasks": chunk}
                         else:
-                            reply = {"op": "wait", "poll": state.poll}
+                            chunk = state.steal_for(session_id)
+                            if chunk is not None:
+                                reply = {"op": "task", "tasks": chunk}
+                            else:
+                                reply = {"op": "wait", "poll": state.poll}
                     send_msg(self.wfile, reply)
+                elif op == "heartbeat":
+                    with state.lock:
+                        state.last_beat[session_id] = time.monotonic()
+                    send_msg(self.wfile, {"op": "ok"})
                 elif op == "outcome":
                     payload = msg.get("outcome")
                     if not isinstance(payload, dict) or "index" not in payload:
                         break
                     index = int(payload["index"])
                     with state.lock:
-                        state.outstanding.pop(index, None)
-                        leased.pop(index, None)
+                        # Only the live campaign's outcomes release a
+                        # lease: a straggler from a previous job would
+                        # be dropped by the broker's job filter, and
+                        # disowning the current holder's lease here
+                        # would leave the index unrecoverable if that
+                        # holder later dies.
+                        if payload.get("job") == state.job:
+                            state.release(index)
+                        state.last_beat[session_id] = time.monotonic()
+                        stolen = sorted(state.stolen.pop(session_id, ()))
                     state.outcomes.put(payload)
-                    send_msg(self.wfile, {"op": "ok"})
+                    send_msg(self.wfile, {"op": "ok", "stolen": stolen})
                 else:
                     break
         except (OSError, ValueError):
             pass  # connection died; fall through to requeue
         finally:
             with state.lock:
-                for index, payload in leased.items():
-                    if index in state.outstanding:
-                        del state.outstanding[index]
-                        state.pending.appendleft(payload)
+                state.conns.pop(session_id, None)
+                state.requeue_session(session_id)
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -231,7 +570,10 @@ class TCPBroker(_BrokerBase):
     Binding happens in the constructor, so ``address`` (useful with
     port 0 for an ephemeral port) is known before any worker starts.
     The accept loop runs in a daemon thread; lost connections requeue
-    their outstanding leases automatically.
+    their outstanding leases automatically, and ``lease_timeout``
+    (heartbeat-based) additionally requeues leases of workers that are
+    connected but silent — e.g. hung mid-scenario.  ``ledger_path``
+    enables the resume ledger for TCP campaigns too.
     """
 
     def __init__(
@@ -241,8 +583,23 @@ class TCPBroker(_BrokerBase):
         *,
         poll: float = 0.05,
         result_timeout: Optional[float] = None,
+        lease_timeout: Optional[float] = None,
+        chunk_size: int = 1,
+        ledger_path: Union[str, Path, None] = None,
     ) -> None:
-        super().__init__(poll=poll, result_timeout=result_timeout)
+        super().__init__(
+            poll=poll,
+            result_timeout=result_timeout,
+            ledger_path=Path(ledger_path) if ledger_path else None,
+        )
+        if lease_timeout is not None and lease_timeout <= 0:
+            raise SchedulingError(
+                f"lease_timeout must be > 0, got {lease_timeout}"
+            )
+        if chunk_size < 1:
+            raise SchedulingError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.lease_timeout = lease_timeout
+        self.chunk_size = int(chunk_size)
         self._state = _TCPState(self.poll)
         self._server = _TCPServer((host, port), _WorkerConnection)
         self._server.state = self._state  # type: ignore[attr-defined]
@@ -258,22 +615,50 @@ class TCPBroker(_BrokerBase):
         host, port = self._server.server_address[:2]
         return str(host), int(port)
 
-    def submit(self, items: List[Tuple[int, Spec]]) -> None:
-        job = self._begin(items)
+    def submit(
+        self,
+        items: List[Tuple[int, Spec]],
+        *,
+        resume: bool = False,
+        campaign: Optional[str] = None,
+    ) -> None:
+        job, todo = self._begin(items, resume=resume, campaign=campaign)
         with self._state.lock:
             self._state.job = job
             self._state.pending.clear()
-            self._state.outstanding.clear()
-            self._state.pending.extend(
-                task_payload(job, index, spec) for index, spec in items
-            )
+            self._state.tasks.clear()
+            self._state.owner.clear()
+            self._state.sessions.clear()
+            self._state.stolen.clear()
+            for lo in range(0, len(todo), self.chunk_size):
+                batch = todo[lo : lo + self.chunk_size]
+                self._state.pending.append(
+                    [task_payload(job, i, spec) for i, spec in batch]
+                )
+
+    def _requeue_stale_leases(self) -> None:
+        if self.lease_timeout is None:
+            return
+        deadline = time.monotonic() - self.lease_timeout
+        with self._state.lock:
+            stale = [
+                session_id
+                for session_id, indices in self._state.sessions.items()
+                if indices
+                and self._state.last_beat.get(session_id, 0.0) < deadline
+            ]
+            for session_id in stale:
+                requeued = self._state.requeue_session(session_id)
+                self.requeued_total += requeued
 
     def outcomes(self) -> Iterator[Tuple[int, ScenarioResult]]:
+        yield from self._drain_replayed()
         last_progress = time.monotonic()
         while not self.done:
             try:
                 payload = self._state.outcomes.get(timeout=self.poll)
             except queue.Empty:
+                self._requeue_stale_leases()
                 self._check_stalled(last_progress)
                 continue
             accepted = self._accept(payload)
@@ -286,4 +671,28 @@ class TCPBroker(_BrokerBase):
             self._state.closing = True
         self._server.shutdown()
         self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def abort(self) -> None:
+        """Stop serving abruptly, *without* telling workers to exit.
+
+        Severs the listening socket and every live worker connection,
+        as a crashing broker would.  Workers started with a
+        ``reconnect_grace`` keep retrying and rejoin a broker
+        restarted on the same port with ``resume=True`` (crash
+        simulation in tests, emergency preemption in production).
+        """
+        self._server.shutdown()
+        self._server.server_close()
+        with self._state.lock:
+            conns = list(self._state.conns.values())
+        for conn in conns:
+            try:
+                conn.shutdown(2)  # socket.SHUT_RDWR
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
         self._thread.join(timeout=5.0)

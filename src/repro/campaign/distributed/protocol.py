@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -27,6 +28,9 @@ __all__ = [
     "PROTOCOL_VERSION",
     "task_payload",
     "parse_task",
+    "chunk_payload",
+    "stamp_lease",
+    "lease_stamp",
     "result_payload",
     "error_payload",
     "parse_outcome",
@@ -38,7 +42,9 @@ __all__ = [
 
 #: Bumped on any incompatible change to the payloads below; brokers
 #: refuse workers announcing a different version.
-PROTOCOL_VERSION = 1
+#: 2: tasks are leased in index-contiguous *chunks* ({"tasks": [...]})
+#:    with in-payload lease timestamps and heartbeat renewal.
+PROTOCOL_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -57,6 +63,56 @@ def parse_task(payload: Dict) -> Tuple[str, int, Spec]:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SchedulingError(f"malformed task payload: {exc}") from exc
+
+
+def chunk_payload(job: str, name: str, tasks: list) -> Dict:
+    """One leased work *chunk*: an index-contiguous run of tasks.
+
+    ``active`` holds the task a worker is currently executing (so a
+    crashed worker's in-flight unit is recoverable from the file
+    alone); ``tasks`` holds the not-yet-started remainder, which a
+    broker may split off for idle workers to steal.  ``lease`` is the
+    in-payload lease clock (see :func:`stamp_lease`).
+    """
+    return {
+        "job": job,
+        "chunk": str(name),
+        "active": None,
+        "tasks": list(tasks),
+        "lease": None,
+    }
+
+
+def stamp_lease(payload: Dict, *, renew_only: bool = False) -> Dict:
+    """Write the current wall-clock into ``payload``'s lease stamp.
+
+    The stamp inside the payload — not the lease file's mtime — is the
+    expiry authority: mtime is coarse or skewed on some shared
+    filesystems (NFS attribute caching, FAT 2-second resolution), and
+    a worker touching a file it re-wrote anyway adds nothing.  mtime
+    remains a *fallback* for unreadable payloads.
+    """
+    now = time.time()
+    lease = payload.get("lease")
+    if not isinstance(lease, dict) or not renew_only:
+        lease = {"claimed_at": now}
+    lease["renewed_at"] = now
+    payload["lease"] = lease
+    return payload
+
+
+def lease_stamp(payload: Optional[Dict]) -> Optional[float]:
+    """The authoritative lease time of ``payload``, if it carries one."""
+    if not isinstance(payload, dict):
+        return None
+    lease = payload.get("lease")
+    if not isinstance(lease, dict):
+        return None
+    stamp = lease.get("renewed_at", lease.get("claimed_at"))
+    try:
+        return float(stamp)
+    except (TypeError, ValueError):
+        return None
 
 
 def result_payload(job: str, index: int, result: ScenarioResult) -> Dict:
@@ -87,10 +143,17 @@ def parse_outcome(payload: Dict) -> Tuple[str, int, object]:
 # Shared-directory primitives
 # ----------------------------------------------------------------------
 def atomic_write_json(path: Path, payload: Dict) -> None:
-    """Write ``payload`` so readers never observe a partial file."""
+    """Write ``payload`` so readers never observe a partial file.
+
+    The temp file must never match the ``*.json`` globs consumers
+    scan: ``pathlib.glob`` matches dotfiles, so a ``.tmp-*.json``
+    sibling could be read half-written and consumed (deleted) by the
+    broker, making the writer's ``os.replace`` fail and silently
+    losing the payload.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(
-        dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        dir=str(path.parent), prefix=".tmp-", suffix=".part"
     )
     try:
         with os.fdopen(fd, "w") as handle:

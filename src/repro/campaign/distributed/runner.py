@@ -15,12 +15,20 @@ attached over one of two transports:
 
 Workers join with ``python -m repro campaign-worker``; for same-host
 fleets ``n_local_workers=K`` spawns (and on :meth:`close` reaps) K
-worker subprocesses automatically.
+worker subprocesses automatically, while ``autoscale=(lo, hi)`` grows
+and shrinks the local fleet with the observed backlog instead.
+
+Fault tolerance: worker heartbeats renew leases during long scenarios
+(``heartbeat``), crashed workers' chunks are requeued after
+``lease_timeout``, ``resume=True`` replays a previous (crashed)
+broker's result ledger instead of re-running completed scenarios, and
+``chunk_size > 1`` leases short scenarios in splittable,
+steal-friendly chunks.
 
 Determinism: specs carry their own ``SeedSequence``-derived seeds and
 results are streamed back index-tagged, so results and aggregates are
 bit-identical to the sequential local runner, regardless of fleet
-size, scheduling, or lease requeues.
+size, scheduling, lease requeues, steals, or broker restarts.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
@@ -37,7 +46,7 @@ from ..cache import ResultCache
 from ..growth import GrowableRunnerMixin
 from ..runner import CampaignResult, OnResult
 from ..spec import ScenarioResult, Spec, is_cacheable
-from .broker import DirectoryBroker, TCPBroker
+from .broker import DirectoryBroker, TCPBroker, campaign_hash
 
 __all__ = ["DistributedRunner"]
 
@@ -64,11 +73,36 @@ class DistributedRunner(GrowableRunnerMixin):
         see it).
     n_local_workers:
         Worker subprocesses to spawn on this host (0 = the fleet is
-        attached externally).
+        attached externally).  Ignored when ``autoscale`` is given.
+    autoscale:
+        ``(lo, hi)`` bounds for an adaptive local fleet: while a
+        campaign runs, a supervisor thread keeps
+        ``clamp(unresolved_units, lo, hi)`` workers alive — spawning
+        replacements for crashed ones, and letting surplus workers
+        retire through their idle timeout as the queue drains.
     lease_timeout:
-        Directory transport only: seconds before an unfinished claim
-        is assumed dead and requeued.  Must exceed the slowest single
-        scenario.
+        Seconds without lease renewal before an unfinished claim is
+        assumed dead and requeued.  With heartbeats (below) this may
+        be much shorter than the slowest scenario.  ``None`` on the
+        TCP transport disables heartbeat expiry (connection loss still
+        requeues).
+    heartbeat:
+        Interval at which spawned workers renew their leases while
+        executing; passed to ``campaign-worker --heartbeat``.
+    chunk_size:
+        Tasks per lease.  >1 amortizes per-claim overhead for very
+        short scenarios; the broker splits outstanding chunks when the
+        queue runs dry so idle workers steal their tails.
+    resume:
+        Replay the transport's result ledger on the *first*
+        :meth:`run`, skipping scenarios a previous (crashed) broker
+        already collected.  The ledger is validated against the
+        campaign's content hash (a mismatch refuses rather than
+        truncating the journal).  Consumed by that first run: later
+        runs on the same runner (``extend`` suffixes) submit fresh.
+    ledger:
+        Ledger file for the TCP transport (the directory transport
+        always journals to ``<workdir>/ledger.jsonl``).
     result_timeout:
         Fail the campaign if no outcome arrives for this many seconds
         (``None`` waits forever) — the guard against running
@@ -82,9 +116,16 @@ class DistributedRunner(GrowableRunnerMixin):
         listen: Optional[Tuple[str, int]] = None,
         cache: Optional[ResultCache] = None,
         n_local_workers: int = 0,
+        autoscale: Optional[Tuple[int, int]] = None,
         poll: float = 0.05,
-        lease_timeout: float = 60.0,
+        lease_timeout: Optional[float] = 60.0,
+        heartbeat: Optional[float] = 15.0,
+        chunk_size: int = 1,
+        resume: bool = False,
+        ledger: Union[str, Path, None] = None,
         result_timeout: Optional[float] = None,
+        autoscale_interval: float = 0.5,
+        autoscale_idle: float = 5.0,
     ) -> None:
         if (workdir is None) == (listen is None):
             raise SchedulingError(
@@ -94,23 +135,48 @@ class DistributedRunner(GrowableRunnerMixin):
             raise SchedulingError(
                 f"n_local_workers must be >= 0, got {n_local_workers}"
             )
+        if autoscale is not None:
+            lo, hi = autoscale
+            if not (0 <= lo <= hi) or hi < 1:
+                raise SchedulingError(
+                    "autoscale must be 0 <= lo <= hi, hi >= 1, "
+                    f"got {autoscale}"
+                )
         self.cache = cache
         self.n_local_workers = int(n_local_workers)
+        self.autoscale = autoscale
+        self.autoscale_interval = float(autoscale_interval)
+        self.autoscale_idle = float(autoscale_idle)
+        self.heartbeat = heartbeat
+        self.resume = bool(resume)
         self.poll = float(poll)
         self._procs: List[subprocess.Popen] = []
+        self._procs_lock = threading.Lock()
+        self._peak_workers = 0
+        self._scaler_stop: Optional[threading.Event] = None
+        self._scaler: Optional[threading.Thread] = None
         self._closed = False
         if workdir is not None:
             self._broker = DirectoryBroker(
                 workdir,
                 poll=poll,
-                lease_timeout=lease_timeout,
+                lease_timeout=(
+                    60.0 if lease_timeout is None else lease_timeout
+                ),
                 result_timeout=result_timeout,
+                chunk_size=chunk_size,
             )
             self._worker_args = ["--dir", str(workdir)]
         else:
             host, port = listen
             self._broker = TCPBroker(
-                host, int(port), poll=poll, result_timeout=result_timeout
+                host,
+                int(port),
+                poll=poll,
+                result_timeout=result_timeout,
+                lease_timeout=lease_timeout,
+                chunk_size=chunk_size,
+                ledger_path=ledger,
             )
             bound_host, bound_port = self._broker.address
             self._worker_args = ["--connect", f"{bound_host}:{bound_port}"]
@@ -124,6 +190,8 @@ class DistributedRunner(GrowableRunnerMixin):
 
     @property
     def n_workers(self) -> int:
+        if self.autoscale is not None:
+            return self._peak_workers
         return self.n_local_workers
 
     # ------------------------------------------------------------------
@@ -165,58 +233,135 @@ class DistributedRunner(GrowableRunnerMixin):
             else:
                 pending.append((index, spec))
 
+        replayed = 0
+        # resume applies to the restart moment only: a later run() on
+        # this runner (e.g. an extend() suffix) is a new submission
+        # whose hash would never match the ledger — consume the flag
+        # even when this run is served entirely from cache.
+        resume = self.resume
+        self.resume = False
         if pending:
-            self._broker.submit(pending)
-            self._ensure_local_workers()
-            for index, result in self._broker.outcomes():
-                if self.cache is not None:
-                    self.cache.put(result)
-                emit(index, result)
+            # The ledger header must identify the *full* campaign, not
+            # the cache-filtered subset submitted below: cache state
+            # differs between a crashed run and its resume (collected
+            # results were cached), and must not change the hash.
+            self._broker.submit(
+                pending,
+                resume=resume,
+                campaign=campaign_hash(list(enumerate(specs))),
+            )
+            replayed = self._broker.replayed
+            if not self._broker.done:
+                self._start_fleet()
+            try:
+                for index, result in self._broker.outcomes():
+                    if self.cache is not None:
+                        self.cache.put(result)
+                    emit(index, result)
+            finally:
+                self._stop_autoscaler()
 
         return CampaignResult(
             results=[r for r in results if r is not None],
             wall_time_s=time.perf_counter() - start,
-            n_workers=self.n_local_workers,
+            n_workers=self.n_workers,
             cache_hits=cache_hits,
-            executed=len(pending),
+            executed=len(pending) - replayed,
+            replayed=replayed,
         )
 
     # ------------------------------------------------------------------
-    def _ensure_local_workers(self) -> None:
-        self._procs = [p for p in self._procs if p.poll() is None]
-        missing = self.n_local_workers - len(self._procs)
-        if missing <= 0:
+    def _start_fleet(self) -> None:
+        if self.autoscale is None:
+            self._scale_to(self.n_local_workers)
             return
-        env = os.environ.copy()
-        src = _repro_src_dir()
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = (
-            src if not existing else src + os.pathsep + existing
+        lo, hi = self.autoscale
+        self._scale_to(
+            max(lo, min(hi, self._broker.remaining)),
+            idle_timeout=self.autoscale_idle,
         )
-        cmd = [
-            sys.executable,
-            "-m",
-            "repro",
-            "campaign-worker",
-            *self._worker_args,
-            "--poll",
-            str(self.poll),
-        ]
-        for _ in range(missing):
-            self._procs.append(
-                subprocess.Popen(
-                    cmd,
-                    env=env,
-                    stdout=subprocess.DEVNULL,
-                    stderr=subprocess.DEVNULL,
-                )
+        self._scaler_stop = threading.Event()
+        self._scaler = threading.Thread(
+            target=self._autoscale_loop,
+            name="repro-campaign-autoscaler",
+            daemon=True,
+        )
+        self._scaler.start()
+
+    def _autoscale_loop(self) -> None:
+        lo, hi = self.autoscale
+        stop = self._scaler_stop
+        while not stop.wait(self.autoscale_interval):
+            remaining = self._broker.remaining
+            if remaining == 0:
+                continue  # campaign finishing; let workers retire
+            target = max(lo, min(hi, remaining))
+            try:
+                self._scale_to(target, idle_timeout=self.autoscale_idle)
+            except OSError:
+                continue  # spawn hiccup; retry next tick
+
+    def _stop_autoscaler(self) -> None:
+        if self._scaler_stop is not None:
+            self._scaler_stop.set()
+        if self._scaler is not None:
+            self._scaler.join(timeout=5.0)
+        self._scaler = None
+        self._scaler_stop = None
+
+    def _scale_to(
+        self, target: int, *, idle_timeout: Optional[float] = None
+    ) -> None:
+        """Top the local fleet up to ``target`` live workers.
+
+        Scale-*down* is deliberately passive: surplus workers exit on
+        their own ``--idle-timeout`` once the queue no longer feeds
+        them, so no task is ever interrupted to shed capacity.
+        """
+        with self._procs_lock:
+            if self._closed:
+                return
+            self._procs = [p for p in self._procs if p.poll() is None]
+            missing = target - len(self._procs)
+            if missing <= 0:
+                return
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro",
+                "campaign-worker",
+                *self._worker_args,
+                "--poll",
+                str(self.poll),
+            ]
+            if self.heartbeat is not None:
+                cmd += ["--heartbeat", str(self.heartbeat)]
+            if idle_timeout is not None:
+                cmd += ["--idle-timeout", str(idle_timeout)]
+            env = os.environ.copy()
+            src = _repro_src_dir()
+            existing = env.get("PYTHONPATH")
+            env["PYTHONPATH"] = (
+                src if not existing else src + os.pathsep + existing
             )
+            for _ in range(missing):
+                self._procs.append(
+                    subprocess.Popen(
+                        cmd,
+                        env=env,
+                        stdout=subprocess.DEVNULL,
+                        stderr=subprocess.DEVNULL,
+                    )
+                )
+            self._peak_workers = max(self._peak_workers, len(self._procs))
 
     def close(self) -> None:
         """Signal workers to exit and reap any spawned locally."""
         if self._closed:
             return
-        self._closed = True
+        self._stop_autoscaler()
+        with self._procs_lock:
+            self._closed = True
         self._broker.close()
         deadline = time.monotonic() + 5.0
         for proc in self._procs:

@@ -4,41 +4,70 @@ Any directory both sides can see — local disk for same-host workers,
 NFS or another shared mount for a multi-host fleet — becomes the
 queue.  Layout under the root:
 
-``pending/task-NNNNNN.json``
-    Published work units (:func:`~.protocol.task_payload`).
-``claimed/task-NNNNNN.json``
-    Units a worker has leased.  Claiming is a single ``os.rename``
+``pending/chunk-NNNNNN-<token>.json``
+    Published work *chunks* (:func:`~.protocol.chunk_payload`): an
+    index-contiguous run of tasks, named after the first index.
+``claimed/chunk-NNNNNN-<token>.json``
+    Chunks a worker has leased.  Claiming is a single ``os.rename``
     from ``pending/`` — atomic on POSIX, so exactly one worker wins a
-    race.  The file's mtime (touched at claim time) is the lease
-    clock: the broker renames entries older than the lease timeout
-    back to ``pending/``.
+    race.  The lease clock is the ``lease`` stamp *inside* the payload
+    (written at claim time, renewed by worker heartbeats); the file's
+    mtime is only a fallback for unreadable payloads, because mtime is
+    coarse or skewed on some shared filesystems.
 ``results/<job>-NNNNNN.json``
-    Outcome payloads, written atomically; the broker consumes (and
-    deletes) them as they appear, ignoring alien jobs.
+    Per-task outcome payloads, written atomically; the broker consumes
+    (and deletes) them as they appear, ignoring alien jobs.
+``starving/<worker-token>``
+    Demand markers: a worker touches its token whenever a claim
+    attempt finds nothing, and clears it when it gets work.
+``ledger.jsonl``
+    The broker's append-only result journal (see
+    :mod:`~repro.campaign.distributed.broker`); never touched here.
 ``shutdown``
     Marker telling idle workers to exit.
 
-Duplicate execution (a slow worker finishing after its lease was
-requeued) is harmless: execution is deterministic, outcomes are
-deduplicated by index broker-side, and the job token keeps campaigns
-in the same directory from cross-talking.
+Work stealing: the broker, while polling, splits the largest claimed
+chunk when ``pending/`` runs dry *and* a starving marker is fresh
+(:meth:`WorkDir.split_starved`), so the hungry worker's next claim
+*is* the steal.  Duplicate execution
+(a slow worker finishing after its chunk was split or requeued) is
+harmless: execution is deterministic, outcomes are deduplicated by
+index broker-side, and the job token keeps campaigns in the same
+directory from cross-talking.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import uuid
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..spec import Spec
-from .protocol import atomic_write_json, read_json, task_payload
+from .protocol import (
+    atomic_write_json,
+    chunk_payload,
+    lease_stamp,
+    read_json,
+    stamp_lease,
+    task_payload,
+)
 
 __all__ = ["WorkDir"]
 
 
-def _task_name(index: int) -> str:
-    return f"task-{index:06d}.json"
+def _chunk_name(first_index: int) -> str:
+    return f"chunk-{first_index:06d}-{uuid.uuid4().hex[:8]}.json"
+
+
+def _remaining_tasks(payload: Dict) -> List[Dict]:
+    """Every unfinished task in a chunk, in index order (active first)."""
+    tasks = list(payload.get("tasks") or ())
+    active = payload.get("active")
+    if isinstance(active, dict):
+        tasks.insert(0, active)
+    return tasks
 
 
 class WorkDir:
@@ -49,22 +78,34 @@ class WorkDir:
         self.pending = self.root / "pending"
         self.claimed = self.root / "claimed"
         self.results = self.root / "results"
+        self.starving = self.root / "starving"
+        self.ledger_path = self.root / "ledger.jsonl"
         self.shutdown_marker = self.root / "shutdown"
 
     def ensure_layout(self) -> None:
-        for sub in (self.pending, self.claimed, self.results):
+        for sub in (self.pending, self.claimed, self.results,
+                    self.starving):
             sub.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
     # Broker side
     # ------------------------------------------------------------------
-    def publish(self, job: str, items: List[Tuple[int, Spec]]) -> None:
-        """Begin a job: clear leftovers, enqueue every ``(index, spec)``.
+    def publish(
+        self,
+        job: str,
+        items: List[Tuple[int, Spec]],
+        *,
+        chunk_size: int = 1,
+    ) -> None:
+        """Begin a job: clear leftovers, enqueue ``items`` in chunks.
 
-        Leftovers (tasks or results of a crashed or superseded
+        Leftovers (chunks or results of a crashed or superseded
         campaign) are safe to drop: this broker is the only consumer
         of the directory, and stale workers' outcomes are filtered by
-        job token anyway.
+        job token anyway.  ``chunk_size`` tasks go into each
+        index-contiguous chunk — 1 (the default) degenerates to one
+        task per lease; larger sizes amortize claim overhead for very
+        short scenarios.
         """
         self.ensure_layout()
         self.clear_shutdown()
@@ -74,25 +115,226 @@ class WorkDir:
                     path.unlink()
                 except OSError:
                     pass
-        for index, spec in items:
-            atomic_write_json(
-                self.pending / _task_name(index),
-                task_payload(job, index, spec),
+        self.enqueue(job, items, chunk_size=chunk_size)
+
+    def enqueue(
+        self,
+        job: str,
+        items: List[Tuple[int, Spec]],
+        *,
+        chunk_size: int = 1,
+    ) -> None:
+        """Append ``items`` as new pending chunks (no cleanup)."""
+        size = max(1, int(chunk_size))
+        ordered = sorted(items, key=lambda pair: pair[0])
+        for lo in range(0, len(ordered), size):
+            batch = ordered[lo : lo + size]
+            self._publish_chunk(
+                job, [task_payload(job, i, spec) for i, spec in batch]
             )
 
-    def requeue_expired(self, lease_timeout: float) -> int:
-        """Return expired claims to ``pending/``; count requeued."""
+    def _publish_chunk(self, job: str, tasks: List[Dict]) -> int:
+        """Write ``tasks`` as one fresh pending chunk; count tasks."""
+        if not tasks:
+            return 0
+        name = _chunk_name(int(tasks[0].get("index", 0)))
+        atomic_write_json(
+            self.pending / name, chunk_payload(job, name, tasks)
+        )
+        return len(tasks)
+
+    def requeue_expired(
+        self,
+        lease_timeout: float,
+        observed: Optional[Dict[str, Tuple[float, float]]] = None,
+    ) -> int:
+        """Requeue chunks whose lease ran out; count requeued *tasks*.
+
+        Expiry is judged on the lease stamp inside the payload (a
+        heartbeating worker keeps it fresh however long its scenario
+        runs); the file mtime is consulted only when the payload
+        carries no stamp.
+
+        ``observed`` is the caller's persistent scan state (chunk file
+        name -> ``(last_stamp, monotonic_first_seen)``).  With it, a
+        lease expires when its stamp has not *changed* for
+        ``lease_timeout`` seconds of this host's monotonic time — the
+        stamp is treated as a renewal nonce, so worker wall clocks
+        (which may be arbitrarily skewed on a multi-host fleet) never
+        enter the comparison.  Without it, the stamp is compared
+        against this host's wall clock directly (one-shot callers).
+        """
         requeued = 0
-        deadline = time.time() - lease_timeout
-        for path in self.claimed.glob("task-*.json"):
-            try:
-                if path.stat().st_mtime > deadline:
+        now_wall = time.time()
+        now_mono = time.monotonic()
+        present = set()
+        for path in self.claimed.glob("chunk-*.json"):
+            payload = read_json(path)
+            stamp = lease_stamp(payload)
+            if stamp is None:
+                try:
+                    stamp = path.stat().st_mtime
+                except OSError:
+                    continue  # worker finished (or released) mid-scan
+            name = path.name
+            present.add(name)
+            if observed is not None:
+                prev = observed.get(name)
+                if prev is None or prev[0] != stamp:
+                    observed[name] = (stamp, now_mono)
+                    continue  # new or renewed since the last scan
+                if now_mono - prev[1] <= lease_timeout:
                     continue
-                os.replace(path, self.pending / path.name)
-                requeued += 1
+            elif now_wall - stamp <= lease_timeout:
+                continue
+            if payload is None:
+                # Unreadable and expired.  Do NOT move it to pending/:
+                # claim() deletes unreadable files, which would lose
+                # the tasks for good.  Atomic writes make persistent
+                # corruption near-impossible; if it ever happens the
+                # campaign stalls and the result_timeout guard names
+                # the unresolved indices.
+                continue
+            requeued += self._publish_chunk(
+                str(payload.get("job", "")), _remaining_tasks(payload)
+            )
+            try:
+                path.unlink()
             except OSError:
-                continue  # worker finished (or claimed anew) mid-scan
+                pass
+            present.discard(name)
+        if observed is not None:
+            for name in list(observed):
+                if name not in present:
+                    del observed[name]
         return requeued
+
+    def split_starved(
+        self,
+        *,
+        demand_window: float = 2.0,
+        observed: Optional[Dict[str, Tuple[float, float]]] = None,
+    ) -> int:
+        """Split the largest claimed chunk for a *starving* worker.
+
+        A split happens only when ``pending/`` is empty AND some
+        worker has recently (within ``demand_window`` seconds)
+        reported finding nothing to claim — an empty queue alone is
+        not demand: with every worker busy on its own chunk, splitting
+        would just decay chunks to size 1 and re-introduce the
+        per-task overhead chunking amortizes.  ``observed`` mirrors
+        :meth:`requeue_expired`'s scan state: with it, marker
+        freshness is change-based and immune to worker clock skew.
+
+        Returns the number of tasks moved back to ``pending/``.  The
+        split leaves the owner the front half — it is already
+        executing from the front — and publishes the tail as a fresh
+        chunk, so the starving worker's next claim *is* the steal.  A
+        concurrent rewrite by the owner can resurrect a task in both
+        halves; duplicates are deduplicated broker-side.
+        """
+        if not self._has_starving(demand_window, observed):
+            return 0
+        try:
+            if any(self.pending.glob("chunk-*.json")):
+                return 0
+        except OSError:
+            return 0
+        best_path: Optional[Path] = None
+        best_payload: Optional[Dict] = None
+        for path in self.claimed.glob("chunk-*.json"):
+            payload = read_json(path)
+            if payload is None:
+                continue
+            tasks = payload.get("tasks") or ()
+            if len(tasks) < 2:
+                continue
+            if best_payload is None or len(tasks) > len(
+                best_payload["tasks"]
+            ):
+                best_path, best_payload = path, payload
+        if best_payload is None or best_path is None:
+            return 0
+        tasks = list(best_payload["tasks"])
+        keep = (len(tasks) + 1) // 2
+        stolen = tasks[keep:]
+        best_payload["tasks"] = tasks[:keep]
+        atomic_write_json(best_path, best_payload)
+        return self._publish_chunk(
+            str(best_payload.get("job", "")), stolen
+        )
+
+    def _has_starving(
+        self,
+        demand_window: float,
+        observed: Optional[Dict[str, Tuple[float, float]]] = None,
+    ) -> bool:
+        """Any worker hungry within the window?  Prunes stale markers.
+
+        With ``observed``, a marker is live while its mtime keeps
+        changing (the starving worker re-touches it), judged in this
+        host's monotonic time; without it, mtime is compared against
+        this host's wall clock.
+        """
+        now_wall = time.time()
+        now_mono = time.monotonic()
+        found = False
+        try:
+            markers = list(self.starving.glob("*"))
+        except OSError:
+            return False
+        for path in markers:
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # the worker just found work and cleared it
+            if observed is not None:
+                prev = observed.get(path.name)
+                if prev is None or prev[0] != mtime:
+                    observed[path.name] = (mtime, now_mono)
+                    found = True
+                elif now_mono - prev[1] <= demand_window:
+                    found = True
+                elif now_mono - prev[1] > 10.0 * demand_window:
+                    try:  # a dead worker's marker; drop it
+                        path.unlink()
+                    except OSError:
+                        pass
+                    del observed[path.name]
+                continue
+            age = now_wall - mtime
+            if age <= demand_window:
+                found = True
+            elif age > 10.0 * demand_window:
+                try:  # a dead worker's marker; drop it
+                    path.unlink()
+                except OSError:
+                    pass
+        return found
+
+    def mark_starving(self, token: str) -> None:
+        """Worker-side: record that a claim attempt found nothing."""
+        try:
+            self.starving.mkdir(parents=True, exist_ok=True)
+            (self.starving / token).touch()
+        except OSError:
+            pass  # demand signal is best-effort
+
+    def clear_starving(self, token: str) -> None:
+        try:
+            (self.starving / token).unlink()
+        except OSError:
+            pass
+
+    def backlog(self) -> int:
+        """Unfinished tasks visible in the queue (pending + claimed)."""
+        count = 0
+        for sub in (self.pending, self.claimed):
+            for path in sub.glob("chunk-*.json"):
+                payload = read_json(path)
+                if payload is not None:
+                    count += len(_remaining_tasks(payload))
+        return count
 
     def pop_outcomes(self, job: str) -> Iterator[Dict]:
         """Consume result files, yielding payloads belonging to ``job``."""
@@ -118,21 +360,15 @@ class WorkDir:
     # Worker side
     # ------------------------------------------------------------------
     def claim(self) -> Optional[Dict]:
-        """Lease one pending task; ``None`` if nothing is available."""
+        """Lease one pending chunk; ``None`` if nothing is available."""
         if not self.pending.is_dir():
             return None
-        for path in sorted(self.pending.glob("task-*.json")):
+        for path in sorted(self.pending.glob("chunk-*.json")):
             target = self.claimed / path.name
             try:
                 os.rename(path, target)
             except OSError:
-                continue  # lost the race for this unit
-            try:
-                # Start the lease clock now: the rename preserved the
-                # publish-time mtime, which may already look expired.
-                os.utime(target, None)
-            except OSError:
-                continue  # broker requeued it in the window before utime
+                continue  # lost the race for this chunk
             payload = read_json(target)
             if payload is None:  # broker cleared the job mid-claim
                 try:
@@ -140,12 +376,59 @@ class WorkDir:
                 except OSError:
                     pass
                 continue
+            payload["chunk"] = path.name
+            # Start the lease clock now: the publish-time payload (and
+            # the rename-preserved mtime) may already look expired.
+            stamp_lease(payload)
+            atomic_write_json(target, payload)
             return payload
 
         return None
 
+    def refresh(self, chunk: str) -> Optional[Dict]:
+        """Re-read a claimed chunk; ``None`` if it was stolen/requeued."""
+        return read_json(self.claimed / chunk)
+
+    def update(self, payload: Dict) -> None:
+        """Persist a claimed chunk's state (renewing its lease)."""
+        stamp_lease(payload, renew_only=True)
+        atomic_write_json(self.claimed / str(payload["chunk"]), payload)
+
+    def release(self, chunk: str) -> None:
+        """Drop a finished chunk's lease file."""
+        try:
+            (self.claimed / chunk).unlink()
+        except OSError:
+            pass  # requeued/stolen while we finished
+
+    def requeue_rest(self, payload: Dict) -> None:
+        """Hand a chunk's unfinished tasks back to ``pending/``.
+
+        Used by a worker stopping early (``max_tasks`` mid-chunk) so
+        the rest of the fleet picks the remainder up immediately
+        instead of after a lease expiry.
+        """
+        self._publish_chunk(
+            str(payload.get("job", "")), _remaining_tasks(payload)
+        )
+        self.release(str(payload["chunk"]))
+
+    def renew(self, chunk: str) -> bool:
+        """Heartbeat: refresh a claimed chunk's lease stamp.
+
+        Returns ``False`` when the chunk is no longer ours (requeued
+        after an expiry the heartbeat lost a race with, or consumed),
+        so the caller can stop renewing.
+        """
+        payload = self.refresh(chunk)
+        if payload is None:
+            return False
+        stamp_lease(payload, renew_only=True)
+        atomic_write_json(self.claimed / chunk, payload)
+        return True
+
     def submit(self, payload: Dict) -> None:
-        """Publish an outcome and release the matching claim."""
+        """Publish one task's outcome payload."""
         index = int(payload["index"])
         try:
             atomic_write_json(
@@ -156,10 +439,6 @@ class WorkDir:
             # nobody can consume this outcome.  Dropping it is safe —
             # were the campaign still alive, the lease would requeue.
             return
-        try:
-            (self.claimed / _task_name(index)).unlink()
-        except OSError:
-            pass  # requeued and re-claimed while we executed
 
     def is_shutdown(self) -> bool:
         return self.shutdown_marker.exists()

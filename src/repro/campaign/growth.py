@@ -191,4 +191,5 @@ class GrowableRunnerMixin:
             n_workers=suffix.n_workers,
             cache_hits=suffix.cache_hits,
             executed=suffix.executed,
+            replayed=suffix.replayed,
         )

@@ -227,8 +227,10 @@ class CampaignResult:
 
     ``cache_hits`` counts results served from the on-disk cache;
     ``executed`` counts specs actually run (by a pool worker, the
-    calling process, or a distributed fleet) — the two sum to
-    ``len(results)`` for a plain :meth:`CampaignRunner.run`, while an
+    calling process, or a distributed fleet); ``replayed`` counts
+    results a resuming distributed broker recovered from its ledger
+    instead of re-running.  The three sum to ``len(results)`` for a
+    plain :meth:`CampaignRunner.run`, while an
     :meth:`~repro.campaign.growth.GrowableRunnerMixin.extend` reports
     the suffix run's counts next to the full merged result list.
     """
@@ -238,6 +240,7 @@ class CampaignResult:
     n_workers: int
     cache_hits: int
     executed: int = 0
+    replayed: int = 0
 
     def __len__(self) -> int:
         return len(self.results)

@@ -1,0 +1,314 @@
+"""Chaos/fault-injection harness for the distributed backend.
+
+A seeded chaos controller SIGKILLs real worker subprocesses at random
+points mid-campaign while the broker is restarted mid-collection
+(simulated crash + ``resume=True``), over both transports.  Whatever
+the fault schedule, the assembled results must be bit-identical to
+the sequential local runner's, and the resume ledger must prevent
+re-execution of scenarios the first broker already collected.
+
+These tests boot real interpreters and wait out lease expiries; they
+are the slowest part of the suite.  Deselect locally with
+``-m "not chaos"``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignRunner, ScenarioSpec, spawn_seeds
+from repro.campaign.distributed import DirectoryBroker, TCPBroker, WorkDir
+
+pytestmark = pytest.mark.chaos
+
+#: Generous stall guard: tests should fail loudly, never hang.
+TIMEOUT = 180.0
+#: Outcomes the first broker collects before it "crashes".
+CRASH_AFTER = 3
+#: Acceptance criterion: the harness passes 5 consecutive seeded runs.
+CHAOS_SEEDS = range(5)
+
+#: ~0.4 s of simulation per unit: long enough for kills to land
+#: mid-execution, short enough to keep the harness quick.
+N_SCENARIOS = 4
+SPEC_KW = dict(n_graphs=2, horizon=2000.0, on_miss="record")
+
+
+def chaos_specs(seed):
+    return [
+        ScenarioSpec(scheme=scheme, seed=s, **SPEC_KW)
+        for s in spawn_seeds(seed, N_SCENARIOS)
+        for scheme in ("EDF", "ccEDF")
+    ]
+
+
+_SEQUENTIAL = {}
+
+
+def sequential_metrics(seed):
+    """The sequential reference, computed once per chaos seed."""
+    if seed not in _SEQUENTIAL:
+        campaign = CampaignRunner(1).run(chaos_specs(seed))
+        _SEQUENTIAL[seed] = [r.metrics for r in campaign.results]
+    return _SEQUENTIAL[seed]
+
+
+def spawn_worker(extra):
+    """A real ``campaign-worker`` subprocess (kill target)."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env = os.environ.copy()
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "campaign-worker",
+            *extra,
+            "--poll",
+            "0.02",
+            "--heartbeat",
+            "0.25",
+            "--idle-timeout",
+            "60",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class ChaosController:
+    """SIGKILLs random fleet members at seeded times, then replaces
+    them, keeping the fleet size constant."""
+
+    def __init__(self, rng, worker_args, n_workers=2, n_kills=2):
+        self.rng = rng
+        self.worker_args = worker_args
+        self.lock = threading.Lock()
+        self.procs = [spawn_worker(worker_args) for _ in range(n_workers)]
+        self.kill_delays = rng.uniform(0.4, 1.4, size=n_kills)
+        self.killed = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        for delay in self.kill_delays:
+            if self._stop.wait(float(delay)):
+                return
+            with self.lock:
+                victim = int(self.rng.integers(len(self.procs)))
+                self.procs[victim].kill()  # SIGKILL, mid-whatever
+                self.procs[victim] = spawn_worker(self.worker_args)
+                self.killed += 1
+
+    def stop(self):
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+        with self.lock:
+            for proc in self.procs:
+                proc.kill()
+            for proc in self.procs:
+                proc.wait(timeout=10.0)
+
+
+def collect(broker, n):
+    """Take ``n`` outcomes from a broker, then stop (mid-collection)."""
+    got = {}
+    stream = broker.outcomes()
+    for index, result in stream:
+        got[index] = result
+        if len(got) >= n:
+            break
+    return got
+
+
+def assert_ledger_complete(ledger_path, n_specs):
+    """Every index journaled exactly once: duplicates (requeues that
+    raced a slow worker) are deduplicated *before* the journal."""
+    lines = ledger_path.read_text().splitlines()
+    indices = sorted(
+        json.loads(line)["index"]
+        for line in lines[1:]
+        if line.strip()
+    )
+    assert indices == list(range(n_specs))
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+class TestChaosDirectory:
+    def test_kills_and_broker_restart(self, tmp_path, seed):
+        specs = chaos_specs(seed)
+        rng = np.random.default_rng(seed)
+        chaos = ChaosController(rng, ["--dir", str(tmp_path)])
+        try:
+            first = DirectoryBroker(
+                tmp_path,
+                poll=0.02,
+                lease_timeout=2.0,
+                result_timeout=TIMEOUT,
+                chunk_size=2,
+            )
+            first.submit(list(enumerate(specs)))
+            got = collect(first, CRASH_AFTER)
+            first.abort()  # "crash": no shutdown marker, no cleanup
+
+            second = DirectoryBroker(
+                tmp_path,
+                poll=0.02,
+                lease_timeout=2.0,
+                result_timeout=TIMEOUT,
+                chunk_size=2,
+            )
+            second.submit(list(enumerate(specs)), resume=True)
+            # The ledger replays exactly what the first broker
+            # accepted; only the complement is republished.
+            assert second.replayed == len(got)
+            assert second.remaining == len(specs) - len(got)
+            rest = dict(second.outcomes())
+            assert sorted(rest) == list(range(len(specs)))
+            assert {i: rest[i] for i in got} == got  # replay == first
+            second.close()
+        finally:
+            chaos.stop()
+        assert chaos.killed == len(chaos.kill_delays)
+        assert [
+            rest[i].metrics for i in range(len(specs))
+        ] == sequential_metrics(seed)
+        assert_ledger_complete(WorkDir(tmp_path).ledger_path, len(specs))
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+class TestChaosTCP:
+    def test_kills_and_broker_restart(self, tmp_path, seed):
+        specs = chaos_specs(seed)
+        rng = np.random.default_rng(1000 + seed)
+        ledger = tmp_path / "ledger.jsonl"
+        first = TCPBroker(
+            port=0,
+            poll=0.02,
+            lease_timeout=2.0,
+            result_timeout=TIMEOUT,
+            chunk_size=2,
+            ledger_path=ledger,
+        )
+        host, port = first.address
+        chaos = ChaosController(
+            rng,
+            [
+                "--connect",
+                f"{host}:{port}",
+                "--reconnect-grace",
+                "30",
+            ],
+        )
+        try:
+            first.submit(list(enumerate(specs)))
+            got = collect(first, CRASH_AFTER)
+            # "Crash": sever the listening socket and every worker
+            # connection; graceful workers reconnect within grace.
+            first.abort()
+
+            second = TCPBroker(
+                "127.0.0.1",
+                port,  # same endpoint the fleet keeps dialing
+                poll=0.02,
+                lease_timeout=2.0,
+                result_timeout=TIMEOUT,
+                chunk_size=2,
+                ledger_path=ledger,
+            )
+            try:
+                second.submit(list(enumerate(specs)), resume=True)
+                assert second.replayed == len(got)
+                assert second.remaining == len(specs) - len(got)
+                rest = dict(second.outcomes())
+            finally:
+                second.close()
+            assert sorted(rest) == list(range(len(specs)))
+            assert {i: rest[i] for i in got} == got
+        finally:
+            chaos.stop()
+        assert chaos.killed == len(chaos.kill_delays)
+        assert [
+            rest[i].metrics for i in range(len(specs))
+        ] == sequential_metrics(seed)
+        assert_ledger_complete(ledger, len(specs))
+
+
+class TestChaosBudget:
+    """Executed-work accounting under the chunk/steal machinery."""
+
+    def test_executed_never_exceeds_specs_plus_requeues(self, tmp_path):
+        """Duplicate execution can only come from a requeued lease or
+        a split that raced the owner: the fleet's total executed-unit
+        count is bounded by ``specs + requeues + splits`` (and the
+        broker still accepts every index exactly once)."""
+        import repro
+
+        specs = chaos_specs(0)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = os.environ.copy()
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "campaign-worker",
+                    "--dir",
+                    str(tmp_path),
+                    "--poll",
+                    "0.02",
+                    "--heartbeat",
+                    "0.25",
+                    "--idle-timeout",
+                    "60",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+            )
+            for _ in range(2)
+        ]
+        broker = DirectoryBroker(
+            tmp_path,
+            poll=0.02,
+            lease_timeout=30.0,
+            result_timeout=TIMEOUT,
+            chunk_size=2,
+        )
+        broker.submit(list(enumerate(specs)))
+        try:
+            collected = dict(broker.outcomes())
+        finally:
+            broker.close()  # shutdown marker: workers exit cleanly
+        executed = 0
+        for proc in procs:
+            out, _err = proc.communicate(timeout=30.0)
+            for line in (out or b"").decode().splitlines():
+                if "executed" in line:
+                    executed += int(line.split("executed")[1].split()[0])
+        assert sorted(collected) == list(range(len(specs)))
+        assert executed >= len(specs)  # everything ran at least once
+        assert executed <= (
+            len(specs) + broker.requeued_total + broker.split_total
+        )

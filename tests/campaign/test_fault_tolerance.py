@@ -1,0 +1,593 @@
+"""Fault-tolerance layer: heartbeat leases with in-payload clocks,
+the broker resume ledger, chunked work-stealing leases, autoscaling.
+
+These are the deterministic unit/integration tests; the randomized
+kill-and-restart harness lives in ``test_chaos.py``.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.campaign import CampaignRunner, ScenarioSpec, spawn_seeds
+from repro.campaign.distributed import (
+    DirectoryBroker,
+    DistributedRunner,
+    TCPBroker,
+    WorkDir,
+    campaign_hash,
+    run_directory_worker,
+    run_tcp_worker,
+)
+from repro.campaign.distributed.protocol import lease_stamp, stamp_lease
+from repro.errors import SchedulingError
+
+#: Generous stall guard: tests should fail loudly, never hang.
+TIMEOUT = 120.0
+
+
+def small_specs(n_scenarios=2, schemes=("EDF", "ccEDF"), **kwargs):
+    kwargs.setdefault("n_graphs", 2)
+    return [
+        ScenarioSpec(scheme=scheme, seed=seed, **kwargs)
+        for seed in spawn_seeds(0, n_scenarios)
+        for scheme in schemes
+    ]
+
+
+def metrics_of(campaign):
+    return [r.metrics for r in campaign.results]
+
+
+def fleet_thread(target, args, **kwargs):
+    t = threading.Thread(target=target, args=args, kwargs=kwargs, daemon=True)
+    t.start()
+    return t
+
+
+# ----------------------------------------------------------------------
+# Lease clock: the payload stamp is the authority, mtime the fallback
+# ----------------------------------------------------------------------
+class TestLeaseClock:
+    def publish_and_claim(self, tmp_path, n=1):
+        wd = WorkDir(tmp_path)
+        wd.ensure_layout()
+        wd.publish("job", list(enumerate(small_specs(1, ("EDF",) * n))))
+        payload = wd.claim()
+        assert payload is not None
+        return wd, payload
+
+    def test_fresh_stamp_survives_ancient_mtime(self, tmp_path):
+        """A skewed/coarse filesystem clock must not expire a live
+        lease: the claim stamp inside the payload wins."""
+        wd, payload = self.publish_and_claim(tmp_path)
+        path = wd.claimed / payload["chunk"]
+        os.utime(path, (0.0, 0.0))  # mtime says 1970
+        assert wd.requeue_expired(lease_timeout=60.0) == 0
+        assert path.exists()
+
+    def test_stale_stamp_expires_despite_fresh_mtime(self, tmp_path):
+        wd, payload = self.publish_and_claim(tmp_path)
+        path = wd.claimed / payload["chunk"]
+        payload["lease"] = {
+            "claimed_at": time.time() - 500.0,
+            "renewed_at": time.time() - 500.0,
+        }
+        path.write_text(json.dumps(payload))  # fresh mtime, old stamp
+        assert wd.requeue_expired(lease_timeout=60.0) == 1
+        assert not path.exists()
+        assert len(list(wd.pending.glob("chunk-*.json"))) == 1
+
+    def test_missing_stamp_falls_back_to_mtime(self, tmp_path):
+        """A worker that died between claiming (rename) and writing
+        the lease stamp leaves a stamp-less payload whose mtime is the
+        publish time — the fallback clock must still requeue it."""
+        wd, payload = self.publish_and_claim(tmp_path)
+        path = wd.claimed / payload["chunk"]
+        payload["lease"] = None
+        path.write_text(json.dumps(payload))
+        os.utime(path, None)  # fresh mtime: not expired yet
+        assert wd.requeue_expired(lease_timeout=60.0) == 0
+        os.utime(path, (0.0, 0.0))  # ancient mtime: expired
+        assert wd.requeue_expired(lease_timeout=60.0) == 1
+
+    def test_unreadable_chunk_is_never_deleted(self, tmp_path):
+        """An unreadable claimed chunk must not be routed through
+        pending/ (claim() deletes unreadable files — the tasks would
+        be lost for good and the campaign would hang silently);
+        it stays put for the stall guard to report."""
+        wd, payload = self.publish_and_claim(tmp_path)
+        path = wd.claimed / payload["chunk"]
+        path.write_text("{ not json")
+        os.utime(path, (0.0, 0.0))  # looks long-expired
+        assert wd.requeue_expired(lease_timeout=60.0) == 0
+        assert path.exists()
+        assert not list(wd.pending.glob("chunk-*.json"))
+
+    def test_renew_refreshes_the_stamp(self, tmp_path):
+        wd, payload = self.publish_and_claim(tmp_path)
+        chunk = payload["chunk"]
+        before = lease_stamp(wd.refresh(chunk))
+        time.sleep(0.05)
+        assert wd.renew(chunk) is True
+        after = lease_stamp(wd.refresh(chunk))
+        assert after > before
+        claimed = wd.refresh(chunk)
+        assert claimed["lease"]["claimed_at"] == pytest.approx(
+            payload["lease"]["claimed_at"]
+        )
+        wd.release(chunk)
+        assert wd.renew(chunk) is False  # gone: stop renewing
+
+    def test_observation_mode_ignores_worker_clock_skew(self, tmp_path):
+        """With scan state, the stamp is a renewal *nonce* judged in
+        the broker's monotonic time — a worker whose wall clock is
+        hours off neither expires early nor lives forever."""
+        wd, payload = self.publish_and_claim(tmp_path)
+        chunk = payload["chunk"]
+        path = wd.claimed / chunk
+        skewed = wd.refresh(chunk)
+        skewed["lease"] = {  # worker clock 1h behind the broker
+            "claimed_at": time.time() - 3600.0,
+            "renewed_at": time.time() - 3600.0,
+        }
+        path.write_text(json.dumps(skewed))
+        observed = {}
+        # First scan only records the stamp; nothing expires yet even
+        # though the wall-clock comparison would call it long dead.
+        assert wd.requeue_expired(60.0, observed) == 0
+        # A renewal (stamp change) resets the observation clock.
+        assert wd.renew(chunk)
+        assert wd.requeue_expired(0.0, observed) == 0
+        # No renewal since the last scan -> expired, requeued.
+        assert wd.requeue_expired(0.0, observed) == 1
+        assert not path.exists()
+
+    def test_requeue_recovers_the_active_task(self, tmp_path):
+        """A crashed worker's in-flight task must come back too."""
+        wd = WorkDir(tmp_path)
+        wd.ensure_layout()
+        wd.publish(
+            "job", list(enumerate(small_specs(1))), chunk_size=2
+        )
+        payload = wd.claim()
+        payload["active"] = payload["tasks"].pop(0)
+        wd.update(payload)
+        stamp_lease(payload)  # then the worker dies silently
+        assert wd.backlog() == 2
+        path = wd.claimed / payload["chunk"]
+        stale = wd.refresh(payload["chunk"])
+        stale["lease"]["renewed_at"] -= 500.0
+        path.write_text(json.dumps(stale))
+        assert wd.requeue_expired(lease_timeout=60.0) == 2
+        indices = sorted(
+            t["index"]
+            for p in wd.pending.glob("chunk-*.json")
+            for t in json.loads(p.read_text())["tasks"]
+        )
+        assert indices == [0, 1]
+
+
+class TestHeartbeat:
+    #: ~1s of simulation per spec — long relative to the tight lease
+    #: timeouts below.
+    LONG = dict(n_graphs=3, horizon=5000.0)
+
+    def test_heartbeat_outlives_short_lease_timeout(self, tmp_path):
+        """A renewing worker's long scenario is never falsely
+        requeued, however short the lease timeout."""
+        specs = small_specs(1, ("ccEDF",), **self.LONG)
+        broker = DirectoryBroker(
+            tmp_path, poll=0.02, lease_timeout=0.4, result_timeout=TIMEOUT
+        )
+        broker.submit(list(enumerate(specs)))
+        t = fleet_thread(
+            run_directory_worker,
+            (tmp_path,),
+            poll=0.02,
+            idle_timeout=TIMEOUT,
+            heartbeat=0.1,
+        )
+        try:
+            collected = dict(broker.outcomes())
+        finally:
+            broker.close()
+            t.join(timeout=10.0)
+        assert sorted(collected) == [0]
+        assert broker.requeued_total == 0  # the lease never expired
+
+    def test_without_heartbeat_the_stale_lease_requeues(self, tmp_path):
+        """The inverse: no renewal and a short timeout means the
+        broker requeues mid-execution (the duplicate is deduped)."""
+        specs = small_specs(
+            1, ("ccEDF",), n_graphs=3, horizon=20000.0
+        )
+        broker = DirectoryBroker(
+            tmp_path, poll=0.02, lease_timeout=0.4, result_timeout=TIMEOUT
+        )
+        broker.submit(list(enumerate(specs)))
+        threads = [
+            fleet_thread(
+                run_directory_worker,
+                (tmp_path,),
+                poll=0.02,
+                idle_timeout=TIMEOUT,
+                heartbeat=None,
+            )
+            for _ in range(2)
+        ]
+        try:
+            collected = dict(broker.outcomes())
+        finally:
+            broker.close()
+            for t in threads:
+                t.join(timeout=10.0)
+        assert sorted(collected) == [0]
+        assert broker.requeued_total >= 1
+        local = CampaignRunner(1).run(specs)
+        assert collected[0].metrics == local.results[0].metrics
+
+    def test_tcp_silent_worker_lease_expires(self):
+        """A connected-but-hung TCP worker's lease is requeued on
+        heartbeat silence, not only on disconnect."""
+        from repro.campaign.distributed.worker import _BrokerSession
+
+        specs = small_specs(1, ("EDF",))
+        broker = TCPBroker(
+            port=0, poll=0.02, lease_timeout=0.5, result_timeout=TIMEOUT
+        )
+        host, port = broker.address
+        broker.submit(list(enumerate(specs)))
+        hog = _BrokerSession(host, port)
+        reply = hog.request({"op": "lease"})
+        assert reply is not None and reply.get("op") == "task"
+        # The hog never heartbeats and never answers; a healthy worker
+        # joining later must still complete the campaign.
+        t = fleet_thread(
+            run_tcp_worker,
+            (host, port),
+            poll=0.02,
+            idle_timeout=TIMEOUT,
+            heartbeat=0.1,
+        )
+        try:
+            collected = dict(broker.outcomes())
+        finally:
+            broker.close()
+            hog.close()
+            t.join(timeout=10.0)
+        assert sorted(collected) == [0]
+        assert broker.requeued_total >= 1
+
+
+# ----------------------------------------------------------------------
+# Chunked leases and work stealing
+# ----------------------------------------------------------------------
+class TestChunkedLeases:
+    def test_publish_chunks_are_index_contiguous(self, tmp_path):
+        wd = WorkDir(tmp_path)
+        wd.ensure_layout()
+        wd.publish(
+            "job", list(enumerate(small_specs(3, ("EDF",)))), chunk_size=2
+        )
+        chunks = [
+            [t["index"] for t in json.loads(p.read_text())["tasks"]]
+            for p in sorted(wd.pending.glob("chunk-*.json"))
+        ]
+        assert chunks == [[0, 1], [2]]
+
+    def test_split_starved_steals_the_tail(self, tmp_path):
+        wd = WorkDir(tmp_path)
+        wd.ensure_layout()
+        wd.publish(
+            "job", list(enumerate(small_specs(2))), chunk_size=4
+        )
+        owner = wd.claim()
+        assert [t["index"] for t in owner["tasks"]] == [0, 1, 2, 3]
+        # An empty queue alone is not demand: with every worker busy
+        # a split would only decay chunks back to per-task leases.
+        assert wd.split_starved() == 0
+        wd.mark_starving("idle-worker")  # a claim found nothing
+        assert wd.split_starved() == 2  # tail half moves back
+        # Queue no longer starved: no further split until it drains.
+        assert wd.split_starved() == 0
+        kept = wd.refresh(owner["chunk"])
+        assert [t["index"] for t in kept["tasks"]] == [0, 1]
+        thief = wd.claim()
+        assert [t["index"] for t in thief["tasks"]] == [2, 3]
+        wd.clear_starving("idle-worker")
+        assert wd.split_starved() == 0
+
+    def test_chunked_run_bit_identical_to_local(self, tmp_path):
+        specs = small_specs(3)
+        local = CampaignRunner(1).run(specs)
+        runner = DistributedRunner(
+            workdir=tmp_path,
+            poll=0.01,
+            chunk_size=3,
+            heartbeat=0.2,
+            result_timeout=TIMEOUT,
+        )
+        threads = [
+            fleet_thread(
+                run_directory_worker,
+                (tmp_path,),
+                poll=0.01,
+                idle_timeout=TIMEOUT,
+                heartbeat=0.2,
+            )
+            for _ in range(3)
+        ]
+        try:
+            dist = runner.run(specs)
+        finally:
+            runner.close()
+            for t in threads:
+                t.join(timeout=10.0)
+        assert metrics_of(dist) == metrics_of(local)
+        assert dist.executed == len(specs)
+
+    def test_tcp_steal_reassigns_and_notifies_victim(self):
+        from repro.campaign.distributed.worker import _BrokerSession
+
+        specs = small_specs(2)  # 4 units
+        broker = TCPBroker(port=0, poll=0.02, chunk_size=4)
+        host, port = broker.address
+        broker.submit(list(enumerate(specs)))
+        victim = _BrokerSession(host, port)
+        reply = victim.request({"op": "lease"})
+        assert [t["index"] for t in reply["tasks"]] == [0, 1, 2, 3]
+        thief = _BrokerSession(host, port)
+        stolen = thief.request({"op": "lease"})
+        try:
+            assert stolen.get("op") == "task"
+            assert [t["index"] for t in stolen["tasks"]] == [2, 3]
+            # The victim learns about the theft on its next ack.
+            from repro.campaign.distributed.worker import execute_payload
+
+            outcome = execute_payload(reply["tasks"][0])
+            ack = victim.request({"op": "outcome", "outcome": outcome})
+            assert ack.get("op") == "ok"
+            assert ack.get("stolen") == [2, 3]
+        finally:
+            victim.close()
+            thief.close()
+            broker.close()
+
+    def test_worker_max_tasks_requeues_the_remainder(self, tmp_path):
+        wd = WorkDir(tmp_path)
+        wd.ensure_layout()
+        specs = small_specs(2, ("EDF",))
+        wd.publish("job", list(enumerate(specs)), chunk_size=2)
+        executed = run_directory_worker(
+            tmp_path, poll=0.01, max_tasks=1, idle_timeout=0.1
+        )
+        assert executed == 1
+        assert wd.backlog() == 1  # the rest went straight back
+        assert len(list(wd.pending.glob("chunk-*.json"))) == 1
+
+
+# ----------------------------------------------------------------------
+# Resume ledger
+# ----------------------------------------------------------------------
+class TestResumeLedger:
+    def run_once(self, tmp_path, specs):
+        runner = DistributedRunner(
+            workdir=tmp_path, poll=0.01, result_timeout=TIMEOUT
+        )
+        threads = [
+            fleet_thread(
+                run_directory_worker,
+                (tmp_path,),
+                poll=0.01,
+                idle_timeout=TIMEOUT,
+            )
+            for _ in range(2)
+        ]
+        try:
+            return runner.run(specs)
+        finally:
+            runner.close()
+            for t in threads:
+                t.join(timeout=10.0)
+
+    def test_resume_replays_instead_of_rerunning(self, tmp_path):
+        specs = small_specs()
+        first = self.run_once(tmp_path, specs)
+        assert first.executed == len(specs) and first.replayed == 0
+        # Restarted broker, no workers at all: everything replays.
+        again = DistributedRunner(
+            workdir=tmp_path, resume=True, result_timeout=1.0
+        )
+        try:
+            second = again.run(specs)
+        finally:
+            again.close()
+        assert second.replayed == len(specs) and second.executed == 0
+        assert metrics_of(second) == metrics_of(first)
+
+    def test_resuming_a_different_campaign_is_refused(self, tmp_path):
+        """A mismatched --resume must refuse loudly, never silently
+        truncate the journal (hours of completed work)."""
+        self.run_once(tmp_path, small_specs())
+        ledger = WorkDir(tmp_path).ledger_path
+        before = ledger.read_text()
+        other = small_specs(2, ("laEDF",))
+        broker = DirectoryBroker(tmp_path, result_timeout=1.0)
+        with pytest.raises(SchedulingError, match="does not match"):
+            broker.submit(list(enumerate(other)), resume=True)
+        assert ledger.read_text() == before  # journal untouched
+
+    def test_resume_survives_cache_state_differences(self, tmp_path):
+        """The ledger header hashes the *full* campaign: a resume run
+        whose result cache already covers part of the sweep (so it
+        submits only a subset) must still replay the rest."""
+        from repro.campaign import ResultCache
+        from repro.campaign.runner import run_spec
+
+        specs = small_specs()
+        self.run_once(tmp_path, specs)  # full ledger, no cache
+        cache = ResultCache(tmp_path / "cache")
+        for spec in specs[:2]:  # warm the cache for half the sweep
+            cache.put(run_spec(spec))
+        again = DistributedRunner(
+            workdir=tmp_path,
+            cache=cache,
+            resume=True,
+            result_timeout=1.0,
+        )
+        try:
+            second = again.run(specs)
+        finally:
+            again.close()
+        assert second.cache_hits == 2
+        assert second.replayed == len(specs) - 2
+        assert second.executed == 0  # nothing re-ran anywhere
+
+    def test_partial_ledger_republishes_only_the_rest(self, tmp_path):
+        specs = small_specs()
+        self.run_once(tmp_path, specs)
+        ledger = WorkDir(tmp_path).ledger_path
+        lines = ledger.read_text().splitlines()
+        # Keep the header and two entries, tear the third mid-write.
+        ledger.write_text(
+            "\n".join(lines[:3]) + "\n" + lines[3][: len(lines[3]) // 2]
+        )
+        broker = DirectoryBroker(tmp_path, result_timeout=1.0)
+        broker.submit(list(enumerate(specs)), resume=True)
+        assert broker.replayed == 2
+        assert broker.remaining == len(specs) - 2
+        replayed = dict(broker._drain_replayed())
+        local = CampaignRunner(1).run(specs)
+        for index, result in replayed.items():
+            assert result.metrics == local.results[index].metrics
+
+    def test_corrupt_entries_are_skipped(self, tmp_path):
+        specs = small_specs(1)
+        self.run_once(tmp_path, specs)
+        ledger = WorkDir(tmp_path).ledger_path
+        lines = ledger.read_text().splitlines()
+        doctored = json.loads(lines[1])
+        doctored["spec_hash"] = "0" * 16  # alien entry
+        lines.insert(1, json.dumps(doctored))
+        ledger.write_text("\n".join(lines) + "\n")
+        broker = DirectoryBroker(tmp_path, result_timeout=1.0)
+        broker.submit(list(enumerate(specs)), resume=True)
+        # The doctored duplicate is ignored; the honest ones replay.
+        assert broker.replayed == len(specs)
+
+    def test_extend_after_resume_submits_fresh(self, tmp_path):
+        """resume is consumed by the first run: growing a resumed
+        campaign must submit the suffix fresh, not re-validate it
+        against the full campaign's ledger header."""
+        template = lambda seed, i: ScenarioSpec(  # noqa: E731
+            scheme="EDF", n_graphs=2, seed=seed
+        )
+        first = DistributedRunner(
+            workdir=tmp_path, poll=0.01, result_timeout=TIMEOUT
+        )
+        t = fleet_thread(
+            run_directory_worker,
+            (tmp_path,),
+            poll=0.01,
+            idle_timeout=TIMEOUT,
+        )
+        try:
+            first.run_campaign(template, 2, root_seed=0)
+        finally:
+            first.close()
+            t.join(timeout=10.0)
+        second = DistributedRunner(
+            workdir=tmp_path, resume=True, poll=0.01,
+            result_timeout=TIMEOUT,
+        )
+        resumed = second.run_campaign(template, 2, root_seed=0)
+        assert resumed.replayed == 2 and resumed.executed == 0
+        t = fleet_thread(
+            run_directory_worker,
+            (tmp_path,),
+            poll=0.01,
+            idle_timeout=TIMEOUT,
+        )
+        try:
+            bigger = second.extend(1)
+        finally:
+            second.close()
+            t.join(timeout=10.0)
+        assert bigger.executed == 1 and bigger.replayed == 0
+        assert len(bigger.results) == 3
+
+    def test_tcp_resume_without_ledger_is_an_error(self):
+        broker = TCPBroker(port=0, result_timeout=1.0)
+        try:
+            with pytest.raises(SchedulingError, match="ledger"):
+                broker.submit(
+                    list(enumerate(small_specs(1))), resume=True
+                )
+        finally:
+            broker.close()
+
+    def test_campaign_hash_tracks_specs_and_indices(self):
+        items = list(enumerate(small_specs(1)))
+        assert campaign_hash(items) == campaign_hash(list(items))
+        shifted = [(i + 1, s) for i, s in items]
+        assert campaign_hash(items) != campaign_hash(shifted)
+
+    def test_tcp_resume_via_explicit_ledger(self, tmp_path):
+        specs = small_specs(1)
+        ledger = tmp_path / "ledger.jsonl"
+        broker = TCPBroker(
+            port=0, poll=0.02, result_timeout=TIMEOUT, ledger_path=ledger
+        )
+        host, port = broker.address
+        broker.submit(list(enumerate(specs)))
+        t = fleet_thread(
+            run_tcp_worker,
+            (host, port),
+            poll=0.02,
+            idle_timeout=TIMEOUT,
+        )
+        try:
+            first = dict(broker.outcomes())
+        finally:
+            broker.close()
+            t.join(timeout=10.0)
+        second = TCPBroker(port=0, result_timeout=1.0, ledger_path=ledger)
+        try:
+            second.submit(list(enumerate(specs)), resume=True)
+            assert second.replayed == len(specs)
+            replayed = dict(second.outcomes())
+        finally:
+            second.close()
+        assert {
+            i: r.metrics for i, r in replayed.items()
+        } == {i: r.metrics for i, r in first.items()}
+
+
+# ----------------------------------------------------------------------
+# Autoscaling
+# ----------------------------------------------------------------------
+class TestAutoscale:
+    def test_autoscale_fleet_completes_and_matches_local(self, tmp_path):
+        specs = small_specs(3)
+        local = CampaignRunner(1).run(specs)
+        with DistributedRunner(
+            workdir=tmp_path,
+            autoscale=(1, 2),
+            autoscale_interval=0.2,
+            autoscale_idle=2.0,
+            poll=0.02,
+            result_timeout=TIMEOUT,
+        ) as runner:
+            dist = runner.run(specs)
+        assert metrics_of(dist) == metrics_of(local)
+        assert 1 <= dist.n_workers <= 2
+
+    def test_autoscale_bounds_are_validated(self, tmp_path):
+        with pytest.raises(SchedulingError, match="autoscale"):
+            DistributedRunner(workdir=tmp_path, autoscale=(3, 1))
+        with pytest.raises(SchedulingError, match="autoscale"):
+            DistributedRunner(workdir=tmp_path, autoscale=(0, 0))

@@ -1,11 +1,11 @@
 """Golden-trace regression tests: segment-exact schedule equality.
 
-Small fixed scenarios (ccEDF and laEDF on the ``small_set`` workload
-from ``tests/conftest.py``, worst-case actuals, one hyperperiod) are
-committed as JSON fixtures under ``tests/sim/golden/``.  A scheduler
-or engine refactor that changes *any* dispatched segment — placement,
-operating point, or current — fails these tests instead of silently
-shifting the paper's numbers.
+Small fixed scenarios (ccEDF, laEDF, NoDVS and static-utilization on
+the ``small_set`` workload from ``tests/conftest.py``, worst-case
+actuals, one hyperperiod) are committed as JSON fixtures under
+``tests/sim/golden/``.  A scheduler or engine refactor that changes
+*any* dispatched segment — placement, operating point, or current —
+fails these tests instead of silently shifting the paper's numbers.
 
 If a change is *intended* to alter schedules, regenerate the fixtures
 and review the diff::
@@ -21,10 +21,16 @@ import pytest
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
-#: Scenario name -> DVS factory name ("ccedf"/"laedf"); both run the
-#: LTF priority over the most-imminent ready list (fully deterministic).
-SCENARIOS = ("ccedf", "laedf")
+#: Scenario name -> DVS frequency setter; every scenario runs the LTF
+#: priority over the most-imminent ready list (fully deterministic).
+SCENARIOS = ("ccedf", "laedf", "nodvs", "static")
 HORIZON = 100.0  # one hyperperiod of the small_set workload (lcm 20, 50)
+
+#: Under worst-case actuals ccEDF never sees completed-early slack, so
+#: its utilization-tracking speed equals the static worst-case speed
+#: and the two schedules coincide segment-for-segment.  This is
+#: algorithm semantics, not an accident — pinned by its own test.
+KNOWN_EQUAL = {"ccedf", "static"}
 
 
 def _small_set():
@@ -56,10 +62,17 @@ def _run(scenario: str):
     from repro.core.priority import LTF
     from repro.core.ready_list import MOST_IMMINENT
     from repro.dvs import CcEDF, LaEDF
+    from repro.dvs.nodvs import NoDVS
+    from repro.dvs.static import StaticUtilization
     from repro.processor.platform import paper_processor
     from repro.sim.engine import Simulator
 
-    dvs = {"ccedf": CcEDF, "laedf": LaEDF}[scenario]()
+    dvs = {
+        "ccedf": CcEDF,
+        "laedf": LaEDF,
+        "nodvs": NoDVS,
+        "static": StaticUtilization,
+    }[scenario]()
     sim = Simulator(
         _small_set(),
         paper_processor(),
@@ -117,12 +130,27 @@ class TestGoldenTraces:
         assert result.horizon == golden["horizon"]
 
     def test_schedules_differ_between_dvs(self, scenario):
-        """Sanity: the two fixtures are not accidentally identical
-        (the test would then not pin the DVS algorithm at all)."""
-        other = {"ccedf": "laedf", "laedf": "ccedf"}[scenario]
+        """Sanity: no fixture accidentally equals another (the test
+        would then not pin the DVS algorithm at all) — except the one
+        *known* coincidence checked separately below."""
         a = json.loads(_golden_path(scenario).read_text())
-        b = json.loads(_golden_path(other).read_text())
-        assert a["segments"] != b["segments"]
+        for other in SCENARIOS:
+            if other == scenario or {scenario, other} == KNOWN_EQUAL:
+                continue
+            b = json.loads(_golden_path(other).read_text())
+            assert a["segments"] != b["segments"], (
+                f"{scenario} and {other} produced identical traces"
+            )
+
+
+def test_known_coincidence_ccedf_equals_static():
+    """ccEDF at worst-case actuals degenerates to the static
+    worst-case-utilization schedule (no early completions, no slack
+    to reclaim).  Pinning the coincidence makes a divergence — i.e. a
+    behaviour change in either algorithm — loud."""
+    a = json.loads(_golden_path("ccedf").read_text())
+    b = json.loads(_golden_path("static").read_text())
+    assert a["segments"] == b["segments"]
 
 
 def _regenerate() -> None:
