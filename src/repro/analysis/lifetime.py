@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from ..battery.base import BatteryModel, BatteryRun
+from ..battery.base import BatteryModel, BatteryRun, as_segments
 from ..errors import BatteryError, SchedulingError
 from ..sim.engine import SimulationResult
 from ..sim.profile import CurrentProfile
@@ -51,8 +51,16 @@ def evaluate_lifetime(
     *,
     rebin: Optional[float] = None,
     max_time: float = 1e7,
+    fast: bool = True,
 ) -> LifetimeReport:
     """Tile the execution's current profile through ``battery`` to death.
+
+    Models with a vectorized period kernel (diffusion, KiBaM, Peukert)
+    evaluate the whole tiling in closed form — the death *cycle* by
+    binary search on the precomputed period map, the death *instant*
+    by the scalar path inside the final period — which is two to three
+    orders of magnitude faster than the per-segment loop at paper
+    scale (see ``benchmarks/bench_lifetime.py``).
 
     Parameters
     ----------
@@ -68,6 +76,8 @@ def evaluate_lifetime(
     max_time:
         Safety bound — a profile too light to ever kill the battery
         raises instead of looping forever.
+    fast:
+        ``False`` forces the scalar per-segment reference path.
     """
     if isinstance(source, SimulationResult):
         profile = source.profile()
@@ -81,7 +91,8 @@ def evaluate_lifetime(
     if rebin is not None:
         profile = profile.rebinned(rebin)
     run = battery.run_profile(
-        profile.durations, profile.currents, repeat=None, max_time=max_time
+        profile.durations, profile.currents, repeat=None,
+        max_time=max_time, fast=fast,
     )
     return LifetimeReport(
         run=run,
@@ -97,18 +108,28 @@ def survival_scale(
     lo: float = 0.1,
     hi: float = 10.0,
     iters: int = 40,
+    fast: bool = True,
 ) -> float:
     """Largest multiplier on the profile's currents the cell survives.
 
     Bisection on "does one pass of the scaled profile complete before
     the battery dies".  This is the guideline-1 metric: a permutation
     that survives a larger scale is strictly friendlier to the battery.
+
+    The profile is validated once (not per probe), and for models with
+    a period kernel the duration-dependent decay precomputation is
+    built once and shared across all ``iters + 2`` probes — only the
+    current-linear load vectors are rescaled per probe.
     """
-    def survives(scale: float) -> bool:
-        run = cell.run_profile(
-            profile.durations, profile.currents * scale, repeat=1
-        )
-        return not run.died
+    d, i = as_segments(profile.durations, profile.currents)
+    kernel = cell.period_kernel(d, i) if fast else None
+    if kernel is not None:
+        def survives(scale: float) -> bool:
+            return kernel.scaled(scale).survives_fresh_pass()
+    else:
+        def survives(scale: float) -> bool:
+            run = cell.run_profile(d, i * scale, repeat=1, fast=fast)
+            return not run.died
 
     if not survives(lo):
         raise SchedulingError(

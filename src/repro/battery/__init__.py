@@ -14,6 +14,7 @@ from .calibrate import (
     paper_cell_stochastic,
 )
 from .diffusion import DiffusionBattery, DiffusionState
+from .kernels import PeriodKernel
 from .kibam import KiBaM, KiBaMState
 from .peukert import PeukertBattery
 from .ratecapacity import (
@@ -31,6 +32,7 @@ __all__ = [
     "KiBaMState",
     "DiffusionBattery",
     "DiffusionState",
+    "PeriodKernel",
     "StochasticKiBaM",
     "PeukertBattery",
     "RateCapacityCurve",

@@ -107,6 +107,46 @@ class BatteryModel(abc.ABC):
         """Total stored charge in coulombs (the 'maximum capacity')."""
 
     # ------------------------------------------------------------------
+    def period_kernel(self, durations, currents):
+        """A precomputed fast whole-period propagator, or ``None``.
+
+        Analytic models override this to return a
+        :class:`~repro.battery.kernels.PeriodKernel` that advances one
+        profile period as a closed-form affine map (and tiled cycles in
+        log time).  Models whose semantics live in the per-step scalar
+        path (e.g. the RNG-driven stochastic model, where draw order
+        matters) keep the default ``None`` and the scalar driver.
+        ``durations``/``currents`` must already be validated by
+        :func:`as_segments`.
+        """
+        return None
+
+    def advance_profile(
+        self,
+        state: Any,
+        durations: Sequence[float],
+        currents: Sequence[float],
+    ) -> Tuple[Any, Optional[float]]:
+        """Propagate ``state`` through one pass of a whole profile.
+
+        Vectorized when the model provides a period kernel (one numpy
+        expression per pass, no per-segment Python); otherwise the
+        scalar per-segment loop.  Returns ``(new_state, death_time)``
+        with ``death_time`` measured from the start of the profile
+        (``None`` if the cell survives the pass).
+        """
+        d, i = as_segments(durations, currents)
+        kernel = self.period_kernel(d, i)
+        if kernel is not None:
+            return kernel.advance_pass(state)
+        t = 0.0
+        for dt, cur in zip(d, i):
+            state, death = self.advance(state, float(cur), float(dt))
+            if death is not None:
+                return state, t + death
+            t += dt
+        return state, None
+
     def run_profile(
         self,
         durations: Sequence[float],
@@ -114,6 +154,7 @@ class BatteryModel(abc.ABC):
         *,
         repeat: Optional[int] = 1,
         max_time: float = 1e7,
+        fast: bool = True,
     ) -> BatteryRun:
         """Drive the model with a profile, optionally tiled.
 
@@ -126,15 +167,56 @@ class BatteryModel(abc.ABC):
             the battery dies (or ``max_time`` elapses, which raises —
             an undying profile under ``repeat=None`` is almost always a
             calibration bug the caller should hear about).
+        fast:
+            Use the model's vectorized period kernel when it has one
+            (results match the scalar path to float noise; see
+            ``repro.battery.kernels``).  ``False`` forces the scalar
+            per-segment reference path — benchmarks and the
+            equivalence suite compare the two.
         """
         d, i = as_segments(durations, currents)
         if repeat is not None and repeat < 1:
             raise BatteryError(f"repeat must be >= 1 or None, got {repeat}")
-        state = self.fresh_state()
-        t = 0.0
-        delivered = 0.0
-        cycle = 0
+        if fast:
+            kernel = self.period_kernel(d, i)
+            if kernel is not None:
+                return kernel.run(repeat=repeat, max_time=max_time)
+        return self._run_profile_scalar(d, i, repeat, max_time)
+
+    def _run_profile_scalar(
+        self,
+        d: np.ndarray,
+        i: np.ndarray,
+        repeat: Optional[int],
+        max_time: float,
+        *,
+        state: Any = None,
+        t: float = 0.0,
+        delivered: float = 0.0,
+        cycle: int = 0,
+    ) -> BatteryRun:
+        """The universal per-segment reference driver (pre-validated).
+
+        Resumable mid-run: a period kernel hands over ``state`` and the
+        accumulated ``t``/``delivered``/``cycle`` when its vectorized
+        predicate and the scalar walk disagree at a grazing threshold,
+        landing at the cycle boundary exactly where this loop's checks
+        would run next.
+        """
+        if state is None:
+            state = self.fresh_state()
         while True:
+            if cycle:
+                if repeat is not None and cycle >= repeat:
+                    return BatteryRun(
+                        died=False, lifetime=t, delivered_charge=delivered
+                    )
+                if t > max_time:
+                    raise BatteryError(
+                        f"battery survived past max_time={max_time:.3g}s "
+                        f"under repeat=None; the load is too light to ever "
+                        f"exhaust it"
+                    )
             for dt, cur in zip(d, i):
                 state, death = self.advance(state, float(cur), float(dt))
                 if death is not None:
@@ -146,15 +228,6 @@ class BatteryModel(abc.ABC):
                 t += dt
                 delivered += cur * dt
             cycle += 1
-            if repeat is not None and cycle >= repeat:
-                return BatteryRun(
-                    died=False, lifetime=t, delivered_charge=delivered
-                )
-            if t > max_time:
-                raise BatteryError(
-                    f"battery survived past max_time={max_time:.3g}s under "
-                    f"repeat=None; the load is too light to ever exhaust it"
-                )
 
     def lifetime_constant(
         self, current: float, *, max_time: float = 1e7

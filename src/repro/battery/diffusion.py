@@ -36,8 +36,9 @@ from scipy.optimize import brentq
 
 from ..errors import BatteryError
 from .base import BatteryModel
+from .kernels import PeriodKernel, affine_prefix_diag
 
-__all__ = ["DiffusionBattery", "DiffusionState"]
+__all__ = ["DiffusionBattery", "DiffusionState", "DiffusionPeriodKernel"]
 
 
 @dataclass(frozen=True)
@@ -47,7 +48,7 @@ class DiffusionState:
     consumed: float
     memory: np.ndarray  # shape (M,), the u_m values
 
-    def sigma(self, beta2m2: np.ndarray) -> float:
+    def sigma(self) -> float:
         """Apparent charge lost for this state."""
         return self.consumed + 2.0 * float(np.sum(self.memory))
 
@@ -91,7 +92,12 @@ class DiffusionBattery(BatteryModel):
 
     def sigma(self, state: DiffusionState) -> float:
         """Apparent charge lost (death when this reaches alpha)."""
-        return state.consumed + 2.0 * float(np.sum(state.memory))
+        return state.sigma()
+
+    def period_kernel(
+        self, durations: np.ndarray, currents: np.ndarray
+    ) -> "DiffusionPeriodKernel":
+        return DiffusionPeriodKernel(self, durations, currents)
 
     # ------------------------------------------------------------------
     def _state_at(
@@ -172,4 +178,135 @@ class DiffusionBattery(BatteryModel):
         return (
             f"DiffusionBattery(alpha={self.alpha:.6g}C, beta={self.beta:.4g}, "
             f"terms={self.terms})"
+        )
+
+
+class DiffusionPeriodKernel(PeriodKernel):
+    """Closed-form whole-period map for the diffusion model.
+
+    Over a constant-current segment each memory term advances as the
+    affine map ``u' = u e^{-β²m²Δt} + i (1 - e^{-β²m²Δt})/β²m²`` with a
+    *diagonal* decay, so the full-period map is ``u -> D u + c`` with
+    ``D = diag(e^{-β²m²T})`` and ``c`` the scanned load vector, and
+    ``k`` tiled periods collapse to the elementwise geometric series
+    ``u_k = D^k u_0 + (1 - D^k)/(1 - D) c`` (evaluated with ``expm1``
+    for decay rates near 0).  ``D`` and all prefix decays depend only
+    on the durations; every load term is linear in the currents, so
+    :meth:`scaled` reuses the expensive precomputation.
+    """
+
+    #: In-segment probe offsets (fractions of each segment), matching
+    #: the scalar ``_first_death`` endpoint + interior spike checks.
+    _FRACS = (0.25, 0.5, 0.75, 1.0)
+
+    def __init__(
+        self,
+        model: DiffusionBattery,
+        durations: np.ndarray,
+        currents: np.ndarray,
+    ) -> None:
+        super().__init__(model, durations, currents)
+        b2m2 = model._b2m2
+        self._alpha = model.alpha
+        a_seg = np.exp(-np.outer(durations, b2m2))  # (n, M) decays
+        b_seg = currents[:, None] * (1.0 - a_seg) / b2m2
+        a_pre, b_pre = affine_prefix_diag(a_seg, b_seg)
+        m = b2m2.size
+        # Maps from period start to each segment *start* (for probes).
+        self._decay_to_start = np.vstack([np.ones((1, m)), a_pre[:-1]])
+        self._load_to_start = np.vstack([np.zeros((1, m)), b_pre[:-1]])
+        # The full-period affine map u -> D u + c.
+        self._decay_cycle = a_pre[-1]
+        self._load_cycle = b_pre[-1]
+        self._log_decay_cycle = -b2m2 * self.period
+        # In-segment probe decays at the scalar path's check points and
+        # the summed-over-m load responses (times current at use).
+        self._probe_decay = np.stack(
+            [np.exp(-np.outer(f * durations, b2m2)) for f in self._FRACS]
+        )  # (4, n, M)
+        self._probe_load_sum = (
+            ((1.0 - self._probe_decay) / b2m2).sum(axis=2)
+        )  # (4, n)
+        seg_charge = durations * currents
+        self._consumed_to_start = np.concatenate(
+            [[0.0], np.cumsum(seg_charge)[:-1]]
+        )
+        self._probe_consumed = (
+            np.asarray(self._FRACS)[:, None] * seg_charge[None, :]
+        )  # (4, n) charge drawn within the segment up to each probe
+
+    def _rescale_loads(self, multiplier: float) -> None:
+        self._load_to_start = self._load_to_start * multiplier
+        self._load_cycle = self._load_cycle * multiplier
+        self._consumed_to_start = self._consumed_to_start * multiplier
+        self._probe_consumed = self._probe_consumed * multiplier
+
+    def state_after_cycles(self, k: int) -> DiffusionState:
+        if k == 0:
+            return self.model.fresh_state()
+        # (1 - D^k) / (1 - D), elementwise and expm1-stable; a decay
+        # rate that underflows to exactly 0 degenerates to the k-term
+        # constant sum.
+        num = -np.expm1(k * self._log_decay_cycle)
+        den = -np.expm1(self._log_decay_cycle)
+        safe = den > 0
+        geom = np.where(safe, num / np.where(safe, den, 1.0), float(k))
+        return DiffusionState(
+            k * self.charge_per_cycle, self._load_cycle * geom
+        )
+
+    def _probe_sigma(self, state: DiffusionState) -> np.ndarray:
+        """Apparent charge lost at every probe point of one pass.
+
+        Shape ``(4, n)``: the scalar path's four in-segment check
+        points for each of the ``n`` segments, all in one batched
+        expression.
+        """
+        u_start = (
+            self._decay_to_start * state.memory + self._load_to_start
+        )  # (n, M) memory at every segment start
+        mem_sum = (
+            np.einsum("nm,fnm->fn", u_start, self._probe_decay)
+            + self.currents[None, :] * self._probe_load_sum
+        )  # (4, n) summed memory at every probe point
+        consumed = (
+            state.consumed
+            + self._consumed_to_start[None, :]
+            + self._probe_consumed
+        )
+        return consumed + 2.0 * mem_sum
+
+    def pass_dies(self, state: DiffusionState) -> bool:
+        if state.sigma() >= self._alpha:
+            return True
+        return bool(np.any(self._probe_sigma(state) >= self._alpha))
+
+    def pass_end_state(self, state: DiffusionState) -> DiffusionState:
+        return DiffusionState(
+            state.consumed + self.charge_per_cycle,
+            state.memory * self._decay_cycle + self._load_cycle,
+        )
+
+    def death_cycle_upper_hint(self) -> Optional[int]:
+        # sigma >= consumed = k * Q, so death is certain once the
+        # consumed charge alone clears alpha (margin for float dust).
+        if self.charge_per_cycle <= 0:
+            return None
+        return int(self._alpha / self.charge_per_cycle) + 3
+
+    def death_segment_candidate(self, state: DiffusionState) -> int:
+        if state.sigma() >= self._alpha:
+            return 0
+        crossing = np.any(self._probe_sigma(state) >= self._alpha, axis=0)
+        hits = np.flatnonzero(crossing)
+        return int(hits[0]) if hits.size else 0
+
+    def pass_prefix_state(
+        self, state: DiffusionState, j: int
+    ) -> DiffusionState:
+        if j == 0:
+            return state
+        return DiffusionState(
+            state.consumed + self._consumed_to_start[j],
+            self._decay_to_start[j] * state.memory + self._load_to_start[j],
         )

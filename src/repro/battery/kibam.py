@@ -34,12 +34,18 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
 from scipy.optimize import brentq
 
 from ..errors import BatteryError
 from .base import BatteryModel
+from .kernels import (
+    PeriodKernel,
+    _affine_matrix_power,
+    affine_prefix_matrix,
+)
 
-__all__ = ["KiBaM", "KiBaMState"]
+__all__ = ["KiBaM", "KiBaMState", "KiBaMPeriodKernel"]
 
 
 @dataclass(frozen=True)
@@ -181,6 +187,12 @@ class KiBaM(BatteryModel):
         return float(brentq(f, lo, hi, xtol=1e-12, rtol=8.9e-16))
 
     # ------------------------------------------------------------------
+    def period_kernel(
+        self, durations: np.ndarray, currents: np.ndarray
+    ) -> "KiBaMPeriodKernel":
+        return KiBaMPeriodKernel(self, durations, currents)
+
+    # ------------------------------------------------------------------
     def steady_state_current(self) -> float:
         """Largest constant current sustainable until total exhaustion.
 
@@ -198,3 +210,92 @@ class KiBaM(BatteryModel):
             f"KiBaM(capacity={self.capacity:.6g}C, c={self.c:.4g}, "
             f"kp={self.kp:.4g}/s)"
         )
+
+
+class KiBaMPeriodKernel(PeriodKernel):
+    """Closed-form whole-period map for the kinetic battery model.
+
+    The classic constant-current solution is affine in the well vector
+    ``(y1, y2)``: each segment is ``y -> M_j y + v_j`` with a 2×2
+    matrix depending only on the segment duration and a load vector
+    linear in the current.  A matrix prefix scan yields the well
+    levels at every segment boundary of a pass in one batched matmul,
+    and the period map is powered in log time by repeated squaring.
+    Boundary checks suffice for death detection: under constant
+    current ``y1`` has at most one interior extremum and it is a
+    *maximum* (see :meth:`KiBaM._first_death`), so ``y1`` cannot dip
+    through zero between two positive boundary values.
+    """
+
+    def __init__(
+        self,
+        model: KiBaM,
+        durations: np.ndarray,
+        currents: np.ndarray,
+    ) -> None:
+        super().__init__(model, durations, currents)
+        kp, c = model.kp, model.c
+        n = durations.size
+        e = np.exp(-kp * durations)
+        g = (kp * durations - 1.0 + e) / kp
+        mats = np.empty((n, 2, 2))
+        mats[:, 0, 0] = e + c * (1.0 - e)
+        mats[:, 0, 1] = c * (1.0 - e)
+        mats[:, 1, 0] = (1.0 - c) * (1.0 - e)
+        mats[:, 1, 1] = e + (1.0 - c) * (1.0 - e)
+        loads = np.empty((n, 2))
+        loads[:, 0] = -currents * ((1.0 - e) / kp + c * g)
+        loads[:, 1] = -currents * (1.0 - c) * g
+        a_pre, b_pre = affine_prefix_matrix(mats, loads)
+        self._mat_to_end = a_pre  # (n, 2, 2): period start -> segment end
+        self._load_to_end = b_pre
+        self._mat_cycle = a_pre[-1]
+        self._load_cycle = b_pre[-1]
+
+    def _rescale_loads(self, multiplier: float) -> None:
+        self._load_to_end = self._load_to_end * multiplier
+        self._load_cycle = self._load_cycle * multiplier
+
+    def state_after_cycles(self, k: int) -> KiBaMState:
+        fresh = self.model.fresh_state()
+        if k == 0:
+            return fresh
+        pk, qk = _affine_matrix_power(self._mat_cycle, self._load_cycle, k)
+        y = pk @ np.array([fresh.y1, fresh.y2]) + qk
+        return KiBaMState(float(y[0]), float(y[1]))
+
+    def pass_dies(self, state: KiBaMState) -> bool:
+        if state.y1 <= 0:
+            return True
+        y0 = np.array([state.y1, state.y2])
+        y1_ends = self._mat_to_end[:, 0, :] @ y0 + self._load_to_end[:, 0]
+        return bool(np.any(y1_ends <= 0.0))
+
+    def pass_end_state(self, state: KiBaMState) -> KiBaMState:
+        y = self._mat_cycle @ np.array([state.y1, state.y2]) + (
+            self._load_cycle
+        )
+        return KiBaMState(float(y[0]), float(y[1]))
+
+    def death_cycle_upper_hint(self) -> Optional[int]:
+        # Charge conservation: y1 + y2 = capacity - k * Q, so the
+        # available well is certainly empty once k * Q clears the total
+        # capacity (margin for float dust).
+        if self.charge_per_cycle <= 0:
+            return None
+        return int(self.model.capacity / self.charge_per_cycle) + 3
+
+    def death_segment_candidate(self, state: KiBaMState) -> int:
+        if state.y1 <= 0:
+            return 0
+        y0 = np.array([state.y1, state.y2])
+        y1_ends = self._mat_to_end[:, 0, :] @ y0 + self._load_to_end[:, 0]
+        hits = np.flatnonzero(y1_ends <= 0.0)
+        return int(hits[0]) if hits.size else 0
+
+    def pass_prefix_state(self, state: KiBaMState, j: int) -> KiBaMState:
+        if j == 0:
+            return state
+        y0 = np.array([state.y1, state.y2])
+        y = self._mat_to_end[j - 1] @ y0 + self._load_to_end[j - 1]
+        return KiBaMState(float(y[0]), float(y[1]))

@@ -20,10 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..errors import BatteryError
 from .base import BatteryModel
+from .kernels import PeriodKernel
 
-__all__ = ["PeukertBattery"]
+__all__ = ["PeukertBattery", "PeukertPeriodKernel"]
 
 
 @dataclass(frozen=True)
@@ -92,8 +95,69 @@ class PeukertBattery(BatteryModel):
             raise BatteryError(f"current must be > 0, got {current}")
         return self._a / current**self.exponent
 
+    def period_kernel(
+        self, durations: np.ndarray, currents: np.ndarray
+    ) -> "PeukertPeriodKernel":
+        return PeukertPeriodKernel(self, durations, currents)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PeukertBattery(capacity={self.capacity:.6g}C@"
             f"{self.i_ref:.3g}A, b={self.exponent:.3g})"
         )
+
+
+class PeukertPeriodKernel(PeriodKernel):
+    """Fully closed-form period map for Peukert's law.
+
+    The state is one number (the effective-capacity spend
+    ``∫ I^b dt``), draining by a fixed amount per period; tiling is
+    plain arithmetic and a pass dies exactly when its end spend
+    reaches the Peukert constant (the spend is non-decreasing, so the
+    end check is complete).
+    """
+
+    def __init__(
+        self,
+        model: PeukertBattery,
+        durations: np.ndarray,
+        currents: np.ndarray,
+    ) -> None:
+        super().__init__(model, durations, currents)
+        self._exponent = model.exponent
+        self._a = model._a
+        rates = np.where(currents > 0, currents, 0.0) ** model.exponent
+        self._cum_spend = np.cumsum(rates * durations)
+        self._spend_per_cycle = float(self._cum_spend[-1])
+
+    def _rescale_loads(self, multiplier: float) -> None:
+        scale = multiplier**self._exponent
+        self._cum_spend = self._cum_spend * scale
+        self._spend_per_cycle = self._spend_per_cycle * scale
+
+    def state_after_cycles(self, k: int) -> _PeukertState:
+        return _PeukertState(k * self._spend_per_cycle)
+
+    def pass_dies(self, state: _PeukertState) -> bool:
+        return state.spent + self._spend_per_cycle >= self._a
+
+    def pass_end_state(self, state: _PeukertState) -> _PeukertState:
+        return _PeukertState(state.spent + self._spend_per_cycle)
+
+    def death_cycle_upper_hint(self) -> Optional[int]:
+        if self._spend_per_cycle <= 0:
+            return None
+        return int(self._a / self._spend_per_cycle) + 3
+
+    def death_segment_candidate(self, state: _PeukertState) -> int:
+        j = int(
+            np.searchsorted(
+                self._cum_spend, self._a - state.spent, side="left"
+            )
+        )
+        return min(j, self._cum_spend.size - 1)
+
+    def pass_prefix_state(self, state: _PeukertState, j: int) -> _PeukertState:
+        if j == 0:
+            return state
+        return _PeukertState(state.spent + float(self._cum_spend[j - 1]))

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 if TYPE_CHECKING:  # import only for annotations; avoids a core<->sim cycle
     from ..core.methodology import SchedulingPolicy
 
@@ -34,7 +36,7 @@ from ..processor.platform import Processor
 from ..taskgraph.periodic import TaskGraphSet
 from .profile import CurrentProfile
 from .state import Candidate, GraphStatus, JobState, SchedulerView
-from .trace import IDLE, ExecutionTrace, TraceSegment
+from .trace import IDLE, ExecutionTrace
 
 __all__ = [
     "Simulator",
@@ -104,31 +106,48 @@ class SimulationResult:
         but guideline 1 constrains the reference-frequency staircase,
         which the run means track.  Idle runs are exempt (an idle dip
         never hurts the battery and does not license a later step-up).
+
+        Runs are coalesced columnar (same label *and* same release
+        epoch — a node resuming after a release may legitimately
+        continue at a higher frequency); only the staircase walk over
+        the far-fewer runs stays scalar.
         """
-        marks = sorted(set(float(t) for t in self.release_times))
+        tr = self.trace
+        n = len(tr)
+        if n == 0:
+            return True
+        marks = np.asarray(
+            sorted(set(float(t) for t in self.release_times))
+        )
+        starts = tr.starts
+        # Number of marks at or before each segment start (within atol)
+        # — the release epoch the segment belongs to.
+        epoch = np.searchsorted(marks, starts + atol, side="right")
+        ids = tr.label_ids
+        head = np.empty(n, dtype=bool)
+        head[0] = True
+        head[1:] = (ids[1:] != ids[:-1]) | (epoch[1:] != epoch[:-1])
+        head_idx = np.flatnonzero(head)
+        run_start = starts[head_idx]
+        run_dur = np.add.reduceat(tr.durations, head_idx)
+        run_charge = np.add.reduceat(
+            tr.durations * tr.currents, head_idx
+        )
+        run_idle = tr.idle[head_idx]
 
-        # Coalesce same-label segments into dispatch runs, but break a
-        # run at every release mark: a node resuming after a release may
-        # legitimately continue at a higher frequency.
-        runs = []  # (start, mean_current, is_idle)
-        mark_idx = 0
-        for s in self.trace:
-            while mark_idx < len(marks) and marks[mark_idx] <= s.start + atol:
-                mark_idx += 1
-            epoch = mark_idx
-            if runs and runs[-1][0] == s.label and runs[-1][1] == epoch:
-                runs[-1][3] += s.duration
-                runs[-1][4] += s.current * s.duration
-            else:
-                runs.append(
-                    [s.label, epoch, s.start, s.duration,
-                     s.current * s.duration, s.is_idle]
-                )
-
+        mark_list = marks.tolist()
         mark_idx = 0
         ceiling = float("inf")
-        for label, _epoch, start, dur, charge, is_idle in runs:
-            while mark_idx < len(marks) and marks[mark_idx] <= start + atol:
+        for start, dur, charge, is_idle in zip(
+            run_start.tolist(),
+            run_dur.tolist(),
+            run_charge.tolist(),
+            run_idle.tolist(),
+        ):
+            while (
+                mark_idx < len(mark_list)
+                and mark_list[mark_idx] <= start + atol
+            ):
                 ceiling = float("inf")
                 mark_idx += 1
             if is_idle or dur <= 0:
@@ -278,16 +297,14 @@ class Simulator:
 
             if cand is None:
                 # Idle until the next release (or the horizon).
-                trace.append(
-                    TraceSegment(
-                        start=t,
-                        duration=t_next - t,
-                        graph=IDLE,
-                        node="",
-                        speed=0.0,
-                        voltage=0.0,
-                        current=self.processor.idle_current(),
-                    )
+                trace.record(
+                    start=t,
+                    duration=t_next - t,
+                    graph=IDLE,
+                    node="",
+                    speed=0.0,
+                    voltage=0.0,
+                    current=self.processor.idle_current(),
                 )
                 t = t_next
                 continue
@@ -313,11 +330,9 @@ class Simulator:
                     cycles = remaining - executed
                 else:
                     cycles = speed * dur
-                trace.append(
-                    TraceSegment(
-                        t, dur, cand.graph_name, cand.node,
-                        speed, point.voltage, current,
-                    )
+                trace.record(
+                    t, dur, cand.graph_name, cand.node,
+                    speed, point.voltage, current,
                 )
                 cand.job.advance_node(cand.node, cycles)
                 executed += cycles

@@ -93,6 +93,26 @@ class CurrentProfile:
     def merged(self, rtol: float = 1e-12) -> "CurrentProfile":
         """Coalesce adjacent segments with (numerically) equal current."""
         d, c = self.durations, self.currents
+        if len(d) == 1:
+            return self
+        close = np.abs(np.diff(c)) <= rtol * np.maximum(
+            1.0, np.abs(c[:-1])
+        )
+        if not np.any(close):
+            return self  # nothing adjacent is mergeable
+        if np.all(c[1:][close] == c[:-1][close]):
+            # Every mergeable pair is *exactly* equal (the common case:
+            # the engine repeats operating-point currents bit-for-bit),
+            # so the sequential tolerance anchor can never drift and
+            # merging is a plain group-by-equal-runs reduction.
+            head = np.concatenate(
+                [[0], np.flatnonzero(c[1:] != c[:-1]) + 1]
+            )
+            return CurrentProfile(
+                np.add.reduceat(d, head), c[head].copy()
+            )
+        # Tolerance-window merges: keep the sequential reference walk,
+        # whose anchor is the first current of each merged run.
         out_d = [float(d[0])]
         out_c = [float(c[0])]
         for k in range(1, len(d)):

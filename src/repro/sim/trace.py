@@ -4,12 +4,21 @@ A trace is the full record of what ran when, at which operating point,
 drawing how much battery current.  It reduces to a
 :class:`~repro.sim.profile.CurrentProfile` for battery evaluation and
 renders as ASCII for the paper's trace figures (Figures 4 and 5).
+
+Storage is columnar (struct-of-arrays): per-field numpy arrays grown
+geometrically, with task labels interned to integer ids.  Every
+reduction the experiment drivers hit per scenario — ``to_profile``,
+``charge``, ``busy_time``, ``label_runs``, ``node_order``,
+``idle_mask`` — is a cached O(1)-allocation numpy reduction over those
+columns instead of a Python scan over dataclasses.  The segment-level
+API is preserved: iteration, indexing and :meth:`busy_segments` yield
+:class:`TraceSegment` views materialized on demand.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -67,50 +76,203 @@ class TraceSegment:
 
 
 class ExecutionTrace:
-    """An append-only sequence of contiguous :class:`TraceSegment`."""
+    """An append-only, columnar sequence of contiguous segments."""
+
+    _INITIAL_CAPACITY = 64
 
     def __init__(self) -> None:
-        self._segments: List[TraceSegment] = []
+        cap = self._INITIAL_CAPACITY
+        self._n = 0
+        self._start = np.empty(cap)
+        self._duration = np.empty(cap)
+        self._speed = np.empty(cap)
+        self._voltage = np.empty(cap)
+        self._current = np.empty(cap)
+        self._label_id = np.empty(cap, dtype=np.intp)
+        self._names: List[Tuple[str, str]] = []  # id -> (graph, node)
+        self._name_ids: Dict[Tuple[str, str], int] = {}
+        self._idle_flags: List[bool] = []  # id -> is_idle
+        self._cache: Dict[str, object] = {}
 
-    def append(self, segment: TraceSegment) -> None:
-        if segment.duration <= 0:
+    # -- recording -----------------------------------------------------
+    def _grow(self) -> None:
+        cap = max(2 * self._start.size, self._INITIAL_CAPACITY)
+        for name in (
+            "_start", "_duration", "_speed", "_voltage", "_current",
+            "_label_id",
+        ):
+            old = getattr(self, name)
+            new = np.empty(cap, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+
+    def record(
+        self,
+        start: float,
+        duration: float,
+        graph: str,
+        node: str,
+        speed: float,
+        voltage: float,
+        current: float,
+    ) -> None:
+        """Append one segment without materializing a dataclass."""
+        if duration <= 0:
             return  # zero-length dispatches carry no information
-        if self._segments:
-            gap = segment.start - self._segments[-1].end
+        n = self._n
+        if n:
+            prev_end = self._start[n - 1] + self._duration[n - 1]
+            gap = start - prev_end
             if abs(gap) > 1e-6:
                 raise ProfileError(
                     f"trace segments must be contiguous: previous ends at "
-                    f"{self._segments[-1].end:.9g}, next starts at "
-                    f"{segment.start:.9g}"
+                    f"{prev_end:.9g}, next starts at "
+                    f"{start:.9g}"
                 )
-        self._segments.append(segment)
+        if n == self._start.size:
+            self._grow()
+        key = (graph, node)
+        label_id = self._name_ids.get(key)
+        if label_id is None:
+            label_id = len(self._names)
+            self._name_ids[key] = label_id
+            self._names.append(key)
+            self._idle_flags.append(graph == IDLE)
+        self._start[n] = start
+        self._duration[n] = duration
+        self._speed[n] = speed
+        self._voltage[n] = voltage
+        self._current[n] = current
+        self._label_id[n] = label_id
+        self._n = n + 1
+        if self._cache:
+            self._cache.clear()
 
+    def append(self, segment: TraceSegment) -> None:
+        self.record(
+            segment.start, segment.duration, segment.graph, segment.node,
+            segment.speed, segment.voltage, segment.current,
+        )
+
+    # -- columnar views ------------------------------------------------
+    @property
+    def starts(self) -> np.ndarray:
+        return self._start[: self._n]
+
+    @property
+    def durations(self) -> np.ndarray:
+        return self._duration[: self._n]
+
+    @property
+    def speeds(self) -> np.ndarray:
+        return self._speed[: self._n]
+
+    @property
+    def voltages(self) -> np.ndarray:
+        return self._voltage[: self._n]
+
+    @property
+    def currents(self) -> np.ndarray:
+        return self._current[: self._n]
+
+    @property
+    def label_ids(self) -> np.ndarray:
+        return self._label_id[: self._n]
+
+    @property
+    def idle(self) -> np.ndarray:
+        """Boolean idle mask aligned with the columns (cached)."""
+        mask = self._cache.get("idle")
+        if mask is None:
+            flags = np.asarray(self._idle_flags, dtype=bool)
+            mask = (
+                flags[self.label_ids]
+                if flags.size
+                else np.zeros(0, dtype=bool)
+            )
+            self._cache["idle"] = mask
+        return mask
+
+    def _label_str(self, label_id: int) -> str:
+        graph, node = self._names[label_id]
+        return IDLE if graph == IDLE else f"{graph}.{node}"
+
+    def _segment(self, k: int) -> TraceSegment:
+        graph, node = self._names[self._label_id[k]]
+        return TraceSegment(
+            float(self._start[k]),
+            float(self._duration[k]),
+            graph,
+            node,
+            float(self._speed[k]),
+            float(self._voltage[k]),
+            float(self._current[k]),
+        )
+
+    # -- sequence API --------------------------------------------------
     def __len__(self) -> int:
-        return len(self._segments)
+        return self._n
 
     def __iter__(self):
-        return iter(self._segments)
+        for k in range(self._n):
+            yield self._segment(k)
 
     def __getitem__(self, i):
-        return self._segments[i]
+        if isinstance(i, slice):
+            return [self._segment(k) for k in range(*i.indices(self._n))]
+        k = i.__index__()
+        if k < 0:
+            k += self._n
+        if not (0 <= k < self._n):
+            raise IndexError("trace index out of range")
+        return self._segment(k)
 
     @property
     def end_time(self) -> float:
-        return self._segments[-1].end if self._segments else 0.0
+        if not self._n:
+            return 0.0
+        return float(self._start[self._n - 1] + self._duration[self._n - 1])
 
     # ------------------------------------------------------------------
     def busy_segments(self) -> Tuple[TraceSegment, ...]:
-        return tuple(s for s in self._segments if not s.is_idle)
+        return tuple(
+            self._segment(int(k)) for k in np.flatnonzero(~self.idle)
+        )
+
+    @staticmethod
+    def _seq_sum(values: np.ndarray) -> float:
+        """Strict left-to-right float accumulation (``cumsum`` is
+        sequential, unlike the pairwise ``np.sum``) — bit-identical to
+        the Python ``sum`` loop this storage replaced, which the golden
+        trace fixtures pin exactly."""
+        if values.size == 0:
+            return 0.0
+        return float(np.cumsum(values)[-1])
 
     def busy_time(self) -> float:
-        return sum(s.duration for s in self._segments if not s.is_idle)
+        out = self._cache.get("busy_time")
+        if out is None:
+            out = self._seq_sum(self.durations[~self.idle])
+            self._cache["busy_time"] = out
+        return out
 
     def executed_cycles(self) -> float:
-        return sum(s.cycles for s in self._segments if not s.is_idle)
+        out = self._cache.get("executed_cycles")
+        if out is None:
+            busy = ~self.idle
+            out = self._seq_sum(
+                self.speeds[busy] * self.durations[busy]
+            )
+            self._cache["executed_cycles"] = out
+        return out
 
     def charge(self) -> float:
         """Total battery charge drawn (coulombs)."""
-        return sum(s.current * s.duration for s in self._segments)
+        out = self._cache.get("charge")
+        if out is None:
+            out = self._seq_sum(self.currents * self.durations)
+            self._cache["charge"] = out
+        return out
 
     def energy(self, v_bat: float) -> float:
         """Battery-side energy in joules for terminal voltage ``v_bat``."""
@@ -118,39 +280,42 @@ class ExecutionTrace:
 
     def node_order(self) -> Tuple[str, ...]:
         """Distinct task labels in first-execution order (idle skipped)."""
-        seen = []
-        for s in self._segments:
-            if not s.is_idle and (not seen or seen[-1] != s.label):
-                seen.append(s.label)
-        out: List[str] = []
-        for label in seen:
-            if label not in out:
-                out.append(label)
-        return tuple(out)
+        ids = self.label_ids[~self.idle]
+        if ids.size == 0:
+            return ()
+        uniq, first = np.unique(ids, return_index=True)
+        order = np.argsort(first)
+        return tuple(self._label_str(int(uniq[k])) for k in order)
 
     def completion_order(self) -> Tuple[str, ...]:
         """Task labels ordered by the end of their *last* segment."""
-        last_end = {}
-        for s in self._segments:
-            if not s.is_idle:
-                last_end[s.label] = s.end
-        return tuple(sorted(last_end, key=last_end.get))
+        busy = ~self.idle
+        ids = self.label_ids[busy]
+        if ids.size == 0:
+            return ()
+        ends = (self.starts + self.durations)[busy]
+        uniq, first = np.unique(ids, return_index=True)
+        _, rev_idx = np.unique(ids[::-1], return_index=True)
+        last_end = ends[ids.size - 1 - rev_idx]
+        # First-occurrence order, then a stable sort by last end time —
+        # the same tuple the label -> last-end dict scan produced.
+        first_order = np.argsort(first)
+        by_end = np.argsort(last_end[first_order], kind="stable")
+        return tuple(
+            self._label_str(int(uniq[first_order[k]])) for k in by_end
+        )
 
     # ------------------------------------------------------------------
     def to_profile(self, *, merge: bool = True) -> CurrentProfile:
         """The battery-facing current profile of this trace."""
-        if not self._segments:
+        if not self._n:
             raise ProfileError("empty trace has no profile")
-        prof = CurrentProfile.from_segments(
-            (s.duration, s.current) for s in self._segments
-        )
+        prof = CurrentProfile(self.durations.copy(), self.currents.copy())
         return prof.merged() if merge else prof
 
     def idle_mask(self) -> np.ndarray:
         """Boolean mask aligned with the *unmerged* profile segments."""
-        return np.array(
-            [s.is_idle for s in self._segments if s.duration > 0], dtype=bool
-        )
+        return self.idle.copy()
 
     def label_runs(self) -> Tuple[Tuple[float, float, str, float, bool], ...]:
         """Consecutive same-label segments coalesced.
@@ -162,18 +327,26 @@ class ExecutionTrace:
         the reference frequency — the quantity battery guideline 1
         constrains.
         """
-        runs: List[List] = []
-        for s in self._segments:
-            if runs and runs[-1][2] == s.label:
-                runs[-1][1] += s.duration
-                runs[-1][3] += s.current * s.duration
-            else:
-                runs.append(
-                    [s.start, s.duration, s.label,
-                     s.current * s.duration, s.is_idle]
-                )
+        if not self._n:
+            return ()
+        ids = self.label_ids
+        head = np.concatenate(
+            [[0], np.flatnonzero(ids[1:] != ids[:-1]) + 1]
+        )
+        run_dur = np.add.reduceat(self.durations, head)
+        run_charge = np.add.reduceat(
+            self.durations * self.currents, head
+        )
+        idle = self.idle
         return tuple(
-            (r[0], r[1], r[2], r[3] / r[1], r[4]) for r in runs if r[1] > 0
+            (
+                float(self.starts[j]),
+                float(run_dur[k]),
+                self._label_str(int(ids[j])),
+                float(run_charge[k] / run_dur[k]),
+                bool(idle[j]),
+            )
+            for k, j in enumerate(head)
         )
 
     # ------------------------------------------------------------------
@@ -189,12 +362,12 @@ class ExecutionTrace:
         if horizon <= 0:
             return "(empty trace)"
         labels = []
-        for s in self._segments:
+        for s in self:
             if s.label not in labels:
                 labels.append(s.label)
         bin_w = horizon / width
         rows = {lab: [" "] * width for lab in labels}
-        for s in self._segments:
+        for s in self:
             b0 = int(np.clip(s.start / bin_w, 0, width - 1))
             b1 = int(np.clip(np.ceil(s.end / bin_w), 1, width))
             for b in range(b0, b1):
