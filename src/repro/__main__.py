@@ -5,6 +5,9 @@ Usage::
     python -m repro table2 --sets 10 --workers 4
     python -m repro table1 --sizes 5 10 15
     python -m repro fig5
+    python -m repro study run table2 --arg n_sets=10 --workers 4
+    python -m repro study run plan.json --format csv
+    python -m repro study axes
     python -m repro campaign --scenarios 20 --workers 4
     python -m repro campaign --backend dist --dist-dir /shared/q \
         --spawn-workers 4
@@ -17,21 +20,26 @@ Sweep-shaped subcommands accept ``--workers N`` to spread their
 scenarios over a multiprocessing pool — results are bit-identical to
 sequential runs.  ``campaign --backend dist`` runs the same sweep as
 the broker of a distributed fleet (workers join via
-``campaign-worker``), still bit-identical.
+``campaign-worker``), still bit-identical.  ``study`` runs
+declarative :mod:`repro.api` plans — builtin (``study plans``) or
+from a JSON plan file (``study export`` writes one).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .analysis import experiments as ex
 from .analysis.tables import format_table
+from .api import plans as study_plans
 from .campaign import (
     CampaignRunner,
     ResultCache,
     ScenarioSpec,
     StreamingAggregator,
+    install_env_plugins,
     known_schemes,
     spawn_seeds,
 )
@@ -43,20 +51,22 @@ from .campaign.distributed import (
 
 
 def _cmd_table1(args) -> str:
-    return ex.table1(
+    return _run_plan_cmd(
+        args,
+        study_plans.table1_plan,
         sizes=tuple(args.sizes),
         graphs_per_size=args.graphs_per_size,
         seed=args.seed,
-        workers=args.workers,
-    ).format()
+    )
 
 
-def _driver_runner(args):
+def _driver_runner(args, cache=None):
     """A distributed runner for a sweep driver, or ``None`` for local.
 
-    Lets ``table2``/``fig6`` run on a worker fleet (``--backend dist
-    --dist-dir DIR [--spawn-workers K]``) — the nightly paper-scale CI
-    job byte-diffs their output against the local backend.
+    Lets ``table2``/``fig6``/``study run`` run on a worker fleet
+    (``--backend dist --dist-dir DIR [--spawn-workers K]``) — the
+    nightly paper-scale CI job byte-diffs their output against the
+    local backend.  ``cache`` is consulted/filled broker-side.
     """
     if getattr(args, "backend", "local") == "local":
         return None
@@ -71,28 +81,38 @@ def _driver_runner(args):
         )
     return DistributedRunner(
         workdir=args.dist_dir,
+        cache=cache,
         n_local_workers=args.spawn_workers,
         result_timeout=args.result_timeout,
     )
 
 
-def _run_driver(args, fn, **kwargs) -> str:
+def _run_plan_cmd(args, builder, **kwargs) -> str:
+    """Run a builtin study plan for a classic subcommand.
+
+    The plan's renderer reproduces the historical driver output
+    byte-for-byte; routing the CLI straight through the plan avoids
+    the deprecated shims (and their warnings, which CLI users could
+    do nothing about).
+    """
     runner = _driver_runner(args)
     try:
-        return fn(**kwargs, runner=runner).format()
+        result = builder(**kwargs).run(
+            runner=runner, workers=getattr(args, "workers", 1)
+        )
+        return result.format()
     finally:
         if runner is not None:
             runner.close()
 
 
 def _cmd_table2(args) -> str:
-    return _run_driver(
+    return _run_plan_cmd(
         args,
-        ex.table2,
+        study_plans.table2_plan,
         n_sets=args.sets,
         n_graphs=args.graphs,
         seed=args.seed,
-        workers=args.workers,
     )
 
 
@@ -105,35 +125,35 @@ def _cmd_fig5(args) -> str:
 
 
 def _cmd_fig6(args) -> str:
-    return _run_driver(
+    return _run_plan_cmd(
         args,
-        ex.fig6,
+        study_plans.fig6_plan,
         graph_counts=tuple(args.counts),
         sets_per_point=args.sets,
         seed=args.seed,
         utilization=args.utilization,
-        workers=args.workers,
     )
 
 
 def _cmd_ratecapacity(args) -> str:
-    return ex.rate_capacity().format()
+    return _run_plan_cmd(args, study_plans.rate_capacity_plan)
 
 
 def _cmd_coherence(args) -> str:
-    return ex.model_coherence().format()
+    return _run_plan_cmd(args, study_plans.model_coherence_plan)
 
 
 def _cmd_ablations(args) -> str:
-    parts = [
-        ex.ablation_estimator(seed=args.seed, workers=args.workers).format(),
-        ex.ablation_freqset(seed=args.seed, workers=args.workers).format(),
-        ex.ablation_dvs(seed=args.seed, workers=args.workers).format(),
-        ex.ablation_feasibility(
-            seed=args.seed, workers=args.workers
-        ).format(),
-    ]
-    return "\n\n".join(parts)
+    builders = (
+        study_plans.ablation_estimator_plan,
+        study_plans.ablation_freqset_plan,
+        study_plans.ablation_dvs_plan,
+        study_plans.ablation_feasibility_plan,
+    )
+    return "\n\n".join(
+        _run_plan_cmd(args, builder, seed=args.seed)
+        for builder in builders
+    )
 
 
 def _parse_endpoint(text: str) -> tuple:
@@ -299,6 +319,10 @@ def _cmd_campaign(args) -> str:
     )
     if campaign.replayed:
         footer += f", {campaign.replayed} replayed from ledger"
+    if campaign.requeued:
+        footer += f", {campaign.requeued} requeued"
+    if campaign.stolen:
+        footer += f", {campaign.stolen} chunk(s) stolen"
     return table + "\n" + footer
 
 
@@ -316,6 +340,9 @@ def _cmd_campaign_worker(args) -> str:
         raise SystemExit(
             "error: campaign-worker needs exactly one of --dir/--connect"
         )
+    # Custom schemes/batteries registered declaratively on the broker
+    # arrive as a JSON snapshot in $REPRO_PLUGINS.
+    install_env_plugins()
     options = dict(
         poll=args.poll,
         max_tasks=args.max_tasks,
@@ -330,6 +357,151 @@ def _cmd_campaign_worker(args) -> str:
             host, port, reconnect_grace=args.reconnect_grace, **options
         )
     return f"campaign-worker: executed {executed} work unit(s)"
+
+
+# ----------------------------------------------------------------------
+# study — declarative repro.api plans
+# ----------------------------------------------------------------------
+def _parse_plan_args(pairs) -> dict:
+    """``k=v`` overrides for a builtin plan builder (JSON-typed)."""
+    overrides = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"error: --arg {pair!r} must look like name=value"
+            )
+        try:
+            value = json.loads(raw)
+        except ValueError:
+            value = raw  # bare strings (e.g. estimator=oracle)
+        overrides[key] = value
+    return overrides
+
+
+def _resolve_plan(args):
+    """A StudyPlan from a builtin name or a JSON plan file."""
+    from .api import load_plan, plans
+
+    name = args.plan
+    if name in plans.PLAN_BUILDERS:
+        try:
+            return plans.build_plan(name, **_parse_plan_args(args.arg))
+        except TypeError:
+            import inspect
+
+            valid = sorted(
+                inspect.signature(
+                    plans.PLAN_BUILDERS[name]
+                ).parameters
+            )
+            raise SystemExit(
+                f"error: bad --arg for plan {name!r}; valid names: "
+                f"{', '.join(valid)}"
+            ) from None
+    if name.endswith(".json"):
+        if args.arg:
+            raise SystemExit(
+                "error: --arg overrides only apply to builtin plans; "
+                "edit the plan file instead"
+            )
+        return load_plan(name)
+    raise SystemExit(
+        f"error: {name!r} is neither a builtin plan "
+        f"({', '.join(sorted(plans.PLAN_BUILDERS))}) nor a .json "
+        "plan file"
+    )
+
+
+def _cmd_study_run(args) -> str:
+    """Execute a study plan and print its report.
+
+    ``PLAN`` is a builtin plan name (see ``study plans``; scale
+    overrides via repeatable ``--arg name=value``) or a path to a
+    JSON plan file (``study export`` writes one).  ``--format
+    report`` prints the plan's rendered tables (builtin plans
+    reproduce the legacy driver output byte-for-byte), ``csv`` the
+    full typed result frame, ``json`` frame + execution telemetry.
+    """
+    from .api import Study
+
+    plan = _resolve_plan(args)
+    cache = (
+        ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    )
+    runner = _driver_runner(args, cache=cache)
+    try:
+        result = Study(
+            plan, runner=runner, workers=args.workers, cache=cache
+        ).run()
+    finally:
+        if runner is not None:
+            runner.close()
+    if args.format == "csv":
+        return result.frame.to_csv().rstrip("\n")
+    if args.format == "json":
+        return json.dumps(
+            {
+                "plan": plan.to_json(),
+                "telemetry": result.campaign.telemetry,
+                "frame": result.frame.to_json(),
+            },
+            indent=1,
+            sort_keys=False,
+        )
+    return result.format()
+
+
+def _cmd_study_axes(args) -> str:
+    """List every registered axis value a sweep can name."""
+    from .api import known_names, load_entry_points
+    from .campaign.spec import _SPEC_TYPES
+    from dataclasses import fields as dc_fields
+
+    load_entry_points()
+    lines = ["Registered axes (repro.api.registry):"]
+    for kind, names in known_names().items():
+        lines.append(f"  {kind}: {', '.join(names)}")
+    lines.append("")
+    lines.append("Spec kinds and their sweepable fields:")
+    for kind, cls in _SPEC_TYPES.items():
+        names = ", ".join(f.name for f in dc_fields(cls))
+        lines.append(f"  {kind}: {names}")
+    return "\n".join(lines)
+
+
+def _cmd_study_plans(args) -> str:
+    """List the builtin study plans."""
+    from .api import plans
+
+    lines = ["Builtin plans (study run NAME [--arg k=v ...]):"]
+    for name in sorted(plans.PLAN_BUILDERS):
+        plan = plans.build_plan(name)
+        specs = len(plan.sweep.expand())
+        lines.append(
+            f"  {name:22s} {plan.description} "
+            f"({specs} specs at default scale)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_study_export(args) -> str:
+    """Write a builtin plan (with overrides) as a JSON plan file.
+
+    The file round-trips through ``study run plan.json``: same sweep,
+    same seeds, same spec hashes — the legacy-output renderer is code
+    and is not serialized, so a file-run prints the generic frame
+    summary (or use ``--format csv``).
+    """
+    from .api import plans
+
+    plan = plans.build_plan(args.plan, **_parse_plan_args(args.arg))
+    text = json.dumps(plan.to_json(), indent=2) + "\n"
+    if args.out is None:
+        return text.rstrip("\n")
+    with open(args.out, "w") as handle:
+        handle.write(text)
+    return f"wrote {args.out}"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -392,7 +564,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_fig6)
 
     p = sub.add_parser("ratecapacity", help="load vs delivered capacity")
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(fn=_cmd_ratecapacity)
+
+    p = sub.add_parser(
+        "study",
+        help="declarative repro.api studies: run plans, list axes",
+    )
+    ssub = p.add_subparsers(dest="study_command", required=True)
+
+    sp = ssub.add_parser(
+        "run",
+        help="run a builtin plan or a JSON plan file",
+        description=_cmd_study_run.__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sp.add_argument(
+        "plan",
+        help="builtin plan name (see 'study plans') or path/to/plan.json",
+    )
+    sp.add_argument(
+        "--arg", action="append", metavar="NAME=VALUE",
+        help="builtin-plan scale override (repeatable; JSON-typed)",
+    )
+    sp.add_argument("--workers", type=int, default=1)
+    sp.add_argument(
+        "--format", choices=("report", "csv", "json"), default="report",
+        help="report: the plan's rendered tables; csv/json: the frame",
+    )
+    sp.add_argument(
+        "--cache-dir", default=None,
+        help="attach a content-hash result cache at this directory",
+    )
+    add_driver_backend(sp)
+    sp.set_defaults(fn=_cmd_study_run)
+
+    sp = ssub.add_parser(
+        "axes", help="list registered schemes/batteries/... and fields"
+    )
+    sp.set_defaults(fn=_cmd_study_axes)
+
+    sp = ssub.add_parser("plans", help="list builtin study plans")
+    sp.set_defaults(fn=_cmd_study_plans)
+
+    sp = ssub.add_parser(
+        "export",
+        help="write a builtin plan as a JSON plan file",
+        description=_cmd_study_export.__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sp.add_argument("plan", help="builtin plan name")
+    sp.add_argument(
+        "--arg", action="append", metavar="NAME=VALUE",
+        help="builtin-plan scale override (repeatable; JSON-typed)",
+    )
+    sp.add_argument(
+        "-o", "--out", default=None, help="output path (default: stdout)"
+    )
+    sp.set_defaults(fn=_cmd_study_export)
 
     p = sub.add_parser("coherence", help="battery model agreement (Figs 2-3)")
     p.set_defaults(fn=_cmd_coherence)

@@ -1,33 +1,50 @@
-"""Experiment drivers — one per table/figure of the paper (+ ablations).
+"""Legacy experiment drivers — thin deprecated shims over `repro.api`.
 
-Every driver returns a small result object carrying raw numbers and a
-``format()`` method that prints the same rows/series the paper reports.
-Benchmarks in ``benchmarks/`` are thin wrappers around these drivers;
-tests exercise them at reduced scale.
+Every sweep-shaped driver here (``table1``, ``table2``, ``fig6``,
+``model_coherence``, ``rate_capacity``, the four ablations) is now a
+~20-line declarative :class:`~repro.api.study.StudyPlan` built in
+:mod:`repro.api.plans`; these functions remain so existing callers,
+tests, and goldens keep working unchanged — same signatures, same
+result dataclasses (re-exported from :mod:`repro.api.results`), same
+numbers byte-for-byte — but they emit :class:`DeprecationWarning` and
+simply adapt the plan's :class:`~repro.api.frame.ResultFrame`.
 
-Scale knobs: each driver takes counts/sizes with fast defaults and
-accepts the paper's full scale (e.g. ``table2(n_sets=100)``) when you
-have the minutes to spend.
+New code should use the API directly::
 
-Campaign execution: every sweep-shaped driver (``table1``, ``table2``,
-``fig6``, ``model_coherence``, the ablations) builds a declarative
-spec list and delegates to :class:`repro.campaign.CampaignRunner` —
-pass ``workers=N`` for a multiprocessing pool, or a pre-built
-``runner`` (e.g. with a result cache attached).  Results are
-bit-identical across worker counts.
+    from repro.api import Study, plans
+    res = Study(plans.table2_plan(n_sets=100), workers=8).run()
+    table2_result = res.adapted()     # the Table2Result below
+    res.frame.to_csv("table2.csv")    # or work with the typed frame
+
+``fig4`` and ``fig5`` are single worked examples (two fixed
+schedules each), not sweeps, and stay direct — there is nothing for a
+campaign to parallelize or cache.
+
+Campaign execution: pass ``workers=N`` for a multiprocessing pool, or
+a pre-built ``runner`` (cached local or distributed).  Results are
+bit-identical across worker counts and backends.
 """
 
 from __future__ import annotations
 
+import copy
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
-import numpy as np
-
+from ..api import plans
+from ..api.results import (
+    AblationResult,
+    Fig6Result,
+    ModelCoherenceResult,
+    RateCapacityResult,
+    Table1Result,
+    Table2Result,
+)
+from ..api.study import Study, StudyPlan
 from ..battery.base import BatteryModel
-from ..battery.calibrate import paper_cell_kibam, paper_cell_stochastic
+from ..campaign.growth import SpecRunner
 from ..campaign.registry import (
-    NEAR_OPTIMAL,
     estimator_name_for,
     fresh_name,
     register_battery,
@@ -36,28 +53,17 @@ from ..campaign.registry import (
     register_scheme,
     unregister,
 )
-from ..campaign.growth import SpecRunner
-from ..campaign.runner import CampaignRunner
-from ..campaign.spec import (
-    OneShotSpec,
-    ScenarioSpec,
-    Spec,
-    SurvivalSpec,
-    spawn_seeds,
-)
 from ..core.estimator import Estimator, HistoryEstimator, OracleEstimator
 from ..core.methodology import Scheme, SchedulingPolicy
 from ..core.oneshot import run_one_shot
 from ..core.priority import LTF, STF, PriorityFunction
 from ..core.ready_list import ALL_RELEASED, MOST_IMMINENT
 from ..dvs import CcEDF
-from ..errors import SchedulingError
 from ..processor.platform import Processor, paper_processor
 from ..sim.engine import SimulationResult, Simulator
-from ..sim.profile import CurrentProfile
 from ..workloads.presets import fig4_cases, fig4_pair, fig5_actuals, fig5_set
 from .lifetime import survival_scale
-from .tables import format_series, format_table
+from .tables import format_table
 
 __all__ = [
     "run_scheme",
@@ -83,6 +89,10 @@ __all__ = [
     "AblationResult",
 ]
 
+#: Re-exported for backward compatibility (canonical home: api.plans).
+PAPER_SCHEME_NAMES = plans.PAPER_SCHEME_NAMES
+FIG6_SCHEME_NAMES = plans.FIG6_SCHEME_NAMES
+
 
 # ----------------------------------------------------------------------
 # Shared plumbing
@@ -104,52 +114,22 @@ def run_scheme(
     return sim.run(horizon)
 
 
-#: Table 2 scheme rows (campaign-registry names, paper order).
-PAPER_SCHEME_NAMES: Tuple[str, ...] = (
-    "EDF", "ccEDF", "laEDF", "BAS-1", "BAS-2"
-)
-
-#: Figure 6 ordering schemes (campaign-registry names; all use laEDF).
-FIG6_SCHEME_NAMES: Tuple[str, ...] = (
-    "random", "LTF", "pUBS-imminent", "pUBS-all"
-)
-
-
-def _campaign_runner(
-    workers: int, runner: Optional[SpecRunner]
-) -> SpecRunner:
-    """The runner a driver should use (explicit runner wins).
-
-    Any :class:`~repro.campaign.growth.SpecRunner` works — the local
-    multiprocessing :class:`CampaignRunner` (possibly with a cache
-    attached) or a :class:`~repro.campaign.distributed.DistributedRunner`
-    whose fleet spans hosts; results are bit-identical either way.
-    """
-    return runner if runner is not None else CampaignRunner(workers)
-
-
-def _run_specs(
-    workers: int,
-    runner: Optional[SpecRunner],
-    specs: Sequence[Spec],
-    ad_hoc_names: Sequence[str] = (),
-):
-    """Run a driver's spec list, then drop any ad-hoc registry entries
-    so repeated driver calls don't accumulate factory closures."""
-    try:
-        return _campaign_runner(workers, runner).run(specs)
-    finally:
-        for name in ad_hoc_names:
-            if name.startswith("@"):
-                unregister(name)
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.analysis.experiments.{old} is deprecated; use {new} "
+        "(see repro.api)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _processor_name(processor: Optional[Processor]) -> str:
     """Registry name for an optional caller-supplied processor.
 
     Ad-hoc processors are registered process-locally; parallel workers
-    see them via ``fork`` inheritance (see
-    :mod:`repro.campaign.registry`).
+    see them via ``fork`` inheritance.  For spawn-safe custom entries,
+    register declaratively via :mod:`repro.api.registry` and pass the
+    name to the plan builder instead.
     """
     if processor is None:
         return "paper"
@@ -166,34 +146,26 @@ def _estimator_name(factory: Callable[[], Estimator]) -> str:
     return register_estimator(fresh_name("estimator"), factory)
 
 
+def _run_plan(
+    plan: StudyPlan,
+    workers: int,
+    runner: Optional[SpecRunner],
+    ad_hoc_names: Sequence[str] = (),
+):
+    """Run a plan and adapt it to the legacy dataclass, then drop any
+    ad-hoc registry entries so repeated driver calls don't accumulate
+    factory closures."""
+    try:
+        return Study(plan, runner=runner, workers=workers).run().adapted()
+    finally:
+        for name in ad_hoc_names:
+            if name.startswith("@"):
+                unregister(name)
+
+
 # ----------------------------------------------------------------------
 # Table 1 — single-DAG energy vs exhaustive optimal
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class Table1Result:
-    """Energy normalized w.r.t. the optimal schedule, per task count."""
-
-    sizes: Tuple[int, ...]
-    random: Tuple[float, ...]
-    ltf: Tuple[float, ...]
-    pubs: Tuple[float, ...]
-    graphs_per_size: int
-
-    def format(self) -> str:
-        rows = [
-            [n, r, l, p]
-            for n, r, l, p in zip(self.sizes, self.random, self.ltf, self.pubs)
-        ]
-        return format_table(
-            ["# of tasks", "Random", "LTF", "pUBS"],
-            rows,
-            title=(
-                "Table 1 — energy normalized w.r.t. optimal "
-                f"(avg of {self.graphs_per_size} DAGs per size)"
-            ),
-        )
-
-
 def table1(
     *,
     sizes: Sequence[int] = tuple(range(5, 16)),
@@ -208,80 +180,27 @@ def table1(
     workers: int = 1,
     runner: Optional[SpecRunner] = None,
 ) -> Table1Result:
-    """Reproduce Table 1: Random / LTF / pUBS vs exhaustive optimal.
-
-    Single TGFF-style DAGs with a common deadline; actuals uniform in
-    [20 %, 100 %] of WCET.  The default deadline is *tight* (equal to
-    the worst case, ``utilization=1.0``) — the regime of the paper's
-    own Figure 4 example, where ordering matters most; slacker
-    deadlines push every order onto the frequency floor and compress
-    the dispersion.  DAGs whose linear-extension count exceeds
-    ``max_extensions`` are resampled (the paper's own cap is "no more
-    than 15 tasks" for the same reason).
-
-    Each (size, replicate) DAG is an independent campaign scenario with
-    its own ``SeedSequence``-spawned child seed, so the sweep
-    parallelizes freely (``workers=N``) without changing any number.
-    """
-    lo, hi = actual_range
+    """Reproduce Table 1 (deprecated shim over
+    :func:`repro.api.plans.table1_plan`; see it for methodology)."""
+    _deprecated("table1", "plans.table1_plan")
     proc_name = _processor_name(processor)
-    unit_seeds = spawn_seeds(seed, len(sizes) * graphs_per_size)
-    specs: List[Spec] = [
-        OneShotSpec(
-            n_tasks=int(n),
-            seed=unit_seeds[si * graphs_per_size + gi],
-            edge_prob=edge_prob,
-            utilization=utilization,
-            actual_low=lo,
-            actual_high=hi,
-            max_extensions=max_extensions,
-            n_random=n_random,
-            processor=proc_name,
-        )
-        for si, n in enumerate(sizes)
-        for gi in range(graphs_per_size)
-    ]
-    campaign = _run_specs(workers, runner, specs, [proc_name])
-    sums: Dict[str, np.ndarray] = {
-        k: np.zeros(len(sizes)) for k in ("random", "ltf", "pubs")
-    }
-    for si in range(len(sizes)):
-        for gi in range(graphs_per_size):
-            metrics = campaign.results[si * graphs_per_size + gi].metrics
-            sums["random"][si] += metrics["random"]
-            sums["ltf"][si] += metrics["ltf"]
-            sums["pubs"][si] += metrics["pubs"]
-    k = float(graphs_per_size)
-    return Table1Result(
-        sizes=tuple(int(n) for n in sizes),
-        random=tuple(sums["random"] / k),
-        ltf=tuple(sums["ltf"] / k),
-        pubs=tuple(sums["pubs"] / k),
+    plan = plans.table1_plan(
+        sizes=sizes,
         graphs_per_size=graphs_per_size,
+        seed=seed,
+        processor=proc_name,
+        utilization=utilization,
+        actual_range=actual_range,
+        edge_prob=edge_prob,
+        max_extensions=max_extensions,
+        n_random=n_random,
     )
+    return _run_plan(plan, workers, runner, [proc_name])
 
 
 # ----------------------------------------------------------------------
 # Figure 6 — ordering schemes vs near-optimal, growing graph count
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class Fig6Result:
-    graph_counts: Tuple[int, ...]
-    series: Dict[str, Tuple[float, ...]]
-    sets_per_point: int
-
-    def format(self) -> str:
-        return format_series(
-            "# taskgraphs",
-            list(self.graph_counts),
-            {k: list(v) for k, v in self.series.items()},
-            title=(
-                "Figure 6 — energy normalized w.r.t. near-optimal "
-                f"(precedence relaxed; avg of {self.sets_per_point} sets)"
-            ),
-        )
-
-
 def fig6(
     *,
     graph_counts: Sequence[int] = (2, 3, 4, 5, 6),
@@ -294,101 +213,26 @@ def fig6(
     workers: int = 1,
     runner: Optional[SpecRunner] = None,
 ) -> Fig6Result:
-    """Reproduce Figure 6: energy of ordering schemes vs graph count.
-
-    All schemes use laEDF for frequency setting (as in the paper); each
-    point averages ``sets_per_point`` random 70 %-utilization task-graph
-    sets; energies are normalized by the precedence-relaxed near-optimal
-    run on the identical workload.  Each (point, replicate) expands to
-    five campaign scenarios (the near-optimal reference plus the four
-    ordering schemes), all sharing one workload seed.
-    """
+    """Reproduce Figure 6 (deprecated shim over
+    :func:`repro.api.plans.fig6_plan`; see it for methodology)."""
+    _deprecated("fig6", "plans.fig6_plan")
     proc_name = _processor_name(processor)
     est_name = _estimator_name(estimator)
-    specs: List[Spec] = []
-    for ci, count in enumerate(graph_counts):
-        for rep in range(sets_per_point):
-            set_seed = seed + 1000 * ci + rep
-            for name in (NEAR_OPTIMAL,) + FIG6_SCHEME_NAMES:
-                specs.append(
-                    ScenarioSpec(
-                        scheme=name,
-                        n_graphs=int(count),
-                        utilization=utilization,
-                        seed=set_seed,
-                        horizon=horizon,
-                        estimator=est_name,
-                        processor=proc_name,
-                    )
-                )
-    campaign = _run_specs(workers, runner, specs, [proc_name, est_name])
-    acc: Dict[str, np.ndarray] = {
-        name: np.zeros(len(graph_counts)) for name in FIG6_SCHEME_NAMES
-    }
-    results = iter(campaign.results)
-    for ci in range(len(graph_counts)):
-        for _rep in range(sets_per_point):
-            ref_energy = next(results).metrics["energy_j"]
-            if ref_energy <= 0:
-                raise SchedulingError("near-optimal energy must be positive")
-            for name in FIG6_SCHEME_NAMES:
-                acc[name][ci] += next(results).metrics["energy_j"] / ref_energy
-    return Fig6Result(
-        graph_counts=tuple(int(c) for c in graph_counts),
-        series={
-            name: tuple(vals / sets_per_point) for name, vals in acc.items()
-        },
+    plan = plans.fig6_plan(
+        graph_counts=graph_counts,
         sets_per_point=sets_per_point,
+        seed=seed,
+        utilization=utilization,
+        horizon=horizon,
+        estimator=est_name,
+        processor=proc_name,
     )
+    return _run_plan(plan, workers, runner, [proc_name, est_name])
 
 
 # ----------------------------------------------------------------------
 # Table 2 — charge delivered and battery lifetime per scheme
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class Table2Result:
-    scheme_names: Tuple[str, ...]
-    delivered_mah: Tuple[float, ...]
-    lifetime_min: Tuple[float, ...]
-    n_sets: int
-
-    def format(self) -> str:
-        rows = [
-            [name, q, t]
-            for name, q, t in zip(
-                self.scheme_names, self.delivered_mah, self.lifetime_min
-            )
-        ]
-        table = format_table(
-            ["Scheme", "Charge (mAh)", "Lifetime (min)"],
-            rows,
-            title=(
-                "Table 2 — battery performance at 70% utilization "
-                f"(avg of {self.n_sets} taskgraph sets)"
-            ),
-            precision=1,
-        )
-        return table + "\n" + self.headline_claims()
-
-    def ratio(self, a: str, b: str) -> float:
-        """Lifetime of scheme ``a`` over scheme ``b``."""
-        idx = {n: i for i, n in enumerate(self.scheme_names)}
-        return self.lifetime_min[idx[a]] / self.lifetime_min[idx[b]]
-
-    def headline_claims(self) -> str:
-        """The §6 improvement percentages, recomputed from this run."""
-        lines = []
-        for target, label in (
-            ("ccEDF", "over ccEDF"),
-            ("laEDF", "over laEDF"),
-            ("EDF", "over no-DVS EDF"),
-        ):
-            if target in self.scheme_names and "BAS-2" in self.scheme_names:
-                pct = (self.ratio("BAS-2", target) - 1.0) * 100.0
-                lines.append(f"BAS-2 lifetime {label}: {pct:+.1f}%")
-        return "\n".join(lines)
-
-
 def table2(
     *,
     n_sets: int = 5,
@@ -403,15 +247,9 @@ def table2(
     workers: int = 1,
     runner: Optional[SpecRunner] = None,
 ) -> Table2Result:
-    """Reproduce Table 2: five schemes' charge delivered and lifetime.
-
-    Each random 70 %-utilization set is simulated for one hyperperiod
-    per scheme; the resulting current profile is tiled through a fresh
-    calibrated AAA-NiMH cell (the stochastic model by default) until
-    the cell dies.  The paper uses 100 sets; the default here is 5 —
-    pass ``n_sets=100`` for paper scale (and ``workers=N`` to spread
-    the (set × scheme) scenarios over a pool).
-    """
+    """Reproduce Table 2 (deprecated shim over
+    :func:`repro.api.plans.table2_plan`; see it for methodology)."""
+    _deprecated("table2", "plans.table2_plan")
     proc_name = _processor_name(processor)
     est_name = _estimator_name(estimator_factory)
     battery_name = (
@@ -423,52 +261,35 @@ def table2(
         )
     )
     if schemes is None:
-        scheme_entries = [(name, name) for name in PAPER_SCHEME_NAMES]
+        scheme_names: Sequence[str] = plans.PAPER_SCHEME_NAMES
+        display: Optional[Dict[str, str]] = None
     else:
         # Caller-supplied Scheme objects: register each under a fresh
         # name; the display name stays the scheme's own.
-        scheme_entries = [
-            (register_scheme(fresh_name("scheme"), lambda est, s=s: s), s.name)
+        scheme_names = [
+            register_scheme(fresh_name("scheme"), lambda est, s=s: s)
             for s in schemes
         ]
-    specs: List[Spec] = []
-    for rep in range(n_sets):
-        set_seed = seed + rep
-        for reg_name, _display in scheme_entries:
-            specs.append(
-                ScenarioSpec(
-                    scheme=reg_name,
-                    n_graphs=n_graphs,
-                    utilization=utilization,
-                    seed=set_seed,
-                    battery=battery_name,
-                    battery_seed=set_seed,
-                    estimator=est_name,
-                    processor=proc_name,
-                    rebin=rebin,
-                )
-            )
-    campaign = _run_specs(
+        display = {
+            reg: s.name for reg, s in zip(scheme_names, schemes)
+        }
+    plan = plans.table2_plan(
+        n_sets=n_sets,
+        n_graphs=n_graphs,
+        seed=seed,
+        utilization=utilization,
+        battery=battery_name,
+        rebin=rebin,
+        estimator=est_name,
+        schemes=scheme_names,
+        processor=proc_name,
+        display=display,
+    )
+    return _run_plan(
+        plan,
         workers,
         runner,
-        specs,
-        [proc_name, est_name, battery_name]
-        + [reg for reg, _display in scheme_entries],
-    )
-    names = tuple(display for _reg, display in scheme_entries)
-    delivered = {name: 0.0 for name in names}
-    lifetime = {name: 0.0 for name in names}
-    results = iter(campaign.results)
-    for _rep in range(n_sets):
-        for _reg, display in scheme_entries:
-            metrics = next(results).metrics
-            delivered[display] += metrics["delivered_mah"]
-            lifetime[display] += metrics["lifetime_min"]
-    return Table2Result(
-        scheme_names=names,
-        delivered_mah=tuple(delivered[n] / n_sets for n in names),
-        lifetime_min=tuple(lifetime[n] / n_sets for n in names),
-        n_sets=n_sets,
+        [proc_name, est_name, battery_name, *scheme_names],
     )
 
 
@@ -615,111 +436,49 @@ def fig5(*, processor: Optional[Processor] = None) -> Fig5Result:
 # ----------------------------------------------------------------------
 # Figure 5 (battery) — load vs delivered capacity
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class RateCapacityResult:
-    currents: Tuple[float, ...]
-    delivered_mah: Dict[str, Tuple[float, ...]]
-    max_capacity_mah: float
-    available_capacity_mah: float
-
-    def format(self) -> str:
-        table = format_series(
-            "I (A)",
-            list(self.currents),
-            {k: list(v) for k, v in self.delivered_mah.items()},
-            title="Load vs delivered capacity (mAh)",
-            precision=1,
-        )
-        return (
-            table
-            + f"\nextrapolated maximum capacity:   "
-            f"{self.max_capacity_mah:.0f} mAh (paper: 2000)"
-            + f"\nextrapolated available capacity: "
-            f"{self.available_capacity_mah:.0f} mAh"
-        )
-
-
 def rate_capacity(
     *,
     currents: Sequence[float] = (0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 8.0),
     models: Optional[Dict[str, BatteryModel]] = None,
+    workers: int = 1,
+    runner: Optional[SpecRunner] = None,
 ) -> RateCapacityResult:
-    """Sweep constant loads through the calibrated cells and extrapolate
-    the curve's ends (maximum and available capacity)."""
-    from ..battery.calibrate import paper_cell_diffusion
-    from ..battery.ratecapacity import (
-        extrapolated_capacities,
-        sweep_rate_capacity,
-    )
+    """Sweep constant loads through the calibrated cells (deprecated
+    shim over :func:`repro.api.plans.rate_capacity_plan`).
 
-    cells: Dict[str, BatteryModel] = (
-        models
-        if models is not None
-        else {
-            "KiBaM": paper_cell_kibam(),
-            "diffusion": paper_cell_diffusion(),
-            "stochastic": paper_cell_stochastic(seed=0),
-        }
-    )
-    delivered: Dict[str, Tuple[float, ...]] = {}
-    for name, cell in cells.items():
-        curve = sweep_rate_capacity(cell, currents)
-        delivered[name] = tuple(curve.delivered_mah)
-    max_c, avail_c = extrapolated_capacities(paper_cell_kibam())
-    return RateCapacityResult(
-        currents=tuple(float(c) for c in currents),
-        delivered_mah=delivered,
-        max_capacity_mah=max_c / 3.6,
-        available_capacity_mah=avail_c / 3.6,
-    )
+    Now campaign-routed: each (model, current) probe is one cacheable
+    scenario, so the sweep gains ``workers=N``, the result cache, and
+    the distributed backend.  Each probe resolves a *fresh* cell
+    (caller-supplied models are deep-copied per probe), so a
+    stochastic model is seeded per probe (order-independent, the same
+    across worker counts) rather than carrying one RNG stream across
+    the whole sweep as the pre-campaign driver did — deliberate:
+    results no longer depend on which other currents are in the
+    sweep.
+    """
+    _deprecated("rate_capacity", "plans.rate_capacity_plan")
+    ad_hoc: list = []
+    if models is None:
+        model_names: Optional[Dict[str, str]] = None
+    else:
+        model_names = {}
+        for disp, cell in models.items():
+            name = register_battery(
+                fresh_name("battery"),
+                # Deep copy per resolve: every probe sees the cell
+                # exactly as the caller passed it (RNG state
+                # included), whichever worker executes it.
+                lambda seed, _c=cell, **_kw: copy.deepcopy(_c),
+            )
+            model_names[disp] = name
+            ad_hoc.append(name)
+    plan = plans.rate_capacity_plan(currents=currents, models=model_names)
+    return _run_plan(plan, workers, runner, ad_hoc)
 
 
 # ----------------------------------------------------------------------
 # Figures 2-3 — KiBaM vs diffusion coherence
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class ModelCoherenceResult:
-    """Sustainable load scale per profile shape per model.
-
-    ``margins[model][i]`` is the largest multiplier by which shape
-    ``shapes[i]``'s currents can be scaled with the battery still
-    completing the whole profile — the model-agnostic measure of how
-    battery-friendly an execution order is (guideline 1 says the
-    non-increasing permutation sustains the most).
-    """
-
-    shapes: Tuple[str, ...]
-    margins: Dict[str, Tuple[float, ...]]
-
-    def rankings_agree(self, models: Optional[Sequence[str]] = None) -> bool:
-        """Do the (recovery-aware) models order the shapes identically?"""
-        names = models if models is not None else [
-            m for m in self.margins if m != "Peukert"
-        ]
-        orders = {
-            tuple(np.argsort(self.margins[m])) for m in names
-        }
-        return len(orders) == 1
-
-    def format(self) -> str:
-        table = format_series(
-            "profile",
-            list(self.shapes),
-            {k: list(v) for k, v in self.margins.items()},
-            title=(
-                "Figures 2-3 — battery models agree on load-shape "
-                "friendliness (max sustainable load scale)"
-            ),
-            precision=4,
-        )
-        verdict = "yes" if self.rankings_agree() else "NO"
-        return (
-            table
-            + f"\nkinetic/diffusion/stochastic rankings agree: {verdict}"
-            + "\n(Peukert is permutation-blind: its column is flat)"
-        )
-
-
 # survival_scale lives in repro.analysis.lifetime (imported above) so
 # the campaign executors can use it without a circular import; it stays
 # re-exported here for backward compatibility.
@@ -732,83 +491,18 @@ def model_coherence(
     workers: int = 1,
     runner: Optional[SpecRunner] = None,
 ) -> ModelCoherenceResult:
-    """Permutations of one three-step workload, ranked by the largest
-    load scaling each battery model lets them complete.
-
-    Steps draw 1.5x / 1.0x / 0.5x the mean current; total charge is
-    ``fill`` of the cell's capacity at scale 1.  Guideline 1
-    (Rakhmatov-Vrudhula's non-increasing-order theorem) predicts
-    ``decreasing >= mixed >= increasing`` in sustainable scale for
-    every recovery-aware model; Peukert's integral is permutation-
-    invariant, so its column is flat — recovery-free models cannot see
-    ordering at all, which is why the paper needs the §3 models.
-
-    Each (model, permutation) survival bisection is one campaign
-    scenario (12 in total), so the sweep parallelizes with ``workers``.
-    """
-    base = paper_cell_kibam()
-    step_t = fill * base.capacity / mean_current / 3.0
-    perms = {
-        "decreasing": np.array([1.5, 1.0, 0.5]),
-        "mixed": np.array([1.0, 1.5, 0.5]),
-        "increasing": np.array([0.5, 1.0, 1.5]),
-    }
-    shapes: Dict[str, CurrentProfile] = {
-        name: CurrentProfile(np.array([step_t] * 3), factors * mean_current)
-        for name, factors in perms.items()
-    }
-    cells = {
-        "KiBaM": "kibam",
-        "diffusion": "diffusion",
-        "stochastic": "stochastic:noise=0.05",
-        "Peukert": "peukert",
-    }
-    names = tuple(shapes.keys())
-    specs: List[Spec] = [
-        SurvivalSpec(
-            battery=battery_name,
-            battery_seed=0,
-            durations=tuple(float(d) for d in shapes[shape].durations),
-            currents=tuple(float(c) for c in shapes[shape].currents),
-        )
-        for battery_name in cells.values()
-        for shape in names
-    ]
-    campaign = _run_specs(workers, runner, specs)
-    results = iter(campaign.results)
-    margins: Dict[str, Tuple[float, ...]] = {}
-    for model_name in cells:
-        margins[model_name] = tuple(
-            next(results).metrics["survival_scale"] for _shape in names
-        )
-    return ModelCoherenceResult(shapes=names, margins=margins)
+    """Guideline-1 coherence across battery models (deprecated shim
+    over :func:`repro.api.plans.model_coherence_plan`)."""
+    _deprecated("model_coherence", "plans.model_coherence_plan")
+    plan = plans.model_coherence_plan(
+        mean_current=mean_current, fill=fill
+    )
+    return _run_plan(plan, workers, runner)
 
 
 # ----------------------------------------------------------------------
 # Ablations
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class AblationResult:
-    """Generic one-factor ablation outcome."""
-
-    title: str
-    factor: str
-    levels: Tuple[str, ...]
-    metrics: Dict[str, Tuple[float, ...]]
-    notes: str = ""
-
-    def format(self) -> str:
-        headers = [self.factor] + list(self.metrics.keys())
-        rows = [
-            [lvl] + [self.metrics[m][i] for m in self.metrics]
-            for i, lvl in enumerate(self.levels)
-        ]
-        out = format_table(headers, rows, title=self.title, precision=3)
-        if self.notes:
-            out += "\n" + self.notes
-        return out
-
-
 def ablation_estimator(
     *,
     n_sets: int = 3,
@@ -819,42 +513,18 @@ def ablation_estimator(
     workers: int = 1,
     runner: Optional[SpecRunner] = None,
 ) -> AblationResult:
-    """X_k estimate accuracy: worst-case -> scaled -> history -> oracle.
-
-    The paper: "if the estimate is bad then the schedule will be more
-    like a random schedule" — energy should fall with estimator
-    quality.  Run above the frequency floor (default U = 0.9) or the
-    floor masks ordering entirely.
-    """
+    """Estimate-accuracy ablation (deprecated shim over
+    :func:`repro.api.plans.ablation_estimator_plan`)."""
+    _deprecated("ablation_estimator", "plans.ablation_estimator_plan")
     proc_name = _processor_name(processor)
-    estimator_names = ("worst-case", "scaled", "history", "oracle")
-    specs: List[Spec] = [
-        ScenarioSpec(
-            scheme="BAS-2",
-            n_graphs=n_graphs,
-            utilization=utilization,
-            seed=seed + rep,
-            estimator=name,
-            processor=proc_name,
-        )
-        for rep in range(n_sets)
-        for name in estimator_names
-    ]
-    campaign = _run_specs(workers, runner, specs, [proc_name])
-    energies = {name: 0.0 for name in estimator_names}
-    results = iter(campaign.results)
-    for _rep in range(n_sets):
-        for name in estimator_names:
-            energies[name] += next(results).metrics["energy_j"]
-    levels = estimator_names
-    return AblationResult(
-        title="Ablation — pUBS estimate accuracy (BAS-2 energy, J)",
-        factor="estimator",
-        levels=levels,
-        metrics={
-            "energy (J)": tuple(energies[n] / n_sets for n in levels)
-        },
+    plan = plans.ablation_estimator_plan(
+        n_sets=n_sets,
+        n_graphs=n_graphs,
+        seed=seed,
+        utilization=utilization,
+        processor=proc_name,
     )
+    return _run_plan(plan, workers, runner, [proc_name])
 
 
 def ablation_freqset(
@@ -865,42 +535,13 @@ def ablation_freqset(
     workers: int = 1,
     runner: Optional[SpecRunner] = None,
 ) -> AblationResult:
-    """Frequency-table granularity: the paper's 3 levels vs finer tables.
-
-    Finer tables waste less energy realizing fractional f_ref; the
-    2-level mix already captures most of it (Gaujal-Navet), so gains
-    should be modest.
-    """
-    processors = {
-        "3 levels (paper)": "freqset:levels=3",
-        "5 levels": "freqset:levels=5",
-        "9 levels": "freqset:levels=9",
-    }
-    specs: List[Spec] = [
-        ScenarioSpec(
-            scheme="BAS-2",
-            n_graphs=n_graphs,
-            seed=seed + rep,
-            processor=proc_name,
-        )
-        for rep in range(n_sets)
-        for proc_name in processors.values()
-    ]
-    campaign = _run_specs(workers, runner, specs)
-    energies = {name: 0.0 for name in processors}
-    results = iter(campaign.results)
-    for _rep in range(n_sets):
-        for name in processors:
-            energies[name] += next(results).metrics["energy_j"]
-    levels = tuple(processors.keys())
-    return AblationResult(
-        title="Ablation — frequency-table granularity (BAS-2 energy, J)",
-        factor="table",
-        levels=levels,
-        metrics={
-            "energy (J)": tuple(energies[n] / n_sets for n in levels)
-        },
+    """Frequency-table-granularity ablation (deprecated shim over
+    :func:`repro.api.plans.ablation_freqset_plan`)."""
+    _deprecated("ablation_freqset", "plans.ablation_freqset_plan")
+    plan = plans.ablation_freqset_plan(
+        n_sets=n_sets, n_graphs=n_graphs, seed=seed
     )
+    return _run_plan(plan, workers, runner)
 
 
 def ablation_dvs(
@@ -912,40 +553,14 @@ def ablation_dvs(
     workers: int = 1,
     runner: Optional[SpecRunner] = None,
 ) -> AblationResult:
-    """DVS algorithm x ready-list policy grid (§4's plug-and-play claim)."""
+    """DVS × ready-list ablation (deprecated shim over
+    :func:`repro.api.plans.ablation_dvs_plan`)."""
+    _deprecated("ablation_dvs", "plans.ablation_dvs_plan")
     proc_name = _processor_name(processor)
-    grid = (
-        "ccEDF+imminent",
-        "ccEDF+all-released",
-        "laEDF+imminent",
-        "laEDF+all-released",
+    plan = plans.ablation_dvs_plan(
+        n_sets=n_sets, n_graphs=n_graphs, seed=seed, processor=proc_name
     )
-    specs: List[Spec] = [
-        ScenarioSpec(
-            scheme=name,
-            n_graphs=n_graphs,
-            seed=seed + rep,
-            estimator="history",
-            processor=proc_name,
-        )
-        for rep in range(n_sets)
-        for name in grid
-    ]
-    campaign = _run_specs(workers, runner, specs, [proc_name])
-    energies = {name: 0.0 for name in grid}
-    results = iter(campaign.results)
-    for _rep in range(n_sets):
-        for name in grid:
-            energies[name] += next(results).metrics["energy_j"]
-    levels = grid
-    return AblationResult(
-        title="Ablation — DVS algorithm x ready list (pUBS energy, J)",
-        factor="combination",
-        levels=levels,
-        metrics={
-            "energy (J)": tuple(energies[n] / n_sets for n in levels)
-        },
-    )
+    return _run_plan(plan, workers, runner, [proc_name])
 
 
 def ablation_feasibility(
@@ -959,52 +574,19 @@ def ablation_feasibility(
     workers: int = 1,
     runner: Optional[SpecRunner] = None,
 ) -> AblationResult:
-    """Remove the Algorithm 2 guard from BAS-2 and count deadline misses.
-
-    Without the guard, greedy out-of-EDF-order picks eventually blow a
-    deadline — the empirical justification for the feasibility check.
-    The regime must be stressed (default U = 0.92 with actuals in
-    [60 %, 100 %] of WCET): with lots of spare capacity even unguarded
-    greed never gets punished.
-
-    Honesty note: pushed to U -> 1 with near-worst-case actuals, even
-    the *guarded* variant can miss, because Algorithm 2's k-1
-    conditions ignore releases arriving inside the checked windows.
-    The check is a strong heuristic guard (airtight in every paper
-    regime), not an adversarial-proof admission test; see
-    EXPERIMENTS.md.
-    """
-    proc_name = _processor_name(processor)
-    lo, hi = actual_range
-    variants = (("guarded", "BAS-2"), ("unguarded", "BAS-2/unguarded"))
-    specs: List[Spec] = [
-        ScenarioSpec(
-            scheme=scheme_name,
-            n_graphs=n_graphs,
-            utilization=utilization,
-            seed=seed + rep,
-            estimator="history",
-            processor=proc_name,
-            actual_low=lo,
-            actual_high=hi,
-            on_miss="record",
-        )
-        for rep in range(n_sets)
-        for _label, scheme_name in variants
-    ]
-    campaign = _run_specs(workers, runner, specs, [proc_name])
-    misses = {"guarded": 0.0, "unguarded": 0.0}
-    results = iter(campaign.results)
-    for _rep in range(n_sets):
-        for label, _scheme_name in variants:
-            misses[label] += next(results).metrics["misses"]
-    levels = ("guarded", "unguarded")
-    return AblationResult(
-        title="Ablation — feasibility check (deadline misses per set)",
-        factor="variant",
-        levels=levels,
-        metrics={
-            "misses": tuple(misses[n] / n_sets for n in levels)
-        },
-        notes="guarded BAS-2 must show 0 misses; unguarded generally not.",
+    """Feasibility-guard ablation (deprecated shim over
+    :func:`repro.api.plans.ablation_feasibility_plan`; see it for the
+    regime and the honesty note)."""
+    _deprecated(
+        "ablation_feasibility", "plans.ablation_feasibility_plan"
     )
+    proc_name = _processor_name(processor)
+    plan = plans.ablation_feasibility_plan(
+        n_sets=n_sets,
+        n_graphs=n_graphs,
+        seed=seed,
+        utilization=utilization,
+        actual_range=actual_range,
+        processor=proc_name,
+    )
+    return _run_plan(plan, workers, runner, [proc_name])

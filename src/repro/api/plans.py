@@ -1,0 +1,630 @@
+"""The paper's tables, figures, and ablations as declarative plans.
+
+Each builder returns a :class:`~repro.api.study.StudyPlan` whose
+sweep expands to *exactly* the spec list (same specs, same order) the
+legacy driver in :mod:`repro.analysis.experiments` built by hand — so
+results, cache hits, and formatted output are byte-identical between
+the two paths — plus an ``adapt`` hook producing the historical
+result dataclass and a ``render`` hook printing the paper's rows.
+
+Scale parameters mirror the legacy drivers (quick defaults; pass the
+paper's full scale when you have the minutes).  Builders accept
+registry *names* only — callers holding live factory objects register
+them first (see :mod:`repro.api.registry`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..campaign.registry import NEAR_OPTIMAL
+from ..errors import SchedulingError
+from .results import (
+    AblationResult,
+    Fig6Result,
+    ModelCoherenceResult,
+    RateCapacityResult,
+    Table1Result,
+    Table2Result,
+)
+from .study import StudyPlan, StudyResult
+from .sweep import Sweep
+
+__all__ = [
+    "PAPER_SCHEME_NAMES",
+    "FIG6_SCHEME_NAMES",
+    "PLAN_BUILDERS",
+    "build_plan",
+    "table1_plan",
+    "table2_plan",
+    "fig6_plan",
+    "model_coherence_plan",
+    "rate_capacity_plan",
+    "ablation_estimator_plan",
+    "ablation_freqset_plan",
+    "ablation_dvs_plan",
+    "ablation_feasibility_plan",
+]
+
+#: Table 2 scheme rows (campaign-registry names, paper order).
+PAPER_SCHEME_NAMES: Tuple[str, ...] = (
+    "EDF", "ccEDF", "laEDF", "BAS-1", "BAS-2"
+)
+
+#: Figure 6 ordering schemes (campaign-registry names; all use laEDF).
+FIG6_SCHEME_NAMES: Tuple[str, ...] = (
+    "random", "LTF", "pUBS-imminent", "pUBS-all"
+)
+
+
+def _series(res: StudyResult, keys, value) -> Dict[Tuple, float]:
+    """Group-mean series in first-appearance order (deterministic)."""
+    return res.frame.group_by(*keys).series(value)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — single-DAG energy vs exhaustive optimal
+# ----------------------------------------------------------------------
+def table1_plan(
+    *,
+    sizes: Sequence[int] = tuple(range(5, 16)),
+    graphs_per_size: int = 5,
+    seed: int = 0,
+    processor: str = "paper",
+    utilization: float = 1.0,
+    actual_range: Tuple[float, float] = (0.2, 1.0),
+    edge_prob: float = 0.4,
+    max_extensions: int = 200_000,
+    n_random: int = 5,
+) -> StudyPlan:
+    """Table 1: Random / LTF / pUBS energy vs exhaustive optimal.
+
+    One spawn-seeded :class:`~repro.campaign.spec.OneShotSpec` per
+    (size, replicate) — sizes outermost, so enlarging
+    ``graphs_per_size`` re-seeds like the legacy driver, while adding
+    sizes appends whole blocks.
+    """
+    lo, hi = actual_range
+    sweep = (
+        Sweep(
+            "oneshot",
+            edge_prob=edge_prob,
+            utilization=utilization,
+            actual_low=lo,
+            actual_high=hi,
+            max_extensions=max_extensions,
+            n_random=n_random,
+            processor=processor,
+        )
+        .grid(n_tasks=[int(n) for n in sizes])
+        .grid(_rep=list(range(graphs_per_size)))
+        .seed(mode="spawn", root=seed)
+    )
+
+    def adapt(res: StudyResult) -> Table1Result:
+        means = res.frame.group_by("n_tasks").mean()
+        return Table1Result(
+            sizes=tuple(int(n) for n in means.column("n_tasks")),
+            random=tuple(float(v) for v in means.column("random")),
+            ltf=tuple(float(v) for v in means.column("ltf")),
+            pubs=tuple(float(v) for v in means.column("pubs")),
+            graphs_per_size=graphs_per_size,
+        )
+
+    return StudyPlan(
+        name="table1",
+        description="energy vs exhaustive optimal per DAG size",
+        sweep=sweep,
+        group_by=("n_tasks",),
+        metrics=("random", "ltf", "pubs"),
+        adapt=adapt,
+        render=lambda res: adapt(res).format(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — charge delivered and battery lifetime per scheme
+# ----------------------------------------------------------------------
+def table2_plan(
+    *,
+    n_sets: int = 5,
+    n_graphs: int = 4,
+    seed: int = 0,
+    utilization: float = 0.7,
+    battery: str = "stochastic",
+    rebin: Optional[float] = 1.0,
+    estimator: str = "history",
+    schemes: Sequence[str] = PAPER_SCHEME_NAMES,
+    processor: str = "paper",
+    display: Optional[Mapping[str, str]] = None,
+) -> StudyPlan:
+    """Table 2: five schemes' charge delivered and battery lifetime.
+
+    Replicates are the outer axis with ``seed + rep`` seeding (shared
+    by every scheme in a set, and copied to ``battery_seed``), exactly
+    like the legacy driver.  ``display`` optionally maps registry
+    names to row labels (used by the shim for caller-supplied
+    schemes).
+    """
+    names = {s: (display or {}).get(s, s) for s in schemes}
+    sweep = (
+        Sweep(
+            "scenario",
+            n_graphs=n_graphs,
+            utilization=utilization,
+            battery=battery,
+            estimator=estimator,
+            processor=processor,
+            rebin=rebin,
+        )
+        .grid(_rep=list(range(n_sets)))
+        .grid(scheme=list(schemes))
+        .seed(
+            mode="offset",
+            root=seed,
+            terms={"_rep": 1},
+            also=("battery_seed",),
+        )
+    )
+
+    def adapt(res: StudyResult) -> Table2Result:
+        means = res.frame.group_by("scheme").mean()
+        return Table2Result(
+            scheme_names=tuple(
+                names[s] for s in means.column("scheme")
+            ),
+            delivered_mah=tuple(
+                float(v) for v in means.column("delivered_mah")
+            ),
+            lifetime_min=tuple(
+                float(v) for v in means.column("lifetime_min")
+            ),
+            n_sets=n_sets,
+        )
+
+    return StudyPlan(
+        name="table2",
+        description="charge delivered + battery lifetime per scheme",
+        sweep=sweep,
+        group_by=("scheme",),
+        metrics=("delivered_mah", "lifetime_min"),
+        adapt=adapt,
+        render=lambda res: adapt(res).format(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — ordering schemes vs near-optimal, growing graph count
+# ----------------------------------------------------------------------
+def fig6_plan(
+    *,
+    graph_counts: Sequence[int] = (2, 3, 4, 5, 6),
+    sets_per_point: int = 3,
+    seed: int = 0,
+    utilization: float = 0.7,
+    horizon: Optional[float] = None,
+    estimator: str = "oracle",
+    processor: str = "paper",
+) -> StudyPlan:
+    """Figure 6: ordering-scheme energy normalized by the
+    precedence-relaxed near-optimal run on the identical workload.
+
+    The near-optimal reference rides in the scheme axis; a
+    ``normalize`` post-op divides each row's energy by its
+    (count, replicate) group's reference, then the reference rows are
+    excluded — declaratively reproducing the legacy pairing loop.
+    """
+    sweep = (
+        Sweep(
+            "scenario",
+            utilization=utilization,
+            horizon=horizon,
+            estimator=estimator,
+            processor=processor,
+        )
+        .grid(n_graphs=[int(c) for c in graph_counts])
+        .grid(_rep=list(range(sets_per_point)))
+        .grid(scheme=[NEAR_OPTIMAL, *FIG6_SCHEME_NAMES])
+        .seed(mode="offset", root=seed, terms={"n_graphs": 1000, "_rep": 1})
+    )
+    post = (
+        {
+            "op": "normalize",
+            "value": "energy_j",
+            "reference": {"scheme": NEAR_OPTIMAL},
+            "within": ["n_graphs", "_rep"],
+            "name": "energy_rel",
+        },
+        {"op": "exclude", "where": {"scheme": NEAR_OPTIMAL}},
+    )
+
+    def adapt(res: StudyResult) -> Fig6Result:
+        series: Dict[str, Tuple[float, ...]] = {
+            name: () for name in FIG6_SCHEME_NAMES
+        }
+        for (scheme, _count), mean in _series(
+            res, ("scheme", "n_graphs"), "energy_rel"
+        ).items():
+            series[scheme] = series[scheme] + (float(mean),)
+        return Fig6Result(
+            graph_counts=tuple(int(c) for c in graph_counts),
+            series=series,
+            sets_per_point=sets_per_point,
+        )
+
+    return StudyPlan(
+        name="fig6",
+        description="ordering schemes vs near-optimal energy",
+        sweep=sweep,
+        post=post,
+        group_by=("scheme", "n_graphs"),
+        metrics=("energy_rel",),
+        adapt=adapt,
+        render=lambda res: adapt(res).format(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 2-3 — KiBaM vs diffusion vs stochastic coherence
+# ----------------------------------------------------------------------
+#: Display label per battery registry name (coherence study).
+_COHERENCE_MODELS: Tuple[Tuple[str, str], ...] = (
+    ("KiBaM", "kibam"),
+    ("diffusion", "diffusion"),
+    ("stochastic", "stochastic:noise=0.05"),
+    ("Peukert", "peukert"),
+)
+
+_COHERENCE_SHAPES: Tuple[Tuple[str, Tuple[float, ...]], ...] = (
+    ("decreasing", (1.5, 1.0, 0.5)),
+    ("mixed", (1.0, 1.5, 0.5)),
+    ("increasing", (0.5, 1.0, 1.5)),
+)
+
+
+def model_coherence_plan(
+    *,
+    mean_current: float = 1.8,
+    fill: float = 0.75,
+) -> StudyPlan:
+    """Figures 2-3: survival-scale ranking of load permutations, per
+    battery model (guideline 1 coherence)."""
+    from ..battery.calibrate import paper_cell_kibam
+
+    step_t = fill * paper_cell_kibam().capacity / mean_current / 3.0
+    shape_names = [name for name, _factors in _COHERENCE_SHAPES]
+    currents = [
+        tuple(f * mean_current for f in factors)
+        for _name, factors in _COHERENCE_SHAPES
+    ]
+    display = {reg: disp for disp, reg in _COHERENCE_MODELS}
+    sweep = (
+        Sweep("survival", battery_seed=0)
+        .grid(battery=[reg for _disp, reg in _COHERENCE_MODELS])
+        .zip(
+            _shape=shape_names,
+            durations=[(step_t,) * 3] * len(shape_names),
+            currents=currents,
+        )
+    )
+
+    def adapt(res: StudyResult) -> ModelCoherenceResult:
+        pivot = res.frame.pivot(
+            "battery", "_shape", "survival_scale", agg="first"
+        )
+        margins = {
+            display[reg]: tuple(
+                float(v) for v in pivot.cells[i]
+            )
+            for i, reg in enumerate(pivot.row_labels)
+        }
+        return ModelCoherenceResult(
+            shapes=tuple(pivot.column_labels), margins=margins
+        )
+
+    return StudyPlan(
+        name="coherence",
+        description="battery models agree on load-shape friendliness",
+        sweep=sweep,
+        group_by=("battery", "_shape"),
+        metrics=("survival_scale",),
+        adapt=adapt,
+        render=lambda res: adapt(res).format(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Rate-capacity curve (the battery Figure 5)
+# ----------------------------------------------------------------------
+def rate_capacity_plan(
+    *,
+    currents: Sequence[float] = (0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 8.0),
+    models: Optional[Mapping[str, str]] = None,
+) -> StudyPlan:
+    """Load vs delivered capacity, one constant-current discharge per
+    (model, current) — each a cacheable campaign scenario.
+
+    ``models`` maps display label → battery registry name; defaults to
+    the three calibrated paper cells.  The curve's extrapolated ends
+    (maximum/available capacity) are closed-form KiBaM anchors,
+    computed in the adapter.
+    """
+    entries: Tuple[Tuple[str, str], ...] = tuple(
+        (models or {
+            "KiBaM": "kibam",
+            "diffusion": "diffusion",
+            "stochastic": "stochastic",
+        }).items()
+    )
+    display = {reg: disp for disp, reg in entries}
+    swept = sorted(float(c) for c in currents)
+    if not swept:
+        raise SchedulingError("need at least one sweep current")
+    sweep = (
+        Sweep("constantload", battery_seed=0, max_time=1e8)
+        .grid(battery=[reg for _disp, reg in entries])
+        .grid(current=swept)
+    )
+
+    def adapt(res: StudyResult) -> RateCapacityResult:
+        from ..battery.calibrate import paper_cell_kibam
+        from ..battery.ratecapacity import extrapolated_capacities
+
+        delivered: Dict[str, Tuple[float, ...]] = {}
+        frame = res.frame
+        for _disp, reg in entries:
+            sub = frame.filter(battery=reg)
+            delivered[display[reg]] = tuple(
+                float(v) / 3.6 for v in sub.column("delivered_c")
+            )
+        max_c, avail_c = extrapolated_capacities(paper_cell_kibam())
+        return RateCapacityResult(
+            # Labelled in sweep (ascending) order — the order the
+            # delivered columns are in.  (The legacy driver printed
+            # caller-order labels against sorted-order values,
+            # misaligning rows for unsorted input.)
+            currents=tuple(swept),
+            delivered_mah=delivered,
+            max_capacity_mah=max_c / 3.6,
+            available_capacity_mah=avail_c / 3.6,
+        )
+
+    return StudyPlan(
+        name="ratecapacity",
+        description="load vs delivered capacity per battery model",
+        sweep=sweep,
+        group_by=("battery", "current"),
+        metrics=("delivered_c", "lifetime_s"),
+        adapt=adapt,
+        render=lambda res: adapt(res).format(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+def _ablation_adapter(
+    title: str,
+    factor: str,
+    level_axis: str,
+    labels: Mapping,
+    metric: str,
+    metric_label: str,
+    notes: str = "",
+):
+    def adapt(res: StudyResult) -> AblationResult:
+        means = _series(res, (level_axis,), metric)
+        return AblationResult(
+            title=title,
+            factor=factor,
+            levels=tuple(labels[key] for (key,) in means),
+            metrics={
+                metric_label: tuple(
+                    float(v) for v in means.values()
+                )
+            },
+            notes=notes,
+        )
+
+    return adapt
+
+
+def ablation_estimator_plan(
+    *,
+    n_sets: int = 3,
+    n_graphs: int = 4,
+    seed: int = 0,
+    utilization: float = 0.9,
+    processor: str = "paper",
+) -> StudyPlan:
+    """X_k estimate accuracy: worst-case → scaled → history → oracle
+    (BAS-2 energy should fall with estimator quality)."""
+    estimators = ("worst-case", "scaled", "history", "oracle")
+    sweep = (
+        Sweep(
+            "scenario",
+            scheme="BAS-2",
+            n_graphs=n_graphs,
+            utilization=utilization,
+            processor=processor,
+        )
+        .grid(_rep=list(range(n_sets)))
+        .grid(estimator=list(estimators))
+        .seed(mode="offset", root=seed, terms={"_rep": 1})
+    )
+    adapt = _ablation_adapter(
+        "Ablation — pUBS estimate accuracy (BAS-2 energy, J)",
+        "estimator",
+        "estimator",
+        {e: e for e in estimators},
+        "energy_j",
+        "energy (J)",
+    )
+    return StudyPlan(
+        name="ablation-estimator",
+        description="pUBS estimate accuracy vs energy",
+        sweep=sweep,
+        group_by=("estimator",),
+        metrics=("energy_j",),
+        adapt=adapt,
+        render=lambda res: adapt(res).format(),
+    )
+
+
+def ablation_freqset_plan(
+    *,
+    n_sets: int = 3,
+    n_graphs: int = 4,
+    seed: int = 0,
+) -> StudyPlan:
+    """Frequency-table granularity: the paper's 3 levels vs finer
+    tables (gains should be modest — Gaujal-Navet)."""
+    processors = {
+        "freqset:levels=3": "3 levels (paper)",
+        "freqset:levels=5": "5 levels",
+        "freqset:levels=9": "9 levels",
+    }
+    sweep = (
+        Sweep("scenario", scheme="BAS-2", n_graphs=n_graphs)
+        .grid(_rep=list(range(n_sets)))
+        .grid(processor=list(processors))
+        .seed(mode="offset", root=seed, terms={"_rep": 1})
+    )
+    adapt = _ablation_adapter(
+        "Ablation — frequency-table granularity (BAS-2 energy, J)",
+        "table",
+        "processor",
+        processors,
+        "energy_j",
+        "energy (J)",
+    )
+    return StudyPlan(
+        name="ablation-freqset",
+        description="frequency-table granularity vs energy",
+        sweep=sweep,
+        group_by=("processor",),
+        metrics=("energy_j",),
+        adapt=adapt,
+        render=lambda res: adapt(res).format(),
+    )
+
+
+def ablation_dvs_plan(
+    *,
+    n_sets: int = 3,
+    n_graphs: int = 4,
+    seed: int = 0,
+    processor: str = "paper",
+) -> StudyPlan:
+    """DVS algorithm × ready-list policy grid (§4's plug-and-play
+    claim)."""
+    grid = (
+        "ccEDF+imminent",
+        "ccEDF+all-released",
+        "laEDF+imminent",
+        "laEDF+all-released",
+    )
+    sweep = (
+        Sweep(
+            "scenario",
+            n_graphs=n_graphs,
+            estimator="history",
+            processor=processor,
+        )
+        .grid(_rep=list(range(n_sets)))
+        .grid(scheme=list(grid))
+        .seed(mode="offset", root=seed, terms={"_rep": 1})
+    )
+    adapt = _ablation_adapter(
+        "Ablation — DVS algorithm x ready list (pUBS energy, J)",
+        "combination",
+        "scheme",
+        {g: g for g in grid},
+        "energy_j",
+        "energy (J)",
+    )
+    return StudyPlan(
+        name="ablation-dvs",
+        description="DVS algorithm x ready-list grid",
+        sweep=sweep,
+        group_by=("scheme",),
+        metrics=("energy_j",),
+        adapt=adapt,
+        render=lambda res: adapt(res).format(),
+    )
+
+
+def ablation_feasibility_plan(
+    *,
+    n_sets: int = 5,
+    n_graphs: int = 4,
+    seed: int = 0,
+    utilization: float = 0.92,
+    actual_range: Tuple[float, float] = (0.6, 1.0),
+    processor: str = "paper",
+) -> StudyPlan:
+    """Remove the Algorithm 2 guard from BAS-2 and count deadline
+    misses (stressed regime; guarded must stay clean)."""
+    lo, hi = actual_range
+    variants = {"BAS-2": "guarded", "BAS-2/unguarded": "unguarded"}
+    sweep = (
+        Sweep(
+            "scenario",
+            n_graphs=n_graphs,
+            utilization=utilization,
+            estimator="history",
+            processor=processor,
+            actual_low=lo,
+            actual_high=hi,
+            on_miss="record",
+        )
+        .grid(_rep=list(range(n_sets)))
+        .grid(scheme=list(variants))
+        .seed(mode="offset", root=seed, terms={"_rep": 1})
+    )
+    adapt = _ablation_adapter(
+        "Ablation — feasibility check (deadline misses per set)",
+        "variant",
+        "scheme",
+        variants,
+        "misses",
+        "misses",
+        notes=(
+            "guarded BAS-2 must show 0 misses; unguarded generally "
+            "not."
+        ),
+    )
+    return StudyPlan(
+        name="ablation-feasibility",
+        description="Algorithm 2 guard vs deadline misses",
+        sweep=sweep,
+        group_by=("scheme",),
+        metrics=("misses",),
+        adapt=adapt,
+        render=lambda res: adapt(res).format(),
+    )
+
+
+#: Builtin plan builders, keyed by the names the study CLI accepts.
+PLAN_BUILDERS = {
+    "table1": table1_plan,
+    "table2": table2_plan,
+    "fig6": fig6_plan,
+    "coherence": model_coherence_plan,
+    "ratecapacity": rate_capacity_plan,
+    "ablation-estimator": ablation_estimator_plan,
+    "ablation-freqset": ablation_freqset_plan,
+    "ablation-dvs": ablation_dvs_plan,
+    "ablation-feasibility": ablation_feasibility_plan,
+}
+
+
+def build_plan(name: str, **overrides) -> StudyPlan:
+    """Build a builtin plan by name with scale overrides."""
+    try:
+        builder = PLAN_BUILDERS[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown plan {name!r}; known: {sorted(PLAN_BUILDERS)}"
+        ) from None
+    return builder(**overrides)

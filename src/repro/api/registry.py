@@ -1,0 +1,202 @@
+"""Public plugin registry: every axis value a sweep can name.
+
+This is the promoted, public face of
+:mod:`repro.campaign.registry`.  Four axis kinds exist — ``scheme``,
+``battery``, ``processor``, ``estimator`` — and three ways to extend
+them:
+
+**Decorator registration** (the normal path)::
+
+    from repro.api import register_scheme
+
+    @register_scheme("myBAS")
+    def build_mybas(estimator, *, granularity="node"):
+        return make_scheme("myBAS", dvs=LaEDF,
+                           priority=lambda: PUBS(estimator()),
+                           ready_list=ALL_RELEASED)
+
+The decorated function must live at module top level in importable
+code: registration is recorded *declaratively* (import path +
+kwargs), so it serializes into the plugin snapshot that
+:class:`~repro.campaign.runner.CampaignRunner` replays in every pool
+worker (any start method, including ``spawn``) and the distributed
+runner ships to spawned fleets via ``$REPRO_PLUGINS`` — lifting the
+old fork-only limitation on custom entries.
+
+**Explicit declarative registration** (no decorator)::
+
+    register_scheme("myBAS", "mypkg.schemes:build_mybas",
+                    granularity="node")
+
+**Entry-point discovery**: packages exposing a ``repro.plugins``
+entry point are picked up by :func:`load_entry_points` — each entry
+resolves to either a zero-argument callable (which performs its own
+registrations) or an iterable of plugin records.
+
+Passing a non-string callable as the second argument still performs
+live-object registration (process-local; fork-only in pools), exactly
+like the legacy ``repro.campaign.registry`` functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from ..campaign import registry as _backend
+from ..campaign.registry import (  # noqa: F401  (public re-exports)
+    NEAR_OPTIMAL,
+    PLUGIN_KINDS,
+    PLUGINS_ENV,
+    PluginSpec,
+    install_env_plugins,
+    install_plugins,
+    known_names,
+    known_schemes,
+    plugin_snapshot,
+    resolve_battery,
+    resolve_estimator,
+    resolve_processor,
+    unregister,
+)
+from ..errors import SchedulingError
+
+__all__ = [
+    "NEAR_OPTIMAL",
+    "PLUGIN_KINDS",
+    "PLUGINS_ENV",
+    "PluginSpec",
+    "install_env_plugins",
+    "install_plugins",
+    "known_names",
+    "known_schemes",
+    "load_entry_points",
+    "plugin_snapshot",
+    "register_battery",
+    "register_estimator",
+    "register_processor",
+    "register_scheme",
+    "resolve_battery",
+    "resolve_estimator",
+    "resolve_processor",
+    "unregister",
+]
+
+#: Entry-point group scanned by :func:`load_entry_points`.
+ENTRY_POINT_GROUP = "repro.plugins"
+
+_LIVE_REGISTER = {
+    "scheme": _backend.register_scheme,
+    "battery": _backend.register_battery,
+    "processor": _backend.register_processor,
+    "estimator": _backend.register_estimator,
+}
+
+
+def _factory_path(fn: Callable) -> str:
+    qualname = getattr(fn, "__qualname__", fn.__name__)
+    if "." in qualname or "<locals>" in qualname:
+        raise SchedulingError(
+            f"plugin factory {qualname!r} must be a module-level "
+            "function (so worker processes can import it); got a "
+            "nested or method object"
+        )
+    return f"{fn.__module__}:{qualname}"
+
+
+def _register(
+    kind: str,
+    name: str,
+    factory: Union[str, Callable, None],
+    **kwargs,
+):
+    """Shared implementation behind the four ``register_*`` fronts."""
+    if factory is None:
+        # Decorator form: @register_scheme("name", **kwargs)
+        def decorate(fn: Callable) -> Callable:
+            _backend.register_plugin(
+                kind, name, _factory_path(fn), **kwargs
+            )
+            return fn
+
+        return decorate
+    if isinstance(factory, str):
+        return _backend.register_plugin(kind, name, factory, **kwargs)
+    if callable(factory):
+        if kwargs:
+            raise SchedulingError(
+                "kwargs are only supported for declarative (import "
+                "path / decorator) registration — bind them into "
+                "your callable instead"
+            )
+        return _LIVE_REGISTER[kind](name, factory)
+    raise SchedulingError(
+        f"factory must be an import path, a callable, or omitted "
+        f"(decorator form); got {type(factory).__name__}"
+    )
+
+
+def register_scheme(
+    name: str,
+    factory: Union[str, Callable, None] = None,
+    **kwargs,
+):
+    """Register a scheme under ``name``.
+
+    Declarative forms — ``@register_scheme("x")`` on a module-level
+    ``(estimator_factory, **kwargs) -> Scheme`` function, or
+    ``register_scheme("x", "pkg.mod:builder", **kwargs)`` — are
+    spawn-safe and survive worker-process boundaries.  Passing a live
+    callable registers process-locally (legacy behaviour).
+    """
+    return _register("scheme", name, factory, **kwargs)
+
+
+def register_battery(
+    name: str,
+    factory: Union[str, Callable, None] = None,
+    **kwargs,
+):
+    """Register a battery factory ``(seed, **kwargs) -> BatteryModel``
+    under ``name`` (same three forms as :func:`register_scheme`)."""
+    return _register("battery", name, factory, **kwargs)
+
+
+def register_processor(
+    name: str,
+    factory: Union[str, Callable, None] = None,
+    **kwargs,
+):
+    """Register a processor factory ``(**kwargs) -> Processor`` under
+    ``name`` (same three forms as :func:`register_scheme`)."""
+    return _register("processor", name, factory, **kwargs)
+
+
+def register_estimator(
+    name: str,
+    factory: Union[str, Callable, None] = None,
+    **kwargs,
+):
+    """Register an estimator factory ``(**kwargs) -> Estimator`` under
+    ``name`` (same three forms as :func:`register_scheme`)."""
+    return _register("estimator", name, factory, **kwargs)
+
+
+def load_entry_points(group: str = ENTRY_POINT_GROUP) -> int:
+    """Discover and install plugins advertised by installed packages.
+
+    Each entry point in ``group`` must resolve to a zero-argument
+    callable (invoked; it registers whatever it wants) or an iterable
+    of plugin records (fed to :func:`install_plugins`).  Returns the
+    number of entry points processed.
+    """
+    from importlib import metadata
+
+    processed = 0
+    for ep in metadata.entry_points(group=group):
+        obj = ep.load()
+        if callable(obj):
+            obj()
+        else:
+            install_plugins([dict(record) for record in obj])
+        processed += 1
+    return processed

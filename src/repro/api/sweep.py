@@ -1,0 +1,495 @@
+"""Declarative sweep grids that expand to campaign spec lists.
+
+A :class:`Sweep` describes an experiment as *axes over spec fields*
+instead of hand-rolled nested loops: cartesian axes (:meth:`Sweep.grid`),
+paired axes advancing together (:meth:`Sweep.zip`), conditional axes
+that only apply where a predicate matches (:meth:`Sweep.conditional`),
+and a declarative seeding rule (:meth:`Sweep.seed`).  Expansion is a
+pure function of the declaration: points are emitted in row-major
+order over the axes as declared, so the same sweep always yields the
+same spec list — and therefore the same
+:func:`~repro.campaign.spec.content_hash` identities, which is what
+lets a grown sweep reuse the campaign cache for every unchanged point.
+
+Axis fields name fields of the target spec dataclass
+(:class:`~repro.campaign.spec.ScenarioSpec` et al.); fields starting
+with ``_`` are *meta axes* — they shape the sweep (replicate counts,
+display labels) and ride along into the
+:class:`~repro.api.frame.ResultFrame` as columns, but are not passed
+to the spec.
+
+Everything serializes: ``Sweep.to_json()`` / ``Sweep.from_json()``
+round-trip the whole declaration (conditions included), which is what
+``python -m repro study run plan.json`` executes.
+
+Example::
+
+    sweep = (
+        Sweep("scenario", n_graphs=4, battery="stochastic")
+        .grid(_rep=range(20))
+        .grid(scheme=["ccEDF", "laEDF", "BAS-2"])
+        .conditional(
+            "estimator",
+            ["history", "oracle"],
+            when=Condition.one_of("scheme", ["laEDF", "BAS-2"]),
+        )
+        .seed(mode="offset", root=0, terms={"_rep": 1})
+    )
+    specs = sweep.expand()
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, fields as dc_fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..campaign.spec import _SPEC_TYPES, Spec, spawn_seeds
+from ..errors import SchedulingError
+
+__all__ = ["Axis", "Condition", "SeedRule", "Sweep", "META_PREFIX"]
+
+#: Axis names starting with this are sweep metadata, not spec fields.
+META_PREFIX = "_"
+
+#: Sentinel: a conditional axis that doesn't match leaves its field at
+#: the spec's own default.
+_UNSET = object()
+
+
+def _as_values(values) -> Tuple:
+    out = []
+    for v in values:
+        out.append(tuple(v) if isinstance(v, list) else v)
+    if not out:
+        raise SchedulingError("an axis needs at least one value")
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A JSON-serializable predicate over already-bound axis fields."""
+
+    field: str
+    op: str  # "equals" | "in" | "prefix"
+    value: Any
+
+    _OPS = ("equals", "in", "prefix")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise SchedulingError(
+                f"unknown condition op {self.op!r}; known: {self._OPS}"
+            )
+
+    # Convenience constructors -----------------------------------------
+    @classmethod
+    def equals(cls, field: str, value) -> "Condition":
+        return cls(field, "equals", value)
+
+    @classmethod
+    def one_of(cls, field: str, values: Sequence) -> "Condition":
+        return cls(field, "in", tuple(values))
+
+    @classmethod
+    def prefix(cls, field: str, prefix: str) -> "Condition":
+        return cls(field, "prefix", prefix)
+
+    # ------------------------------------------------------------------
+    def matches(self, point: Dict[str, Any]) -> bool:
+        if self.field not in point:
+            raise SchedulingError(
+                f"condition references {self.field!r}, which is not "
+                "bound by any earlier axis or base field"
+            )
+        bound = point[self.field]
+        if self.op == "equals":
+            return bound == self.value
+        if self.op == "in":
+            return bound in self.value
+        return isinstance(bound, str) and bound.startswith(str(self.value))
+
+    def to_json(self) -> Dict:
+        value = (
+            list(self.value) if isinstance(self.value, tuple) else self.value
+        )
+        return {"field": self.field, "op": self.op, "value": value}
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "Condition":
+        value = data["value"]
+        if isinstance(value, list):
+            value = tuple(value)
+        return cls(str(data["field"]), str(data["op"]), value)
+
+
+@dataclass(frozen=True)
+class SeedRule:
+    """How expansion assigns seed fields to points.
+
+    ``mode="spawn"``
+        Point ``i`` gets ``spawn_seeds(root, n_points)[i]`` — the
+        collision-resistant assignment whose prefix is stable when the
+        sweep grows by appending points (grow the *outermost* axis).
+    ``mode="offset"``
+        Point gets ``root + sum(coeff * axis_index)`` over ``terms`` —
+        stable per axis index regardless of sweep shape (the classic
+        ``seed + rep`` drivers).
+    ``mode="fixed"``
+        Every point gets ``root``.
+
+    ``also`` names additional spec fields receiving the same value
+    (e.g. ``battery_seed``).
+    """
+
+    field: str = "seed"
+    mode: str = "spawn"
+    root: int = 0
+    terms: Tuple[Tuple[str, int], ...] = ()
+    also: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("spawn", "offset", "fixed"):
+            raise SchedulingError(
+                f"unknown seed mode {self.mode!r}; "
+                "known: spawn, offset, fixed"
+            )
+
+    def to_json(self) -> Dict:
+        return {
+            "field": self.field,
+            "mode": self.mode,
+            "root": self.root,
+            "terms": {k: v for k, v in self.terms},
+            "also": list(self.also),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "SeedRule":
+        return cls(
+            field=str(data.get("field", "seed")),
+            mode=str(data.get("mode", "spawn")),
+            root=int(data.get("root", 0)),
+            terms=tuple(
+                (str(k), int(v))
+                for k, v in dict(data.get("terms") or {}).items()
+            ),
+            also=tuple(str(f) for f in data.get("also", ())),
+        )
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One expansion block of a sweep.
+
+    ``kind`` is ``"grid"`` (cartesian), ``"zip"`` (paired columns
+    advancing together) or ``"conditional"`` (applies only where
+    ``when`` matches; elsewhere the field takes ``otherwise``, or the
+    spec default if ``otherwise`` is unset).
+    """
+
+    kind: str
+    fields: Tuple[str, ...]
+    columns: Tuple[Tuple, ...]
+    when: Optional[Condition] = None
+    otherwise: Any = _UNSET
+
+    @property
+    def size(self) -> int:
+        return len(self.columns[0])
+
+    def to_json(self) -> Dict:
+        def cell(v):
+            return list(v) if isinstance(v, tuple) else v
+
+        data: Dict[str, Any] = {"type": self.kind}
+        if self.kind == "zip":
+            data["fields"] = list(self.fields)
+            data["columns"] = [
+                [cell(v) for v in col] for col in self.columns
+            ]
+        else:
+            data["field"] = self.fields[0]
+            data["values"] = [cell(v) for v in self.columns[0]]
+        if self.when is not None:
+            data["when"] = self.when.to_json()
+        if self.otherwise is not _UNSET:
+            data["otherwise"] = cell(self.otherwise)
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "Axis":
+        kind = str(data["type"])
+        if kind == "zip":
+            names = tuple(str(f) for f in data["fields"])
+            columns = tuple(_as_values(col) for col in data["columns"])
+        elif kind in ("grid", "conditional"):
+            names = (str(data["field"]),)
+            columns = (_as_values(data["values"]),)
+        else:
+            raise SchedulingError(f"unknown axis type {kind!r}")
+        when = (
+            Condition.from_json(data["when"]) if "when" in data else None
+        )
+        otherwise = data.get("otherwise", _UNSET)
+        if isinstance(otherwise, list):
+            otherwise = tuple(otherwise)
+        return cls(kind, names, columns, when=when, otherwise=otherwise)
+
+
+class Sweep:
+    """A declarative sweep over one campaign spec kind.
+
+    Parameters
+    ----------
+    kind:
+        Spec kind: ``"scenario"``, ``"oneshot"``, ``"survival"`` or
+        ``"constantload"``.
+    **base:
+        Fields shared by every point (overridable by axes).
+
+    Builder methods (:meth:`grid`, :meth:`zip`, :meth:`conditional`,
+    :meth:`seed`) mutate and return ``self`` for chaining.
+    """
+
+    def __init__(self, kind: str = "scenario", **base) -> None:
+        if kind not in _SPEC_TYPES:
+            raise SchedulingError(
+                f"unknown spec kind {kind!r}; known: "
+                f"{sorted(_SPEC_TYPES)}"
+            )
+        self.kind = kind
+        self.base: Dict[str, Any] = {}
+        for name, value in base.items():
+            self._check_field(name)
+            self.base[name] = tuple(value) if isinstance(value, list) \
+                else value
+        self.axes: List[Axis] = []
+        self.seed_rule: Optional[SeedRule] = None
+
+    # ------------------------------------------------------------------
+    def _spec_fields(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in dc_fields(_SPEC_TYPES[self.kind]))
+
+    def _check_field(self, name: str) -> None:
+        if name.startswith(META_PREFIX):
+            return
+        if name not in self._spec_fields():
+            raise SchedulingError(
+                f"{name!r} is not a field of {self.kind!r} specs "
+                f"(valid: {sorted(self._spec_fields())}; prefix with "
+                f"'{META_PREFIX}' for a meta axis)"
+            )
+
+    def _check_new_axis(self, names: Sequence[str]) -> None:
+        taken = {f for axis in self.axes for f in axis.fields}
+        for name in names:
+            self._check_field(name)
+            if name in taken:
+                raise SchedulingError(f"axis {name!r} declared twice")
+
+    # Builder ----------------------------------------------------------
+    def grid(self, **axes) -> "Sweep":
+        """Add one cartesian axis per keyword, in declaration order
+        (later axes vary fastest)."""
+        if not axes:
+            raise SchedulingError("grid() needs at least one axis")
+        self._check_new_axis(tuple(axes))
+        for name, values in axes.items():
+            self.axes.append(
+                Axis("grid", (name,), (_as_values(values),))
+            )
+        return self
+
+    def zip(self, **axes) -> "Sweep":
+        """Add one *paired* block: all keywords advance together (all
+        value lists must have equal length)."""
+        if len(axes) < 2:
+            raise SchedulingError("zip() needs at least two axes")
+        self._check_new_axis(tuple(axes))
+        columns = tuple(_as_values(v) for v in axes.values())
+        sizes = {len(c) for c in columns}
+        if len(sizes) != 1:
+            raise SchedulingError(
+                f"zip() axes must have equal lengths, got "
+                f"{[len(c) for c in columns]}"
+            )
+        self.axes.append(Axis("zip", tuple(axes), columns))
+        return self
+
+    def conditional(
+        self,
+        field: str,
+        values: Sequence,
+        *,
+        when: Condition,
+        otherwise: Any = _UNSET,
+    ) -> "Sweep":
+        """Add an axis that only applies where ``when`` matches.
+
+        Non-matching points take ``otherwise`` for ``field`` (or the
+        spec's own default when ``otherwise`` is omitted) and are
+        *not* multiplied — e.g. an estimator axis that only exists for
+        estimate-driven schemes.
+        """
+        self._check_new_axis((field,))
+        self.axes.append(
+            Axis(
+                "conditional",
+                (field,),
+                (_as_values(values),),
+                when=when,
+                otherwise=otherwise,
+            )
+        )
+        return self
+
+    def seed(
+        self,
+        *,
+        field: str = "seed",
+        mode: str = "spawn",
+        root: int = 0,
+        terms: Optional[Dict[str, int]] = None,
+        also: Sequence[str] = (),
+    ) -> "Sweep":
+        """Declare how seeds are assigned (see :class:`SeedRule`)."""
+        self._check_field(field)
+        for extra in also:
+            self._check_field(extra)
+        for axis_name in (terms or {}):
+            if not any(
+                axis_name in axis.fields for axis in self.axes
+            ):
+                raise SchedulingError(
+                    f"seed term references unknown axis {axis_name!r}"
+                )
+        self.seed_rule = SeedRule(
+            field=field,
+            mode=mode,
+            root=int(root),
+            terms=tuple((k, int(v)) for k, v in (terms or {}).items()),
+            also=tuple(also),
+        )
+        return self
+
+    # Expansion --------------------------------------------------------
+    def points(self) -> List[Tuple[Dict[str, Any], Dict[str, int]]]:
+        """Expand to ``(fields, axis_indices)`` pairs, row-major over
+        the axes as declared.  Seeding is applied last."""
+        points: List[Tuple[Dict[str, Any], Dict[str, int]]] = [
+            (dict(self.base), {})
+        ]
+        for axis in self.axes:
+            new: List[Tuple[Dict[str, Any], Dict[str, int]]] = []
+            for bound, indices in points:
+                if axis.when is not None and not axis.when.matches(bound):
+                    skipped = dict(bound)
+                    if axis.otherwise is not _UNSET:
+                        skipped[axis.fields[0]] = axis.otherwise
+                    new.append((skipped, indices))
+                    continue
+                for vi in range(axis.size):
+                    fields_ = dict(bound)
+                    for name, column in zip(axis.fields, axis.columns):
+                        fields_[name] = column[vi]
+                    new.append(
+                        (fields_, {**indices, **{
+                            name: vi for name in axis.fields
+                        }})
+                    )
+            points = new
+        self._apply_seeds(points)
+        return points
+
+    def _apply_seeds(
+        self, points: List[Tuple[Dict[str, Any], Dict[str, int]]]
+    ) -> None:
+        rule = self.seed_rule
+        if rule is None:
+            return
+        if rule.mode == "spawn":
+            values: Sequence[int] = spawn_seeds(rule.root, len(points))
+        elif rule.mode == "offset":
+            values = [
+                rule.root
+                + sum(
+                    coeff * indices.get(axis_name, 0)
+                    for axis_name, coeff in rule.terms
+                )
+                for _fields, indices in points
+            ]
+        else:  # fixed
+            values = [rule.root] * len(points)
+        for (fields_, _indices), value in zip(points, values):
+            fields_[rule.field] = int(value)
+            for extra in rule.also:
+                fields_[extra] = int(value)
+
+    def expand(self) -> List[Spec]:
+        """The sweep's spec list, in deterministic point order."""
+        return self.expand_with_meta()[0]
+
+    def expand_with_meta(
+        self,
+    ) -> Tuple[List[Spec], List[Dict[str, Any]]]:
+        """Specs plus one metadata dict per point (the ``_``-prefixed
+        meta-axis values) — the extra columns of a result frame."""
+        cls = _SPEC_TYPES[self.kind]
+        specs: List[Spec] = []
+        meta: List[Dict[str, Any]] = []
+        for fields_, _indices in self.points():
+            spec_kwargs = {
+                k: v
+                for k, v in fields_.items()
+                if not k.startswith(META_PREFIX)
+            }
+            try:
+                specs.append(cls(**spec_kwargs))
+            except TypeError as exc:
+                raise SchedulingError(
+                    f"cannot build {self.kind!r} spec from "
+                    f"{sorted(spec_kwargs)}: {exc}"
+                ) from None
+            meta.append(
+                {
+                    k: v
+                    for k, v in fields_.items()
+                    if k.startswith(META_PREFIX)
+                }
+            )
+        return specs, meta
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+    # Serialization ----------------------------------------------------
+    def to_json(self) -> Dict:
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "base": {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in self.base.items()
+            },
+            "axes": [axis.to_json() for axis in self.axes],
+        }
+        if self.seed_rule is not None:
+            data["seed"] = self.seed_rule.to_json()
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "Sweep":
+        sweep = cls(str(data.get("kind", "scenario")),
+                    **dict(data.get("base") or {}))
+        for axis_data in data.get("axes", ()):
+            axis = Axis.from_json(axis_data)
+            sweep._check_new_axis(axis.fields)
+            sweep.axes.append(axis)
+        if "seed" in data:
+            rule = SeedRule.from_json(data["seed"])
+            sweep._check_field(rule.field)
+            sweep.seed_rule = rule
+        return sweep
+
+    def copy(self) -> "Sweep":
+        return copy.deepcopy(self)

@@ -51,9 +51,37 @@ from .base import BatteryModel, BatteryRun
 
 __all__ = [
     "PeriodKernel",
+    "KERNEL_VERSIONS",
+    "kernel_version_token",
     "affine_prefix_diag",
     "affine_prefix_matrix",
 ]
+
+#: Per-model kernel semantic versions.  Bump an entry whenever the
+#: corresponding kernel's numerics change (new probe points, different
+#: composition order, altered fallback behaviour): the token below is
+#: folded into every campaign-spec content hash, so stale cached
+#: results computed by the old kernel are invalidated automatically.
+KERNEL_VERSIONS = {
+    "diffusion": 1,
+    "kibam": 1,
+    "peukert": 1,
+    "scalar": 1,  # the per-segment reference loop in BatteryModel
+}
+
+
+def kernel_version_token() -> str:
+    """A stable string identifying the battery-kernel generation.
+
+    Consumed by :func:`repro.campaign.spec.content_hash`: any bump in
+    :data:`KERNEL_VERSIONS` changes the token, which changes every
+    spec hash, which turns the whole on-disk campaign cache into a
+    miss — exactly what a kernel-numerics change requires.
+    """
+    return ",".join(
+        f"{name}={version}"
+        for name, version in sorted(KERNEL_VERSIONS.items())
+    )
 
 
 def affine_prefix_diag(

@@ -29,9 +29,14 @@ from .growth import GrowableRunnerMixin, SpecRunner, SpecTemplate
 from .registry import (
     NEAR_OPTIMAL,
     build_scheme,
+    install_env_plugins,
+    install_plugins,
+    known_names,
     known_schemes,
+    plugin_snapshot,
     register_battery,
     register_estimator,
+    register_plugin,
     register_processor,
     register_scheme,
     resolve_battery,
@@ -46,6 +51,7 @@ from .runner import (
     sample_bounded_dag,
 )
 from .spec import (
+    ConstantLoadSpec,
     OneShotSpec,
     ScenarioResult,
     ScenarioSpec,
@@ -62,6 +68,7 @@ from .distributed import DistributedRunner  # noqa: E402
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "ConstantLoadSpec",
     "DistributedRunner",
     "GrowableRunnerMixin",
     "MetricSummary",
@@ -77,11 +84,16 @@ __all__ = [
     "build_scheme",
     "content_hash",
     "default_cache_dir",
+    "install_env_plugins",
+    "install_plugins",
     "is_cacheable",
     "is_spec",
+    "known_names",
     "known_schemes",
+    "plugin_snapshot",
     "register_battery",
     "register_estimator",
+    "register_plugin",
     "register_processor",
     "register_scheme",
     "resolve_battery",

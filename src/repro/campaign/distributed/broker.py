@@ -250,6 +250,17 @@ class _BrokerBase:
         """Results recovered from the ledger by the last ``submit``."""
         return len(self._replayed)
 
+    @property
+    def telemetry(self) -> Dict[str, int]:
+        """Fault/balance counters for the current campaign.
+
+        ``requeued`` counts work units returned to the queue (expired
+        leases, dead connections); ``stolen`` counts chunk-steal
+        events (splits of a busy worker's lease for an idle one).
+        Transports override to fold in their own counters.
+        """
+        return {"requeued": self.requeued_total, "stolen": 0}
+
     def _drain_replayed(self) -> Iterator[Tuple[int, ScenarioResult]]:
         while self._replayed:
             yield self._replayed.pop(0)
@@ -376,6 +387,13 @@ class DirectoryBroker(_BrokerBase):
             self._check_stalled(last_progress)
             time.sleep(self.poll)
 
+    @property
+    def telemetry(self) -> Dict[str, int]:
+        return {
+            "requeued": self.requeued_total,
+            "stolen": self.split_total,
+        }
+
     def close(self) -> None:
         """Tell idle workers to exit (the shutdown marker persists)."""
         self.workdir.shutdown()
@@ -418,6 +436,7 @@ class _TCPState:
         self.outcomes: "queue.Queue[Dict]" = queue.Queue()
         self.closing = False
         self.requeued = 0
+        self.steals = 0
 
     # All methods below assume ``self.lock`` is held by the caller.
     def lease_to(self, session_id: str, chunk: List[Dict]) -> None:
@@ -481,6 +500,7 @@ class _TCPState:
         if not chunk:
             return None
         self.lease_to(thief_id, chunk)
+        self.steals += 1
         return chunk
 
 
@@ -650,6 +670,14 @@ class TCPBroker(_BrokerBase):
             for session_id in stale:
                 requeued = self._state.requeue_session(session_id)
                 self.requeued_total += requeued
+
+    @property
+    def telemetry(self) -> Dict[str, int]:
+        with self._state.lock:
+            return {
+                "requeued": self.requeued_total + self._state.requeued,
+                "stolen": self._state.steals,
+            }
 
     def outcomes(self) -> Iterator[Tuple[int, ScenarioResult]]:
         yield from self._drain_replayed()

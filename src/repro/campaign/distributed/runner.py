@@ -33,6 +33,7 @@ size, scheduling, lease requeues, steals, or broker restarts.
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -44,6 +45,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ...errors import SchedulingError
 from ..cache import ResultCache
 from ..growth import GrowableRunnerMixin
+from ..registry import PLUGINS_ENV, plugin_snapshot
 from ..runner import CampaignResult, OnResult
 from ..spec import ScenarioResult, Spec, is_cacheable
 from .broker import DirectoryBroker, TCPBroker, campaign_hash
@@ -261,6 +263,7 @@ class DistributedRunner(GrowableRunnerMixin):
             finally:
                 self._stop_autoscaler()
 
+        counters = self._broker.telemetry
         return CampaignResult(
             results=[r for r in results if r is not None],
             wall_time_s=time.perf_counter() - start,
@@ -268,6 +271,8 @@ class DistributedRunner(GrowableRunnerMixin):
             cache_hits=cache_hits,
             executed=len(pending) - replayed,
             replayed=replayed,
+            requeued=counters["requeued"],
+            stolen=counters["stolen"],
         )
 
     # ------------------------------------------------------------------
@@ -344,6 +349,12 @@ class DistributedRunner(GrowableRunnerMixin):
             env["PYTHONPATH"] = (
                 src if not existing else src + os.pathsep + existing
             )
+            # Ship declaratively-registered plugins to the fleet: the
+            # worker CLI replays $REPRO_PLUGINS at startup, so custom
+            # schemes/batteries resolve on spawned workers too.
+            snapshot = plugin_snapshot()
+            if snapshot:
+                env[PLUGINS_ENV] = json.dumps(snapshot)
             for _ in range(missing):
                 self._procs.append(
                     subprocess.Popen(

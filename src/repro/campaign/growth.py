@@ -192,4 +192,6 @@ class GrowableRunnerMixin:
             cache_hits=suffix.cache_hits,
             executed=suffix.executed,
             replayed=suffix.replayed,
+            requeued=suffix.requeued,
+            stolen=suffix.stolen,
         )

@@ -4,17 +4,35 @@ Specs are pure data; this module turns their string fields into live
 objects at execution time.  Every entry a paper experiment needs ships
 built in; :func:`register_scheme` / :func:`register_battery` /
 :func:`register_processor` let drivers (and users) add custom factories
-under fresh names.  Registration is process-local: with the ``fork``
-start method (the default on Linux) workers inherit entries registered
-before the pool is created, so drivers that accept caller-supplied
-factories keep working in parallel mode; on spawn-only platforms,
-custom entries require ``n_workers=1``.
+under fresh names.
+
+Two registration flavours exist:
+
+* **Live-object registration** (``register_scheme(name, builder)``
+  with an arbitrary callable) is process-local: with the ``fork``
+  start method workers inherit entries registered before the pool is
+  created, but ``spawn``-started workers (and remote fleets) never
+  see them.
+* **Declarative plugins** (:func:`register_plugin`) record the entry
+  as pure data — kind, name, an importable ``"module:attr"`` factory
+  path, and keyword arguments — so the registration itself can be
+  serialized, shipped across any process boundary, and replayed
+  (:func:`plugin_snapshot` / :func:`install_plugins`).  The local
+  :class:`~repro.campaign.runner.CampaignRunner` replays the snapshot
+  in every pool worker's initializer and the distributed runner ships
+  it to spawned workers via ``$REPRO_PLUGINS``, lifting the old
+  fork-only limitation.  The public decorator API lives in
+  :mod:`repro.api.registry`.
 """
 
 from __future__ import annotations
 
+import importlib
 import itertools
-from typing import Callable, Dict, Optional, Tuple
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..battery.base import BatteryModel
 from ..battery.calibrate import (
@@ -41,16 +59,24 @@ from ..processor.power import PowerModel
 
 __all__ = [
     "ESTIMATORS",
+    "PLUGIN_KINDS",
+    "PLUGINS_ENV",
+    "PluginSpec",
     "resolve_estimator",
     "estimator_name_for",
     "register_estimator",
     "build_scheme",
     "known_schemes",
+    "known_names",
     "resolve_battery",
     "resolve_processor",
     "register_scheme",
     "register_battery",
     "register_processor",
+    "register_plugin",
+    "plugin_snapshot",
+    "install_plugins",
+    "install_env_plugins",
     "unregister",
     "fresh_name",
     "NEAR_OPTIMAL",
@@ -325,7 +351,176 @@ def unregister(name: str) -> None:
 
     A no-op for unknown names; intended for ad-hoc (:func:`fresh_name`)
     entries so long-lived processes don't accumulate closures over
-    caller-supplied factories.
+    caller-supplied factories.  Declarative plugin records under the
+    name are dropped too.
     """
     for table in (_SCHEMES, _BATTERIES, _PROCESSORS, ESTIMATORS):
         table.pop(name, None)
+    for key in [k for k in _PLUGINS if k[1] == name]:
+        del _PLUGINS[key]
+
+
+def known_names() -> Dict[str, Tuple[str, ...]]:
+    """Every registered name per axis kind (sorted) — the data behind
+    ``python -m repro study axes``."""
+    return {
+        "scheme": known_schemes(),
+        "battery": tuple(sorted(_BATTERIES)),
+        "processor": tuple(sorted(_PROCESSORS)),
+        "estimator": tuple(sorted(ESTIMATORS)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Declarative plugins (spawn-safe custom entries)
+# ----------------------------------------------------------------------
+#: Registry axes a plugin may extend.
+PLUGIN_KINDS = ("scheme", "battery", "processor", "estimator")
+
+#: Environment variable carrying a JSON plugin snapshot to worker
+#: processes started outside any Python parent (the distributed
+#: runner sets it for its spawned fleet; external fleets may export
+#: it themselves).
+PLUGINS_ENV = "REPRO_PLUGINS"
+
+
+@dataclass(frozen=True)
+class PluginSpec:
+    """A registry entry as pure data: replayable in any process.
+
+    ``factory`` is an importable ``"package.module:attr"`` path; the
+    attribute must be resolvable in the worker process too (i.e. live
+    at module top level in installed/importable code).  Expected
+    factory signatures per kind:
+
+    * ``scheme``:    ``(estimator_factory, **kwargs) -> Scheme``
+    * ``battery``:   ``(seed, **kwargs) -> BatteryModel``
+    * ``processor``: ``(**kwargs) -> Processor``
+    * ``estimator``: ``(**kwargs) -> Estimator``
+    """
+
+    kind: str
+    name: str
+    factory: str
+    kwargs: Dict = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "factory": self.factory,
+            "kwargs": dict(self.kwargs),
+        }
+
+
+_PLUGINS: Dict[Tuple[str, str], PluginSpec] = {}
+
+
+def _load_factory(path: str) -> Callable:
+    module_name, sep, attr = path.partition(":")
+    if not sep or not module_name or not attr:
+        raise SchedulingError(
+            f"plugin factory {path!r} must look like 'package.module:attr'"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SchedulingError(
+            f"cannot import plugin module {module_name!r}: {exc}"
+        ) from exc
+    try:
+        factory = getattr(module, attr)
+    except AttributeError:
+        raise SchedulingError(
+            f"plugin module {module_name!r} has no attribute {attr!r}"
+        ) from None
+    if not callable(factory):
+        raise SchedulingError(f"plugin factory {path!r} is not callable")
+    return factory
+
+
+def register_plugin(
+    kind: str, name: str, factory: str, **kwargs
+) -> str:
+    """Register a declarative (spawn-safe, serializable) registry entry.
+
+    The factory is resolved immediately (fail fast on a bad path) and
+    installed into the ``kind`` table under ``name``; the declarative
+    record is kept so :func:`plugin_snapshot` can replay the
+    registration in pool workers, spawned fleets, and fresh sessions.
+    ``kwargs`` must be JSON-serializable (they ride along in the
+    snapshot) and are passed to every factory invocation.
+    """
+    if kind not in PLUGIN_KINDS:
+        raise SchedulingError(
+            f"unknown plugin kind {kind!r}; known: {PLUGIN_KINDS}"
+        )
+    if name.startswith("@"):
+        raise SchedulingError(
+            "plugin names must be stable (no '@' ad-hoc prefix): "
+            f"got {name!r}"
+        )
+    try:
+        json.dumps(kwargs)
+    except (TypeError, ValueError):
+        raise SchedulingError(
+            f"plugin kwargs for {name!r} must be JSON-serializable"
+        ) from None
+    fn = _load_factory(factory)
+    if kind == "scheme":
+        register_scheme(name, lambda est, _f=fn: _f(est, **kwargs))
+    elif kind == "battery":
+        register_battery(
+            name, lambda seed, _f=fn, **p: _f(seed, **{**kwargs, **p})
+        )
+    elif kind == "processor":
+        register_processor(name, lambda _f=fn, **p: _f(**{**kwargs, **p}))
+    else:
+        register_estimator(name, lambda _f=fn: _f(**kwargs))
+    _PLUGINS[(kind, name)] = PluginSpec(kind, name, factory, dict(kwargs))
+    return name
+
+
+def plugin_snapshot() -> List[Dict]:
+    """Every declarative plugin as JSON-ready data, in registration
+    order — the payload the runners replay in worker processes."""
+    return [spec.to_json() for spec in _PLUGINS.values()]
+
+
+def install_plugins(snapshot: List[Dict]) -> int:
+    """Replay a :func:`plugin_snapshot` in this process (idempotent).
+
+    Returns the number of entries installed.  Used as the pool-worker
+    initializer by :class:`~repro.campaign.runner.CampaignRunner` and
+    at startup by ``python -m repro campaign-worker``.
+    """
+    installed = 0
+    for data in snapshot:
+        register_plugin(
+            str(data["kind"]),
+            str(data["name"]),
+            str(data["factory"]),
+            **dict(data.get("kwargs") or {}),
+        )
+        installed += 1
+    return installed
+
+
+def install_env_plugins() -> int:
+    """Install plugins from the ``$REPRO_PLUGINS`` JSON snapshot, if set.
+
+    Malformed JSON is an error (a half-configured worker computing
+    subtly different results is worse than a crash).
+    """
+    raw = os.environ.get(PLUGINS_ENV)
+    if not raw:
+        return 0
+    try:
+        snapshot = json.loads(raw)
+    except ValueError as exc:
+        raise SchedulingError(
+            f"${PLUGINS_ENV} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(snapshot, list):
+        raise SchedulingError(f"${PLUGINS_ENV} must be a JSON list")
+    return install_plugins(snapshot)

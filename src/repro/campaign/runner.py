@@ -43,11 +43,14 @@ from .growth import GrowableRunnerMixin
 from .registry import (
     NEAR_OPTIMAL,
     build_scheme,
+    install_plugins,
+    plugin_snapshot,
     resolve_battery,
     resolve_estimator,
     resolve_processor,
 )
 from .spec import (
+    ConstantLoadSpec,
     OneShotSpec,
     ScenarioResult,
     ScenarioSpec,
@@ -202,6 +205,20 @@ def _run_survival(spec: SurvivalSpec) -> ScenarioResult:
     return ScenarioResult(spec=spec, metrics={"survival_scale": float(scale)})
 
 
+def _run_constant(spec: ConstantLoadSpec) -> ScenarioResult:
+    cell = resolve_battery(spec.battery, spec.battery_seed)
+    run = cell.lifetime_constant(
+        float(spec.current), max_time=spec.max_time
+    )
+    return ScenarioResult(
+        spec=spec,
+        metrics={
+            "delivered_c": float(run.delivered_charge),
+            "lifetime_s": float(run.lifetime),
+        },
+    )
+
+
 def run_spec(spec: Spec) -> ScenarioResult:
     """Execute one spec in the calling process."""
     if isinstance(spec, ScenarioSpec):
@@ -210,6 +227,8 @@ def run_spec(spec: Spec) -> ScenarioResult:
         return _run_oneshot(spec)
     if isinstance(spec, SurvivalSpec):
         return _run_survival(spec)
+    if isinstance(spec, ConstantLoadSpec):
+        return _run_constant(spec)
     raise SchedulingError(f"unknown spec type {type(spec).__name__}")
 
 
@@ -233,6 +252,11 @@ class CampaignResult:
     plain :meth:`CampaignRunner.run`, while an
     :meth:`~repro.campaign.growth.GrowableRunnerMixin.extend` reports
     the suffix run's counts next to the full merged result list.
+
+    ``requeued`` and ``stolen`` are distributed-backend fault/balance
+    telemetry: work units returned to the queue after a lease expired
+    or a worker connection died, and chunk tasks reassigned from a
+    busy worker to an idle one.  Both are zero on the local runner.
     """
 
     results: List[ScenarioResult]
@@ -241,9 +265,23 @@ class CampaignResult:
     cache_hits: int
     executed: int = 0
     replayed: int = 0
+    requeued: int = 0
+    stolen: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
+
+    @property
+    def telemetry(self) -> Dict[str, int]:
+        """Structured execution counters (JSON-ready)."""
+        return {
+            "scenarios": len(self.results),
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "replayed": self.replayed,
+            "requeued": self.requeued,
+            "stolen": self.stolen,
+        }
 
     def metrics(self, name: str) -> Tuple[float, ...]:
         """One metric across all scenarios, in spec order."""
@@ -273,6 +311,14 @@ class CampaignRunner(GrowableRunnerMixin):
     chunksize:
         Scenarios per pool task (larger amortizes IPC for very short
         scenarios).
+    start_method:
+        Explicit ``multiprocessing`` start method (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); ``None`` keeps the platform
+        preference (fork on Linux).  Declaratively-registered plugins
+        (:func:`repro.campaign.registry.register_plugin`) work under
+        every start method — the pool initializer replays the plugin
+        snapshot in each worker — while live-object ad-hoc entries
+        still need ``fork`` to be inherited.
     """
 
     def __init__(
@@ -281,14 +327,23 @@ class CampaignRunner(GrowableRunnerMixin):
         *,
         cache: Optional[ResultCache] = None,
         chunksize: int = 1,
+        start_method: Optional[str] = None,
     ) -> None:
         if n_workers < 1:
             raise SchedulingError(f"n_workers must be >= 1, got {n_workers}")
         if chunksize < 1:
             raise SchedulingError(f"chunksize must be >= 1, got {chunksize}")
+        if start_method is not None:
+            known = multiprocessing.get_all_start_methods()
+            if start_method not in known:
+                raise SchedulingError(
+                    f"start_method {start_method!r} unavailable on this "
+                    f"platform; known: {known}"
+                )
         self.n_workers = int(n_workers)
         self.cache = cache
         self.chunksize = int(chunksize)
+        self.start_method = start_method
 
     # ------------------------------------------------------------------
     def run(
@@ -355,16 +410,26 @@ class CampaignRunner(GrowableRunnerMixin):
             for item in items:
                 yield _worker(item)
             return
-        # Prefer fork only on Linux: it is the platform default there
-        # and lets workers inherit ad-hoc registry entries.  macOS has
-        # fork available but deliberately defaults to spawn (fork is
-        # unsafe with threaded frameworks), so respect the platform
-        # default elsewhere.
-        methods = multiprocessing.get_all_start_methods()
-        use_fork = sys.platform.startswith("linux") and "fork" in methods
-        ctx = multiprocessing.get_context("fork" if use_fork else None)
+        if self.start_method is not None:
+            ctx = multiprocessing.get_context(self.start_method)
+        else:
+            # Prefer fork only on Linux: it is the platform default
+            # there and lets workers inherit ad-hoc registry entries.
+            # macOS has fork available but deliberately defaults to
+            # spawn (fork is unsafe with threaded frameworks), so
+            # respect the platform default elsewhere.
+            methods = multiprocessing.get_all_start_methods()
+            use_fork = sys.platform.startswith("linux") and "fork" in methods
+            ctx = multiprocessing.get_context("fork" if use_fork else None)
         workers = min(self.n_workers, len(items))
-        with ctx.Pool(processes=workers) as pool:
+        # Replaying the declarative-plugin snapshot in every worker
+        # makes custom registered entries visible under spawn (and
+        # forkserver), not just fork inheritance.
+        with ctx.Pool(
+            processes=workers,
+            initializer=install_plugins,
+            initargs=(plugin_snapshot(),),
+        ) as pool:
             yield from pool.imap_unordered(
                 _worker, items, chunksize=self.chunksize
             )

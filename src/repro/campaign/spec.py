@@ -33,6 +33,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..battery.kernels import kernel_version_token
 from ..errors import SchedulingError
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "ScenarioSpec",
     "OneShotSpec",
     "SurvivalSpec",
+    "ConstantLoadSpec",
     "Spec",
     "ScenarioResult",
     "content_hash",
@@ -52,7 +54,8 @@ __all__ = [
 ]
 
 #: Bumped whenever executor semantics change in a way that invalidates
-#: previously cached results.
+#: previously cached results.  Battery-kernel numerics changes do not
+#: need a bump: the kernel version token (below) is hashed alongside.
 SPEC_VERSION = 1
 
 #: Names starting with this mark process-local ad-hoc registry entries
@@ -153,12 +156,29 @@ class SurvivalSpec:
     iters: int = 40
 
 
-Spec = Union[ScenarioSpec, OneShotSpec, SurvivalSpec]
+@dataclass(frozen=True)
+class ConstantLoadSpec:
+    """One constant-current discharge to cutoff (rate-capacity probe).
+
+    The unit of work behind the rate-capacity sweep: discharge the
+    named cell at ``current`` amperes until it dies, reporting the
+    delivered charge and lifetime (see
+    :meth:`repro.battery.base.BatteryModel.lifetime_constant`).
+    """
+
+    battery: str
+    current: float
+    battery_seed: Optional[int] = None
+    max_time: float = 1e8
+
+
+Spec = Union[ScenarioSpec, OneShotSpec, SurvivalSpec, ConstantLoadSpec]
 
 _SPEC_TYPES: Dict[str, type] = {
     "scenario": ScenarioSpec,
     "oneshot": OneShotSpec,
     "survival": SurvivalSpec,
+    "constantload": ConstantLoadSpec,
 }
 
 
@@ -178,13 +198,16 @@ def content_hash(spec: Spec) -> str:
     """A stable 16-hex-digit identity for ``spec``.
 
     Computed over the canonical JSON of the spec's fields plus the
-    spec kind and :data:`SPEC_VERSION`; identical specs hash
-    identically across processes and sessions (JSON float formatting
-    round-trips ``repr`` exactly).
+    spec kind, :data:`SPEC_VERSION`, and the battery-kernel version
+    token (:func:`repro.battery.kernels.kernel_version_token` — so
+    vectorized-kernel changes invalidate stale cached results);
+    identical specs hash identically across processes and sessions
+    (JSON float formatting round-trips ``repr`` exactly).
     """
     payload = {
         "kind": _spec_kind(spec),
         "version": SPEC_VERSION,
+        "kernels": kernel_version_token(),
         "fields": asdict(spec),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -131,6 +131,28 @@ class TestRateCapacity:
         for vals in res.delivered_mah.values():
             assert vals[0] > vals[-1]
 
+    def test_unsorted_currents_labels_align_with_values(self):
+        """Rows are labelled in sweep (ascending) order — the order
+        the delivered columns are in — even for unsorted input."""
+        res = rate_capacity(currents=(2.0, 0.5))
+        assert res.currents == (0.5, 2.0)
+        for vals in res.delivered_mah.values():
+            assert vals[0] > vals[-1]
+
+    def test_custom_models_identical_across_worker_counts(self):
+        """Caller-supplied cells are deep-copied per probe, so the
+        stochastic RNG stream cannot leak between probes/workers."""
+        from repro.battery.calibrate import paper_cell_stochastic
+
+        def run(workers):
+            return rate_capacity(
+                currents=(0.5, 2.0),
+                models={"s": paper_cell_stochastic(seed=0)},
+                workers=workers,
+            )
+
+        assert run(1) == run(2)
+
 
 class TestModelCoherence:
     @pytest.fixture(scope="class")

@@ -1,0 +1,27 @@
+"""Importable plugin factories for the spawn-safety tests.
+
+This module must be importable by worker processes (spawn children
+inherit ``sys.path``), so the factories live at module top level —
+the same constraint real user plugins have.
+"""
+
+from repro.battery.kibam import KiBaM
+from repro.core.methodology import Scheme, make_scheme
+from repro.core.priority import PUBS
+from repro.core.ready_list import ALL_RELEASED, MOST_IMMINENT
+from repro.dvs import LaEDF
+
+
+def build_mybas(estimator, *, ready="imminent") -> Scheme:
+    """A pUBS/laEDF variant with a configurable ready-list policy."""
+    return make_scheme(
+        "myBAS",
+        dvs=LaEDF,
+        priority=lambda: PUBS(estimator()),
+        ready_list=ALL_RELEASED if ready == "all" else MOST_IMMINENT,
+    )
+
+
+def build_small_cell(seed, *, capacity=150.0, c=0.5, kp=0.01) -> KiBaM:
+    """A tiny KiBaM cell (fast lifetimes in tests)."""
+    return KiBaM(capacity=capacity, c=c, kp=kp)

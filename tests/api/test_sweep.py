@@ -1,0 +1,237 @@
+"""Sweep expansion: determinism, ordering, seeding, serialization."""
+
+import pytest
+
+from repro.api import Condition, Sweep
+from repro.campaign.spec import (
+    OneShotSpec,
+    ScenarioSpec,
+    content_hash,
+    spawn_seeds,
+)
+from repro.errors import SchedulingError
+
+
+class TestGrid:
+    def test_row_major_declaration_order(self):
+        sweep = (
+            Sweep("scenario")
+            .grid(n_graphs=[2, 3])
+            .grid(scheme=["EDF", "ccEDF"])
+        )
+        specs = sweep.expand()
+        assert [(s.n_graphs, s.scheme) for s in specs] == [
+            (2, "EDF"), (2, "ccEDF"), (3, "EDF"), (3, "ccEDF"),
+        ]
+
+    def test_expansion_is_deterministic(self):
+        def build():
+            return (
+                Sweep("scenario", utilization=0.8)
+                .grid(scheme=["EDF", "BAS-2"])
+                .grid(_rep=list(range(3)))
+                .seed(mode="offset", root=7, terms={"_rep": 1})
+            )
+
+        a, b = build().expand(), build().expand()
+        assert a == b
+        assert [content_hash(s) for s in a] == [content_hash(s) for s in b]
+
+    def test_base_field_overridden_by_axis(self):
+        sweep = Sweep("scenario", scheme="EDF", n_graphs=9).grid(
+            n_graphs=[1, 2]
+        )
+        assert [s.n_graphs for s in sweep.expand()] == [1, 2]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SchedulingError, match="not a field"):
+            Sweep("scenario").grid(bogus=[1])
+        with pytest.raises(SchedulingError, match="not a field"):
+            Sweep("scenario", bogus=1)
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(SchedulingError, match="declared twice"):
+            Sweep("scenario").grid(scheme=["EDF"]).grid(scheme=["ccEDF"])
+
+    def test_meta_axes_not_passed_to_spec(self):
+        specs, meta = (
+            Sweep("scenario", scheme="EDF")
+            .grid(_rep=[0, 1])
+            .expand_with_meta()
+        )
+        assert all(isinstance(s, ScenarioSpec) for s in specs)
+        assert meta == [{"_rep": 0}, {"_rep": 1}]
+
+
+class TestZip:
+    def test_paired_advance(self):
+        sweep = Sweep("survival", battery="kibam").zip(
+            durations=[(1.0,), (2.0,)],
+            currents=[(0.5,), (0.25,)],
+        )
+        specs = sweep.expand()
+        assert [(s.durations, s.currents) for s in specs] == [
+            ((1.0,), (0.5,)), ((2.0,), (0.25,)),
+        ]
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(SchedulingError, match="equal lengths"):
+            Sweep("survival", battery="kibam").zip(
+                durations=[(1.0,)], currents=[(1.0,), (2.0,)]
+            )
+
+    def test_zip_indices_shared_for_seed_terms(self):
+        sweep = (
+            Sweep("scenario", scheme="EDF")
+            .zip(_label=["a", "b", "c"], n_graphs=[2, 3, 4])
+            .seed(mode="offset", root=100, terms={"_label": 10})
+        )
+        assert [s.seed for s in sweep.expand()] == [100, 110, 120]
+
+
+class TestConditional:
+    def test_axis_applies_only_where_predicate_matches(self):
+        sweep = (
+            Sweep("scenario")
+            .grid(scheme=["EDF", "laEDF", "BAS-2"])
+            .conditional(
+                "estimator",
+                ["history", "oracle"],
+                when=Condition.one_of("scheme", ["laEDF", "BAS-2"]),
+            )
+        )
+        specs = sweep.expand()
+        # EDF is not multiplied; it keeps the spec default estimator.
+        assert [(s.scheme, s.estimator) for s in specs] == [
+            ("EDF", "history"),
+            ("laEDF", "history"), ("laEDF", "oracle"),
+            ("BAS-2", "history"), ("BAS-2", "oracle"),
+        ]
+
+    def test_otherwise_value(self):
+        sweep = (
+            Sweep("scenario")
+            .grid(scheme=["EDF", "laEDF"])
+            .conditional(
+                "utilization",
+                [0.8, 0.9],
+                when=Condition.prefix("scheme", "la"),
+                otherwise=0.5,
+            )
+        )
+        assert [(s.scheme, s.utilization) for s in sweep.expand()] == [
+            ("EDF", 0.5), ("laEDF", 0.8), ("laEDF", 0.9),
+        ]
+
+    def test_condition_on_unbound_field_is_an_error(self):
+        sweep = Sweep("scenario").conditional(
+            "estimator", ["oracle"],
+            when=Condition.equals("scheme", "EDF"),
+        )
+        with pytest.raises(SchedulingError, match="not\\s+bound"):
+            sweep.expand()
+
+    def test_condition_ops(self):
+        point = {"scheme": "laEDF"}
+        assert Condition.equals("scheme", "laEDF").matches(point)
+        assert not Condition.equals("scheme", "EDF").matches(point)
+        assert Condition.one_of("scheme", ["laEDF"]).matches(point)
+        assert Condition.prefix("scheme", "la").matches(point)
+        with pytest.raises(SchedulingError, match="unknown condition op"):
+            Condition("scheme", "regex", ".*")
+
+
+class TestSeeding:
+    def test_spawn_mode_matches_spawn_seeds(self):
+        sweep = (
+            Sweep("oneshot", n_tasks=5)
+            .grid(_rep=list(range(4)))
+            .seed(mode="spawn", root=3)
+        )
+        assert [s.seed for s in sweep.expand()] == list(spawn_seeds(3, 4))
+
+    def test_spawn_prefix_stable_when_outer_axis_grows(self):
+        def specs(n):
+            return (
+                Sweep("oneshot", n_tasks=5)
+                .grid(_rep=list(range(n)))
+                .seed(mode="spawn", root=0)
+                .expand()
+            )
+
+        assert specs(6)[:3] == specs(3)
+
+    def test_offset_terms_combine_axis_indices(self):
+        sweep = (
+            Sweep("scenario", scheme="EDF")
+            .grid(n_graphs=[2, 3])
+            .grid(_rep=[0, 1, 2])
+            .seed(mode="offset", root=5, terms={"n_graphs": 1000, "_rep": 1})
+        )
+        assert [s.seed for s in sweep.expand()] == [
+            5, 6, 7, 1005, 1006, 1007,
+        ]
+
+    def test_also_copies_to_named_fields(self):
+        sweep = (
+            Sweep("scenario", scheme="EDF", battery="stochastic")
+            .grid(_rep=[0, 1])
+            .seed(mode="offset", root=9, terms={"_rep": 1},
+                  also=("battery_seed",))
+        )
+        assert [(s.seed, s.battery_seed) for s in sweep.expand()] == [
+            (9, 9), (10, 10),
+        ]
+
+    def test_fixed_mode(self):
+        sweep = (
+            Sweep("scenario", scheme="EDF")
+            .grid(_rep=[0, 1])
+            .seed(mode="fixed", root=4)
+        )
+        assert [s.seed for s in sweep.expand()] == [4, 4]
+
+    def test_unknown_seed_axis_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown axis"):
+            Sweep("scenario").seed(mode="offset", terms={"_nope": 1})
+
+
+class TestSerialization:
+    def build(self):
+        return (
+            Sweep("scenario", utilization=0.9, battery="stochastic")
+            .grid(n_graphs=[2, 3])
+            .grid(scheme=["EDF", "laEDF", "BAS-2"])
+            .conditional(
+                "estimator",
+                ["history", "oracle"],
+                when=Condition.one_of("scheme", ["laEDF", "BAS-2"]),
+                otherwise="worst-case",
+            )
+            .zip(_label=["x", "y"], edge_prob=[0.3, 0.4])
+            .seed(mode="offset", root=11, terms={"n_graphs": 100},
+                  also=("battery_seed",))
+        )
+
+    def test_json_round_trip_preserves_expansion(self):
+        import json
+
+        sweep = self.build()
+        blob = json.dumps(sweep.to_json())  # must be pure JSON
+        clone = Sweep.from_json(json.loads(blob))
+        assert clone.expand_with_meta() == sweep.expand_with_meta()
+
+    def test_oneshot_kind_round_trip(self):
+        sweep = (
+            Sweep("oneshot", edge_prob=0.4)
+            .grid(n_tasks=[5, 6])
+            .seed(mode="spawn", root=1)
+        )
+        clone = Sweep.from_json(sweep.to_json())
+        specs = clone.expand()
+        assert all(isinstance(s, OneShotSpec) for s in specs)
+        assert specs == sweep.expand()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown spec kind"):
+            Sweep("nope")

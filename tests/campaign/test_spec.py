@@ -3,6 +3,7 @@
 import pytest
 
 from repro.campaign.spec import (
+    ConstantLoadSpec,
     OneShotSpec,
     ScenarioResult,
     ScenarioSpec,
@@ -14,6 +15,33 @@ from repro.campaign.spec import (
     spec_to_json,
 )
 from repro.errors import SchedulingError
+
+
+class TestKernelVersioning:
+    """Battery-kernel changes must invalidate the campaign cache."""
+
+    def test_kernel_version_bump_changes_every_hash(self, monkeypatch):
+        from repro.battery import kernels
+
+        specs = [
+            ScenarioSpec(scheme="BAS-2", battery="stochastic"),
+            OneShotSpec(n_tasks=5, seed=0),
+            SurvivalSpec(
+                battery="kibam", durations=(1.0,), currents=(1.0,)
+            ),
+            ConstantLoadSpec(battery="kibam", current=1.0),
+        ]
+        before = [content_hash(s) for s in specs]
+        monkeypatch.setitem(kernels.KERNEL_VERSIONS, "diffusion", 999)
+        after = [content_hash(s) for s in specs]
+        assert all(a != b for a, b in zip(after, before))
+
+    def test_constantload_spec_round_trips(self):
+        spec = ConstantLoadSpec(
+            battery="kibam", current=2.5, battery_seed=3
+        )
+        assert spec_from_json(spec_to_json(spec)) == spec
+        assert is_cacheable(spec)
 
 
 class TestContentHash:

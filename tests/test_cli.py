@@ -70,6 +70,76 @@ class TestParser:
         assert args.idle_timeout == 2.0
 
 
+class TestStudyCLI:
+    def test_run_parser_defaults(self):
+        args = build_parser().parse_args(["study", "run", "table2"])
+        assert args.plan == "table2"
+        assert args.workers == 1
+        assert args.format == "report"
+        assert args.backend == "local"
+
+    def test_run_builtin_matches_legacy_driver(self, capsys):
+        """The CI smoke contract: study run table2 == python -m repro
+        table2, byte for byte."""
+        assert main(["table2", "--sets", "1", "--graphs", "2"]) == 0
+        legacy = capsys.readouterr().out
+        assert main(
+            [
+                "study", "run", "table2",
+                "--arg", "n_sets=1", "--arg", "n_graphs=2",
+            ]
+        ) == 0
+        assert capsys.readouterr().out == legacy
+
+    def test_exported_plan_file_runs_identically(self, capsys, tmp_path):
+        plan_path = tmp_path / "t2.json"
+        args = ["--arg", "n_sets=1", "--arg", "n_graphs=2"]
+        assert main(
+            ["study", "export", "table2", *args, "-o", str(plan_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["study", "run", "table2", *args, "--format", "csv"]
+        ) == 0
+        builtin_csv = capsys.readouterr().out
+        assert main(
+            ["study", "run", str(plan_path), "--format", "csv"]
+        ) == 0
+        assert capsys.readouterr().out == builtin_csv
+
+    def test_axes_lists_registry(self, capsys):
+        assert main(["study", "axes"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme:" in out and "BAS-2" in out
+        assert "constantload" in out
+
+    def test_plans_lists_builtins(self, capsys):
+        assert main(["study", "plans"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "ablation-feasibility" in out
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(SystemExit, match="neither a builtin"):
+            main(["study", "run", "tableX"])
+
+    def test_bad_arg_rejected(self):
+        with pytest.raises(SystemExit, match="name=value"):
+            main(["study", "run", "table2", "--arg", "nonsense"])
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(
+            [
+                "study", "run", "coherence", "--format", "json",
+            ]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["plan"]["name"] == "coherence"
+        assert data["telemetry"]["executed"] == 12
+        assert "survival_scale" in data["frame"]["columns"]
+
+
 class TestMain:
     def test_fig4(self, capsys):
         assert main(["fig4"]) == 0
