@@ -53,20 +53,27 @@ __all__ = [
     "PeriodKernel",
     "KERNEL_VERSIONS",
     "kernel_version_token",
+    "run_profile_batch",
     "affine_prefix_diag",
     "affine_prefix_matrix",
 ]
 
-#: Per-model kernel semantic versions.  Bump an entry whenever the
-#: corresponding kernel's numerics change (new probe points, different
+#: Per-component kernel semantic versions.  Bump an entry whenever the
+#: corresponding numerics change (new probe points, different
 #: composition order, altered fallback behaviour): the token below is
 #: folded into every campaign-spec content hash, so stale cached
-#: results computed by the old kernel are invalidated automatically.
+#: results computed by the old generation are invalidated
+#: automatically.
 KERNEL_VERSIONS = {
     "diffusion": 1,
     "kibam": 1,
     "peukert": 1,
     "scalar": 1,  # the per-segment reference loop in BatteryModel
+    # The simulator generation: exact release clock, scale-relative
+    # epsilon and deadline-miss semantics landed together with the
+    # steady-state fast path; results of edge-case cached scenarios
+    # can differ from the previous engine at float-dust level.
+    "engine": 1,
 }
 
 
@@ -82,6 +89,35 @@ def kernel_version_token() -> str:
         f"{name}={version}"
         for name, version in sorted(KERNEL_VERSIONS.items())
     )
+
+
+def run_profile_batch(
+    loads: "list[tuple[BatteryModel, np.ndarray, np.ndarray]]",
+    *,
+    repeat: Optional[int] = None,
+    max_time: float = 1e7,
+    fast: bool = True,
+) -> "list[BatteryRun]":
+    """Tile many ``(model, durations, currents)`` loads to death.
+
+    The batched entry point the multi-scenario simulation driver
+    (:mod:`repro.sim.batch`) hands columnar trace profiles to: one
+    call evaluates every scenario's battery outcome, each load through
+    its model's vectorized period kernel when the model provides one
+    (the scalar per-segment loop remains the per-model fallback).
+    Results are bit-identical to calling
+    :meth:`~repro.battery.base.BatteryModel.run_profile` per load —
+    the value of the batch is the single columnar hand-off (and that
+    each evaluation inside it is a handful of vector ops, not a
+    Python segment walk).
+    """
+    return [
+        model.run_profile(
+            durations, currents,
+            repeat=repeat, max_time=max_time, fast=fast,
+        )
+        for model, durations, currents in loads
+    ]
 
 
 def affine_prefix_diag(

@@ -47,6 +47,7 @@ from .registry import (
 from .runner import (
     CampaignResult,
     CampaignRunner,
+    run_scenario_batch,
     run_spec,
     sample_bounded_dag,
 )
@@ -99,6 +100,7 @@ __all__ = [
     "resolve_battery",
     "resolve_estimator",
     "resolve_processor",
+    "run_scenario_batch",
     "run_spec",
     "sample_bounded_dag",
     "spawn_seeds",

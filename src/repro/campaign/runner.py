@@ -32,6 +32,7 @@ from ..core.priority import LTF, PUBS, RandomPriority
 from ..errors import SchedulingError
 from ..exact.bounds import near_optimal_run
 from ..exact.bruteforce import count_linear_extensions, optimal_one_shot
+from ..sim.batch import BatchItem, ScenarioBatch
 from ..sim.engine import SimulationResult, Simulator
 from ..sim.profile import CurrentProfile
 from ..taskgraph.graph import TaskGraph
@@ -61,6 +62,7 @@ from .spec import (
 
 __all__ = [
     "run_spec",
+    "run_scenario_batch",
     "CampaignRunner",
     "CampaignResult",
     "sample_bounded_dag",
@@ -73,7 +75,8 @@ from ..core.estimator import OracleEstimator  # re-export for one-shot users
 # ----------------------------------------------------------------------
 # Executors (one per spec kind) — pure functions of the spec
 # ----------------------------------------------------------------------
-def _simulate(spec: ScenarioSpec) -> SimulationResult:
+def _build_scenario_sim(spec: ScenarioSpec) -> Tuple[Simulator, float]:
+    """The simulator + horizon a scenario spec describes."""
     processor = resolve_processor(spec.processor)
     task_set = paper_task_set(
         spec.n_graphs,
@@ -89,20 +92,53 @@ def _simulate(spec: ScenarioSpec) -> SimulationResult:
     horizon = (
         spec.horizon if spec.horizon is not None else task_set.hyperperiod()
     )
-    if spec.scheme == NEAR_OPTIMAL:
-        return near_optimal_run(task_set, processor, horizon, actuals=actuals)
     scheme = build_scheme(spec.scheme, resolve_estimator(spec.estimator))
     dvs, policy = scheme.instantiate()
     sim = Simulator(
         task_set, processor, dvs, policy,
         actuals=actuals, on_miss=spec.on_miss,
     )
-    return sim.run(horizon)
+    return sim, horizon
 
 
-def _run_periodic(spec: ScenarioSpec) -> ScenarioResult:
-    res = _simulate(spec)
-    profile = res.profile()
+def _simulate(spec: ScenarioSpec, *, fast: bool = False) -> SimulationResult:
+    if spec.scheme == NEAR_OPTIMAL:
+        processor = resolve_processor(spec.processor)
+        task_set = paper_task_set(
+            spec.n_graphs,
+            utilization=spec.utilization,
+            n_tasks_range=spec.n_tasks_range,
+            edge_prob=spec.edge_prob,
+            wcet_range=spec.wcet_range,
+            seed=spec.seed,
+        )
+        actuals = UniformActuals(
+            low=spec.actual_low, high=spec.actual_high, seed=spec.seed
+        )
+        horizon = (
+            spec.horizon
+            if spec.horizon is not None
+            else task_set.hyperperiod()
+        )
+        return near_optimal_run(task_set, processor, horizon, actuals=actuals)
+    sim, horizon = _build_scenario_sim(spec)
+    return sim.run(horizon, fast=fast)
+
+
+def _scenario_battery(spec: ScenarioSpec):
+    """The battery cell a scenario spec asks for, or ``None``."""
+    if spec.battery is None:
+        return None
+    seed = spec.battery_seed if spec.battery_seed is not None else spec.seed
+    return resolve_battery(spec.battery, seed)
+
+
+def _scenario_metrics(
+    spec: ScenarioSpec,
+    res: SimulationResult,
+    profile: CurrentProfile,
+    battery_run,
+) -> Dict[str, float]:
     metrics: Dict[str, float] = {
         "energy_j": float(res.energy),
         "charge_c": float(res.charge),
@@ -114,15 +150,59 @@ def _run_periodic(spec: ScenarioSpec) -> ScenarioResult:
         "completed_jobs": float(res.completed_jobs),
         "completed_nodes": float(res.completed_nodes),
     }
-    if spec.battery is not None:
-        seed = (
-            spec.battery_seed if spec.battery_seed is not None else spec.seed
+    if battery_run is not None:
+        metrics["lifetime_min"] = float(battery_run.lifetime_minutes)
+        metrics["delivered_mah"] = float(battery_run.delivered_mah)
+    return metrics
+
+
+def _run_periodic(
+    spec: ScenarioSpec, *, fast_sim: bool = False
+) -> ScenarioResult:
+    res = _simulate(spec, fast=fast_sim)
+    profile = res.profile()
+    cell = _scenario_battery(spec)
+    battery_run = None
+    if cell is not None:
+        battery_run = evaluate_lifetime(res, cell, rebin=spec.rebin).run
+    return ScenarioResult(
+        spec=spec, metrics=_scenario_metrics(spec, res, profile, battery_run)
+    )
+
+
+def run_scenario_batch(
+    items: Sequence[Tuple[int, ScenarioSpec]], *, fast_sim: bool = True
+) -> List[Tuple[int, ScenarioResult]]:
+    """Execute several scenario specs through one :class:`ScenarioBatch`.
+
+    Metric-identical to running each spec through
+    :func:`run_spec` with the same ``fast_sim`` setting — the batch
+    only changes *how* the work is driven (engine fast paths plus a
+    single columnar battery hand-off), never what a scenario computes.
+    """
+    batch = ScenarioBatch(
+        [
+            BatchItem(
+                *_build_scenario_sim(spec),
+                battery=_scenario_battery(spec),
+                rebin=spec.rebin,
+            )
+            for _, spec in items
+        ]
+    )
+    outcomes = batch.run(fast=fast_sim)
+    return [
+        (
+            index,
+            ScenarioResult(
+                spec=spec,
+                metrics=_scenario_metrics(
+                    spec, out.result, out.profile, out.battery_run
+                ),
+            ),
         )
-        cell = resolve_battery(spec.battery, seed)
-        report = evaluate_lifetime(res, cell, rebin=spec.rebin)
-        metrics["lifetime_min"] = float(report.lifetime_minutes)
-        metrics["delivered_mah"] = float(report.delivered_mah)
-    return ScenarioResult(spec=spec, metrics=metrics)
+        for (index, spec), out in zip(items, outcomes)
+    ]
 
 
 def sample_bounded_dag(
@@ -219,10 +299,17 @@ def _run_constant(spec: ConstantLoadSpec) -> ScenarioResult:
     )
 
 
-def run_spec(spec: Spec) -> ScenarioResult:
-    """Execute one spec in the calling process."""
+def run_spec(spec: Spec, *, fast_sim: bool = False) -> ScenarioResult:
+    """Execute one spec in the calling process.
+
+    ``fast_sim`` enables the engine's steady-state fast-forward for
+    periodic scenarios (count/label-exact, charge equivalent to float
+    dust; it falls back to the naive event loop whenever it cannot be
+    exact).  The default stays off so results are bit-identical to
+    previous engine generations wherever those were well-defined.
+    """
     if isinstance(spec, ScenarioSpec):
-        return _run_periodic(spec)
+        return _run_periodic(spec, fast_sim=fast_sim)
     if isinstance(spec, OneShotSpec):
         return _run_oneshot(spec)
     if isinstance(spec, SurvivalSpec):
@@ -232,9 +319,21 @@ def run_spec(spec: Spec) -> ScenarioResult:
     raise SchedulingError(f"unknown spec type {type(spec).__name__}")
 
 
-def _worker(item: Tuple[int, Spec]) -> Tuple[int, ScenarioResult]:
-    index, spec = item
+def _worker(item: Tuple) -> Tuple[int, ScenarioResult]:
+    index, spec = item[0], item[1]
+    fast_sim = bool(item[2]) if len(item) > 2 else False
+    if fast_sim:
+        return index, run_spec(spec, fast_sim=True)
+    # Default path calls positionally so wrappers of ``run_spec``
+    # (tests, instrumentation) keep working unchanged.
     return index, run_spec(spec)
+
+
+def _batch_worker(
+    payload: Tuple[Tuple[Tuple[int, ScenarioSpec], ...], bool],
+) -> List[Tuple[int, ScenarioResult]]:
+    items, fast_sim = payload
+    return run_scenario_batch(list(items), fast_sim=fast_sim)
 
 
 # ----------------------------------------------------------------------
@@ -319,6 +418,20 @@ class CampaignRunner(GrowableRunnerMixin):
         every start method — the pool initializer replays the plugin
         snapshot in each worker — while live-object ad-hoc entries
         still need ``fork`` to be inherited.
+    fast_sim:
+        Enables the engine's steady-state fast-forward for periodic
+        scenarios (see :meth:`repro.sim.engine.Simulator.run`).  Off
+        by default: results are then bit-identical to the naive event
+        loop; on, counts and labels stay exact while charge/energy may
+        differ at float-dust level for horizons beyond three
+        hyperperiods.  Runs with either setting are individually
+        deterministic (sequential == parallel, any worker count).
+    sim_batch:
+        Scenario specs per :class:`~repro.sim.batch.ScenarioBatch`
+        (1 disables batching).  Batching groups periodic scenarios so
+        each work unit advances many engines and hands their columnar
+        traces to the battery kernels in one pass — metric-identical
+        to unbatched execution with the same ``fast_sim`` setting.
     """
 
     def __init__(
@@ -328,11 +441,15 @@ class CampaignRunner(GrowableRunnerMixin):
         cache: Optional[ResultCache] = None,
         chunksize: int = 1,
         start_method: Optional[str] = None,
+        fast_sim: bool = False,
+        sim_batch: int = 1,
     ) -> None:
         if n_workers < 1:
             raise SchedulingError(f"n_workers must be >= 1, got {n_workers}")
         if chunksize < 1:
             raise SchedulingError(f"chunksize must be >= 1, got {chunksize}")
+        if sim_batch < 1:
+            raise SchedulingError(f"sim_batch must be >= 1, got {sim_batch}")
         if start_method is not None:
             known = multiprocessing.get_all_start_methods()
             if start_method not in known:
@@ -344,6 +461,8 @@ class CampaignRunner(GrowableRunnerMixin):
         self.cache = cache
         self.chunksize = int(chunksize)
         self.start_method = start_method
+        self.fast_sim = bool(fast_sim)
+        self.sim_batch = int(sim_batch)
 
     # ------------------------------------------------------------------
     def run(
@@ -388,13 +507,43 @@ class CampaignRunner(GrowableRunnerMixin):
             else:
                 pending.append(index)
 
+        def absorb(index: int, result: ScenarioResult) -> None:
+            if self.cache is not None and is_cacheable(result.spec):
+                self.cache.put(result)
+            emit(index, result)
+
         if pending:
-            for index, result in self._execute(
-                [(i, specs[i]) for i in pending]
-            ):
-                if self.cache is not None and is_cacheable(result.spec):
-                    self.cache.put(result)
-                emit(index, result)
+            batched: List[int] = []
+            if self.sim_batch > 1:
+                batched = [
+                    i
+                    for i in pending
+                    if isinstance(specs[i], ScenarioSpec)
+                    and specs[i].scheme != NEAR_OPTIMAL
+                ]
+            batched_set = set(batched)
+            singles = [
+                (i, specs[i], self.fast_sim)
+                for i in pending
+                if i not in batched_set
+            ]
+            if singles:
+                for index, result in self._execute(singles, _worker):
+                    absorb(index, result)
+            if batched:
+                payloads = [
+                    (
+                        tuple(
+                            (i, specs[i])
+                            for i in batched[k:k + self.sim_batch]
+                        ),
+                        self.fast_sim,
+                    )
+                    for k in range(0, len(batched), self.sim_batch)
+                ]
+                for group in self._execute(payloads, _batch_worker):
+                    for index, result in group:
+                        absorb(index, result)
 
         return CampaignResult(
             results=[r for r in results if r is not None],
@@ -405,10 +554,10 @@ class CampaignRunner(GrowableRunnerMixin):
         )
 
     # ------------------------------------------------------------------
-    def _execute(self, items: List[Tuple[int, Spec]]):
+    def _execute(self, items: List[Tuple], worker: Callable = _worker):
         if self.n_workers == 1 or len(items) == 1:
             for item in items:
-                yield _worker(item)
+                yield worker(item)
             return
         if self.start_method is not None:
             ctx = multiprocessing.get_context(self.start_method)
@@ -431,5 +580,5 @@ class CampaignRunner(GrowableRunnerMixin):
             initargs=(plugin_snapshot(),),
         ) as pool:
             yield from pool.imap_unordered(
-                _worker, items, chunksize=self.chunksize
+                worker, items, chunksize=self.chunksize
             )

@@ -1,5 +1,6 @@
 """Event-driven simulation: engine, traces, current profiles."""
 
+from .batch import BatchItem, BatchOutcome, ScenarioBatch
 from .engine import (
     ActualsProvider,
     DeadlineMiss,
@@ -15,6 +16,9 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "DeadlineMiss",
+    "BatchItem",
+    "BatchOutcome",
+    "ScenarioBatch",
     "ActualsProvider",
     "worst_case_actuals",
     "CurrentProfile",

@@ -1,0 +1,114 @@
+"""Batched multi-scenario simulation with one-pass battery hand-off.
+
+A campaign evaluates thousands of small independent scenarios, each of
+which is "simulate a schedule, reduce its trace to a current profile,
+tile that profile through a battery model".  :class:`ScenarioBatch`
+drives that pipeline for many scenarios at once:
+
+* every scenario's engine run gets the steady-state fast path
+  (:meth:`repro.sim.engine.Simulator.run` with ``fast=True``), so the
+  per-event Python loop only executes until the dispatch cycle
+  converges;
+* the resulting columnar :class:`~repro.sim.trace.ExecutionTrace`
+  profiles are reduced and handed to the vectorized battery kernels in
+  a single call
+  (:func:`repro.battery.kernels.run_profile_batch`), keeping the
+  battery side a few large vector ops per scenario instead of a
+  per-segment scalar walk.
+
+The batch is *semantics-preserving*: each scenario's outcome is
+exactly what running it alone would produce (the engine fast path
+guarantees count/label equivalence and ulp-level charge equivalence;
+the battery hand-off is bit-identical to the per-scenario call).  The
+campaign layer (:class:`repro.campaign.runner.CampaignRunner` with
+``sim_batch > 1``) builds batches from scenario specs; this module
+stays campaign-agnostic so studies can drive it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..battery.base import BatteryModel, BatteryRun
+from ..battery.kernels import run_profile_batch
+from ..errors import SchedulingError
+from .engine import SimulationResult, Simulator
+from .profile import CurrentProfile
+
+__all__ = ["BatchItem", "BatchOutcome", "ScenarioBatch"]
+
+
+@dataclass
+class BatchItem:
+    """One scenario of a batch.
+
+    ``battery`` (optional) is tiled with the scenario's merged —
+    optionally ``rebin``-ned — current profile until the cell dies,
+    mirroring :func:`repro.analysis.lifetime.evaluate_lifetime`.
+    """
+
+    simulator: Simulator
+    horizon: float
+    battery: Optional[BatteryModel] = None
+    rebin: Optional[float] = None
+
+
+@dataclass
+class BatchOutcome:
+    """What one scenario produced.
+
+    ``profile`` is the merged (un-rebinned) current profile of the
+    trace — the object scenario metrics (peak current) are read from;
+    ``battery_run`` is present iff the item carried a battery model.
+    """
+
+    result: SimulationResult
+    profile: CurrentProfile
+    battery_run: Optional[BatteryRun]
+
+
+class ScenarioBatch:
+    """Advance many independent scenarios and evaluate them together."""
+
+    def __init__(self, items: Sequence[BatchItem]) -> None:
+        self.items: List[BatchItem] = list(items)
+        if not self.items:
+            raise SchedulingError("a scenario batch needs >= 1 item")
+
+    def run(
+        self,
+        *,
+        fast: bool = True,
+        max_time: float = 1e7,
+        battery_fast: bool = True,
+    ) -> List[BatchOutcome]:
+        """Run every scenario; outcomes come back in item order.
+
+        ``fast`` enables the engine's steady-state fast-forward (safe:
+        it degrades to the naive event loop whenever it cannot be
+        exact); ``max_time`` and ``battery_fast`` are forwarded to the
+        battery evaluation and match
+        :func:`~repro.analysis.lifetime.evaluate_lifetime` defaults.
+        """
+        results = [
+            item.simulator.run(item.horizon, fast=fast)
+            for item in self.items
+        ]
+        profiles = [res.profile() for res in results]
+        loads = []
+        load_pos: List[int] = []
+        for k, (item, prof) in enumerate(zip(self.items, profiles)):
+            if item.battery is None:
+                continue
+            p = prof.rebinned(item.rebin) if item.rebin is not None else prof
+            loads.append((item.battery, p.durations, p.currents))
+            load_pos.append(k)
+        runs = run_profile_batch(
+            loads, repeat=None, max_time=max_time, fast=battery_fast
+        )
+        by_item = dict(zip(load_pos, runs))
+        return [
+            BatchOutcome(res, prof, by_item.get(k))
+            for k, (res, prof) in enumerate(zip(results, profiles))
+        ]

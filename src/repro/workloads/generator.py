@@ -54,6 +54,17 @@ class UniformActuals:
         self.high = float(high)
         self.seed = int(seed)
 
+    @property
+    def job_invariant(self) -> bool:
+        """Whether draws are independent of ``job_index``.
+
+        Only true for the degenerate ``low == high`` provider (every
+        job gets ``low * wcet`` exactly); the genuinely stochastic
+        workload opts out of the engine's steady-state fast path,
+        which may only tile cycles whose per-job actuals repeat.
+        """
+        return self.low == self.high
+
     def __call__(
         self, graph: str, node: str, job_index: int, wc: float
     ) -> float:

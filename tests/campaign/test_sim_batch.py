@@ -1,0 +1,86 @@
+"""Campaign-level batching and fast-sim: metric identity guarantees."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    ScenarioSpec,
+    run_scenario_batch,
+    run_spec,
+)
+from repro.campaign.spec import OneShotSpec
+from repro.errors import SchedulingError
+
+SPECS = [
+    ScenarioSpec(scheme="BAS-1", n_graphs=2, seed=3),
+    ScenarioSpec(scheme="ccEDF", n_graphs=2, seed=4, battery="kibam"),
+    ScenarioSpec(scheme="EDF", n_graphs=2, seed=5),
+]
+
+
+def assert_metrics_equal(a, b, *, exact=True):
+    assert set(a.metrics) == set(b.metrics)
+    for key, val in a.metrics.items():
+        if exact:
+            assert b.metrics[key] == val, key
+        else:
+            assert b.metrics[key] == pytest.approx(val, rel=1e-9), key
+
+
+class TestRunScenarioBatch:
+    def test_naive_batch_bitwise_equals_run_spec(self):
+        got = run_scenario_batch(list(enumerate(SPECS)), fast_sim=False)
+        for (index, result), spec in zip(got, SPECS):
+            assert_metrics_equal(result, run_spec(spec))
+
+    def test_fast_batch_equals_fast_run_spec(self):
+        got = run_scenario_batch(list(enumerate(SPECS)), fast_sim=True)
+        for (index, result), spec in zip(got, SPECS):
+            assert_metrics_equal(result, run_spec(spec, fast_sim=True))
+
+    def test_fast_sim_metrics_match_naive_to_dust(self):
+        """fast_sim changes nothing the paper's tables would notice."""
+        for spec in SPECS:
+            fast = run_spec(spec, fast_sim=True)
+            naive = run_spec(spec)
+            assert_metrics_equal(fast, naive, exact=False)
+            for key in ("misses", "released_jobs", "completed_jobs"):
+                assert fast.metrics[key] == naive.metrics[key]
+
+
+class TestRunnerBatching:
+    def test_sim_batch_matches_unbatched(self):
+        batched = CampaignRunner(sim_batch=2).run(SPECS)
+        plain = CampaignRunner().run(SPECS)
+        assert len(batched.results) == len(plain.results)
+        for a, b in zip(batched.results, plain.results):
+            assert a.spec == b.spec  # spec order preserved
+            assert_metrics_equal(a, b)
+
+    def test_fast_sim_batched_matches_fast_singles(self):
+        batched = CampaignRunner(fast_sim=True, sim_batch=3).run(SPECS)
+        singles = CampaignRunner(fast_sim=True).run(SPECS)
+        for a, b in zip(batched.results, singles.results):
+            assert_metrics_equal(a, b)
+
+    def test_parallel_batched_matches_sequential(self):
+        seq = CampaignRunner(fast_sim=True, sim_batch=2).run(SPECS)
+        par = CampaignRunner(
+            n_workers=2, fast_sim=True, sim_batch=2
+        ).run(SPECS)
+        for a, b in zip(seq.results, par.results):
+            assert a.spec == b.spec
+            assert_metrics_equal(a, b)
+
+    def test_non_periodic_specs_stay_on_single_path(self):
+        specs = [
+            ScenarioSpec(scheme="ccEDF", n_graphs=2, seed=3),
+            OneShotSpec(n_tasks=4, seed=1, n_random=1),
+        ]
+        result = CampaignRunner(sim_batch=4).run(specs)
+        assert len(result.results) == 2
+        assert "pubs" in result.results[1].metrics
+
+    def test_bad_sim_batch_rejected(self):
+        with pytest.raises(SchedulingError):
+            CampaignRunner(sim_batch=0)

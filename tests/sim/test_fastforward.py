@@ -1,0 +1,284 @@
+"""Steady-state fast-forward: equivalence, fallback, clock and epsilon
+regressions.
+
+The fast path (``Simulator.run(horizon, fast=True)``) detects a
+converged dispatch cycle at hyperperiod boundaries and tiles it instead
+of re-simulating.  These tests pin its contract:
+
+* counts, labels, misses and release instants are *exactly* those of
+  the naive event loop;
+* charge/energy agree to float dust (the tiled trace stores the same
+  segment durations, only summed in a different order);
+* every ineligible configuration (stochastic actuals, phased releases,
+  randomized priorities with real choices, short horizons) falls back
+  to the naive loop rather than guessing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.methodology import SchedulingPolicy
+from repro.core.priority import LTF, STF, RandomPriority
+from repro.dvs import CcEDF, LaEDF, NoDVS
+from repro.sim.engine import Simulator
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+from repro.workloads.generator import UniformActuals, paper_task_set
+
+# A small harmonic menu keeps the hyperperiod at 40 so naive reference
+# runs over several cycles stay cheap.
+SMALL_MENU = (4.0, 5.0, 8.0, 10.0)
+
+
+def harmonic_set():
+    return TaskGraphSet(
+        [
+            PeriodicTaskGraph(
+                TaskGraph(
+                    "g1",
+                    [TaskNode("a", 2.0), TaskNode("b", 1.5)],
+                    [("a", "b")],
+                ),
+                8.0,
+            ),
+            PeriodicTaskGraph(TaskGraph("g2", [TaskNode("c", 1.0)]), 4.0),
+        ]
+    )
+
+
+def build(ts, proc, dvs, policy, actuals=None, **kw):
+    if actuals is not None:
+        kw["actuals"] = actuals
+    return Simulator(
+        ts, proc, dvs, SchedulingPolicy(policy), on_miss="record", **kw
+    )
+
+
+def assert_equivalent(fast, naive):
+    """Fast-forwarded result must be indistinguishable from naive."""
+    assert fast.released_jobs == naive.released_jobs
+    assert fast.completed_jobs == naive.completed_jobs
+    assert fast.completed_nodes == naive.completed_nodes
+    assert fast.misses == naive.misses
+    np.testing.assert_allclose(
+        fast.release_times, naive.release_times, rtol=0, atol=0
+    )
+    assert len(fast.trace) == len(naive.trace)
+    assert fast.charge == pytest.approx(naive.charge, rel=1e-9)
+    assert fast.energy == pytest.approx(naive.energy, rel=1e-9)
+    assert fast.trace.end_time == pytest.approx(
+        naive.trace.end_time, rel=1e-12
+    )
+
+
+CONFIGS = [
+    ("nodvs+ltf", lambda: (NoDVS(), LTF())),
+    ("ccedf+ltf", lambda: (CcEDF(), LTF())),
+    ("laedf+stf", lambda: (LaEDF(), STF())),
+]
+
+
+class TestFastEquivalence:
+    @pytest.mark.parametrize(
+        "config", [c[1] for c in CONFIGS], ids=[c[0] for c in CONFIGS]
+    )
+    def test_tiles_and_matches(self, proc, config):
+        ts = harmonic_set()
+        horizon = 20 * ts.hyperperiod()
+        fast = build(ts, proc, *config()).run(horizon, fast=True)
+        naive = build(ts, proc, *config()).run(horizon)
+        assert fast.fast_forwarded
+        assert fast.tiled_cycles > 0
+        assert_equivalent(fast, naive)
+
+    @pytest.mark.parametrize("utilization", [0.5, 0.7, 0.9])
+    def test_paper_task_set_equivalence(self, proc, utilization):
+        ts = paper_task_set(
+            2,
+            utilization=utilization,
+            n_tasks_range=(3, 6),
+            period_menu=SMALL_MENU,
+            seed=7,
+        )
+        horizon = 6 * ts.hyperperiod()
+        actuals = UniformActuals(low=0.5, high=0.5, seed=1)
+        fast = build(ts, proc, CcEDF(), LTF(), actuals).run(
+            horizon, fast=True
+        )
+        naive = build(ts, proc, CcEDF(), LTF(), actuals).run(horizon)
+        assert fast.fast_forwarded
+        assert_equivalent(fast, naive)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        utilization=st.floats(min_value=0.4, max_value=0.95),
+        fraction=st.floats(min_value=0.3, max_value=1.0),
+        scheme=st.sampled_from(range(len(CONFIGS))),
+    )
+    def test_property_fast_vs_naive(self, seed, utilization, fraction,
+                                    scheme):
+        """Any deterministic scenario: fast == naive in every metric the
+        paper's tables read (charge, energy, completion counts)."""
+        from repro.processor.platform import paper_processor
+
+        proc = paper_processor()
+        ts = paper_task_set(
+            2,
+            utilization=utilization,
+            n_tasks_range=(2, 5),
+            period_menu=SMALL_MENU,
+            seed=seed,
+        )
+        horizon = 5 * ts.hyperperiod()
+        actuals = UniformActuals(low=fraction, high=fraction, seed=seed)
+        cfg = CONFIGS[scheme][1]
+        fast = build(ts, proc, *cfg(), actuals).run(horizon, fast=True)
+        naive = build(ts, proc, *cfg(), actuals).run(horizon)
+        assert_equivalent(fast, naive)
+
+    def test_horizon_below_three_cycles_is_bitwise_identical(self, proc):
+        """fast=True never changes a result that cannot fast-forward."""
+        ts = harmonic_set()
+        horizon = 2.5 * ts.hyperperiod()
+        fast = build(ts, proc, CcEDF(), LTF()).run(horizon, fast=True)
+        naive = build(ts, proc, CcEDF(), LTF()).run(horizon)
+        assert fast.tiled_cycles == 0
+        assert fast.charge == naive.charge  # bitwise
+        assert fast.energy == naive.energy
+
+
+class TestFallback:
+    def test_stochastic_actuals_opt_out(self, proc):
+        """Genuinely random per-job demands must disable tiling."""
+        ts = harmonic_set()
+        actuals = UniformActuals(low=0.2, high=1.0, seed=3)
+        assert not actuals.job_invariant
+        res = build(ts, proc, CcEDF(), LTF(), actuals).run(
+            20 * ts.hyperperiod(), fast=True
+        )
+        assert res.tiled_cycles == 0
+        naive = build(
+            ts, proc, CcEDF(), LTF(),
+            UniformActuals(low=0.2, high=1.0, seed=3),
+        ).run(20 * ts.hyperperiod())
+        assert res.charge == naive.charge  # bitwise: same code path
+
+    def test_degenerate_uniform_opts_in(self):
+        assert UniformActuals(low=0.5, high=0.5, seed=0).job_invariant
+        assert not UniformActuals(low=0.4, high=0.6, seed=0).job_invariant
+
+    def test_random_priority_with_real_choices_never_converges(self, proc):
+        """RandomPriority consumes RNG state whenever the ready list has
+        >= 2 candidates, so its fingerprint never repeats -> fallback."""
+        parallel = TaskGraph(
+            "par", [TaskNode("x", 2.0), TaskNode("y", 2.0)], []
+        )
+        ts = TaskGraphSet([PeriodicTaskGraph(parallel, 10.0)])
+        res = build(ts, proc, CcEDF(), RandomPriority(0)).run(
+            10 * ts.hyperperiod(), fast=True
+        )
+        assert res.tiled_cycles == 0
+
+    def test_phased_release_opts_out(self, proc):
+        """Non-zero phases break boundary/release alignment -> fallback."""
+        g = TaskGraph("p", [TaskNode("a", 2.0)])
+        ts = TaskGraphSet([PeriodicTaskGraph(g, 10.0, phase=3.0)])
+        res = build(ts, proc, NoDVS(), LTF()).run(100.0, fast=True)
+        assert res.tiled_cycles == 0
+
+    def test_detect_limit_bounds_probing(self, proc):
+        """detect_limit=1 can never observe two full cycles -> naive."""
+        ts = harmonic_set()
+        res = build(ts, proc, NoDVS(), LTF()).run(
+            20 * ts.hyperperiod(), fast=True, detect_limit=1
+        )
+        assert res.tiled_cycles == 0
+
+
+class TestExactReleaseClock:
+    def test_release_times_match_closed_form(self, proc):
+        """Releases are phase + j*period exactly, not an accumulated sum
+        (0.1 summed ten times is 0.9999999999999999, not 1.0)."""
+        g = TaskGraph("t", [TaskNode("a", 0.02)])
+        ts = TaskGraphSet([PeriodicTaskGraph(g, 0.1)])
+        res = build(ts, proc, NoDVS(), LTF()).run(2.0)
+        expected = np.array([j * 0.1 for j in range(20)])
+        got = np.sort(np.asarray(res.release_times))
+        assert got.shape == expected.shape
+        assert np.array_equal(got, expected)  # bitwise
+
+    def test_no_drift_over_many_jobs(self, proc):
+        g = TaskGraph("t", [TaskNode("a", 0.02)])
+        ts = TaskGraphSet([PeriodicTaskGraph(g, 0.1)])
+        res = build(ts, proc, NoDVS(), LTF()).run(100.0)
+        assert res.released_jobs == 1000
+        assert res.completed_jobs == 1000
+        assert not res.misses
+
+
+class TestEpsilonScale:
+    def test_large_magnitude_periods(self, proc):
+        """At period ~1e8 an absolute 1e-9 epsilon is below one ulp of
+        the time axis; the guards must scale with the task set."""
+        period = 33333333.4  # not exactly representable
+        g = TaskGraph("big", [TaskNode("a", 0.4 * period)])
+        ts = TaskGraphSet([PeriodicTaskGraph(g, period)])
+        res = build(ts, proc, NoDVS(), LTF()).run(4 * period)
+        assert res.released_jobs == 4
+        assert res.completed_jobs == 4
+        assert not res.misses
+        assert res.trace.end_time == pytest.approx(4 * period, rel=1e-12)
+
+    def test_scale_invariance(self, proc):
+        """The same workload at 1e7x the timescale behaves identically:
+        same counts, proportionally scaled busy time."""
+        scale = 1e7
+
+        def results(s):
+            g1 = TaskGraph("g1", [TaskNode("a", 2.0 * s)])
+            g2 = TaskGraph("g2", [TaskNode("b", 1.0 * s)])
+            ts = TaskGraphSet(
+                [
+                    PeriodicTaskGraph(g1, 8.0 * s),
+                    PeriodicTaskGraph(g2, 4.0 * s),
+                ]
+            )
+            return build(ts, proc, CcEDF(), LTF()).run(5 * 8.0 * s)
+
+        small, big = results(1.0), results(scale)
+        assert big.released_jobs == small.released_jobs
+        assert big.completed_jobs == small.completed_jobs
+        assert big.misses == small.misses
+        assert big.trace.busy_time() == pytest.approx(
+            small.trace.busy_time() * scale, rel=1e-9
+        )
+
+
+class TestDeadlineMissSemantics:
+    def test_miss_time_is_the_absolute_deadline(self, proc):
+        """DeadlineMiss.time names the deadline that was missed;
+        the detection instant is kept alongside as .detected."""
+        g = TaskGraph("over", [TaskNode("a", 12.0)])
+        ts = TaskGraphSet([PeriodicTaskGraph(g, 10.0)])
+        res = build(ts, proc, NoDVS(), LTF()).run(40.0)
+        assert res.misses
+        first = res.misses[0]
+        assert first.graph == "over"
+        assert first.job_index == 0
+        assert first.time == 10.0  # job 0's absolute deadline, exactly
+        assert first.detected >= first.time
+        for m in res.misses:
+            # Deadlines are release + period; detection cannot precede.
+            assert m.time == pytest.approx((m.job_index + 1) * 10.0)
+            assert m.detected >= m.time
+
+    def test_misses_identical_under_fast_path(self, proc):
+        """An overloaded but deterministic cycle tiles its misses."""
+        g = TaskGraph("over", [TaskNode("a", 12.0)])
+        ts = TaskGraphSet([PeriodicTaskGraph(g, 10.0)])
+        fast = build(ts, proc, NoDVS(), LTF()).run(200.0, fast=True)
+        naive = build(ts, proc, NoDVS(), LTF()).run(200.0)
+        assert fast.misses == naive.misses
