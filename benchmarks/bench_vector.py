@@ -1,0 +1,217 @@
+"""Struct-of-arrays vector engine vs the batched scalar path.
+
+Times a 256-scenario EDF/ccEDF campaign (paper task sets, fixed
+worst-case-fraction actuals so the workload is job-invariant) through
+two engines that produce bit-identical results:
+
+* ``scalar`` — every scenario through ``Simulator.run(fast=True)``,
+  the per-scenario path :class:`repro.sim.batch.ScenarioBatch` uses by
+  default;
+* ``vector`` — the same scenarios through
+  :func:`repro.sim.vector.run_vectorized`, which advances all
+  array-expressible scenarios lock-step in struct-of-arrays form.
+
+Two rows are reported: the pure simulation phase (engine vs engine,
+the number the ``--min-speedup`` floor applies to) and the end-to-end
+:class:`~repro.sim.batch.ScenarioBatch` pipeline (which adds the
+common per-scenario profile reduction, diluting the ratio).  Every
+timed pair is verified equivalent first — counts and misses exactly,
+charge/energy to relative 1e-9 — and the vector row must have
+vectorized every scenario (zero fallbacks), otherwise the benchmark
+would partly time the scalar engine against itself.  Results are
+written machine-readable to ``BENCH_vector.json`` at the repo root.
+
+Also runnable standalone (the CI smoke test)::
+
+    PYTHONPATH=src python benchmarks/bench_vector.py \\
+        --scenarios 64 --min-speedup 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow standalone runs without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.campaign.runner import _build_scenario_sim
+from repro.campaign.spec import ScenarioSpec
+from repro.sim.batch import BatchItem, ScenarioBatch
+from repro.sim.vector import VectorEngine, run_vectorized
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The randomized baseline rows of Table 2 that the vector engine can
+#: express in array form (NoDVS and cycle-conserving EDF over random
+#: priorities).  The look-ahead/PUBS rows (laEDF, BAS-*) deliberately
+#: fall back per scenario — they are what ``bench_engine.py`` times.
+SCHEMES = ("EDF", "ccEDF")
+
+#: Deterministic actual demand as a fraction of WCET; a fixed fraction
+#: makes the workload job-invariant (vector-engine eligible).
+ACTUAL_FRACTION = 0.6
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _build_scenarios(n_scenarios, n_graphs, hyperperiods, seed):
+    """Alternating EDF/ccEDF scenarios as ``(Simulator, horizon)``."""
+    scens = []
+    for k in range(n_scenarios):
+        spec = ScenarioSpec(
+            scheme=SCHEMES[k % len(SCHEMES)],
+            n_graphs=n_graphs,
+            utilization=0.7,
+            actual_low=ACTUAL_FRACTION,
+            actual_high=ACTUAL_FRACTION,
+            seed=seed + k,
+            on_miss="record",
+        )
+        sim, _ = _build_scenario_sim(spec)
+        scens.append((sim, hyperperiods * sim.task_set.hyperperiod()))
+    return scens
+
+
+def _assert_equivalent(vec, scalar, context):
+    assert vec.released_jobs == scalar.released_jobs, context
+    assert vec.completed_jobs == scalar.completed_jobs, context
+    assert vec.completed_nodes == scalar.completed_nodes, context
+    assert vec.misses == scalar.misses, context
+    for name in ("charge", "energy"):
+        v, s = getattr(vec, name), getattr(scalar, name)
+        assert abs(v - s) <= 1e-9 * max(1.0, abs(s)), (
+            f"{context}: {name} diverged: vector={v!r} scalar={s!r}"
+        )
+
+
+def bench_sim(n_scenarios, n_graphs, hyperperiods, seed):
+    """Pure simulation phase: run_vectorized vs the scalar loop."""
+    scal = _build_scenarios(n_scenarios, n_graphs, hyperperiods, seed)
+    vect = _build_scenarios(n_scenarios, n_graphs, hyperperiods, seed)
+    fallbacks = [
+        r for r in VectorEngine(vect).fallback_reasons if r is not None
+    ]
+    assert not fallbacks, (
+        f"{len(fallbacks)} of {n_scenarios} scenarios fell back to the "
+        f"scalar engine (first: {fallbacks[0]!r}) — the timing would be "
+        "scalar-vs-scalar"
+    )
+    sres, t_scalar = _timed(
+        lambda: [sim.run(h, fast=True) for sim, h in scal]
+    )
+    vres, t_vector = _timed(lambda: run_vectorized(vect, fast=True))
+    for k, (v, s) in enumerate(zip(vres, sres)):
+        _assert_equivalent(v, s, f"scenario {k}")
+    return {
+        "scenarios": n_scenarios,
+        "hyperperiods": hyperperiods,
+        "scalar_s": t_scalar,
+        "vector_s": t_vector,
+        "speedup": t_scalar / t_vector if t_vector > 0 else float("inf"),
+    }
+
+
+def bench_batch(n_scenarios, n_graphs, hyperperiods, seed):
+    """End-to-end ScenarioBatch: engine='vector' vs engine='scalar'."""
+    scal = _build_scenarios(n_scenarios, n_graphs, hyperperiods, seed)
+    vect = _build_scenarios(n_scenarios, n_graphs, hyperperiods, seed)
+    sout, t_scalar = _timed(
+        ScenarioBatch(
+            [BatchItem(sim, h) for sim, h in scal], engine="scalar"
+        ).run
+    )
+    vout, t_vector = _timed(
+        ScenarioBatch(
+            [BatchItem(sim, h) for sim, h in vect], engine="vector"
+        ).run
+    )
+    for k, (v, s) in enumerate(zip(vout, sout)):
+        _assert_equivalent(v.result, s.result, f"scenario {k}")
+    return {
+        "scenarios": n_scenarios,
+        "hyperperiods": hyperperiods,
+        "scalar_s": t_scalar,
+        "vector_s": t_vector,
+        "speedup": t_scalar / t_vector if t_vector > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--scenarios", type=int, default=256,
+        help="campaign size (default: 256 — the amortization regime)",
+    )
+    ap.add_argument(
+        "--hyperperiods", type=int, default=4,
+        help="horizon in hyperperiods per scenario (default: 4)",
+    )
+    ap.add_argument("--n-graphs", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_vector.json",
+        help="machine-readable results path (repo root by default)",
+    )
+    ap.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail (exit 1) if the simulation-phase speedup is below "
+        "this floor — the CI smoke threshold",
+    )
+    args = ap.parse_args(argv)
+
+    sim_row = bench_sim(
+        args.scenarios, args.n_graphs, args.hyperperiods, args.seed
+    )
+    print(
+        f"    sim: {sim_row['scenarios']} scenarios, scalar "
+        f"{sim_row['scalar_s']:8.3f}s -> vector "
+        f"{sim_row['vector_s']:8.4f}s ({sim_row['speedup']:6.2f}x)"
+    )
+    batch_row = bench_batch(
+        args.scenarios, args.n_graphs, args.hyperperiods, args.seed
+    )
+    print(
+        f"  batch: {batch_row['scenarios']} scenarios, scalar "
+        f"{batch_row['scalar_s']:8.3f}s -> vector "
+        f"{batch_row['vector_s']:8.4f}s ({batch_row['speedup']:6.2f}x)"
+    )
+
+    payload = {
+        "bench": "vector",
+        "schemes": list(SCHEMES),
+        "actual_fraction": ACTUAL_FRACTION,
+        "n_graphs": args.n_graphs,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "simulation": sim_row,
+        "scenario_batch": batch_row,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.min_speedup is not None:
+        if sim_row["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: simulation speedup {sim_row['speedup']:.2f}x "
+                f"below floor {args.min_speedup:.2f}x"
+            )
+            return 1
+        print(
+            f"ok: simulation speedup {sim_row['speedup']:.2f}x >= "
+            f"{args.min_speedup:.2f}x floor"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,10 @@ KERNEL_VERSIONS = {
     # steady-state fast path; results of edge-case cached scenarios
     # can differ from the previous engine at float-dust level.
     "engine": 1,
+    # The struct-of-arrays multi-scenario engine (sim/vector.py).
+    # Bump when its event replication or fallback classification
+    # changes in a way that could alter any vectorized result.
+    "vector": 1,
 }
 
 

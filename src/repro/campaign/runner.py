@@ -171,7 +171,10 @@ def _run_periodic(
 
 
 def run_scenario_batch(
-    items: Sequence[Tuple[int, ScenarioSpec]], *, fast_sim: bool = True
+    items: Sequence[Tuple[int, ScenarioSpec]],
+    *,
+    fast_sim: bool = True,
+    sim_vector: bool = False,
 ) -> List[Tuple[int, ScenarioResult]]:
     """Execute several scenario specs through one :class:`ScenarioBatch`.
 
@@ -179,6 +182,11 @@ def run_scenario_batch(
     :func:`run_spec` with the same ``fast_sim`` setting — the batch
     only changes *how* the work is driven (engine fast paths plus a
     single columnar battery hand-off), never what a scenario computes.
+    ``sim_vector`` additionally routes the batch through the
+    struct-of-arrays vector engine
+    (:class:`~repro.sim.vector.VectorEngine`), which advances every
+    array-expressible scenario lock-step and falls back per scenario
+    to the scalar engine otherwise — still result-identical.
     """
     batch = ScenarioBatch(
         [
@@ -188,7 +196,8 @@ def run_scenario_batch(
                 rebin=spec.rebin,
             )
             for _, spec in items
-        ]
+        ],
+        engine="vector" if sim_vector else "scalar",
     )
     outcomes = batch.run(fast=fast_sim)
     return [
@@ -330,10 +339,15 @@ def _worker(item: Tuple) -> Tuple[int, ScenarioResult]:
 
 
 def _batch_worker(
-    payload: Tuple[Tuple[Tuple[int, ScenarioSpec], ...], bool],
+    payload: Tuple,
 ) -> List[Tuple[int, ScenarioResult]]:
-    items, fast_sim = payload
-    return run_scenario_batch(list(items), fast_sim=fast_sim)
+    # Two-tuple payloads (pre-vector generations) still work: the
+    # vector flag simply defaults off.
+    items, fast_sim = payload[0], payload[1]
+    sim_vector = bool(payload[2]) if len(payload) > 2 else False
+    return run_scenario_batch(
+        list(items), fast_sim=fast_sim, sim_vector=sim_vector
+    )
 
 
 # ----------------------------------------------------------------------
@@ -432,6 +446,15 @@ class CampaignRunner(GrowableRunnerMixin):
         each work unit advances many engines and hands their columnar
         traces to the battery kernels in one pass — metric-identical
         to unbatched execution with the same ``fast_sim`` setting.
+    sim_vector:
+        Routes each scenario batch through the struct-of-arrays
+        vector engine (:class:`~repro.sim.vector.VectorEngine`),
+        advancing all array-expressible scenarios of a batch in
+        lock-step numpy passes and falling back per scenario to the
+        scalar engine otherwise — result-identical either way.  The
+        vector engine only pays off on wide batches, so when
+        ``sim_batch`` is left at its default of 1 this flag raises it
+        to 256; pass an explicit ``sim_batch`` to control the width.
     """
 
     def __init__(
@@ -443,6 +466,7 @@ class CampaignRunner(GrowableRunnerMixin):
         start_method: Optional[str] = None,
         fast_sim: bool = False,
         sim_batch: int = 1,
+        sim_vector: bool = False,
     ) -> None:
         if n_workers < 1:
             raise SchedulingError(f"n_workers must be >= 1, got {n_workers}")
@@ -462,6 +486,9 @@ class CampaignRunner(GrowableRunnerMixin):
         self.chunksize = int(chunksize)
         self.start_method = start_method
         self.fast_sim = bool(fast_sim)
+        self.sim_vector = bool(sim_vector)
+        if sim_vector and sim_batch == 1:
+            sim_batch = 256
         self.sim_batch = int(sim_batch)
 
     # ------------------------------------------------------------------
@@ -538,6 +565,7 @@ class CampaignRunner(GrowableRunnerMixin):
                             for i in batched[k:k + self.sim_batch]
                         ),
                         self.fast_sim,
+                        self.sim_vector,
                     )
                     for k in range(0, len(batched), self.sim_batch)
                 ]

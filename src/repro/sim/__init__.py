@@ -11,6 +11,7 @@ from .engine import (
 from .profile import CurrentProfile
 from .state import Candidate, GraphStatus, JobState, SchedulerView
 from .trace import IDLE, ExecutionTrace, TraceSegment
+from .vector import VectorEngine, run_vectorized
 
 __all__ = [
     "Simulator",
@@ -19,6 +20,8 @@ __all__ = [
     "BatchItem",
     "BatchOutcome",
     "ScenarioBatch",
+    "VectorEngine",
+    "run_vectorized",
     "ActualsProvider",
     "worst_case_actuals",
     "CurrentProfile",

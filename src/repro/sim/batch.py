@@ -35,6 +35,7 @@ from ..battery.kernels import run_profile_batch
 from ..errors import SchedulingError
 from .engine import SimulationResult, Simulator
 from .profile import CurrentProfile
+from .vector import run_vectorized
 
 __all__ = ["BatchItem", "BatchOutcome", "ScenarioBatch"]
 
@@ -69,12 +70,37 @@ class BatchOutcome:
 
 
 class ScenarioBatch:
-    """Advance many independent scenarios and evaluate them together."""
+    """Advance many independent scenarios and evaluate them together.
 
-    def __init__(self, items: Sequence[BatchItem]) -> None:
+    Parameters
+    ----------
+    items:
+        The scenarios; at least one is required (the battery hand-off
+        needs a non-empty batch — for a pure simulation sweep that may
+        be empty, call :func:`repro.sim.vector.run_vectorized`).
+    engine:
+        ``"scalar"`` (default) runs each scenario through
+        :meth:`Simulator.run`; ``"vector"`` routes the batch through
+        the struct-of-arrays :class:`~repro.sim.vector.VectorEngine`,
+        which advances all array-expressible scenarios lock-step and
+        falls back per scenario to the scalar engine for anything it
+        cannot express — results are identical either way.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[BatchItem],
+        *,
+        engine: str = "scalar",
+    ) -> None:
         self.items: List[BatchItem] = list(items)
         if not self.items:
             raise SchedulingError("a scenario batch needs >= 1 item")
+        if engine not in ("scalar", "vector"):
+            raise SchedulingError(
+                f"engine must be 'scalar' or 'vector', got {engine!r}"
+            )
+        self.engine = engine
 
     def run(
         self,
@@ -91,10 +117,16 @@ class ScenarioBatch:
         battery evaluation and match
         :func:`~repro.analysis.lifetime.evaluate_lifetime` defaults.
         """
-        results = [
-            item.simulator.run(item.horizon, fast=fast)
-            for item in self.items
-        ]
+        if self.engine == "vector":
+            results = run_vectorized(
+                [(item.simulator, item.horizon) for item in self.items],
+                fast=fast,
+            )
+        else:
+            results = [
+                item.simulator.run(item.horizon, fast=fast)
+                for item in self.items
+            ]
         profiles = [res.profile() for res in results]
         loads = []
         load_pos: List[int] = []

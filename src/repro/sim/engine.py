@@ -383,13 +383,35 @@ class Simulator:
     ) -> SimulationResult:
         """Simulate ``[0, horizon)``.
 
-        With ``fast=True`` the engine looks for a steady-state dispatch
-        cycle at hyperperiod boundaries and tiles it across the
-        remaining horizon (see the module docstring); whenever the fast
-        path cannot guarantee equivalence it degrades to the plain
-        event loop, so ``fast=True`` is always safe to request.
-        ``detect_limit`` bounds how many hyperperiods are probed for
-        convergence before giving up.
+        Parameters
+        ----------
+        horizon:
+            Simulated time span; must be ``> 0``.  Releases due
+            exactly at the horizon are not released.
+        fast:
+            Look for a steady-state dispatch cycle at hyperperiod
+            boundaries and tile it across the remaining horizon (see
+            the module docstring).  The fast path is opportunistic:
+            it requires job-invariant actuals, zero phases and a
+            converging state fingerprint, and degrades to the plain
+            event loop whenever it cannot guarantee equivalence — so
+            ``fast=True`` is always safe to request.
+        detect_limit:
+            How many hyperperiods are probed for convergence before
+            the fast path gives up (``< 2`` disables it).
+
+        Returns
+        -------
+        SimulationResult
+            The columnar trace plus counts, misses, release instants
+            and derived charge/energy; ``fast_forwarded`` and
+            ``tiled_cycles`` report whether/how much the fast path
+            engaged.
+
+        For many independent scenarios, consider the lock-step
+        struct-of-arrays engine (:func:`repro.sim.vector.
+        run_vectorized` / ``ScenarioBatch(engine="vector")``), which
+        produces bit-identical results per scenario.
         """
         if not (horizon > 0):
             raise SchedulingError(f"horizon must be > 0, got {horizon}")

@@ -154,6 +154,84 @@ class ExecutionTrace:
             segment.speed, segment.voltage, segment.current,
         )
 
+    def extend_columns(
+        self,
+        starts: np.ndarray,
+        durations: np.ndarray,
+        speeds: np.ndarray,
+        voltages: np.ndarray,
+        currents: np.ndarray,
+        labels: np.ndarray,
+        names: List[Tuple[str, str]],
+    ) -> None:
+        """Bulk-append pre-built columns (the vector-engine handoff).
+
+        ``labels`` holds integer indices into ``names`` (``(graph,
+        node)`` pairs; an idle row's pair is ``(IDLE, "")``).  Label
+        interning follows first-occurrence order and zero-duration rows
+        are dropped, so the resulting columns are bit-identical to what
+        an equivalent sequence of :meth:`record` calls would have
+        stored — including the contiguity guarantee, which is validated
+        here with the same ``1e-6`` gap bound.
+        """
+        starts = np.asarray(starts, dtype=float)
+        durations = np.asarray(durations, dtype=float)
+        keep = durations > 0
+        if not keep.all():
+            starts, durations = starts[keep], durations[keep]
+            speeds = np.asarray(speeds, dtype=float)[keep]
+            voltages = np.asarray(voltages, dtype=float)[keep]
+            currents = np.asarray(currents, dtype=float)[keep]
+            labels = np.asarray(labels)[keep]
+        m = starts.size
+        if m == 0:
+            return
+        prev_ends = np.empty(m)
+        prev_ends[1:] = starts[:-1] + durations[:-1]
+        if self._n:
+            prev_ends[0] = (
+                self._start[self._n - 1] + self._duration[self._n - 1]
+            )
+            check = slice(0, m)
+        else:
+            check = slice(1, m)
+        gaps = np.abs(starts[check] - prev_ends[check])
+        if gaps.size and float(gaps.max()) > 1e-6:
+            k = int(np.argmax(gaps)) + check.start
+            raise ProfileError(
+                f"trace segments must be contiguous: previous ends at "
+                f"{prev_ends[k]:.9g}, next starts at "
+                f"{starts[k]:.9g}"
+            )
+        labels = np.asarray(labels, dtype=np.intp)
+        uniq, first, inv = np.unique(
+            labels, return_index=True, return_inverse=True
+        )
+        trace_ids = np.empty(uniq.size, dtype=np.intp)
+        # Intern in first-occurrence order so label ids match what the
+        # per-segment record() path would have assigned.
+        for pos in np.argsort(first, kind="stable"):
+            key = names[int(uniq[pos])]
+            label_id = self._name_ids.get(key)
+            if label_id is None:
+                label_id = len(self._names)
+                self._name_ids[key] = label_id
+                self._names.append(key)
+                self._idle_flags.append(key[0] == IDLE)
+            trace_ids[pos] = label_id
+        while self._start.size < self._n + m:
+            self._grow()
+        n = self._n
+        self._start[n:n + m] = starts
+        self._duration[n:n + m] = durations
+        self._speed[n:n + m] = speeds
+        self._voltage[n:n + m] = voltages
+        self._current[n:n + m] = currents
+        self._label_id[n:n + m] = trace_ids[inv]
+        self._n = n + m
+        if self._cache:
+            self._cache.clear()
+
     def extend_tiled(
         self, first: int, copies: int, period: float
     ) -> None:

@@ -1,0 +1,1191 @@
+"""Struct-of-arrays vector engine: N scenarios per numpy pass.
+
+:class:`VectorEngine` runs many *independent* scenarios lock-step: all
+per-scenario scheduler state (release clocks, job progress, DVS
+budgets, frequency tables) lives in ``(N, ...)`` numpy arrays, and one
+"round" of the engine advances every live scenario to its own next
+event with a fixed sequence of vectorized passes — releases, deadline
+checks, speed selection, the two-adjacent-level mix, candidate
+selection and dispatch.  Scenarios are independent, so no cross-
+scenario event ordering is needed; *within* a scenario every float is
+produced by the same IEEE-754 expression tree as the scalar event loop
+in :mod:`repro.sim.engine`, which makes the vector results bit-
+identical to ``Simulator.run`` (counts, labels, misses, release
+clocks; trace columns bitwise).
+
+Supported configurations (everything expressible as array ops):
+
+* DVS: ``NoDVS``, ``StaticUtilization``, ``CcEDF`` (both granularities)
+* priority: ``RandomPriority`` (exact RNG replay), ``LTF``, ``STF``
+* ready list: ``MOST_IMMINENT`` with the feasibility guard off
+* processor: plain :class:`~repro.processor.platform.Processor` with a
+  pure :class:`~repro.processor.power.PowerModel` (``mix`` or
+  ``quantize`` speed policy)
+* actuals providers declaring ``job_invariant``; all phases zero
+
+Anything else — laEDF's lookahead, PUBS, ``ALL_RELEASED`` lists,
+non-zero phases, stochastic (job-dependent) actuals — falls back
+*per scenario* to the scalar engine, exactly like the opportunistic
+``fast=True`` pattern: requesting the vector engine is always safe.
+A scenario may also be demoted mid-run (e.g. a deadline miss under
+``on_miss='raise'``); demoted scenarios are re-run scalar from scratch
+in item order, so exceptions propagate exactly as a scalar batch would
+raise them.
+
+The hyperperiod fast-forward composes: pre-convergence cycles are
+simulated vectorized, steady state is detected per scenario with the
+same fingerprint/cycle-match rules as the scalar engine, and the
+remaining horizon is tiled from the converged cycle's columnar trace.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .engine import (
+    _DETECT_LIMIT,
+    _EPS,
+    DeadlineMiss,
+    SimulationResult,
+    Simulator,
+)
+from .trace import IDLE, ExecutionTrace
+
+__all__ = ["VectorEngine", "run_vectorized", "unsupported_reason"]
+
+# DVS kind codes (per-scenario dispatch without isinstance per round).
+_DVS_NODVS = 0
+_DVS_STATIC = 1
+_DVS_CCEDF_NODE = 2
+_DVS_CCEDF_GRAPH = 3
+
+# Priority kind codes.
+_PRIO_RANDOM = 0
+_PRIO_LTF = 1
+_PRIO_STF = 2
+
+#: Matches ``bisect_left(freqs, target * (1 - 1e-12))`` in the scalar
+#: frequency table.
+_ONE_MINUS = 1.0 - 1e-12
+
+_BIG_RANK = np.iinfo(np.int64).max
+
+
+def unsupported_reason(
+    simulator: Simulator, horizon: float
+) -> Optional[str]:
+    """Why this scenario cannot be vectorized (``None`` = it can).
+
+    The checks are deliberately exact-type checks: a subclass could
+    override any hook, and the vector engine replicates the *stock*
+    semantics only.
+    """
+    return _classify(simulator, horizon)[0]
+
+
+def _classify(
+    simulator: Simulator, horizon: float
+) -> Tuple[Optional[str], Optional[List[List[float]]]]:
+    """(reason, actuals) — actuals per graph/node when vectorizable.
+
+    Validating the actuals means drawing them, and providers can be
+    expensive per call (hash-keyed RNG draws); returning the validated
+    values lets compilation reuse them instead of drawing twice.
+    """
+    # Imported lazily: core imports sim.state, so a module-level import
+    # here would complete a core<->sim cycle.
+    from ..core.methodology import SchedulingPolicy
+    from ..core.priority import LTF, STF, RandomPriority
+    from ..core.ready_list import MOST_IMMINENT
+    from ..dvs.ccedf import CcEDF
+    from ..dvs.nodvs import NoDVS
+    from ..dvs.static import StaticUtilization
+    from ..processor.dvfs import FrequencyTable
+    from ..processor.platform import Processor
+    from ..processor.power import PowerModel
+
+    if type(simulator) is not Simulator:
+        return "subclassed Simulator", None
+    try:
+        h = float(horizon)
+    except (TypeError, ValueError):
+        return "non-numeric horizon", None
+    if not (h > 0):
+        return "non-positive horizon", None
+    proc = simulator.processor
+    if type(proc) is not Processor:
+        return "subclassed Processor", None
+    if type(proc.table) is not FrequencyTable:
+        return "subclassed FrequencyTable", None
+    if type(proc.power) is not PowerModel:
+        return "custom power model", None
+    if proc.speed_policy not in ("mix", "quantize"):
+        return f"speed policy {proc.speed_policy!r}", None
+    policy = simulator.policy
+    if type(policy) is not SchedulingPolicy:
+        return "subclassed SchedulingPolicy", None
+    if policy.ready_list is not MOST_IMMINENT:
+        return f"ready list {policy.ready_list.name!r}", None
+    if policy.enforce_feasibility:
+        return "feasibility-checked candidate selection", None
+    if type(policy.priority) not in (RandomPriority, LTF, STF):
+        return f"priority function {policy.priority.name!r}", None
+    if type(simulator.dvs) not in (NoDVS, StaticUtilization, CcEDF):
+        return f"DVS algorithm {simulator.dvs.name!r}", None
+    if not getattr(simulator.actuals, "job_invariant", False):
+        return "stochastic (job-dependent) actuals", None
+    if any(g.phase != 0.0 for g in simulator.task_set):
+        return "non-zero release phases", None
+    if len(simulator.task_set) == 0:
+        return "empty task set", None
+    actuals: List[List[float]] = []
+    try:
+        for g in simulator.task_set:
+            row: List[float] = []
+            for node in g.graph:
+                ac = float(
+                    simulator.actuals(g.name, node.name, 0, node.wcet)
+                )
+                # Mirrors JobState validation; an invalid actual must
+                # raise from the scalar engine, not from array code.
+                if not (0 < ac <= node.wcet + 1e-12):
+                    return "actuals outside (0, wcet]", None
+                row.append(ac)
+            actuals.append(row)
+    except Exception:
+        return "actuals provider raised", None
+    return None, actuals
+
+
+class _Columns:
+    """Append-only global trace buffer shared by all vector scenarios.
+
+    One row per recorded segment; ``scen`` says which scenario owns the
+    row, ``key`` encodes ``graph_index * (M + 1) + node_index`` (or the
+    per-scenario idle sentinel).  Rows are appended in per-scenario
+    chronological order, so a stable argsort by ``scen`` recovers each
+    scenario's trace.
+    """
+
+    def __init__(self, cap: int = 1024) -> None:
+        self.n = 0
+        self.scen = np.empty(cap, dtype=np.intp)
+        self.key = np.empty(cap, dtype=np.intp)
+        self.start = np.empty(cap)
+        self.dur = np.empty(cap)
+        self.speed = np.empty(cap)
+        self.volt = np.empty(cap)
+        self.cur = np.empty(cap)
+
+    def append(
+        self,
+        scen: np.ndarray,
+        key: np.ndarray,
+        start: np.ndarray,
+        dur: np.ndarray,
+        speed: np.ndarray,
+        volt: np.ndarray,
+        cur: np.ndarray,
+    ) -> None:
+        # The scalar trace drops zero-length dispatches at record time;
+        # dropping here keeps per-scenario row counts aligned with the
+        # segments the scalar engine would have kept.
+        keep = dur > 0
+        if not keep.all():
+            scen, key = scen[keep], key[keep]
+            start, dur = start[keep], dur[keep]
+            speed, volt, cur = speed[keep], volt[keep], cur[keep]
+        m = scen.size
+        if m == 0:
+            return
+        need = self.n + m
+        if need > self.scen.size:
+            cap = self.scen.size
+            while cap < need:
+                cap *= 2
+            for name in (
+                "scen", "key", "start", "dur", "speed", "volt", "cur",
+            ):
+                old = getattr(self, name)
+                new = np.empty(cap, dtype=old.dtype)
+                new[: self.n] = old[: self.n]
+                setattr(self, name, new)
+        n = self.n
+        self.scen[n:need] = scen
+        self.key[n:need] = key
+        self.start[n:need] = start
+        self.dur[n:need] = dur
+        self.speed[n:need] = speed
+        self.volt[n:need] = volt
+        self.cur[n:need] = cur
+        self.n = need
+
+
+@dataclass
+class _Probe:
+    """Per-scenario steady-state detection state (fast path)."""
+
+    k: int  # boundary index the scenario is advancing toward
+    marks: Tuple[int, int, int, int, int, int, int]
+    # marks = (rows, misses, releases, released, completed_jobs,
+    #          completed_nodes, global_buffer_rows) at boundary k-1.
+    prev_fp: Optional[tuple] = None
+    prev_span: Optional[Tuple[int, int]] = None  # global buffer range
+
+
+class VectorEngine:
+    """Run N ``(Simulator, horizon)`` scenarios in lock-step SoA form.
+
+    Parameters
+    ----------
+    scenarios:
+        ``(simulator, horizon)`` pairs.  Each simulator must be fresh
+        (never run), exactly like items handed to a scalar batch.
+
+    After :meth:`run`, :attr:`fallback_reasons` holds one entry per
+    scenario: ``None`` for scenarios computed by the vector engine, or
+    a short human-readable reason for those that fell back to (or were
+    demoted to) the scalar engine.
+    """
+
+    def __init__(
+        self, scenarios: Sequence[Tuple[Simulator, float]]
+    ) -> None:
+        self.scenarios: List[Tuple[Simulator, float]] = [
+            (sim, horizon) for sim, horizon in scenarios
+        ]
+        classified = [
+            _classify(sim, horizon) for sim, horizon in self.scenarios
+        ]
+        self.fallback_reasons: List[Optional[str]] = [
+            reason for reason, _ in classified
+        ]
+        self._actuals: List[Optional[List[List[float]]]] = [
+            actuals for _, actuals in classified
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vectorized(self) -> int:
+        return sum(1 for r in self.fallback_reasons if r is None)
+
+    @property
+    def n_fallback(self) -> int:
+        return len(self.fallback_reasons) - self.n_vectorized
+
+    def run(
+        self,
+        *,
+        fast: bool = True,
+        detect_limit: int = _DETECT_LIMIT,
+    ) -> List[SimulationResult]:
+        """Simulate every scenario; returns results in item order.
+
+        ``fast``/``detect_limit`` mirror :meth:`Simulator.run`: with
+        ``fast=True`` each vectorized scenario independently probes for
+        a steady-state hyperperiod and tiles the remainder.  Fallback
+        scenarios re-run the scalar engine with the same flags, in item
+        order, so any exception (e.g. ``DeadlineMissError`` under
+        ``on_miss='raise'``) surfaces exactly as a scalar loop over the
+        items would raise it.
+        """
+        n = len(self.scenarios)
+        results: List[Optional[SimulationResult]] = [None] * n
+        reasons = list(self.fallback_reasons)
+        vec_ids = [i for i in range(n) if reasons[i] is None]
+        if vec_ids:
+            vrun = _VectorRun(
+                self.scenarios, vec_ids, self._actuals, fast, detect_limit
+            )
+            vec_results, demoted = vrun.execute()
+            for i, res in vec_results.items():
+                results[i] = res
+            for i, why in demoted.items():
+                reasons[i] = why
+        self.fallback_reasons = reasons
+        for i in range(n):
+            if results[i] is None:
+                sim, horizon = self.scenarios[i]
+                results[i] = sim.run(
+                    horizon, fast=fast, detect_limit=detect_limit
+                )
+        return results  # type: ignore[return-value]
+
+
+def run_vectorized(
+    scenarios: Sequence[Tuple[Simulator, float]],
+    *,
+    fast: bool = True,
+    detect_limit: int = _DETECT_LIMIT,
+) -> List[SimulationResult]:
+    """Convenience wrapper: ``VectorEngine(scenarios).run(...)``.
+
+    An empty scenario sequence returns an empty list (unlike
+    :class:`~repro.sim.batch.ScenarioBatch`, which needs at least one
+    item because it also orchestrates a battery pass).
+    """
+    if not scenarios:
+        return []
+    return VectorEngine(scenarios).run(
+        fast=fast, detect_limit=detect_limit
+    )
+
+
+class _VectorRun:
+    """One lock-step execution over the vectorizable scenario subset."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[Tuple[Simulator, float]],
+        vec_ids: List[int],
+        actuals: Sequence[Optional[List[List[float]]]],
+        fast: bool,
+        detect_limit: int,
+    ) -> None:
+        self.items = scenarios
+        self.vec_ids = vec_ids
+        self.actuals_cache = actuals
+        self.fast = fast
+        self.detect_limit = detect_limit
+        self.demoted: Dict[int, str] = {}  # item index -> reason
+        self._compile()
+
+    # -- compilation ---------------------------------------------------
+    def _compile(self) -> None:
+        from ..core.priority import LTF, RandomPriority
+        from ..dvs.ccedf import CcEDF
+        from ..dvs.nodvs import NoDVS
+        from ..dvs.static import StaticUtilization
+
+        V = len(self.vec_ids)
+        sims = [self.items[i][0] for i in self.vec_ids]
+        G = max(len(s.task_set) for s in sims)
+        M = max(
+            len(g.graph) for s in sims for g in s.task_set
+        )
+        L = max(len(s.processor.table) for s in sims)
+        self.V, self.G, self.M, self.L = V, G, M, L
+
+        self.present = np.zeros((V, G), dtype=bool)
+        self.period = np.ones((V, G))
+        self.total_wcet = np.zeros((V, G))
+        self.name_rank = np.full((V, G), _BIG_RANK, dtype=np.int64)
+        self.n_nodes = np.zeros((V, G), dtype=np.int64)
+        self.per_cycle = np.zeros((V, G), dtype=np.int64)
+        self.wcet = np.zeros((V, G, M))
+        self.actual = np.ones((V, G, M))
+        self.exists = np.zeros((V, G, M), dtype=bool)
+        self.node_rank = np.full((V, G, M), _BIG_RANK, dtype=np.int64)
+        self.pred = np.zeros((V, G, M, M), dtype=bool)
+        self.freqs = np.full((V, L), np.inf)
+        self.volts = np.zeros((V, L))
+        self.currents = np.zeros((V, L))
+        self.n_levels = np.ones(V, dtype=np.int64)
+        self.f_max = np.ones(V)
+        self.fmin_ratio = np.zeros(V)
+        self.quantize = np.zeros(V, dtype=bool)
+        self.idle_cur = np.zeros(V)
+        self.dvs_kind = np.zeros(V, dtype=np.int64)
+        self.static_u = np.zeros(V)
+        self.prio_kind = np.zeros(V, dtype=np.int64)
+        self.on_raise = np.zeros(V, dtype=bool)
+        self.eps = np.zeros(V)
+        self.horizon = np.zeros(V)
+        self.ff_ok = np.zeros(V, dtype=bool)
+        self.hyper = np.zeros(V)
+        self._hyper_py: List[float] = [0.0] * V
+        self._horizon_py: List[float] = [0.0] * V
+        self._eps_py: List[float] = [0.0] * V
+        self._rngs: List[Optional[np.random.Generator]] = [None] * V
+        self._graph_names: List[List[str]] = []
+        self._node_names: List[List[List[str]]] = []
+        self._per_cycle_by_name: List[Dict[str, int]] = []
+
+        for v, i in enumerate(self.vec_ids):
+            sim, horizon = self.items[i]
+            drawn = self.actuals_cache[i]
+            assert drawn is not None
+            ts, proc = sim.task_set, sim.processor
+            names = [g.name for g in ts]
+            order = {n: r for r, n in enumerate(sorted(names))}
+            self._graph_names.append(names)
+            node_lists: List[List[str]] = []
+            per_cycle_names: Dict[str, int] = {}
+            for g_idx, g in enumerate(ts):
+                self.present[v, g_idx] = True
+                self.period[v, g_idx] = g.period
+                self.total_wcet[v, g_idx] = g.graph.total_wcet
+                self.name_rank[v, g_idx] = order[g.name]
+                nnames = list(g.graph.node_names)
+                node_lists.append(nnames)
+                self.n_nodes[v, g_idx] = len(nnames)
+                nrank = {n: r for r, n in enumerate(sorted(nnames))}
+                pos = {n: m for m, n in enumerate(nnames)}
+                for m, nn in enumerate(nnames):
+                    wc = g.graph.wcet(nn)
+                    self.wcet[v, g_idx, m] = wc
+                    # JobState stores min(actual, wcet) after its
+                    # validation pass (the draw came from _classify).
+                    self.actual[v, g_idx, m] = min(drawn[g_idx][m], wc)
+                    self.exists[v, g_idx, m] = True
+                    self.node_rank[v, g_idx, m] = nrank[nn]
+                    for p in g.graph.predecessors(nn):
+                        self.pred[v, g_idx, m, pos[p]] = True
+            self._node_names.append(node_lists)
+            table = proc.table
+            nl = len(table)
+            self.n_levels[v] = nl
+            for li, point in enumerate(table.points):
+                self.freqs[v, li] = point.frequency
+                self.volts[v, li] = point.voltage
+                self.currents[v, li] = proc.power.battery_current(point)
+            self.f_max[v] = table.f_max
+            self.fmin_ratio[v] = table.f_min / table.f_max
+            self.quantize[v] = proc.speed_policy == "quantize"
+            self.idle_cur[v] = proc.idle_current()
+            dvs = sim.dvs
+            if type(dvs) is NoDVS:
+                self.dvs_kind[v] = _DVS_NODVS
+            elif type(dvs) is StaticUtilization:
+                self.dvs_kind[v] = _DVS_STATIC
+                self.static_u[v] = float(ts.utilization)
+            else:
+                assert type(dvs) is CcEDF
+                self.dvs_kind[v] = (
+                    _DVS_CCEDF_NODE
+                    if dvs.granularity == "node"
+                    else _DVS_CCEDF_GRAPH
+                )
+            prio = sim.policy.priority
+            if type(prio) is RandomPriority:
+                self.prio_kind[v] = _PRIO_RANDOM
+                gen = prio._rng
+                bit = type(gen.bit_generator)()
+                bit.state = copy.deepcopy(gen.bit_generator.state)
+                self._rngs[v] = np.random.Generator(bit)
+            elif type(prio) is LTF:
+                self.prio_kind[v] = _PRIO_LTF
+            else:
+                self.prio_kind[v] = _PRIO_STF
+            self.on_raise[v] = sim.on_miss == "raise"
+            eps = sim._time_eps()
+            self.eps[v] = eps
+            self._eps_py[v] = eps
+            h = float(horizon)
+            self.horizon[v] = h
+            self._horizon_py[v] = h
+            if self.fast and self.detect_limit >= 2:
+                eligible = sim._fast_eligible(h)
+                if eligible is not None:
+                    hyper, per_cycle = eligible
+                    self.ff_ok[v] = True
+                    self.hyper[v] = hyper
+                    self._hyper_py[v] = hyper
+                    per_cycle_names = per_cycle
+                    for g_idx, g in enumerate(ts):
+                        self.per_cycle[v, g_idx] = per_cycle[g.name]
+            self._per_cycle_by_name.append(per_cycle_names)
+
+        # Mutable lock-step state ------------------------------------
+        self.t = np.zeros(V)
+        self.until = self.horizon.copy()
+        self.active = np.ones(V, dtype=bool)
+        # next_release starts at release_time(0) = phase + 0*period = 0
+        # (phases are zero by eligibility).
+        self.next_release = np.where(self.present, 0.0, np.inf)
+        self.job_counter = np.zeros((V, G), dtype=np.int64)
+        self.in_jobs = np.zeros((V, G), dtype=bool)
+        self.job_index = np.zeros((V, G), dtype=np.int64)
+        self.job_release = np.zeros((V, G))
+        self.job_deadline = np.zeros((V, G))
+        self.executed = np.zeros((V, G, M))
+        self.done = np.zeros((V, G, M), dtype=bool)
+        # CcEDF.on_sim_start budgets everyone at worst case.
+        self.budget = self.total_wcet.copy()
+        self.acc = np.zeros((V, G))
+        self.released = np.zeros(V, dtype=np.int64)
+        self.completed_jobs = np.zeros(V, dtype=np.int64)
+        self.completed_nodes = np.zeros(V, dtype=np.int64)
+        self.tiled = np.zeros(V, dtype=np.int64)
+        self.n_rows = np.zeros(V, dtype=np.int64)
+        self.n_miss = np.zeros(V, dtype=np.int64)
+        self.n_rel = np.zeros(V, dtype=np.int64)
+
+        self.cols = _Columns()
+        self._miss_log: List[tuple] = []  # (scen, g, jidx, time, det)
+        self._rel_log: List[tuple] = []  # (scen, time)
+        self._probe: Dict[int, _Probe] = {}
+        self._tiles: Dict[int, tuple] = {}
+        # Which scenarios currently probe for a steady state; lets the
+        # per-round boundary pass skip the Python loop entirely until a
+        # probing scenario actually reaches its boundary.
+        self.probing = np.zeros(V, dtype=bool)
+        for v in range(V):
+            if self.ff_ok[v]:
+                self._start_probe(v, 1)
+
+    # -- fast-forward probes -------------------------------------------
+    def _marks(self, v: int) -> Tuple[int, int, int, int, int, int, int]:
+        return (
+            int(self.n_rows[v]),
+            int(self.n_miss[v]),
+            int(self.n_rel[v]),
+            int(self.released[v]),
+            int(self.completed_jobs[v]),
+            int(self.completed_nodes[v]),
+            self.cols.n,
+        )
+
+    def _start_probe(self, v: int, k: int) -> None:
+        """Aim scenario ``v`` at boundary ``k`` (or give up on tiling)."""
+        hyper = self._hyper_py[v]
+        boundary = k * hyper
+        if (
+            k > self.detect_limit
+            or boundary > self._horizon_py[v] - hyper + self._eps_py[v]
+        ):
+            self._probe.pop(v, None)
+            self.probing[v] = False
+            self.until[v] = self.horizon[v]
+            return
+        probe = self._probe.get(v)
+        if probe is None:
+            probe = _Probe(k=k, marks=self._marks(v))
+            self._probe[v] = probe
+        else:
+            probe.k = k
+            probe.marks = self._marks(v)
+        self.probing[v] = True
+        self.until[v] = boundary
+
+    def _fingerprint(self, v: int, boundary: float) -> tuple:
+        """Scheduler-stack state at ``boundary``, shifted to it.
+
+        Equality between consecutive boundaries here coincides with the
+        scalar engine's ``_fingerprint`` equality: both cover release
+        clocks, in-flight job progress, DVS budgets and the priority
+        RNG state (actuals are job-invariant, hence constant).
+        """
+        pres = self.present[v]
+        inj = self.in_jobs[v] & pres
+        exec_fp = np.where(inj[:, None], self.executed[v], 0.0)
+        done_fp = self.done[v] & inj[:, None]
+        parts = [
+            (self.next_release[v] - boundary)[pres].tobytes(),
+            inj[pres].tobytes(),
+            np.where(inj, self.job_index[v] - self.job_counter[v], 0)[
+                pres
+            ].tobytes(),
+            np.where(inj, self.job_release[v] - boundary, 0.0)[
+                pres
+            ].tobytes(),
+            np.where(inj, self.job_deadline[v] - boundary, 0.0)[
+                pres
+            ].tobytes(),
+            exec_fp[pres].tobytes(),
+            done_fp[pres].tobytes(),
+        ]
+        kind = int(self.dvs_kind[v])
+        if kind in (_DVS_CCEDF_NODE, _DVS_CCEDF_GRAPH):
+            parts.append(self.budget[v][pres].tobytes())
+            parts.append(self.acc[v][pres].tobytes())
+        if int(self.prio_kind[v]) == _PRIO_RANDOM:
+            parts.append(repr(self._rngs[v].bit_generator.state))
+        return tuple(parts)
+
+    def _cycle_rows(self, v: int, span: Tuple[int, int]) -> tuple:
+        g0, g1 = span
+        sel = np.flatnonzero(self.cols.scen[g0:g1] == v) + g0
+        return (
+            self.cols.key[sel],
+            self.cols.start[sel],
+            self.cols.dur[sel],
+            self.cols.speed[sel],
+            self.cols.volt[sel],
+            self.cols.cur[sel],
+        )
+
+    def _cycles_match(
+        self, v: int, prev: Tuple[int, int], cur: Tuple[int, int]
+    ) -> bool:
+        """The scalar engine's ``_cycles_match`` over buffer spans."""
+        ka, sa, da, pa, va, ia = self._cycle_rows(v, prev)
+        kb, sb, db, pb, vb, ib = self._cycle_rows(v, cur)
+        if ka.size != kb.size or ka.size == 0:
+            return False
+        if not np.array_equal(ka, kb):
+            return False
+        for a, b in ((pa, pb), (va, vb), (ia, ib)):
+            if not np.array_equal(a, b):
+                return False
+        eps = self._eps_py[v]
+        if not np.allclose(da, db, rtol=1e-9, atol=eps):
+            return False
+        return bool(
+            np.allclose(sa - sa[0], sb - sb[0], rtol=1e-9, atol=eps)
+        )
+
+    def _apply_tile(self, v: int, boundary: float, probe: _Probe) -> bool:
+        horizon = self._horizon_py[v]
+        hyper = self._hyper_py[v]
+        copies = int((horizon - boundary) / hyper)
+        while boundary + (copies + 1) * hyper <= horizon:
+            copies += 1
+        while copies > 0 and boundary + copies * hyper > horizon:
+            copies -= 1
+        if copies < 1:
+            return False
+        rows0, miss0, rel0, released0, cjobs0, cnodes0, _ = probe.marks
+        self._tiles[v] = (
+            int(self.n_rows[v]),  # tail starts after this many rows
+            rows0,  # first row of the tiled cycle
+            copies,
+            hyper,
+            miss0,
+            int(self.n_miss[v]),
+            rel0,
+            int(self.n_rel[v]),
+        )
+        self.released[v] += copies * (int(self.released[v]) - released0)
+        self.completed_jobs[v] += copies * (
+            int(self.completed_jobs[v]) - cjobs0
+        )
+        self.completed_nodes[v] += copies * (
+            int(self.completed_nodes[v]) - cnodes0
+        )
+        self.tiled[v] = copies
+        pres = self.present[v]
+        inj = self.in_jobs[v] & pres
+        self.job_index[v][inj] += copies * self.per_cycle[v][inj]
+        # release_time(j) = phase + j*period with phase == 0.
+        self.job_release[v][inj] = (
+            self.job_index[v] * self.period[v]
+        )[inj]
+        self.job_deadline[v][inj] = (
+            self.job_release[v] + self.period[v]
+        )[inj]
+        self.job_counter[v][pres] += copies * self.per_cycle[v][pres]
+        self.next_release[v][pres] = (
+            self.job_counter[v] * self.period[v]
+        )[pres]
+        self.t[v] = boundary + copies * hyper
+        self.until[v] = self.horizon[v]
+        return True
+
+    def _boundary_pass(self) -> None:
+        """Handle every probing scenario that reached its boundary."""
+        if not self.probing.any():
+            return
+        hit = self.probing & (self.t >= self.until - self.eps)
+        for v in np.flatnonzero(hit):
+            v = int(v)
+            if not self.active[v]:
+                del self._probe[v]
+                self.probing[v] = False
+                continue
+            probe = self._probe[v]
+            t = float(self.t[v])
+            boundary = probe.k * self._hyper_py[v]
+            if abs(t - boundary) > self._eps_py[v]:
+                # Stopped short of the boundary: cycle cuts are not
+                # aligned, restart detection (scalar does the same).
+                probe.prev_fp = None
+                probe.prev_span = None
+            else:
+                span = (probe.marks[6], self.cols.n)
+                fp = self._fingerprint(v, boundary)
+                if (
+                    probe.prev_fp is not None
+                    and probe.prev_span is not None
+                    and fp == probe.prev_fp
+                    and self._cycles_match(v, probe.prev_span, span)
+                ):
+                    self._probe.pop(v, None)
+                    self.probing[v] = False
+                    if not self._apply_tile(v, boundary, probe):
+                        self.until[v] = self.horizon[v]
+                    continue
+                probe.prev_fp = fp
+                probe.prev_span = span
+            self._start_probe(v, probe.k + 1)
+
+    # -- logging -------------------------------------------------------
+    def _demote(self, vs: np.ndarray, why: str) -> None:
+        for v in np.atleast_1d(vs):
+            v = int(v)
+            self.active[v] = False
+            self._probe.pop(v, None)
+            self.probing[v] = False
+            self.demoted[self.vec_ids[v]] = why
+
+    # -- the lock-step loop --------------------------------------------
+    def execute(self) -> Tuple[Dict[int, SimulationResult], Dict[int, str]]:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            while True:
+                self._boundary_pass()
+                live = self.active & (self.t < self.until - self.eps)
+                idx = np.flatnonzero(live)
+                if idx.size == 0:
+                    break
+                self._round(idx)
+        results = self._materialize()
+        return results, self.demoted
+
+    def _round(self, idx: np.ndarray) -> None:
+        """Advance every scenario in ``idx`` by exactly one event."""
+        n = idx.size
+        t = self.t[idx]
+        eps = self.eps[idx]
+        alive: Optional[np.ndarray] = None  # all-True until a demotion
+
+        # --- 1. due releases (graph by graph, like the scalar loop) ---
+        t_plus = t + eps
+        # Absent graphs keep next_release == inf, so one (n, G) compare
+        # finds every graph with any due release this round.
+        due_now = self.next_release[idx] <= t_plus[:, None]
+        due_graphs = np.flatnonzero(due_now.any(axis=0))
+        for g in due_graphs:
+            pres = self.present[idx, g]
+            while True:
+                due = pres & (self.next_release[idx, g] <= t_plus)
+                if alive is not None:
+                    due &= alive
+                if not due.any():
+                    break
+                have = due & self.in_jobs[idx, g]
+                if have.any():
+                    raising = have & self.on_raise[idx]
+                    if raising.any():
+                        self._demote(
+                            idx[raising],
+                            "deadline miss with on_miss='raise'",
+                        )
+                        if alive is None:
+                            alive = ~raising
+                        else:
+                            alive &= ~raising
+                        have &= ~raising
+                        due &= ~raising
+                    if have.any():
+                        gi = idx[have]
+                        self._miss_log.append(
+                            (
+                                gi.copy(),
+                                np.full(gi.size, g, dtype=np.int64),
+                                self.job_index[gi, g].copy(),
+                                self.job_deadline[gi, g].copy(),
+                                t[have].copy(),
+                            )
+                        )
+                        self.n_miss[gi] += 1
+                        self.in_jobs[gi, g] = False  # abandon late job
+                if not due.any():
+                    continue
+                gi = idx[due]
+                j = self.job_counter[gi, g]
+                self.job_counter[gi, g] = j + 1
+                relv = self.next_release[gi, g]
+                self.job_index[gi, g] = j
+                self.job_release[gi, g] = relv
+                self.job_deadline[gi, g] = relv + self.period[gi, g]
+                self.executed[gi, g, :] = 0.0
+                self.done[gi, g, :] = False
+                self.in_jobs[gi, g] = True
+                self._rel_log.append((gi.copy(), relv.copy()))
+                self.n_rel[gi] += 1
+                self.released[gi] += 1
+                self.next_release[gi, g] = (j + 1) * self.period[gi, g]
+                # dvs.on_release: CcEDF restores the full worst case.
+                cc = due & (self.dvs_kind[idx] >= _DVS_CCEDF_NODE)
+                if cc.any():
+                    gcc = idx[cc]
+                    self.budget[gcc, g] = self.total_wcet[gcc, g]
+                    self.acc[gcc, g] = 0.0
+        if alive is not None:
+            idx = idx[alive]
+            if idx.size == 0:
+                return
+            n = idx.size
+            t = self.t[idx]
+            eps = self.eps[idx]
+            t_plus = t + eps
+
+        pres = self.present[idx]  # (n, G)
+        until = self.until[idx]
+        # next_release is inf for absent graphs, so no masking needed.
+        t_next = np.minimum(self.next_release[idx].min(axis=1), until)
+
+        # --- 2. pending work, speed selection, the two-level mix ------
+        in_jobs = self.in_jobs[idx]
+        # done is only ever set on existing nodes, so the raw count is
+        # the completed-node count.
+        done_cnt = self.done[idx].sum(axis=2)
+        complete = done_cnt == self.n_nodes[idx]
+        schedulable = in_jobs & ~complete
+        pending = schedulable.any(axis=1)
+
+        kind = self.dvs_kind[idx]
+        s_raw = np.zeros(n)
+        s_raw[(kind == _DVS_NODVS) & pending] = 1.0
+        st_mask = (kind == _DVS_STATIC) & pending
+        if st_mask.any():
+            s_raw[st_mask] = self.static_u[idx][st_mask]
+        cc_mask = (kind >= _DVS_CCEDF_NODE) & pending
+        if cc_mask.any():
+            # Sequential left-to-right accumulation in task-set order —
+            # the same float sum the scalar ccEDF computes.
+            u = np.zeros(n)
+            budget = self.budget[idx]
+            period = self.period[idx]
+            for g in range(self.G):
+                u = u + np.where(pres[:, g], budget[:, g] / period[:, g], 0.0)
+            s_raw[cc_mask] = u[cc_mask]
+
+        dispatch = pending & (s_raw > 0)
+        fmax = self.f_max[idx]
+        s = np.minimum(1.0, np.maximum(s_raw, self.fmin_ratio[idx]))
+        target = s * fmax
+        lt = (self.freqs[idx] < (target * _ONE_MINUS)[:, None]).sum(axis=1)
+        pos = np.minimum(lt, self.n_levels[idx] - 1)
+        hi_f = self.freqs[idx, pos]
+        single = (
+            (pos == 0)
+            | (np.abs(hi_f - target) <= 1e-9 * fmax)
+            | self.quantize[idx]
+        )
+        lo_pos = np.maximum(pos - 1, 0)
+        lo_f = self.freqs[idx, lo_pos]
+        x = (target - lo_f) / (hi_f - lo_f)
+        x = np.minimum(1.0, np.maximum(0.0, x))
+        x = np.where(single, 1.0, x)
+        frac1 = np.where(single, 0.0, 1.0 - x)
+        speed0 = hi_f / fmax
+        speed1 = lo_f / fmax
+        s_eff = np.where(single, speed0, speed0 * x + speed1 * frac1)
+        volt0 = self.volts[idx, pos]
+        cur0 = self.currents[idx, pos]
+        volt1 = self.volts[idx, lo_pos]
+        cur1 = self.currents[idx, lo_pos]
+
+        # --- 3. candidate selection (most-imminent job, then node) ----
+        dl = np.where(schedulable, self.job_deadline[idx], np.inf)
+        dmin = dl.min(axis=1)
+        grank = np.where(
+            dl == dmin[:, None], self.name_rank[idx], _BIG_RANK
+        )
+        gsel = grank.argmin(axis=1)
+
+        ex = self.exists[idx, gsel]  # (n, M)
+        dn = self.done[idx, gsel]
+        blocked = (self.pred[idx, gsel] & ~dn[:, None, :]).any(axis=2)
+        ready = ex & ~dn & ~blocked
+        has_ready = ready.any(axis=1)
+        weird = dispatch & ~has_ready
+        if weird.any():  # cannot occur for a well-formed DAG job
+            self._demote(idx[weird], "no ready candidate with pending work")
+            dispatch &= ~weird
+        dispatch &= has_ready
+
+        wrem = np.maximum(
+            0.0, self.wcet[idx, gsel] - self.executed[idx, gsel]
+        )
+        prio = self.prio_kind[idx]
+        prim = np.where(
+            ready,
+            np.where((prio == _PRIO_LTF)[:, None], -wrem, wrem),
+            np.inf,
+        )
+        pmin = prim.min(axis=1)
+        nrank = np.where(
+            prim == pmin[:, None], self.node_rank[idx, gsel], _BIG_RANK
+        )
+        msel = nrank.argmin(axis=1)
+        rand_rows = np.flatnonzero(dispatch & (prio == _PRIO_RANDOM))
+        if rand_rows.size:
+            # One nonzero pass for all random rows: row-major order
+            # yields each row's candidates as a contiguous ascending
+            # run, exactly the order candidates_of() builds.
+            rr, cand_cols = np.nonzero(ready[rand_rows])
+            counts = np.bincount(rr, minlength=rand_rows.size)
+            offs = np.zeros(rand_rows.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=offs[1:])
+            rngs = self._rngs
+            rows_py = idx[rand_rows].tolist()
+            counts_py = counts.tolist()
+            offs_py = offs.tolist()
+            cand_py = cand_cols.tolist()
+            sel_py = []
+            for i, gv in enumerate(rows_py):
+                # Identical draw consumption to shuffling the Candidate
+                # list: numpy's sequence shuffle depends only on len().
+                perm = list(range(counts_py[i]))
+                rngs[gv].shuffle(perm)
+                sel_py.append(cand_py[offs_py[i] + perm[0]])
+            msel[rand_rows] = sel_py
+
+        # --- 4. dispatch ----------------------------------------------
+        window = t_next - t
+        rem = np.maximum(
+            0.0,
+            self.actual[idx, gsel, msel] - self.executed[idx, gsel, msel],
+        )
+        t_complete = rem / s_eff
+        finished = dispatch & (t_complete <= window + _EPS)
+        span = np.minimum(t_complete, window)
+        dur0 = span * x  # x == 1.0 on single-level rows (span*1.0==span)
+        dur1 = span * frac1
+        p0 = dispatch & (x > 0)
+        p1 = dispatch & ~single & (frac1 > 0)
+        last0 = p0 & ~p1
+        c0 = np.where(finished & last0, rem, speed0 * dur0)
+        exec_acc = np.where(p0, c0, 0.0)
+        c1 = np.where(finished & p1, rem - exec_acc, speed1 * dur1)
+
+        idle = ~dispatch
+        idle_rows = np.flatnonzero(idle)
+        if idle_rows.size:
+            gi = idx[idle_rows]
+            idle_key = (
+                np.full(gi.size, self.G * (self.M + 1), dtype=np.intp)
+            )
+            zeros = np.zeros(gi.size)
+            self.cols.append(
+                gi, idle_key, t[idle_rows], window[idle_rows],
+                zeros, zeros, self.idle_cur[gi],
+            )
+            self.n_rows[gi] += 1
+
+        key = gsel * (self.M + 1) + msel
+        if p0.any():
+            gi = idx[p0]
+            self.cols.append(
+                gi, key[p0], t[p0], dur0[p0],
+                speed0[p0], volt0[p0], cur0[p0],
+            )
+            self.n_rows[gi] += 1
+        if p1.any():
+            gi = idx[p1]
+            start1 = t + dur0
+            self.cols.append(
+                gi, key[p1], start1[p1], dur1[p1],
+                speed1[p1], volt1[p1], cur1[p1],
+            )
+            self.n_rows[gi] += 1
+
+        # advance the selected node, chunk by chunk (clamp per chunk,
+        # exactly like JobState.advance_node)
+        if p0.any():
+            gi = idx[p0]
+            gs, ms = gsel[p0], msel[p0]
+            e = self.executed[gi, gs, ms] + c0[p0]
+            a = self.actual[gi, gs, ms]
+            clamped = e >= a - 1e-9
+            self.executed[gi, gs, ms] = np.where(clamped, a, e)
+            self.done[gi, gs, ms] |= clamped
+            # A second chunk landing on a node the first chunk already
+            # clamped complete raises in the scalar engine.
+            clamped_full = np.zeros(n, dtype=bool)
+            clamped_full[p0] = clamped
+            bad = p1 & clamped_full
+            if bad.any():
+                self._demote(
+                    idx[bad], "mid-dispatch node completion (scalar raises)"
+                )
+                p1 &= ~bad
+                finished &= ~bad
+                dispatch &= ~bad
+        if p1.any():
+            gi = idx[p1]
+            gs, ms = gsel[p1], msel[p1]
+            e = self.executed[gi, gs, ms] + c1[p1]
+            a = self.actual[gi, gs, ms]
+            clamped = e >= a - 1e-9
+            self.executed[gi, gs, ms] = np.where(clamped, a, e)
+            self.done[gi, gs, ms] |= clamped
+
+        # --- 5. completion bookkeeping --------------------------------
+        if finished.any():
+            fi = idx[finished]
+            self.completed_nodes[fi] += 1
+            ac = self.actual[idx, gsel, msel]
+            wc = self.wcet[idx, gsel, msel]
+            ccn = finished & (kind == _DVS_CCEDF_NODE)
+            if ccn.any():
+                gi = idx[ccn]
+                gs = gsel[ccn]
+                self.budget[gi, gs] = self.budget[gi, gs] + (
+                    ac[ccn] - wc[ccn]
+                )
+            # is the whole job complete now?
+            jc = finished & (
+                self.done[idx, gsel].sum(axis=1)
+                == self.n_nodes[idx, gsel]
+            )
+            ccg = finished & (kind == _DVS_CCEDF_GRAPH)
+            if ccg.any():
+                gi = idx[ccg]
+                gs = gsel[ccg]
+                self.acc[gi, gs] = self.acc[gi, gs] + ac[ccg]
+                both = ccg & jc
+                if both.any():
+                    gi = idx[both]
+                    gs = gsel[both]
+                    self.budget[gi, gs] = self.acc[gi, gs]
+            if jc.any():
+                gi = idx[jc]
+                self.completed_jobs[gi] += 1
+                self.in_jobs[gi, gsel[jc]] = False
+
+        # --- 6. clock update ------------------------------------------
+        # Finished rows advance chunk by chunk (t (+dur0) (+dur1), the
+        # scalar per-chunk clock); everything else jumps to t_next.
+        # dur0 is +0.0 on chunkless rows, so the trailing adds are
+        # bitwise no-ops there; demoted rows get t_next but are dead.
+        t0c = t + dur0
+        self.t[idx] = np.where(
+            finished, np.where(p1, t0c + dur1, t0c), t_next
+        )
+
+    # -- materialization -----------------------------------------------
+    def _materialize(self) -> Dict[int, SimulationResult]:
+        cols = self.cols
+        order = np.argsort(cols.scen[: cols.n], kind="stable")
+        counts = np.bincount(
+            cols.scen[: cols.n], minlength=self.V
+        )
+        offsets = np.zeros(self.V + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+
+        miss_by_scen = self._distribute(self._miss_log, 5)
+        rel_by_scen = self._distribute(self._rel_log, 2)
+
+        results: Dict[int, SimulationResult] = {}
+        for v in range(self.V):
+            if not self.active[v]:
+                continue  # demoted: scalar re-run owns this item
+            sel = order[offsets[v]:offsets[v + 1]]
+            trace = ExecutionTrace()
+            tile = self._tiles.get(v)
+            starts = cols.start[sel]
+            durs = cols.dur[sel]
+            speeds = cols.speed[sel]
+            volts = cols.volt[sel]
+            curs = cols.cur[sel]
+            keys = cols.key[sel]
+            names = self._key_names(v)
+            if tile is None:
+                trace.extend_columns(
+                    starts, durs, speeds, volts, curs, keys, names
+                )
+            else:
+                split, first, copies, hyper = tile[:4]
+                trace.extend_columns(
+                    starts[:split], durs[:split], speeds[:split],
+                    volts[:split], curs[:split], keys[:split], names,
+                )
+                trace.extend_tiled(first, copies, hyper)
+                trace.extend_columns(
+                    starts[split:], durs[split:], speeds[split:],
+                    volts[split:], curs[split:], keys[split:], names,
+                )
+            misses = self._misses_for(v, miss_by_scen[v], tile)
+            releases = self._releases_for(v, rel_by_scen[v], tile)
+            sim, horizon = self.items[self.vec_ids[v]]
+            results[self.vec_ids[v]] = SimulationResult(
+                trace=trace,
+                horizon=float(horizon),
+                misses=misses,
+                released_jobs=int(self.released[v]),
+                completed_jobs=int(self.completed_jobs[v]),
+                completed_nodes=int(self.completed_nodes[v]),
+                task_set=sim.task_set,
+                processor=sim.processor,
+                release_times=releases,
+                tiled_cycles=int(self.tiled[v]),
+            )
+        return results
+
+    def _distribute(self, log: List[tuple], width: int) -> List[tuple]:
+        """Split chronological (scen, field...) chunks per scenario."""
+        if not log:
+            empty = tuple(np.empty(0) for _ in range(width - 1))
+            return [empty] * self.V
+        cat = [
+            np.concatenate([chunk[f] for chunk in log])
+            for f in range(width)
+        ]
+        scen = cat[0].astype(np.intp, copy=False)
+        order = np.argsort(scen, kind="stable")
+        counts = np.bincount(scen, minlength=self.V)
+        offsets = np.zeros(self.V + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        out = []
+        for v in range(self.V):
+            sel = order[offsets[v]:offsets[v + 1]]
+            out.append(tuple(col[sel] for col in cat[1:]))
+        return out
+
+    def _key_names(self, v: int) -> List[Tuple[str, str]]:
+        names: List[Tuple[str, str]] = []
+        gnames = self._graph_names[v]
+        nnames = self._node_names[v]
+        for g in range(self.G):
+            for m in range(self.M + 1):
+                if (
+                    g < len(gnames)
+                    and m < len(nnames[g])
+                ):
+                    names.append((gnames[g], nnames[g][m]))
+                else:
+                    names.append(("", ""))
+        names.append((IDLE, ""))  # key G*(M+1): the idle sentinel
+        return names
+
+    def _misses_for(
+        self, v: int, cols: tuple, tile: Optional[tuple]
+    ) -> Tuple[DeadlineMiss, ...]:
+        g_arr, j_arr, t_arr, d_arr = cols
+        gnames = self._graph_names[v]
+        base = [
+            DeadlineMiss(
+                gnames[int(g)], int(j), float(tt), float(dd)
+            )
+            for g, j, tt, dd in zip(g_arr, j_arr, t_arr, d_arr)
+        ]
+        if tile is None:
+            return tuple(base)
+        _, _, copies, hyper, miss0, miss1, _, _ = tile
+        per_cycle = self._per_cycle_by_name[v]
+        cycle = base[miss0:miss1]
+        expanded: List[DeadlineMiss] = []
+        for m in range(1, copies + 1):
+            shift = m * hyper
+            expanded.extend(
+                DeadlineMiss(
+                    x.graph,
+                    x.job_index + m * per_cycle[x.graph],
+                    x.time + shift,
+                    x.detected + shift,
+                )
+                for x in cycle
+            )
+        return tuple(base[:miss1] + expanded + base[miss1:])
+
+    def _releases_for(
+        self, v: int, cols: tuple, tile: Optional[tuple]
+    ) -> Tuple[float, ...]:
+        (times,) = cols
+        base = [float(r) for r in times]
+        if tile is None:
+            return tuple(base)
+        _, _, copies, hyper, _, _, rel0, rel1 = tile
+        cycle = base[rel0:rel1]
+        expanded: List[float] = []
+        for m in range(1, copies + 1):
+            shift = m * hyper
+            expanded.extend(r + shift for r in cycle)
+        return tuple(base[:rel1] + expanded + base[rel1:])

@@ -1,0 +1,435 @@
+"""Vector engine: scalar equivalence, fallback contract, wiring.
+
+The struct-of-arrays engine (:mod:`repro.sim.vector`) advances many
+independent scenarios lock-step and must be *bit-identical* per
+scenario to ``Simulator.run`` — same trace columns, same labels, same
+misses, same release instants.  These tests pin that contract:
+
+* every array-expressible configuration (NoDVS/static/ccEDF over
+  random/LTF/STF priorities with the most-imminent ready list)
+  produces byte-for-byte the scalar result, under both ``fast``
+  settings and with steady-state tiling engaged;
+* everything else (laEDF/PUBS lookahead, stochastic actuals, phases,
+  subclasses, the all-released ready list) falls back per scenario to
+  the scalar engine — opportunistically, inside a mixed batch;
+* the batch/campaign wiring (``ScenarioBatch(engine="vector")``,
+  ``run_scenario_batch(sim_vector=True)``) changes how work is driven,
+  never what it produces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.methodology import SchedulingPolicy
+from repro.core.priority import LTF, STF, RandomPriority
+from repro.core.ready_list import ALL_RELEASED
+from repro.dvs import CcEDF, LaEDF, NoDVS
+from repro.dvs.static import StaticUtilization
+from repro.errors import DeadlineMissError, SchedulingError
+from repro.sim import BatchItem, ScenarioBatch, VectorEngine, run_vectorized
+from repro.sim.engine import Simulator
+from repro.sim.trace import ExecutionTrace
+from repro.sim.vector import unsupported_reason
+from repro.taskgraph.graph import TaskGraph, TaskNode
+from repro.taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
+from repro.workloads.generator import UniformActuals, paper_task_set
+
+SMALL_MENU = (4.0, 5.0, 8.0, 10.0)  # hyperperiod 40
+
+
+def harmonic_set():
+    return TaskGraphSet(
+        [
+            PeriodicTaskGraph(
+                TaskGraph(
+                    "g1",
+                    [TaskNode("a", 2.0), TaskNode("b", 1.5)],
+                    [("a", "b")],
+                ),
+                8.0,
+            ),
+            PeriodicTaskGraph(TaskGraph("g2", [TaskNode("c", 1.0)]), 4.0),
+        ]
+    )
+
+
+def overload_set():
+    """One graph that can never meet its deadline (wcet > period)."""
+    return TaskGraphSet(
+        [PeriodicTaskGraph(TaskGraph("over", [TaskNode("a", 12.0)]), 10.0)]
+    )
+
+
+def build(proc, ts, dvs, priority, actuals=None, on_miss="record"):
+    kw = {}
+    if actuals is not None:
+        kw["actuals"] = actuals
+    return Simulator(
+        ts, proc, dvs, SchedulingPolicy(priority), on_miss=on_miss, **kw
+    )
+
+
+def assert_bitwise(vec, scalar):
+    """The vector result must be indistinguishable from the scalar one:
+    exact counts/labels/misses and byte-for-byte trace columns."""
+    assert vec.released_jobs == scalar.released_jobs
+    assert vec.completed_jobs == scalar.completed_jobs
+    assert vec.completed_nodes == scalar.completed_nodes
+    assert [
+        (m.graph, m.job_index, m.time, m.detected) for m in vec.misses
+    ] == [
+        (m.graph, m.job_index, m.time, m.detected) for m in scalar.misses
+    ]
+    np.testing.assert_array_equal(
+        np.asarray(vec.release_times), np.asarray(scalar.release_times)
+    )
+    tv, ts_ = vec.trace, scalar.trace
+    assert len(tv) == len(ts_)
+    for col in ("starts", "durations", "speeds", "voltages", "currents"):
+        np.testing.assert_array_equal(
+            getattr(tv, col), getattr(ts_, col), err_msg=col
+        )
+    assert [tv._label_str(i) for i in tv.label_ids] == [
+        ts_._label_str(i) for i in ts_.label_ids
+    ]
+    assert vec.charge == pytest.approx(scalar.charge, rel=1e-12)
+    assert vec.energy == pytest.approx(scalar.energy, rel=1e-12)
+
+
+#: Every (dvs, priority) pair the engine claims to express in array
+#: form; ids name them in -k selections.
+VECTOR_CONFIGS = [
+    ("nodvs+random", lambda: (NoDVS(), RandomPriority(0))),
+    ("ccedf+random", lambda: (CcEDF(), RandomPriority(0))),
+    ("ccedf-graph+random",
+     lambda: (CcEDF(granularity="graph"), RandomPriority(0))),
+    ("nodvs+ltf", lambda: (NoDVS(), LTF())),
+    ("ccedf+ltf", lambda: (CcEDF(), LTF())),
+    ("static+stf", lambda: (StaticUtilization(), STF())),
+]
+
+
+class TestVectorEquivalence:
+    @pytest.mark.parametrize(
+        "config",
+        [c[1] for c in VECTOR_CONFIGS],
+        ids=[c[0] for c in VECTOR_CONFIGS],
+    )
+    @pytest.mark.parametrize("fast", [False, True])
+    def test_harmonic_set_bitwise(self, proc, config, fast):
+        ts = harmonic_set()
+        horizon = 4 * ts.hyperperiod()
+        dvs, prio = config()
+        sim = build(proc, ts, dvs, prio)
+        assert unsupported_reason(sim, horizon) is None
+        vec = run_vectorized([(sim, horizon)], fast=fast)[0]
+        dvs2, prio2 = config()
+        scalar = build(proc, ts, dvs2, prio2).run(horizon, fast=fast)
+        assert_bitwise(vec, scalar)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        utilization=st.floats(min_value=0.4, max_value=0.95),
+        fraction=st.floats(min_value=0.3, max_value=1.0),
+        config=st.sampled_from(range(len(VECTOR_CONFIGS))),
+    )
+    def test_property_vector_vs_scalar(self, seed, utilization, fraction,
+                                       config):
+        """Any vectorizable paper scenario: vector == scalar in every
+        column the paper's tables read."""
+        from repro.processor.platform import paper_processor
+
+        proc = paper_processor()
+        ts = paper_task_set(
+            2,
+            utilization=utilization,
+            n_tasks_range=(2, 5),
+            period_menu=SMALL_MENU,
+            seed=seed,
+        )
+        horizon = 3 * ts.hyperperiod()
+        cfg = VECTOR_CONFIGS[config][1]
+
+        def sim():
+            dvs, prio = cfg()
+            return build(
+                proc, ts, dvs, prio,
+                UniformActuals(low=fraction, high=fraction, seed=seed),
+            )
+
+        assert unsupported_reason(sim(), horizon) is None
+        vec = run_vectorized([(sim(), horizon)], fast=True)[0]
+        assert_bitwise(vec, sim().run(horizon, fast=True))
+
+    def test_many_scenarios_lock_step(self, proc):
+        """A heterogeneous batch (different task sets, DVS kinds and
+        horizons) matches per-scenario scalar runs element-wise."""
+        def scenarios():
+            out = []
+            for seed in range(4):
+                ts = paper_task_set(
+                    1 + seed % 2,
+                    utilization=0.5 + 0.1 * seed,
+                    n_tasks_range=(2, 4),
+                    period_menu=SMALL_MENU,
+                    seed=seed,
+                )
+                dvs, prio = VECTOR_CONFIGS[seed % len(VECTOR_CONFIGS)][1]()
+                actuals = UniformActuals(low=0.6, high=0.6, seed=seed)
+                out.append(
+                    (build(proc, ts, dvs, prio, actuals),
+                     (2 + seed) * ts.hyperperiod())
+                )
+            return out
+
+        vres = run_vectorized(scenarios(), fast=True)
+        for vec, (sim, h) in zip(vres, scenarios()):
+            assert_bitwise(vec, sim.run(h, fast=True))
+
+    def test_tiling_engages_and_matches(self, proc):
+        """At long horizons the vector engine tiles the converged cycle
+        exactly like the scalar fast path (same tiled_cycles, bitwise
+        trace)."""
+        ts = harmonic_set()
+        horizon = 20 * ts.hyperperiod()
+        sim = build(proc, ts, CcEDF(), LTF())
+        vec = run_vectorized([(sim, horizon)], fast=True)[0]
+        scalar = build(proc, ts, CcEDF(), LTF()).run(horizon, fast=True)
+        assert scalar.tiled_cycles > 0
+        assert vec.tiled_cycles == scalar.tiled_cycles
+        assert vec.fast_forwarded
+        assert_bitwise(vec, scalar)
+
+    def test_miss_recording_parity(self, proc):
+        """Overload: the vector engine records the same misses (graph,
+        job, deadline instant, detection instant) as the scalar loop."""
+        sim = build(proc, overload_set(), NoDVS(), LTF())
+        vec = run_vectorized([(sim, 40.0)], fast=False)[0]
+        scalar = build(proc, overload_set(), NoDVS(), LTF()).run(40.0)
+        assert len(vec.misses) == 3
+        assert_bitwise(vec, scalar)
+
+    def test_miss_raise_parity(self, proc):
+        """on_miss='raise' surfaces the identical DeadlineMissError."""
+        with pytest.raises(DeadlineMissError) as scalar_err:
+            build(proc, overload_set(), NoDVS(), LTF(),
+                  on_miss="raise").run(40.0)
+        with pytest.raises(DeadlineMissError) as vector_err:
+            run_vectorized(
+                [(build(proc, overload_set(), NoDVS(), LTF(),
+                        on_miss="raise"), 40.0)]
+            )
+        assert str(vector_err.value) == str(scalar_err.value)
+
+    def test_raise_propagates_through_mixed_batch(self, proc):
+        """A raising scenario aborts the batch even when healthy
+        scenarios surround it, exactly like a sequential loop would."""
+        scens = [
+            (build(proc, harmonic_set(), NoDVS(), LTF()), 40.0),
+            (build(proc, overload_set(), NoDVS(), LTF(),
+                   on_miss="raise"), 40.0),
+        ]
+        with pytest.raises(DeadlineMissError):
+            run_vectorized(scens)
+
+
+class TestFallback:
+    def test_laedf_falls_back(self, proc):
+        sim = build(proc, harmonic_set(), LaEDF(), LTF())
+        reason = unsupported_reason(sim, 40.0)
+        assert reason is not None and "DVS algorithm" in reason
+
+    def test_stochastic_actuals_fall_back(self, proc):
+        sim = build(
+            proc, harmonic_set(), NoDVS(), LTF(),
+            UniformActuals(low=0.2, high=1.0, seed=3),
+        )
+        assert unsupported_reason(sim, 40.0) == (
+            "stochastic (job-dependent) actuals"
+        )
+
+    def test_phased_release_falls_back(self, proc):
+        ts = TaskGraphSet(
+            [PeriodicTaskGraph(
+                TaskGraph("p", [TaskNode("a", 2.0)]), 10.0, phase=3.0
+            )]
+        )
+        sim = build(proc, ts, NoDVS(), LTF())
+        assert unsupported_reason(sim, 100.0) == "non-zero release phases"
+
+    def test_subclassed_simulator_falls_back(self, proc):
+        class Instrumented(Simulator):
+            pass
+
+        sim = Instrumented(
+            harmonic_set(), proc, NoDVS(), SchedulingPolicy(LTF()),
+            on_miss="record",
+        )
+        assert unsupported_reason(sim, 40.0) == "subclassed Simulator"
+
+    def test_all_released_ready_list_falls_back(self, proc):
+        sim = Simulator(
+            harmonic_set(), proc, NoDVS(),
+            SchedulingPolicy(LTF(), ready_list=ALL_RELEASED),
+            on_miss="record",
+        )
+        reason = unsupported_reason(sim, 40.0)
+        assert reason is not None and "ready list" in reason
+
+    def test_fallback_scenarios_still_run_and_match(self, proc):
+        """Fallback is opportunistic: ineligible scenarios go through
+        the scalar engine inside the same call, bit-identically."""
+        def scens():
+            return [
+                (build(proc, harmonic_set(), NoDVS(), LTF()), 80.0),
+                (build(proc, harmonic_set(), LaEDF(), LTF()), 80.0),
+                (build(
+                    proc, harmonic_set(), CcEDF(), LTF(),
+                    UniformActuals(low=0.2, high=1.0, seed=3),
+                ), 80.0),
+                (build(proc, harmonic_set(), CcEDF(), STF()), 80.0),
+            ]
+
+        eng = VectorEngine(scens())
+        assert [r is None for r in eng.fallback_reasons] == [
+            True, False, False, True
+        ]
+        vres = eng.run(fast=True)
+        for vec, (sim, h) in zip(vres, scens()):
+            assert_bitwise(vec, sim.run(h, fast=True))
+
+
+class TestShapeAndWiring:
+    def test_empty_vector_run_is_empty(self):
+        """run_vectorized([]) is a no-op sweep; the battery-carrying
+        ScenarioBatch keeps rejecting empty batches."""
+        assert run_vectorized([]) == []
+        with pytest.raises(SchedulingError):
+            ScenarioBatch([])
+
+    def test_unknown_engine_rejected(self, proc):
+        item = BatchItem(
+            build(proc, harmonic_set(), NoDVS(), LTF()), 40.0
+        )
+        with pytest.raises(SchedulingError):
+            ScenarioBatch([item], engine="turbo")
+
+    def test_batch_engines_agree(self, proc):
+        """ScenarioBatch(engine='vector') == engine='scalar' end to
+        end, including the battery hand-off."""
+        from repro.battery.kibam import KiBaM
+
+        def items():
+            return [
+                BatchItem(
+                    build(proc, harmonic_set(), CcEDF(), LTF()),
+                    160.0,
+                    battery=KiBaM(capacity=100.0, c=0.5, kp=0.01),
+                ),
+                BatchItem(
+                    build(proc, harmonic_set(), NoDVS(), STF()), 160.0
+                ),
+            ]
+
+        scalar = ScenarioBatch(items(), engine="scalar").run()
+        vector = ScenarioBatch(items(), engine="vector").run()
+        for s, v in zip(scalar, vector):
+            assert_bitwise(v.result, s.result)
+            np.testing.assert_array_equal(
+                v.profile.durations, s.profile.durations
+            )
+            np.testing.assert_array_equal(
+                v.profile.currents, s.profile.currents
+            )
+            if s.battery_run is None:
+                assert v.battery_run is None
+            else:
+                assert v.battery_run.lifetime == s.battery_run.lifetime
+
+    def test_vector_trace_supports_further_tiling(self, proc):
+        """A trace handed off from the vector engine is a first-class
+        ExecutionTrace: its columns can seed a new trace and be tiled
+        onward (the fast-forward primitive) without corruption."""
+        ts = harmonic_set()
+        hyper = ts.hyperperiod()
+        sim = build(proc, ts, CcEDF(), LTF())
+        vec = run_vectorized([(sim, 20 * hyper)], fast=True)[0]
+        assert vec.tiled_cycles > 0
+        src = vec.trace
+        clone = ExecutionTrace()
+        clone.extend_columns(
+            src.starts, src.durations, src.speeds, src.voltages,
+            src.currents, src.label_ids, list(src._names),
+        )
+        n = len(clone)
+        clone.extend_tiled(0, 1, src.end_time)
+        assert len(clone) == 2 * n
+        np.testing.assert_array_equal(
+            clone.starts[n:], src.starts + src.end_time
+        )
+        np.testing.assert_array_equal(clone.durations[n:], src.durations)
+        assert clone.charge() == pytest.approx(2 * src.charge(), rel=1e-12)
+
+
+class TestCampaignWiring:
+    def _specs(self):
+        from repro.campaign import ScenarioSpec
+
+        return [
+            ScenarioSpec(
+                scheme=scheme,
+                n_graphs=1,
+                utilization=0.7,
+                actual_low=0.6,
+                actual_high=0.6,
+                seed=seed,
+                on_miss="record",
+            )
+            for scheme in ("EDF", "ccEDF")
+            for seed in (0, 1)
+        ]
+
+    def test_run_scenario_batch_vector_identical(self):
+        from repro.campaign.runner import run_scenario_batch
+
+        items = list(enumerate(self._specs()))
+        scalar = run_scenario_batch(items, fast_sim=True)
+        vector = run_scenario_batch(items, fast_sim=True, sim_vector=True)
+        assert [i for i, _ in scalar] == [i for i, _ in vector]
+        for (_, s), (_, v) in zip(scalar, vector):
+            assert set(s.metrics) == set(v.metrics)
+            for key, val in s.metrics.items():
+                assert v.metrics[key] == val, key  # bitwise
+
+    def test_batch_worker_accepts_legacy_payload(self):
+        from repro.campaign.runner import _batch_worker
+
+        items = list(enumerate(self._specs()[:2]))
+        legacy = _batch_worker((tuple(items), True))
+        current = _batch_worker((tuple(items), True, False))
+        for (_, a), (_, b) in zip(legacy, current):
+            assert a.metrics == b.metrics
+
+    def test_runner_vector_defaults_to_large_sim_batch(self):
+        from repro.campaign.runner import CampaignRunner
+
+        auto = CampaignRunner(sim_vector=True)
+        assert auto.sim_vector and auto.sim_batch == 256
+        pinned = CampaignRunner(sim_vector=True, sim_batch=8)
+        assert pinned.sim_batch == 8
+        off = CampaignRunner()
+        assert not off.sim_vector and off.sim_batch == 1
+
+    def test_runner_end_to_end_identity(self):
+        from repro.campaign.runner import CampaignRunner
+
+        specs = self._specs()
+        scalar = CampaignRunner(fast_sim=True).run(specs)
+        vector = CampaignRunner(
+            fast_sim=True, sim_vector=True, sim_batch=4
+        ).run(specs)
+        for s, v in zip(scalar.results, vector.results):
+            assert s.metrics == v.metrics
