@@ -73,11 +73,17 @@ KERNEL_VERSIONS = {
     # epsilon and deadline-miss semantics landed together with the
     # steady-state fast path; results of edge-case cached scenarios
     # can differ from the previous engine at float-dust level.
-    "engine": 1,
+    # v2: wcet-relative actuals validation tolerance and zero-speed
+    # laEDF hypothetical semantics (affects large-WCET and idle-
+    # lookahead edge cases only).
+    "engine": 2,
     # The struct-of-arrays multi-scenario engine (sim/vector.py).
     # Bump when its event replication or fallback classification
     # changes in a way that could alter any vectorized result.
-    "vector": 1,
+    # v2: laEDF / pUBS / ALL_RELEASED / job-keyed actuals became
+    # vector-eligible, so scenarios that previously took the scalar
+    # fallback now run through the array kernels.
+    "vector": 2,
 }
 
 

@@ -451,7 +451,10 @@ class CampaignRunner(GrowableRunnerMixin):
         vector engine (:class:`~repro.sim.vector.VectorEngine`),
         advancing all array-expressible scenarios of a batch in
         lock-step numpy passes and falling back per scenario to the
-        scalar engine otherwise — result-identical either way.  The
+        scalar engine otherwise — result-identical either way.  Every
+        Table 2 scheme (EDF through BAS-2, stochastic actuals
+        included) is array-expressible, so paper campaigns vectorize
+        with zero fallbacks.  The
         vector engine only pays off on wide batches, so when
         ``sim_batch`` is left at its default of 1 this flag raises it
         to 256; pass an explicit ``sim_batch`` to control the width.

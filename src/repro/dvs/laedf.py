@@ -74,9 +74,17 @@ class LaEDF(FrequencySetter):
         self, view: SchedulerView, cand: Candidate, estimate: float
     ) -> float:
         """Re-run the lookahead as if ``cand`` finished with ``estimate``
-        actual cycles, the elapsed time being ``estimate / s_now``."""
-        s_now = max(self.select_speed(view), _EPS)
-        dt = estimate / s_now
+        actual cycles, the elapsed time being ``estimate / s_now``.
+
+        When the current lookahead is (numerically) zero the processor
+        would idle, so no elapsed time is attributable to running the
+        candidate: the hypothetical is evaluated at the current instant
+        instead of dividing by an epsilon-clamped speed, which used to
+        push the evaluation point ~1e12 time units into the future and
+        poison the deferred-work rates.
+        """
+        s_now = self.select_speed(view)
+        dt = estimate / s_now if s_now > _EPS else 0.0
         infos = []
         for d, c_left, u, name in self._collect(view):
             if name == cand.graph_name:

@@ -82,9 +82,12 @@ class ScenarioBatch:
         ``"scalar"`` (default) runs each scenario through
         :meth:`Simulator.run`; ``"vector"`` routes the batch through
         the struct-of-arrays :class:`~repro.sim.vector.VectorEngine`,
-        which advances all array-expressible scenarios lock-step and
-        falls back per scenario to the scalar engine for anything it
-        cannot express — results are identical either way.
+        which advances all array-expressible scenarios lock-step —
+        the full Table 2 grid, stochastic hash-keyed actuals
+        included — and falls back per scenario to the scalar engine
+        for anything it cannot express (phases, call-order-dependent
+        providers, subclassed components) — results are identical
+        either way.
     """
 
     def __init__(

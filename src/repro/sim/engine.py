@@ -81,6 +81,15 @@ Providers may additionally expose a ``job_invariant`` attribute
 (truthy when the returned cycles do not depend on ``job_index``); the
 steady-state fast path is only eligible when the provider declares it,
 since tiling a detected cycle replays its per-job actuals verbatim.
+
+A second opt-in, ``job_keyed``, declares that each draw is a pure
+function of the ``(graph, node, job_index, wcet)`` key — independent
+of call order or interleaving.  The vector engine uses it to pre-draw
+whole per-job actuals tables at compile time for genuinely stochastic
+workloads (:class:`repro.workloads.generator.UniformActuals` qualifies:
+its draws are hash-keyed).  ``job_invariant`` implies the same
+property trivially; providers with hidden call-order state must
+declare neither.
 """
 
 

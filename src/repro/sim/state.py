@@ -19,7 +19,16 @@ from ..taskgraph.periodic import PeriodicTaskGraph, TaskGraphSet
 
 __all__ = ["JobState", "GraphStatus", "SchedulerView", "Candidate"]
 
-_EPS = 1e-12
+
+def _actual_tol(wc: float) -> float:
+    """Validation slack for comparing actual cycles against a WCET.
+
+    Relative to the node's own scale: an absolute 1e-12 slack is below
+    one ulp once WCETs reach ~1e12 cycles, rejecting valid worst-case
+    draws (``ac == wc`` after rounding).  The floor keeps sub-unit
+    WCETs on the old absolute tolerance.
+    """
+    return 1e-12 * max(1.0, abs(wc))
 
 
 class JobState:
@@ -51,7 +60,7 @@ class JobState:
                     f"job of {ptg.name!r}: no actual cycles for node {name!r}"
                 ) from None
             wc = graph.wcet(name)
-            if not (0 < ac <= wc + _EPS):
+            if not (0 < ac <= wc + _actual_tol(wc)):
                 raise SchedulingError(
                     f"job of {ptg.name!r}: actual cycles {ac!r} of node "
                     f"{name!r} must be in (0, wcet={wc!r}]"

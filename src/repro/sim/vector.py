@@ -15,18 +15,29 @@ clocks; trace columns bitwise).
 
 Supported configurations (everything expressible as array ops):
 
-* DVS: ``NoDVS``, ``StaticUtilization``, ``CcEDF`` (both granularities)
-* priority: ``RandomPriority`` (exact RNG replay), ``LTF``, ``STF``
-* ready list: ``MOST_IMMINENT`` with the feasibility guard off
+* DVS: ``NoDVS``, ``StaticUtilization``, ``CcEDF``, ``LaEDF`` (the
+  lookahead runs as a batched reverse-EDF reduction; both
+  granularities each)
+* priority: ``RandomPriority`` (exact RNG replay), ``LTF``, ``STF``,
+  ``PUBS`` with any registry estimator (worst-case, scaled, history,
+  oracle)
+* ready list: ``MOST_IMMINENT`` or ``ALL_RELEASED``, with or without
+  the Algorithm 2 feasibility guard (a vectorized prefix-scan over the
+  EDF-ordered active jobs)
 * processor: plain :class:`~repro.processor.platform.Processor` with a
   pure :class:`~repro.processor.power.PowerModel` (``mix`` or
   ``quantize`` speed policy)
-* actuals providers declaring ``job_invariant``; all phases zero
+* actuals providers declaring ``job_invariant`` (constant per node) or
+  ``job_keyed`` (each draw a pure hash-keyed function of
+  ``(graph, node, job_index)``, e.g.
+  :class:`~repro.workloads.generator.UniformActuals` — per-job tables
+  are pre-drawn at compile time); all phases zero
 
-Anything else — laEDF's lookahead, PUBS, ``ALL_RELEASED`` lists,
-non-zero phases, stochastic (job-dependent) actuals — falls back
-*per scenario* to the scalar engine, exactly like the opportunistic
-``fast=True`` pattern: requesting the vector engine is always safe.
+Anything else — subclassed components, custom power models or
+estimators, non-zero phases, actuals providers with call-order state —
+falls back *per scenario* to the scalar engine, exactly like the
+opportunistic ``fast=True`` pattern: requesting the vector engine is
+always safe.
 A scenario may also be demoted mid-run (e.g. a deadline miss under
 ``on_miss='raise'``); demoted scenarios are re-run scalar from scratch
 in item order, so exceptions propagate exactly as a scalar batch would
@@ -62,17 +73,89 @@ _DVS_NODVS = 0
 _DVS_STATIC = 1
 _DVS_CCEDF_NODE = 2
 _DVS_CCEDF_GRAPH = 3
+_DVS_LAEDF_NODE = 4
+_DVS_LAEDF_GRAPH = 5
 
 # Priority kind codes.
 _PRIO_RANDOM = 0
 _PRIO_LTF = 1
 _PRIO_STF = 2
+_PRIO_PUBS = 3
+
+# Estimator kind codes (PUBS rows only).
+_EST_WORST = 0
+_EST_SCALED = 1
+_EST_HISTORY = 2
+_EST_ORACLE = 3
 
 #: Matches ``bisect_left(freqs, target * (1 - 1e-12))`` in the scalar
 #: frequency table.
 _ONE_MINUS = 1.0 - 1e-12
 
+#: ``repro.dvs.laedf._EPS`` == ``repro.core.priority._EPS``.
+_LA_EPS = 1e-12
+#: ``repro.core.estimator._EPS``.
+_EST_EPS = 1e-9
+#: ``repro.core.feasibility._ATOL``.
+_FEAS_ATOL = 1e-9
+
+#: Ceiling on pre-drawn per-job actuals (total draws per scenario) —
+#: beyond this the compile-time table would dwarf the simulation state.
+_MAX_PREDRAW = 4_000_000
+
 _BIG_RANK = np.iinfo(np.int64).max
+
+
+def _la_lookahead(d, c, util, present, t):
+    """Bitwise replica of :meth:`LaEDF._lookahead` over leading axes.
+
+    ``d``/``c``/``util``/``present`` are broadcast-compatible arrays
+    with the graph axis last; ``t`` matches the leading shape.  Every
+    float op replays the scalar loop's expression order: the reverse-
+    EDF traversal is a stable argsort on ``-d`` (absent graphs sort
+    last and are masked out of every update), and the ``u``/``s``
+    accumulators advance position by position exactly like the Python
+    ``for`` loop, so results are bit-identical per scenario.
+    """
+    d, c, util, present = np.broadcast_arrays(d, c, util, present)
+    lead = d.shape[:-1]
+    t = np.broadcast_to(t, lead)
+    G = d.shape[-1]
+    # Masked-out lanes still flow through the arithmetic (inf - inf,
+    # x / 0); their results are discarded, so silence the FP warnings.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pend = present & (c > _LA_EPS)
+        has = pend.any(axis=-1)
+        d_n = np.where(pend, d, np.inf).min(axis=-1)
+        horizon = d_n - t
+        full = horizon <= _LA_EPS
+        u = np.zeros(lead)
+        for g in range(G):
+            u = u + np.where(present[..., g], util[..., g], 0.0)
+        order = np.argsort(
+            np.where(present, -d, np.inf), axis=-1, kind="stable"
+        )
+        # One gather up front, then cheap views per position — the
+        # per-position take_along_axis calls dominated this kernel.
+        pres_s = np.take_along_axis(present, order, -1)
+        d_s = np.take_along_axis(d, order, -1)
+        c_s = np.take_along_axis(c, order, -1)
+        u_s = np.take_along_axis(util, order, -1)
+        s = np.zeros(lead)
+        for p in range(G):
+            act = pres_s[..., p]
+            d_i = d_s[..., p]
+            c_i = c_s[..., p]
+            u_i = u_s[..., p]
+            u = np.where(act, u - u_i, u)
+            span = d_i - d_n
+            small = span <= _LA_EPS
+            x = np.where(
+                small, c_i, np.maximum(0.0, c_i - (1.0 - u) * span)
+            )
+            u = np.where(act & ~small, u + (c_i - x) / span, u)
+            s = np.where(act, s + x, s)
+        return np.where(has, np.where(full, 1.0, s / horizon), 0.0)
 
 
 def unsupported_reason(
@@ -89,24 +172,38 @@ def unsupported_reason(
 
 def _classify(
     simulator: Simulator, horizon: float
-) -> Tuple[Optional[str], Optional[List[List[float]]]]:
-    """(reason, actuals) — actuals per graph/node when vectorizable.
+) -> Tuple[Optional[str], Optional[List[np.ndarray]]]:
+    """(reason, actuals) — one ``(nodes, jobs)`` array per graph when
+    vectorizable.
 
     Validating the actuals means drawing them, and providers can be
     expensive per call (hash-keyed RNG draws); returning the validated
-    values lets compilation reuse them instead of drawing twice.
+    values lets compilation reuse them instead of drawing twice.  For
+    ``job_invariant`` providers the job axis has length 1; for
+    ``job_keyed`` providers every job the horizon can release is
+    pre-drawn — legal because such draws are a pure function of the
+    ``(graph, node, job_index)`` key, never of interleaving order.
     """
     # Imported lazily: core imports sim.state, so a module-level import
     # here would complete a core<->sim cycle.
+    from ..core.estimator import (
+        HistoryEstimator,
+        OracleEstimator,
+        ScaledEstimator,
+        WorstCaseEstimator,
+    )
     from ..core.methodology import SchedulingPolicy
-    from ..core.priority import LTF, STF, RandomPriority
-    from ..core.ready_list import MOST_IMMINENT
+    from ..core.priority import LTF, PUBS, STF, RandomPriority
+    from ..core.ready_list import ALL_RELEASED, MOST_IMMINENT
     from ..dvs.ccedf import CcEDF
+    from ..dvs.laedf import LaEDF
     from ..dvs.nodvs import NoDVS
     from ..dvs.static import StaticUtilization
     from ..processor.dvfs import FrequencyTable
     from ..processor.platform import Processor
     from ..processor.power import PowerModel
+    from ..workloads.generator import UniformActuals
+    from .state import _actual_tol
 
     if type(simulator) is not Simulator:
         return "subclassed Simulator", None
@@ -128,34 +225,75 @@ def _classify(
     policy = simulator.policy
     if type(policy) is not SchedulingPolicy:
         return "subclassed SchedulingPolicy", None
-    if policy.ready_list is not MOST_IMMINENT:
+    if policy.ready_list not in (MOST_IMMINENT, ALL_RELEASED):
         return f"ready list {policy.ready_list.name!r}", None
-    if policy.enforce_feasibility:
-        return "feasibility-checked candidate selection", None
-    if type(policy.priority) not in (RandomPriority, LTF, STF):
-        return f"priority function {policy.priority.name!r}", None
-    if type(simulator.dvs) not in (NoDVS, StaticUtilization, CcEDF):
+    prio = policy.priority
+    if type(prio) not in (RandomPriority, LTF, STF, PUBS):
+        return f"priority function {prio.name!r}", None
+    if type(prio) is PUBS:
+        est = prio.estimator
+        if type(est) not in (
+            WorstCaseEstimator,
+            ScaledEstimator,
+            HistoryEstimator,
+            OracleEstimator,
+        ):
+            return f"pUBS estimator {est.name!r}", None
+        if type(est) is HistoryEstimator and est._hist:
+            return "pre-seeded history estimator", None
+    if type(simulator.dvs) not in (
+        NoDVS, StaticUtilization, CcEDF, LaEDF,
+    ):
         return f"DVS algorithm {simulator.dvs.name!r}", None
-    if not getattr(simulator.actuals, "job_invariant", False):
-        return "stochastic (job-dependent) actuals", None
+    invariant = bool(getattr(simulator.actuals, "job_invariant", False))
+    keyed = bool(getattr(simulator.actuals, "job_keyed", False))
+    if not (invariant or keyed):
+        return "actuals neither job-invariant nor job-keyed", None
     if any(g.phase != 0.0 for g in simulator.task_set):
         return "non-zero release phases", None
     if len(simulator.task_set) == 0:
         return "empty task set", None
-    actuals: List[List[float]] = []
+    eps = simulator._time_eps()
+    # The stock provider exposes a batched draw path whose values are
+    # pinned bit-identical to its per-call path; pre-drawing through it
+    # keeps compile time off the profile for large stochastic tables.
+    batched = type(simulator.actuals) is UniformActuals
+    actuals: List[np.ndarray] = []
+    total_draws = 0
     try:
         for g in simulator.task_set:
-            row: List[float] = []
-            for node in g.graph:
-                ac = float(
-                    simulator.actuals(g.name, node.name, 0, node.wcet)
-                )
-                # Mirrors JobState validation; an invalid actual must
-                # raise from the scalar engine, not from array code.
-                if not (0 < ac <= node.wcet + 1e-12):
-                    return "actuals outside (0, wcet]", None
-                row.append(ac)
-            actuals.append(row)
+            if invariant:
+                jg = 1
+            else:
+                # Releases happen strictly before the horizon (with eps
+                # slack), so job indices stay below (h + eps) / period.
+                jg = int(np.floor((h + eps) / g.period)) + 1
+            total_draws += len(g.graph) * jg
+            if total_draws > _MAX_PREDRAW:
+                return "per-job actuals table too large", None
+            rows = np.empty((len(g.graph), jg))
+            for m, node in enumerate(g.graph):
+                wc = node.wcet
+                tol = _actual_tol(wc)
+                if batched:
+                    vals = simulator.actuals.draw_jobs(
+                        g.name, node.name, jg, wc
+                    )
+                    # Mirrors JobState validation; an invalid actual
+                    # must raise from the scalar engine, not from
+                    # array code.
+                    if not ((vals > 0).all() and (vals <= wc + tol).all()):
+                        return "actuals outside (0, wcet]", None
+                    rows[m] = vals
+                    continue
+                for j in range(jg):
+                    ac = float(
+                        simulator.actuals(g.name, node.name, j, wc)
+                    )
+                    if not (0 < ac <= wc + tol):
+                        return "actuals outside (0, wcet]", None
+                    rows[m, j] = ac
+            actuals.append(rows)
     except Exception:
         return "actuals provider raised", None
     return None, actuals
@@ -264,7 +402,7 @@ class VectorEngine:
         self.fallback_reasons: List[Optional[str]] = [
             reason for reason, _ in classified
         ]
-        self._actuals: List[Optional[List[List[float]]]] = [
+        self._actuals: List[Optional[List[np.ndarray]]] = [
             actuals for _, actuals in classified
         ]
 
@@ -342,7 +480,7 @@ class _VectorRun:
         self,
         scenarios: Sequence[Tuple[Simulator, float]],
         vec_ids: List[int],
-        actuals: Sequence[Optional[List[List[float]]]],
+        actuals: Sequence[Optional[List[np.ndarray]]],
         fast: bool,
         detect_limit: int,
     ) -> None:
@@ -356,8 +494,15 @@ class _VectorRun:
 
     # -- compilation ---------------------------------------------------
     def _compile(self) -> None:
-        from ..core.priority import LTF, RandomPriority
+        from ..core.estimator import (
+            HistoryEstimator,
+            ScaledEstimator,
+            WorstCaseEstimator,
+        )
+        from ..core.priority import LTF, PUBS, RandomPriority, STF
+        from ..core.ready_list import ALL_RELEASED
         from ..dvs.ccedf import CcEDF
+        from ..dvs.laedf import LaEDF
         from ..dvs.nodvs import NoDVS
         from ..dvs.static import StaticUtilization
 
@@ -373,6 +518,7 @@ class _VectorRun:
         self.present = np.zeros((V, G), dtype=bool)
         self.period = np.ones((V, G))
         self.total_wcet = np.zeros((V, G))
+        self.util = np.zeros((V, G))
         self.name_rank = np.full((V, G), _BIG_RANK, dtype=np.int64)
         self.n_nodes = np.zeros((V, G), dtype=np.int64)
         self.per_cycle = np.zeros((V, G), dtype=np.int64)
@@ -392,6 +538,15 @@ class _VectorRun:
         self.dvs_kind = np.zeros(V, dtype=np.int64)
         self.static_u = np.zeros(V)
         self.prio_kind = np.zeros(V, dtype=np.int64)
+        self.rl_all = np.zeros(V, dtype=bool)
+        self.feas_on = np.zeros(V, dtype=bool)
+        self.est_kind = np.zeros(V, dtype=np.int64)
+        self.est_factor = np.zeros(V)
+        self.est_window = np.ones(V, dtype=np.int64)
+        self.stoch = np.zeros(V, dtype=bool)
+        self._jobact: List[Dict[int, np.ndarray]] = [
+            {} for _ in range(V)
+        ]
         self.on_raise = np.zeros(V, dtype=bool)
         self.eps = np.zeros(V)
         self.horizon = np.zeros(V)
@@ -419,6 +574,9 @@ class _VectorRun:
                 self.present[v, g_idx] = True
                 self.period[v, g_idx] = g.period
                 self.total_wcet[v, g_idx] = g.graph.total_wcet
+                # The scalar laEDF reads the precomputed utilization
+                # property per round; the value is a plain float.
+                self.util[v, g_idx] = float(g.utilization)
                 self.name_rank[v, g_idx] = order[g.name]
                 nnames = list(g.graph.node_names)
                 node_lists.append(nnames)
@@ -430,11 +588,22 @@ class _VectorRun:
                     self.wcet[v, g_idx, m] = wc
                     # JobState stores min(actual, wcet) after its
                     # validation pass (the draw came from _classify).
-                    self.actual[v, g_idx, m] = min(drawn[g_idx][m], wc)
+                    self.actual[v, g_idx, m] = min(
+                        float(drawn[g_idx][m, 0]), wc
+                    )
                     self.exists[v, g_idx, m] = True
                     self.node_rank[v, g_idx, m] = nrank[nn]
                     for p in g.graph.predecessors(nn):
                         self.pred[v, g_idx, m, pos[p]] = True
+                if drawn[g_idx].shape[1] > 1:
+                    # Job-dependent actuals: the per-job table, min'd
+                    # against each node's WCET exactly as JobState
+                    # stores draws at release time.
+                    wc_col = self.wcet[v, g_idx, : len(nnames)]
+                    self._jobact[v][g_idx] = np.minimum(
+                        drawn[g_idx], wc_col[:, None]
+                    )
+                    self.stoch[v] = True
             self._node_names.append(node_lists)
             table = proc.table
             nl = len(table)
@@ -453,12 +622,18 @@ class _VectorRun:
             elif type(dvs) is StaticUtilization:
                 self.dvs_kind[v] = _DVS_STATIC
                 self.static_u[v] = float(ts.utilization)
-            else:
-                assert type(dvs) is CcEDF
+            elif type(dvs) is CcEDF:
                 self.dvs_kind[v] = (
                     _DVS_CCEDF_NODE
                     if dvs.granularity == "node"
                     else _DVS_CCEDF_GRAPH
+                )
+            else:
+                assert type(dvs) is LaEDF
+                self.dvs_kind[v] = (
+                    _DVS_LAEDF_NODE
+                    if dvs.granularity == "node"
+                    else _DVS_LAEDF_GRAPH
                 )
             prio = sim.policy.priority
             if type(prio) is RandomPriority:
@@ -469,8 +644,25 @@ class _VectorRun:
                 self._rngs[v] = np.random.Generator(bit)
             elif type(prio) is LTF:
                 self.prio_kind[v] = _PRIO_LTF
-            else:
+            elif type(prio) is STF:
                 self.prio_kind[v] = _PRIO_STF
+            else:
+                assert type(prio) is PUBS
+                self.prio_kind[v] = _PRIO_PUBS
+                est = prio.estimator
+                if type(est) is WorstCaseEstimator:
+                    self.est_kind[v] = _EST_WORST
+                elif type(est) is ScaledEstimator:
+                    self.est_kind[v] = _EST_SCALED
+                    self.est_factor[v] = est.factor
+                elif type(est) is HistoryEstimator:
+                    self.est_kind[v] = _EST_HISTORY
+                    self.est_factor[v] = est.default_factor
+                    self.est_window[v] = est.window
+                else:
+                    self.est_kind[v] = _EST_ORACLE
+            self.rl_all[v] = sim.policy.ready_list is ALL_RELEASED
+            self.feas_on[v] = bool(sim.policy.enforce_feasibility)
             self.on_raise[v] = sim.on_miss == "raise"
             eps = sim._time_eps()
             self.eps[v] = eps
@@ -489,6 +681,35 @@ class _VectorRun:
                     for g_idx, g in enumerate(ts):
                         self.per_cycle[v, g_idx] = per_cycle[g.name]
             self._per_cycle_by_name.append(per_cycle_names)
+
+        # Derived per-scenario masks ---------------------------------
+        self.is_cc = (self.dvs_kind == _DVS_CCEDF_NODE) | (
+            self.dvs_kind == _DVS_CCEDF_GRAPH
+        )
+        self.is_la = (self.dvs_kind == _DVS_LAEDF_NODE) | (
+            self.dvs_kind == _DVS_LAEDF_GRAPH
+        )
+        # "Wide" rows need the generalized candidate machinery (EDF job
+        # ordering, feasibility prefix-scan, pUBS scoring); everything
+        # else keeps the cheap most-imminent path.
+        self.wide = self.rl_all | (self.prio_kind == _PRIO_PUBS)
+        self._any_wide = bool(self.wide.any())
+        self._any_la = bool(self.is_la.any())
+        self._any_stoch = bool(self.stoch.any())
+        self.hist_rows = (self.prio_kind == _PRIO_PUBS) & (
+            self.est_kind == _EST_HISTORY
+        )
+        self._any_hist = bool(self.hist_rows.any())
+        w_max = (
+            int(self.est_window[self.hist_rows].max())
+            if self._any_hist
+            else 1
+        )
+        # Per-(scenario, node) completion history for PUBS + history
+        # estimator rows: entries [0:len) oldest-first, exactly the
+        # deque's summation order.
+        self.hist = np.zeros((V, G, M, w_max))
+        self.hist_len = np.zeros((V, G, M), dtype=np.int64)
 
         # Mutable lock-step state ------------------------------------
         self.t = np.zeros(V)
@@ -595,6 +816,19 @@ class _VectorRun:
             parts.append(self.acc[v][pres].tobytes())
         if int(self.prio_kind[v]) == _PRIO_RANDOM:
             parts.append(repr(self._rngs[v].bit_generator.state))
+        if self.hist_rows[v]:
+            # Estimator history joins the fingerprint for PUBS+history
+            # rows, mirroring _freeze(self.policy) in the scalar
+            # engine: equal (len, entries) per node coincides with
+            # equal frozen deques.
+            ex = self.exists[v]
+            ln = self.hist_len[v]
+            w = self.hist.shape[3]
+            mask = np.arange(w)[None, None, :] < ln[:, :, None]
+            parts.append(ln[ex].tobytes())
+            parts.append(
+                np.where(mask, self.hist[v], 0.0)[ex].tobytes()
+            )
         return tuple(parts)
 
     def _cycle_rows(self, v: int, span: Tuple[int, int]) -> tuple:
@@ -799,8 +1033,22 @@ class _VectorRun:
                 self.n_rel[gi] += 1
                 self.released[gi] += 1
                 self.next_release[gi, g] = (j + 1) * self.period[gi, g]
+                if self._any_stoch:
+                    # Job-dependent actuals: gather this job's column
+                    # from the pre-drawn table (JobState would draw
+                    # the identical values at this release).
+                    sd = self.stoch[gi]
+                    if sd.any():
+                        for vv, jv in zip(
+                            gi[sd].tolist(), j[sd].tolist()
+                        ):
+                            cols = self._jobact[vv].get(g)
+                            if cols is not None:
+                                self.actual[vv, g, : cols.shape[0]] = (
+                                    cols[:, jv]
+                                )
                 # dvs.on_release: CcEDF restores the full worst case.
-                cc = due & (self.dvs_kind[idx] >= _DVS_CCEDF_NODE)
+                cc = due & self.is_cc[idx]
                 if cc.any():
                     gcc = idx[cc]
                     self.budget[gcc, g] = self.total_wcet[gcc, g]
@@ -829,21 +1077,67 @@ class _VectorRun:
         pending = schedulable.any(axis=1)
 
         kind = self.dvs_kind[idx]
+        period = self.period[idx]
         s_raw = np.zeros(n)
         s_raw[(kind == _DVS_NODVS) & pending] = 1.0
         st_mask = (kind == _DVS_STATIC) & pending
         if st_mask.any():
             s_raw[st_mask] = self.static_u[idx][st_mask]
-        cc_mask = (kind >= _DVS_CCEDF_NODE) & pending
+        u_cc = np.zeros(n)
+        cc_mask = self.is_cc[idx] & pending
         if cc_mask.any():
             # Sequential left-to-right accumulation in task-set order —
-            # the same float sum the scalar ccEDF computes.
-            u = np.zeros(n)
+            # the same float sum the scalar ccEDF computes.  u_cc stays
+            # in scope: the pUBS hypothetical for ccEDF rows reuses it.
             budget = self.budget[idx]
-            period = self.period[idx]
             for g in range(self.G):
-                u = u + np.where(pres[:, g], budget[:, g] / period[:, g], 0.0)
-            s_raw[cc_mask] = u[cc_mask]
+                u_cc = u_cc + np.where(
+                    pres[:, g], budget[:, g] / period[:, g], 0.0
+                )
+            s_raw[cc_mask] = u_cc[cc_mask]
+
+        # Per-graph deadline/remaining-work geometry, shared between the
+        # laEDF lookahead and wide (ALL_RELEASED / pUBS) selection.
+        d_eff = node_cl = cl = None
+        if self._any_la or self._any_wide:
+            # GraphStatus.effective_deadline: the job's deadline, or the
+            # *next* job's when idle (implicit deadline == period).
+            d_eff = np.where(
+                in_jobs, self.job_deadline[idx],
+                self.next_release[idx] + period,
+            )
+            wc3 = self.wcet[idx]
+            ex3 = self.executed[idx]
+            live3 = self.exists[idx] & ~self.done[idx]
+            # JobState.remaining_wc(): node-granular, sequential sum in
+            # node order (+0.0 padding on absent/complete lanes is a
+            # bitwise no-op for the non-negative accumulator).
+            node_cl = np.zeros((n, self.G))
+            for m in range(self.M):
+                node_cl = node_cl + np.where(
+                    live3[:, :, m],
+                    np.maximum(0.0, wc3[:, :, m] - ex3[:, :, m]),
+                    0.0,
+                )
+            node_cl = np.where(in_jobs, node_cl, 0.0)
+        if self._any_la:
+            # JobState.remaining_wc_coarse(): WCET sum minus the
+            # sequential executed sum, zero once the job completed.
+            exec_sum = np.zeros((n, self.G))
+            for m in range(self.M):
+                exec_sum = exec_sum + ex3[:, :, m]
+            graph_cl = np.where(
+                complete,
+                0.0,
+                np.maximum(0.0, self.total_wcet[idx] - exec_sum),
+            )
+            graph_cl = np.where(in_jobs, graph_cl, 0.0)
+            la_node = (kind == _DVS_LAEDF_NODE)[:, None]
+            cl = np.where(la_node, node_cl, graph_cl)
+            la_mask = self.is_la[idx] & pending
+            if la_mask.any():
+                s_la = _la_lookahead(d_eff, cl, self.util[idx], pres, t)
+                s_raw[la_mask] = s_la[la_mask]
 
         dispatch = pending & (s_raw > 0)
         fmax = self.f_max[idx]
@@ -904,7 +1198,13 @@ class _VectorRun:
             prim == pmin[:, None], self.node_rank[idx, gsel], _BIG_RANK
         )
         msel = nrank.argmin(axis=1)
-        rand_rows = np.flatnonzero(dispatch & (prio == _PRIO_RANDOM))
+        wide = (
+            dispatch & self.wide[idx] if self._any_wide
+            else np.zeros(n, dtype=bool)
+        )
+        rand_rows = np.flatnonzero(
+            dispatch & (prio == _PRIO_RANDOM) & ~wide
+        )
         if rand_rows.size:
             # One nonzero pass for all random rows: row-major order
             # yields each row's candidates as a contiguous ascending
@@ -926,6 +1226,11 @@ class _VectorRun:
                 rngs[gv].shuffle(perm)
                 sel_py.append(cand_py[offs_py[i] + perm[0]])
             msel[rand_rows] = sel_py
+        if wide.any():
+            dispatch = self._select_wide(
+                idx, t, dispatch, wide, gsel, msel, schedulable,
+                s_raw, s_eff, d_eff, node_cl, cl, u_cc,
+            )
 
         # --- 4. dispatch ----------------------------------------------
         window = t_next - t
@@ -1039,6 +1344,32 @@ class _VectorRun:
                 gi = idx[jc]
                 self.completed_jobs[gi] += 1
                 self.in_jobs[gi, gsel[jc]] = False
+            # policy.observe_completion -> HistoryEstimator.observe:
+            # append the node's *full* actual to its per-node window.
+            if self._any_hist:
+                hs = finished & self.hist_rows[idx]
+                if hs.any():
+                    gi = idx[hs]
+                    gs = gsel[hs]
+                    ms = msel[hs]
+                    acv = ac[hs]
+                    wv = self.est_window[gi]
+                    ln = self.hist_len[gi, gs, ms]
+                    notfull = ln < wv
+                    if notfull.any():
+                        a_, b_, c_ = gi[notfull], gs[notfull], ms[notfull]
+                        self.hist[a_, b_, c_, ln[notfull]] = acv[notfull]
+                        self.hist_len[a_, b_, c_] = ln[notfull] + 1
+                    fullw = ~notfull
+                    if fullw.any():
+                        a_, b_, c_ = gi[fullw], gs[fullw], ms[fullw]
+                        sub = self.hist[a_, b_, c_]
+                        # deque(maxlen=w): drop the oldest, append at
+                        # w-1.  Lanes >= w hold garbage but every read
+                        # is masked by hist_len.
+                        sub[:, :-1] = sub[:, 1:]
+                        sub[np.arange(a_.size), wv[fullw] - 1] = acv[fullw]
+                        self.hist[a_, b_, c_] = sub
 
         # --- 6. clock update ------------------------------------------
         # Finished rows advance chunk by chunk (t (+dur0) (+dur1), the
@@ -1049,6 +1380,255 @@ class _VectorRun:
         self.t[idx] = np.where(
             finished, np.where(p1, t0c + dur1, t0c), t_next
         )
+
+    # -- wide candidate selection (ALL_RELEASED and/or pUBS) -----------
+    def _select_wide(
+        self,
+        idx: np.ndarray,
+        t: np.ndarray,
+        dispatch: np.ndarray,
+        wide: np.ndarray,
+        gsel: np.ndarray,
+        msel: np.ndarray,
+        schedulable: np.ndarray,
+        s_raw: np.ndarray,
+        s_eff: np.ndarray,
+        d_eff: np.ndarray,
+        node_cl: np.ndarray,
+        cl: Optional[np.ndarray],
+        u_cc: np.ndarray,
+    ) -> np.ndarray:
+        """Replay ``SchedulingPolicy.select`` for the wide rows.
+
+        Candidates are every ready node of every active job (EDF job
+        order, topo node order), ordered by the scalar key tuple
+        ``(primary, estimate, graph name, node name)`` and filtered by
+        the feasibility walk — all with the scalar stack's exact float
+        expressions.  Updates ``gsel``/``msel`` in place and returns
+        the (possibly reduced) dispatch mask; rows whose scalar twin
+        would raise ``SchedulingError`` are demoted.
+        """
+        w = np.flatnonzero(wide)
+        gv = idx[w]
+        nw = w.size
+        G, M = self.G, self.M
+
+        sched = schedulable[w]
+        dl = np.where(sched, self.job_deadline[gv], np.inf)
+        # active_jobs(): sorted by (abs_deadline, name); lexsort's last
+        # key is primary, ties fall to the name rank.
+        edf_order = np.lexsort((self.name_rank[gv], dl), axis=-1)
+        rank = np.empty((nw, G), dtype=np.int64)
+        np.put_along_axis(
+            rank,
+            edf_order,
+            np.broadcast_to(np.arange(G, dtype=np.int64), (nw, G)),
+            axis=1,
+        )
+
+        dn3 = self.done[gv]
+        blocked = (self.pred[gv] & ~dn3[:, :, None, :]).any(axis=3)
+        cand = self.exists[gv] & ~dn3 & ~blocked & sched[:, :, None]
+        imm = ~self.rl_all[gv]
+        if imm.any():
+            # pUBS over MOST_IMMINENT: only the earliest-deadline
+            # job's candidates (gsel from the narrow path).
+            same_g = np.arange(G)[None, :] == gsel[w][:, None]
+            cand &= ~(imm[:, None, None] & ~same_g[:, :, None])
+
+        wrem = np.maximum(0.0, self.wcet[gv] - self.executed[gv])
+
+        # Feasibility walk: candidate at EDF position r survives iff
+        # for every position p < r, cum_wc(p) + wrem_cand stays within
+        # s_eff * (d_p - t) + atol.  cumsum replays the sequential
+        # prefix sum; MOST_IMMINENT rows skip the check like the
+        # scalar ready list (needs_feasibility_check is False).
+        feas = np.ones((nw, G, M), dtype=bool)
+        fmask = self.feas_on[gv] & self.rl_all[gv]
+        if fmask.any():
+            rwc = np.where(sched, node_cl[w], 0.0)
+            rwc_s = np.take_along_axis(rwc, edf_order, axis=1)
+            cum = np.cumsum(rwc_s, axis=1)
+            dl_s = np.take_along_axis(dl, edf_order, axis=1)
+            bud = s_eff[w][:, None] * (dl_s - t[w][:, None]) + _FEAS_ATOL
+            for p in range(G):
+                kill = (
+                    fmask[:, None, None]
+                    & (rank > p)[:, :, None]
+                    & (
+                        cum[:, p][:, None, None] + wrem
+                        > bud[:, p][:, None, None]
+                    )
+                )
+                feas &= ~kill
+
+        prio = self.prio_kind[gv]
+        is_pubs = prio == _PRIO_PUBS
+        k1 = np.where((prio == _PRIO_LTF)[:, None, None], -wrem, wrem)
+        est = None
+        if is_pubs.any():
+            est = self._pubs_estimate(gv, wrem)
+            score = self._pubs_score(
+                w, gv, t, s_raw, est, wrem, d_eff, cl, u_cc
+            )
+            k1 = np.where(is_pubs[:, None, None], score, k1)
+
+        # First feasible candidate in key order == the feasible
+        # candidate minimizing the full tuple; resolve level by level.
+        ok = (cand & feas).reshape(nw, G * M)
+        ok_any = ok.any(axis=1)
+        k1f = np.where(ok, k1.reshape(nw, G * M), np.inf)
+        m1 = k1f.min(axis=1)
+        tie = ok & (k1f == m1[:, None])
+        if is_pubs.any():
+            k2m = np.where(
+                tie & is_pubs[:, None], est.reshape(nw, G * M), np.inf
+            )
+            m2 = k2m.min(axis=1)
+            tie = np.where(
+                is_pubs[:, None], tie & (k2m == m2[:, None]), tie
+            )
+        nrk = np.broadcast_to(
+            self.name_rank[gv][:, :, None], (nw, G, M)
+        ).reshape(nw, G * M)
+        r3 = np.where(tie, nrk, _BIG_RANK)
+        tie &= r3 == r3.min(axis=1)[:, None]
+        r4 = np.where(tie, self.node_rank[gv].reshape(nw, G * M), _BIG_RANK)
+        tie &= r4 == r4.min(axis=1)[:, None]
+        sel = tie.argmax(axis=1)
+        gsel_w = sel // M
+        msel_w = sel % M
+
+        bad = ~ok_any
+        rnd = prio == _PRIO_RANDOM
+        if rnd.any():
+            # RandomPriority over ALL_RELEASED: shuffle the EDF-then-
+            # topo candidate list (draw depends only on its length),
+            # then take the first feasible in shuffled order.
+            cand_s = np.take_along_axis(cand, edf_order[:, :, None], 1)
+            feas_s = np.take_along_axis(feas, edf_order[:, :, None], 1)
+            rngs = self._rngs
+            for i in np.flatnonzero(rnd & ok_any):
+                cols = np.flatnonzero(cand_s[i].reshape(-1))
+                perm = list(range(cols.size))
+                rngs[gv[i]].shuffle(perm)
+                ff = feas_s[i].reshape(-1)
+                chosen = -1
+                for p in perm:
+                    if ff[cols[p]]:
+                        chosen = cols[p]
+                        break
+                if chosen < 0:
+                    bad[i] = True
+                    continue
+                pos, mm = divmod(int(chosen), M)
+                gsel_w[i] = edf_order[i, pos]
+                msel_w[i] = mm
+
+        if bad.any():
+            self._demote(
+                idx[w[bad]], "no feasible candidate (scalar raises)"
+            )
+            dispatch[w[bad]] = False
+        good = ~bad
+        gsel[w[good]] = gsel_w[good]
+        msel[w[good]] = msel_w[good]
+        return dispatch
+
+    def _pubs_estimate(
+        self, gv: np.ndarray, wrem: np.ndarray
+    ) -> np.ndarray:
+        """``estimator.estimate`` for every candidate lane.
+
+        All four registry estimators are pure functions of simulation
+        state, so estimating every lane (twice, in the scalar: score
+        and order key) costs nothing in draws.  Non-pUBS rows get
+        garbage lanes that are never read.
+        """
+        ek = self.est_kind[gv][:, None, None]
+        wcet = self.wcet[gv]
+        execd = self.executed[gv]
+        lo = np.maximum(wrem, _EST_EPS)  # WorstCase == the clamp cap
+        factor = self.est_factor[gv][:, None, None]
+        raw = factor * wcet - execd  # ScaledEstimator
+        if (self.est_kind[gv] == _EST_HISTORY).any():
+            hist = self.hist[gv]
+            ln = self.hist_len[gv]
+            acc = np.zeros(ln.shape)
+            for k in range(hist.shape[3]):
+                acc = acc + np.where(k < ln, hist[:, :, :, k], 0.0)
+            total = np.where(
+                ln > 0, acc / np.maximum(ln, 1), factor * wcet
+            )
+            raw = np.where(ek == _EST_HISTORY, total - execd, raw)
+        raw = np.where(
+            ek == _EST_ORACLE,
+            np.maximum(0.0, self.actual[gv] - execd),
+            raw,
+        )
+        clamped = np.minimum(np.maximum(raw, _EST_EPS), lo)
+        return np.where(ek == _EST_WORST, lo, clamped)
+
+    def _pubs_score(
+        self,
+        w: np.ndarray,
+        gv: np.ndarray,
+        t: np.ndarray,
+        s_raw: np.ndarray,
+        est: np.ndarray,
+        wrem: np.ndarray,
+        d_eff: np.ndarray,
+        cl: Optional[np.ndarray],
+        u_cc: np.ndarray,
+    ) -> np.ndarray:
+        """``PUBS.score``: est / (s_now^2 - s_after^2), inf when the
+        denominator is (numerically) non-positive.
+
+        ``s_after`` is the DVS algorithm's hypothetical speed were the
+        candidate to finish with ``est`` actual cycles.
+        """
+        nw = gv.size
+        kindw = self.dvs_kind[gv]
+        s_o = s_raw[w][:, None, None]
+        s_ok = np.ones((nw, self.G, self.M))
+        st = kindw == _DVS_STATIC
+        if st.any():
+            s_ok = np.where(
+                st[:, None, None],
+                self.static_u[gv][:, None, None],
+                s_ok,
+            )
+        cc = self.is_cc[gv]
+        if cc.any():
+            delta = (est - wrem) / self.period[gv][:, :, None]
+            s_ok = np.where(
+                cc[:, None, None], u_cc[w][:, None, None] + delta, s_ok
+            )
+        la = self.is_la[gv]
+        if la.any():
+            # LaEDF.hypothetical_speed: lookahead at t + est/s_now with
+            # the candidate graph's c_left shed by its wrem.
+            dt = np.where(s_o > _LA_EPS, est / s_o, 0.0)
+            t2 = t[w][:, None, None] + dt
+            clw = cl[w]
+            c4 = np.broadcast_to(
+                clw[:, None, None, :], (nw, self.G, self.M, self.G)
+            ).copy()
+            for g in range(self.G):
+                c4[:, g, :, g] = np.maximum(
+                    0.0, clw[:, g, None] - wrem[:, g, :]
+                )
+            s_la = _la_lookahead(
+                d_eff[w][:, None, None, :],
+                c4,
+                self.util[gv][:, None, None, :],
+                self.present[gv][:, None, None, :],
+                t2,
+            )
+            s_ok = np.where(la[:, None, None], s_la, s_ok)
+        denom = s_o * s_o - s_ok * s_ok
+        small = denom <= _LA_EPS
+        return np.where(small, np.inf, est / np.where(small, 1.0, denom))
 
     # -- materialization -----------------------------------------------
     def _materialize(self) -> Dict[int, SimulationResult]:

@@ -36,6 +36,22 @@ class TestKernelVersioning:
         after = [content_hash(s) for s in specs]
         assert all(a != b for a, b in zip(after, before))
 
+    def test_sim_engine_generations_are_pinned(self):
+        """The eligible-set widening (laEDF/pUBS/ALL_RELEASED/job-keyed
+        actuals) and the scalar tolerance + laEDF-hypothetical fixes
+        each invalidate caches written by earlier generations; editing
+        these pins without bumping the versions would silently reuse
+        stale cached campaign results."""
+        from repro.battery.kernels import (
+            KERNEL_VERSIONS,
+            kernel_version_token,
+        )
+
+        assert KERNEL_VERSIONS["engine"] == 2
+        assert KERNEL_VERSIONS["vector"] == 2
+        token = kernel_version_token()
+        assert "engine=2" in token and "vector=2" in token
+
     def test_constantload_spec_round_trips(self):
         spec = ConstantLoadSpec(
             battery="kibam", current=2.5, battery_seed=3

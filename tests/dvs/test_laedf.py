@@ -126,3 +126,31 @@ class TestHypothetical:
         before = dvs.select_speed(view)
         dvs.hypothetical_speed(view, cand, 1.0)
         assert dvs.select_speed(view) == pytest.approx(before)
+
+    def test_zero_speed_hypothetical_evaluates_now(self):
+        """When the lookahead is numerically zero the processor idles,
+        so no elapsed time is attributable to running the candidate.
+        The old epsilon-clamped division ``estimate / max(s, 1e-12)``
+        pushed the evaluation point ~1e12 time units out, past every
+        deadline, so the hypothetical answered full speed — inverting
+        pUBS's ranking exactly when slack was most plentiful."""
+        ga = TaskGraph("A", [TaskNode("a", 2e-6)])
+        gb = TaskGraph("B", [TaskNode("b", 1e-6)])
+        pa = PeriodicTaskGraph(ga, 1e7)
+        pb = PeriodicTaskGraph(gb, 2e7)
+        ts = TaskGraphSet([pa, pb])
+        ja = JobState(pa, 0, 0.0, {"a": 2e-6})
+        jb = JobState(pb, 0, 0.0, {"b": 1e-6})
+        view = SchedulerView(
+            ts, 0.0, [GraphStatus(pa, ja, 1e7), GraphStatus(pb, jb, 2e7)]
+        )
+        dvs = LaEDF()
+        s_now = dvs.select_speed(view)
+        assert 0.0 < s_now <= 1e-12  # the degenerate near-idle regime
+        cand = view.candidates_of(ja)[0]
+        s_after = dvs.hypothetical_speed(view, cand, 1.0)
+        # Completing A's only node leaves B's sliver of work with an
+        # enormous horizon: the hypothetical speed must be tiny, not
+        # the clamped division's panicked 1.0.
+        assert s_after < 1e-9
+        assert s_after == pytest.approx(1e-6 / 2e7)

@@ -30,6 +30,43 @@ class TestJobState:
         with pytest.raises(SchedulingError, match="actual"):
             JobState(ptg, 0, 0.0, actual)
 
+    def test_validation_tolerance_scales_with_wcet(self):
+        """A worst-case draw at large scale can land one ulp above the
+        WCET (``wc * 1.0`` rounding in a provider).  One ulp at 1e12
+        cycles is ~1.2e-4 — far beyond the old absolute 1e-12 slack,
+        which rejected perfectly valid draws.  Validation slack must
+        scale with the node's own magnitude, and the stored value must
+        still clamp to the WCET."""
+        import numpy as np
+
+        from repro.taskgraph.graph import TaskGraph, TaskNode
+
+        wc = 1.23e12
+        ptg = PeriodicTaskGraph(
+            TaskGraph("big", [TaskNode("a", wc)]), 2.0e12
+        )
+        ac = float(np.nextafter(wc, np.inf))
+        assert ac > wc + 1e-12  # the old absolute check would raise
+        job = JobState(ptg, 0, 0.0, {"a": ac})
+        assert job.actual["a"] == wc  # clamped, never above the wcet
+
+    def test_validation_tolerance_still_rejects_overshoot(self):
+        """Relative slack is slack, not license: a relative overshoot
+        fails at any scale, and sub-unit WCETs keep the old absolute
+        tolerance."""
+        from repro.taskgraph.graph import TaskGraph, TaskNode
+
+        big = PeriodicTaskGraph(
+            TaskGraph("big", [TaskNode("a", 1.23e12)]), 2.0e12
+        )
+        with pytest.raises(SchedulingError, match="actual"):
+            JobState(big, 0, 0.0, {"a": 1.23e12 * (1.0 + 1e-9)})
+        small = PeriodicTaskGraph(
+            TaskGraph("small", [TaskNode("a", 0.5)]), 2.0
+        )
+        with pytest.raises(SchedulingError, match="actual"):
+            JobState(small, 0, 0.0, {"a": 0.5 + 1e-10})
+
     def test_initial_remaining(self, diamond):
         job = make_job(diamond)
         assert job.remaining_wc() == pytest.approx(11.0)

@@ -5,12 +5,13 @@ independent scenarios lock-step and must be *bit-identical* per
 scenario to ``Simulator.run`` — same trace columns, same labels, same
 misses, same release instants.  These tests pin that contract:
 
-* every array-expressible configuration (NoDVS/static/ccEDF over
-  random/LTF/STF priorities with the most-imminent ready list)
-  produces byte-for-byte the scalar result, under both ``fast``
+* every array-expressible configuration (NoDVS/static/ccEDF/laEDF over
+  random/LTF/STF/pUBS priorities, either ready list, feasibility on or
+  off, job-invariant or job-keyed stochastic actuals — the full Table 2
+  grid) produces byte-for-byte the scalar result, under both ``fast``
   settings and with steady-state tiling engaged;
-* everything else (laEDF/PUBS lookahead, stochastic actuals, phases,
-  subclasses, the all-released ready list) falls back per scenario to
+* everything else (subclassed components, phases, call-order-dependent
+  actuals providers, custom estimators) falls back per scenario to
   the scalar engine — opportunistically, inside a mixed batch;
 * the batch/campaign wiring (``ScenarioBatch(engine="vector")``,
   ``run_scenario_batch(sim_vector=True)``) changes how work is driven,
@@ -22,8 +23,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.methodology import SchedulingPolicy
-from repro.core.priority import LTF, STF, RandomPriority
+from repro.core.estimator import (
+    HistoryEstimator,
+    OracleEstimator,
+    ScaledEstimator,
+    WorstCaseEstimator,
+)
+from repro.core.methodology import SchedulingPolicy, paper_schemes
+from repro.core.priority import LTF, PUBS, STF, RandomPriority
 from repro.core.ready_list import ALL_RELEASED
 from repro.dvs import CcEDF, LaEDF, NoDVS
 from repro.dvs.static import StaticUtilization
@@ -108,6 +115,47 @@ VECTOR_CONFIGS = [
     ("nodvs+ltf", lambda: (NoDVS(), LTF())),
     ("ccedf+ltf", lambda: (CcEDF(), LTF())),
     ("static+stf", lambda: (StaticUtilization(), STF())),
+    ("laedf+ltf", lambda: (LaEDF(), LTF())),
+    ("laedf-graph+random",
+     lambda: (LaEDF(granularity="graph"), RandomPriority(0))),
+    ("laedf+pubs-history", lambda: (LaEDF(), PUBS(HistoryEstimator()))),
+]
+
+#: The widened eligible set: full scheduling policies (ready list +
+#: feasibility + estimator-backed pUBS), exercised deterministically
+#: and with job-dependent stochastic actuals.
+WIDE_CONFIGS = [
+    ("laedf+ltf+imminent", lambda: (LaEDF(), SchedulingPolicy(LTF()))),
+    ("laedf+ltf+imminent-feas",
+     lambda: (LaEDF(), SchedulingPolicy(LTF(), enforce_feasibility=True))),
+    ("laedf-graph+stf+all-released",
+     lambda: (LaEDF(granularity="graph"),
+              SchedulingPolicy(STF(), ready_list=ALL_RELEASED))),
+    ("laedf+ltf+all-released-nofeas",
+     lambda: (LaEDF(),
+              SchedulingPolicy(LTF(), ready_list=ALL_RELEASED,
+                               enforce_feasibility=False))),
+    ("bas1:laedf+pubs-history",
+     lambda: (LaEDF(), SchedulingPolicy(PUBS(HistoryEstimator())))),
+    ("bas2:laedf+pubs-history+all-released",
+     lambda: (LaEDF(),
+              SchedulingPolicy(PUBS(HistoryEstimator(window=4)),
+                               ready_list=ALL_RELEASED))),
+    ("ccedf+pubs-oracle+all-released",
+     lambda: (CcEDF(),
+              SchedulingPolicy(PUBS(OracleEstimator()),
+                               ready_list=ALL_RELEASED))),
+    ("laedf-graph+pubs-scaled",
+     lambda: (LaEDF(granularity="graph"),
+              SchedulingPolicy(PUBS(ScaledEstimator(0.6))))),
+    ("static+pubs-worst+all-released",
+     lambda: (StaticUtilization(),
+              SchedulingPolicy(PUBS(WorstCaseEstimator()),
+                               ready_list=ALL_RELEASED))),
+    ("nodvs+random+all-released",
+     lambda: (NoDVS(),
+              SchedulingPolicy(RandomPriority(5),
+                               ready_list=ALL_RELEASED))),
 ]
 
 
@@ -236,20 +284,205 @@ class TestVectorEquivalence:
             run_vectorized(scens)
 
 
+class TestWideEquivalence:
+    """Table 2's remaining rows: laEDF at both granularities, pUBS over
+    either ready list with every registry estimator, the feasibility
+    guard, and job-dependent stochastic actuals."""
+
+    @staticmethod
+    def _sim(proc, ts, config, actuals):
+        dvs, policy = config()
+        return Simulator(
+            ts, proc, dvs, policy, actuals=actuals, on_miss="record"
+        )
+
+    @pytest.mark.parametrize(
+        "config",
+        [c[1] for c in WIDE_CONFIGS],
+        ids=[c[0] for c in WIDE_CONFIGS],
+    )
+    @pytest.mark.parametrize("stochastic", [False, True],
+                             ids=["invariant", "job-keyed"])
+    def test_wide_configs_bitwise(self, proc, config, stochastic):
+        ts = paper_task_set(
+            2, n_tasks_range=(2, 5), period_menu=SMALL_MENU, seed=11
+        )
+        horizon = 3 * ts.hyperperiod()
+        low, high = (0.2, 1.0) if stochastic else (0.6, 0.6)
+
+        def sim():
+            return self._sim(
+                proc, ts, config,
+                UniformActuals(low=low, high=high, seed=11),
+            )
+
+        assert unsupported_reason(sim(), horizon) is None
+        vec = run_vectorized([(sim(), horizon)], fast=True)[0]
+        assert_bitwise(vec, sim().run(horizon, fast=True))
+
+    def test_feasibility_rejections_bitwise(self, proc):
+        """A ready list where LTF's favourite candidate genuinely fails
+        Algorithm 2 (tight short-period work squeezed by a big far-
+        deadline node): the guard must reject in the vector walk at the
+        exact instants the scalar walk does."""
+        import repro.core.methodology as methodology
+
+        ts = TaskGraphSet([
+            PeriodicTaskGraph(
+                TaskGraph("tight", [TaskNode("a", 3.0)]), 4.0
+            ),
+            PeriodicTaskGraph(
+                TaskGraph(
+                    "lazy",
+                    [TaskNode("big", 6.0), TaskNode("end", 1.0)],
+                    [("big", "end")],
+                ),
+                40.0,
+            ),
+        ])
+
+        def sim():
+            return Simulator(
+                ts, proc, NoDVS(),
+                SchedulingPolicy(LTF(), ready_list=ALL_RELEASED),
+                actuals=UniformActuals(low=1.0, high=1.0, seed=0),
+                on_miss="record",
+            )
+
+        rejections = [0]
+        orig = methodology.feasibility_check
+
+        def spy(view, cand, s_ref):
+            ok = orig(view, cand, s_ref)
+            rejections[0] += not ok
+            return ok
+
+        methodology.feasibility_check = spy
+        try:
+            scalar = sim().run(80.0, fast=True)
+        finally:
+            methodology.feasibility_check = orig
+        assert rejections[0] > 0  # the guard actually bites here
+        vec = run_vectorized([(sim(), 80.0)], fast=True)[0]
+        assert_bitwise(vec, scalar)
+
+    def test_paper_scheme_grid_fully_vectorized(self, proc):
+        """A Table-2-shaped campaign (all five schemes, stochastic
+        20-100% actuals) compiles with zero fallbacks and matches the
+        scalar engine bitwise, scenario by scenario."""
+        def scens():
+            out = []
+            for k, scheme in enumerate(paper_schemes()):
+                ts = paper_task_set(
+                    1 + k % 2, n_tasks_range=(2, 5),
+                    period_menu=SMALL_MENU, seed=k,
+                )
+                dvs, policy = scheme.instantiate()
+                out.append((
+                    Simulator(
+                        ts, proc, dvs, policy,
+                        actuals=UniformActuals(
+                            low=0.2, high=1.0, seed=k
+                        ),
+                        on_miss="record",
+                    ),
+                    2 * ts.hyperperiod(),
+                ))
+            return out
+
+        eng = VectorEngine(scens())
+        assert eng.n_fallback == 0
+        assert eng.fallback_reasons == [None] * 5
+        for vec, (sim, h) in zip(eng.run(fast=True), scens()):
+            assert_bitwise(vec, sim.run(h, fast=True))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        low=st.floats(min_value=0.2, max_value=0.7),
+        span=st.floats(min_value=0.05, max_value=0.3),
+        config=st.sampled_from(range(len(WIDE_CONFIGS))),
+    )
+    def test_property_job_keyed_actuals(self, seed, low, span, config):
+        """Genuinely job-dependent draws (low < high): the pre-drawn
+        per-job tables must hand every job the value the scalar engine
+        draws at its release instant, for any wide configuration."""
+        from repro.processor.platform import paper_processor
+
+        proc = paper_processor()
+        ts = paper_task_set(
+            2, n_tasks_range=(2, 4), period_menu=SMALL_MENU, seed=seed
+        )
+        horizon = 2 * ts.hyperperiod()
+        actuals = UniformActuals(
+            low=low, high=min(1.0, low + span), seed=seed
+        )
+        assert not actuals.job_invariant and actuals.job_keyed
+
+        def sim():
+            return self._sim(proc, ts, WIDE_CONFIGS[config][1], actuals)
+
+        assert unsupported_reason(sim(), horizon) is None
+        vec = run_vectorized([(sim(), horizon)], fast=True)[0]
+        assert_bitwise(vec, sim().run(horizon, fast=True))
+
+
 class TestFallback:
-    def test_laedf_falls_back(self, proc):
-        sim = build(proc, harmonic_set(), LaEDF(), LTF())
+    def test_subclassed_dvs_falls_back(self, proc):
+        class TracingLaEDF(LaEDF):
+            pass
+
+        sim = build(proc, harmonic_set(), TracingLaEDF(), LTF())
         reason = unsupported_reason(sim, 40.0)
         assert reason is not None and "DVS algorithm" in reason
 
-    def test_stochastic_actuals_fall_back(self, proc):
+    def test_unkeyed_stochastic_provider_falls_back(self, proc):
+        """A provider that is neither job-invariant nor hash-keyed may
+        depend on call order, which pre-drawing would change."""
+        class CallOrderDependent:
+            def __call__(self, graph, node, job_index, wc):
+                return 0.5 * wc
+
+        sim = build(
+            proc, harmonic_set(), NoDVS(), LTF(), CallOrderDependent()
+        )
+        assert unsupported_reason(sim, 40.0) == (
+            "actuals neither job-invariant nor job-keyed"
+        )
+
+    def test_custom_estimator_falls_back(self, proc):
+        class MyEstimator(WorstCaseEstimator):
+            name = "custom"
+
+        sim = Simulator(
+            harmonic_set(), proc, LaEDF(),
+            SchedulingPolicy(PUBS(MyEstimator())), on_miss="record",
+        )
+        reason = unsupported_reason(sim, 40.0)
+        assert reason is not None and "estimator" in reason
+
+    def test_preseeded_history_estimator_falls_back(self, proc):
+        est = HistoryEstimator()
+        est.observe("g1", "a", 2.0, 1.0)  # warm history precedes t=0
+        sim = Simulator(
+            harmonic_set(), proc, LaEDF(), SchedulingPolicy(PUBS(est)),
+            on_miss="record",
+        )
+        assert unsupported_reason(sim, 40.0) == (
+            "pre-seeded history estimator"
+        )
+
+    def test_oversized_predraw_table_falls_back(self, proc):
+        """Job-keyed actuals are pre-drawn per job; a horizon releasing
+        millions of jobs must decline before drawing anything."""
         sim = build(
             proc, harmonic_set(), NoDVS(), LTF(),
             UniformActuals(low=0.2, high=1.0, seed=3),
         )
-        assert unsupported_reason(sim, 40.0) == (
-            "stochastic (job-dependent) actuals"
+        assert unsupported_reason(sim, 2.0e7) == (
+            "per-job actuals table too large"
         )
+        assert unsupported_reason(sim, 40.0) is None
 
     def test_phased_release_falls_back(self, proc):
         ts = TaskGraphSet(
@@ -270,10 +503,15 @@ class TestFallback:
         )
         assert unsupported_reason(sim, 40.0) == "subclassed Simulator"
 
-    def test_all_released_ready_list_falls_back(self, proc):
+    def test_custom_ready_list_falls_back(self, proc):
+        from repro.core.ready_list import ReadyListPolicy
+
+        widest = ReadyListPolicy(
+            "everything", ALL_RELEASED.candidates, True
+        )
         sim = Simulator(
             harmonic_set(), proc, NoDVS(),
-            SchedulingPolicy(LTF(), ready_list=ALL_RELEASED),
+            SchedulingPolicy(LTF(), ready_list=widest),
             on_miss="record",
         )
         reason = unsupported_reason(sim, 40.0)
@@ -282,13 +520,22 @@ class TestFallback:
     def test_fallback_scenarios_still_run_and_match(self, proc):
         """Fallback is opportunistic: ineligible scenarios go through
         the scalar engine inside the same call, bit-identically."""
+        class TracingLaEDF(LaEDF):
+            pass
+
+        class CallOrderDependent:
+            def __call__(self, graph, node, job_index, wc):
+                return 0.5 * wc
+
         def scens():
             return [
                 (build(proc, harmonic_set(), NoDVS(), LTF()), 80.0),
-                (build(proc, harmonic_set(), LaEDF(), LTF()), 80.0),
+                (build(
+                    proc, harmonic_set(), TracingLaEDF(), LTF()
+                ), 80.0),
                 (build(
                     proc, harmonic_set(), CcEDF(), LTF(),
-                    UniformActuals(low=0.2, high=1.0, seed=3),
+                    CallOrderDependent(),
                 ), 80.0),
                 (build(proc, harmonic_set(), CcEDF(), STF()), 80.0),
             ]

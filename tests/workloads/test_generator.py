@@ -49,6 +49,26 @@ class TestUniformActuals:
         ua = UniformActuals(low=1.0, high=1.0, seed=0)
         assert ua("g", "n", 0, 7.0) == pytest.approx(7.0)
 
+    @pytest.mark.parametrize("seed", [0, 3, 2**31, 2**32 - 1])
+    def test_draw_jobs_bitwise_matches_calls(self, seed):
+        """The batched hash pipeline (SeedSequence mixing + PCG64 in
+        array form) must reproduce the per-call draws exactly — the
+        vector engine pre-draws whole job tables through it and pins
+        bit-identical traces on top."""
+        ua = UniformActuals(low=0.2, high=1.0, seed=seed)
+        batch = ua.draw_jobs("g1", "sink", 64, 7.5)
+        assert batch.shape == (64,)
+        for j in range(64):
+            assert batch[j] == ua("g1", "sink", j, 7.5)
+
+    def test_draw_jobs_slow_path_seed(self):
+        # A seed SeedSequence splits into two uint32 words takes the
+        # per-call fallback; values still match exactly.
+        ua = UniformActuals(low=0.2, high=1.0, seed=2**40 + 17)
+        batch = ua.draw_jobs("g", "n", 8, 3.0)
+        for j in range(8):
+            assert batch[j] == ua("g", "n", j, 3.0)
+
 
 class TestPaperTaskSet:
     def test_utilization_exact(self):
