@@ -1,0 +1,249 @@
+"""Fault matrix — seeded injection campaigns, exact quarantine, no drift.
+
+For each seed, derives a :class:`repro.faults.FaultPlan` (two poison
+specs plus one 30 s hang) from the seed itself, runs the campaign
+under ``on_error="quarantine"`` with a retry budget and a spec
+timeout, and asserts the two containment guarantees:
+
+* the FailureReport quarantines *exactly* the doomed indices (poison
+  as ``InjectedFault``, the hang as ``SpecTimeout``), and
+* every surviving result is bit-identical to the clean sequential
+  run — containment never perturbs healthy scenarios.
+
+Each seed's FailureReport is saved as a JSON artifact (the nightly CI
+job uploads them).  Also reports the wall-clock overhead of the
+guarded execution path on a clean (zero-fault) campaign.
+
+Also runnable standalone (the CI nightly matrix)::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py \\
+        --seeds 5 --transport dir --out-dir fault-reports
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # allow standalone runs without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import faults
+from repro.campaign import CampaignRunner, ScenarioSpec, spawn_seeds
+from repro.campaign.distributed import DistributedRunner
+
+SCHEMES = ("EDF", "ccEDF")
+TIMEOUT = 600.0
+
+
+def build_specs(n_scenarios: int, *, seed: int = 0, n_graphs: int = 2):
+    return [
+        ScenarioSpec(scheme=scheme, n_graphs=n_graphs, seed=s)
+        for s in spawn_seeds(seed, n_scenarios)
+        for scheme in SCHEMES
+    ]
+
+
+def doomed_plan(n_specs: int, seed: int):
+    """Two seed-chosen poison indices plus one hanging index."""
+    rng = np.random.default_rng(seed)
+    poison = rng.choice(n_specs, size=3, replace=False)
+    hang = int(poison[2])
+    poison = tuple(sorted(int(i) for i in poison[:2]))
+    plan = faults.FaultPlan(
+        rules=(
+            faults.FaultRule(
+                point="spec.execute",
+                kind="error",
+                indices=poison,
+                message=f"poison (matrix seed {seed})",
+            ),
+            faults.FaultRule(
+                point="spec.execute",
+                kind="hang",
+                indices=(hang,),
+                delay_s=30.0,
+            ),
+        ),
+        seed=seed,
+    )
+    return plan, poison, hang
+
+
+def make_runner(transport: str, workers: int, tmpdir):
+    contained = dict(
+        max_retries=1, on_error="quarantine", spec_timeout=2.0
+    )
+    if transport == "dir":
+        return DistributedRunner(
+            workdir=tmpdir,
+            n_local_workers=workers,
+            poll=0.02,
+            lease_timeout=2.0,
+            heartbeat=0.25,
+            result_timeout=TIMEOUT,
+            **contained,
+        )
+    return CampaignRunner(workers, **contained)
+
+
+def run_seed(
+    seed: int,
+    *,
+    n_scenarios: int,
+    workers: int,
+    transport: str,
+    out_dir: Path,
+    workdir: Path,
+) -> str:
+    specs = build_specs(n_scenarios, seed=seed)
+    clean = CampaignRunner(1).run(specs)
+    plan, poison, hang = doomed_plan(len(specs), seed)
+    doomed = tuple(sorted((*poison, hang)))
+    faults.install(plan)
+    try:
+        runner = make_runner(transport, workers, workdir / str(seed))
+        try:
+            campaign = runner.run(specs)
+        finally:
+            close = getattr(runner, "close", None)
+            if close is not None:
+                close()
+    finally:
+        faults.uninstall()
+    report = campaign.failures
+    if report is None or report.quarantined_indices != doomed:
+        raise AssertionError(
+            f"seed {seed}: quarantined "
+            f"{report.quarantined_indices if report else ()} "
+            f"!= doomed {doomed}"
+        )
+    kinds = {q.index: q.failure.exc_type for q in report.quarantined}
+    for i in poison:
+        if kinds[i] != "InjectedFault":
+            raise AssertionError(f"seed {seed}: index {i} not poison")
+    if kinds[hang] != "SpecTimeout":
+        raise AssertionError(f"seed {seed}: hang index {hang} no timeout")
+    survivors = [
+        m
+        for i, m in enumerate(r.metrics for r in clean.results)
+        if i not in doomed
+    ]
+    if [r.metrics for r in campaign.results] != survivors:
+        raise AssertionError(
+            f"seed {seed}: surviving results drifted from the clean "
+            "sequential run"
+        )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report.save(out_dir / f"failure-report-{transport}-seed{seed}.json")
+    return (
+        f"seed {seed}: quarantined {doomed} "
+        f"(retries {report.retries}, timeouts {report.timeouts}), "
+        f"{len(campaign.results)} survivors bit-identical"
+    )
+
+
+def containment_overhead(n_scenarios: int, workers: int) -> str:
+    """Wall-clock of the guarded path on a campaign with no faults."""
+    specs = build_specs(n_scenarios)
+    t0 = time.perf_counter()
+    plain = CampaignRunner(workers).run(specs)
+    t_plain = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    guarded = CampaignRunner(
+        workers, max_retries=2, spec_timeout=TIMEOUT,
+        on_error="quarantine",
+    ).run(specs)
+    t_guarded = time.perf_counter() - t0
+    if [r.metrics for r in plain.results] != [
+        r.metrics for r in guarded.results
+    ]:
+        raise AssertionError(
+            "guarded zero-fault run is not bit-identical to plain run"
+        )
+    ratio = t_guarded / t_plain if t_plain else 0.0
+    return (
+        f"containment overhead (zero faults, {len(specs)} scenarios): "
+        f"plain {t_plain:.2f}s, guarded {t_guarded:.2f}s "
+        f"({ratio:.2f}x), results bit-identical"
+    )
+
+
+def matrix(
+    n_seeds: int,
+    *,
+    n_scenarios: int,
+    workers: int,
+    transport: str,
+    out_dir: Path,
+    workdir: Path,
+) -> str:
+    lines = [
+        run_seed(
+            seed,
+            n_scenarios=n_scenarios,
+            workers=workers,
+            transport=transport,
+            out_dir=out_dir,
+            workdir=workdir,
+        )
+        for seed in range(n_seeds)
+    ]
+    lines.append(containment_overhead(n_scenarios, workers))
+    return f"fault matrix ({transport} transport):\n" + "\n".join(lines)
+
+
+def test_fault_matrix_local(benchmark, results_dir, tmp_path):
+    text = benchmark.pedantic(
+        lambda: matrix(
+            1,
+            n_scenarios=2,
+            workers=2,
+            transport="local",
+            out_dir=tmp_path / "reports",
+            workdir=tmp_path / "queues",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    from conftest import publish
+
+    publish(results_dir, "faults", text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=5)
+    parser.add_argument("--scenarios", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--transport", choices=("local", "dir"), default="local"
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=Path("fault-reports")
+    )
+    args = parser.parse_args(argv)
+    start = time.perf_counter()
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print(
+            matrix(
+                args.seeds,
+                n_scenarios=args.scenarios,
+                workers=args.workers,
+                transport=args.transport,
+                out_dir=args.out_dir,
+                workdir=Path(tmp),
+            )
+        )
+    print(f"total bench time: {time.perf_counter() - start:.2f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ import argparse
 import json
 import sys
 
+from . import faults
 from .analysis import experiments as ex
 from .analysis.tables import format_table
 from .api import plans as study_plans
@@ -84,6 +85,9 @@ def _driver_runner(args, cache=None):
         cache=cache,
         n_local_workers=args.spawn_workers,
         result_timeout=args.result_timeout,
+        max_retries=getattr(args, "max_retries", 0),
+        on_error=getattr(args, "on_error", "raise"),
+        spec_timeout=getattr(args, "spec_timeout", None),
     )
 
 
@@ -184,15 +188,39 @@ def _parse_autoscale(text):
     return bounds
 
 
+def _arm_cli_faults(args) -> bool:
+    """Arm the ``--inject-faults`` plan, if the command carries one.
+
+    Returns whether a plan was installed (the caller uninstalls in its
+    ``finally`` so one CLI invocation never leaks an armed plan into
+    library callers of :func:`main`).
+    """
+    path = getattr(args, "inject_faults", None)
+    if not path:
+        return False
+    try:
+        faults.install(faults.FaultPlan.load(path))
+    except Exception as exc:
+        raise SystemExit(
+            f"error: cannot load fault plan {path!r}: {exc}"
+        ) from None
+    return True
+
+
 def _make_campaign_runner(args, cache):
     """The runner `campaign` should use: local pool or distributed broker."""
+    containment = dict(
+        max_retries=args.max_retries,
+        on_error=args.on_error,
+        spec_timeout=args.spec_timeout,
+    )
     if args.backend == "local":
         for flag in ("resume", "autoscale"):
             if getattr(args, flag):
                 raise SystemExit(
                     f"error: --{flag} needs --backend dist"
                 )
-        return CampaignRunner(args.workers, cache=cache)
+        return CampaignRunner(args.workers, cache=cache, **containment)
     if (args.dist_dir is None) == (args.listen is None):
         raise SystemExit(
             "error: --backend dist needs exactly one of --dist-dir/--listen"
@@ -230,6 +258,7 @@ def _make_campaign_runner(args, cache):
         chunk_size=args.chunk,
         resume=args.resume,
         result_timeout=args.result_timeout,
+        **containment,
         **transport,
     )
 
@@ -276,6 +305,7 @@ def _cmd_campaign(args) -> str:
         for scheme in args.schemes
     ]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    armed = _arm_cli_faults(args)
     runner = _make_campaign_runner(args, cache)
     agg = StreamingAggregator(
         percentiles=(50.0,), group_by=lambda r: r.spec.scheme
@@ -285,9 +315,13 @@ def _cmd_campaign(args) -> str:
     finally:
         if isinstance(runner, DistributedRunner):
             runner.close()
+        if armed:
+            faults.uninstall()
     stats = agg.summary()
     rows = []
     for scheme in args.schemes:
+        if scheme not in stats:
+            continue  # every scenario of this scheme was quarantined
         st = stats[scheme]
         life = st["lifetime_min"]
         rows.append(
@@ -323,6 +357,26 @@ def _cmd_campaign(args) -> str:
         footer += f", {campaign.requeued} requeued"
     if campaign.stolen:
         footer += f", {campaign.stolen} chunk(s) stolen"
+    if campaign.retried:
+        footer += f", {campaign.retried} retried"
+    if campaign.quarantined:
+        footer += f", {campaign.quarantined} quarantined"
+    knobs = []
+    if args.max_retries:
+        knobs.append(f"max-retries={args.max_retries}")
+    if args.spec_timeout is not None:
+        knobs.append(f"spec-timeout={args.spec_timeout:g}s")
+    if args.on_error != "raise":
+        knobs.append(f"on-error={args.on_error}")
+    if args.inject_faults:
+        knobs.append(f"inject-faults={args.inject_faults}")
+    if knobs:
+        footer += "\nfault containment: " + ", ".join(knobs)
+    if campaign.failures:
+        quarantined = ", ".join(
+            str(i) for i in campaign.failures.quarantined_indices
+        )
+        footer += f"\nquarantined spec indices: [{quarantined}]"
     return table + "\n" + footer
 
 
@@ -343,6 +397,10 @@ def _cmd_campaign_worker(args) -> str:
     # Custom schemes/batteries registered declaratively on the broker
     # arrive as a JSON snapshot in $REPRO_PLUGINS.
     install_env_plugins()
+    # A broker running under --inject-faults ships its armed plan in
+    # $REPRO_FAULT_PLAN; a worker may also arm one directly.
+    faults.install_env_plan()
+    _arm_cli_faults(args)
     options = dict(
         poll=args.poll,
         max_tasks=args.max_tasks,
@@ -429,14 +487,23 @@ def _cmd_study_run(args) -> str:
     cache = (
         ResultCache(args.cache_dir) if args.cache_dir is not None else None
     )
+    armed = _arm_cli_faults(args)
     runner = _driver_runner(args, cache=cache)
     try:
         result = Study(
-            plan, runner=runner, workers=args.workers, cache=cache
+            plan,
+            runner=runner,
+            workers=args.workers,
+            cache=cache,
+            max_retries=args.max_retries,
+            spec_timeout=args.spec_timeout,
+            on_error=args.on_error,
         ).run()
     finally:
         if runner is not None:
             runner.close()
+        if armed:
+            faults.uninstall()
     if args.format == "csv":
         return result.frame.to_csv().rstrip("\n")
     if args.format == "json":
@@ -521,6 +588,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1)
     p.set_defaults(fn=_cmd_table1)
 
+    def add_containment_flags(p) -> None:
+        """Fault-containment knobs shared by campaign/study commands."""
+        p.add_argument(
+            "--max-retries", type=int, default=0,
+            help="retry a failed spec this many times (deterministic "
+            "seeded backoff) before quarantining or aborting",
+        )
+        p.add_argument(
+            "--spec-timeout", type=float, default=None,
+            help="per-spec execution deadline in seconds; a timeout "
+            "counts as a retryable failure",
+        )
+        p.add_argument(
+            "--on-error", choices=("raise", "quarantine"),
+            default="raise",
+            help="what to do with a spec that exhausts its retry "
+            "budget: abort the campaign (raise) or quarantine it "
+            "into the failure report and keep the rest",
+        )
+        p.add_argument(
+            "--inject-faults", default=None, metavar="PLAN.json",
+            help="arm a seeded repro.faults injection plan for this "
+            "run (chaos/robustness testing)",
+        )
+
     def add_driver_backend(p) -> None:
         """Distributed-backend flags shared by table2/fig6."""
         p.add_argument(
@@ -597,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a content-hash result cache at this directory",
     )
     add_driver_backend(sp)
+    add_containment_flags(sp)
     sp.set_defaults(fn=_cmd_study_run)
 
     sp = ssub.add_parser(
@@ -710,6 +803,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-footer", action="store_true",
         help="omit the wall-clock footer (for byte-exact output diffs)",
     )
+    add_containment_flags(p)
     p.set_defaults(fn=_cmd_campaign)
 
     p = sub.add_parser(
@@ -745,6 +839,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP only: seconds to keep retrying a refused connection "
         "after the broker was reached once (lets a restarting "
         "--resume broker keep its fleet)",
+    )
+    p.add_argument(
+        "--inject-faults", default=None, metavar="PLAN.json",
+        help="arm a seeded repro.faults injection plan in this worker "
+        "(chaos/robustness testing)",
     )
     p.set_defaults(fn=_cmd_campaign_worker)
 

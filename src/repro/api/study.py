@@ -231,6 +231,11 @@ class Study:
         Pool size for the default local runner.
     cache:
         Optional result cache for the default local runner.
+    max_retries / spec_timeout / on_error:
+        Fault-containment knobs for the default local runner (see
+        :class:`~repro.campaign.runner.CampaignRunner`); ignored when
+        an explicit ``runner`` is supplied (configure that runner
+        directly instead).
     """
 
     def __init__(
@@ -240,12 +245,21 @@ class Study:
         runner: Optional[SpecRunner] = None,
         workers: int = 1,
         cache: Optional[ResultCache] = None,
+        max_retries: int = 0,
+        spec_timeout: Optional[float] = None,
+        on_error: str = "raise",
     ) -> None:
         self.plan = plan
         self.runner = (
             runner
             if runner is not None
-            else CampaignRunner(workers, cache=cache)
+            else CampaignRunner(
+                workers,
+                cache=cache,
+                max_retries=max_retries,
+                spec_timeout=spec_timeout,
+                on_error=on_error,
+            )
         )
 
     def run(self) -> StudyResult:

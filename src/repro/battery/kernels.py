@@ -107,6 +107,7 @@ def run_profile_batch(
     repeat: Optional[int] = None,
     max_time: float = 1e7,
     fast: bool = True,
+    stats: Optional[dict] = None,
 ) -> "list[BatteryRun]":
     """Tile many ``(model, durations, currents)`` loads to death.
 
@@ -120,14 +121,35 @@ def run_profile_batch(
     the value of the batch is the single columnar hand-off (and that
     each evaluation inside it is a handful of vector ops, not a
     Python segment walk).
+
+    Numeric guardrail: a fast-path run whose ``lifetime`` or
+    ``delivered_charge`` comes back NaN/inf is re-evaluated through
+    the scalar per-segment loop (the authority on the numerics) and
+    counted under ``stats["numeric_demotions"]`` when a ``stats``
+    dict is supplied.
     """
-    return [
-        model.run_profile(
+    runs = []
+    demotions = 0
+    for model, durations, currents in loads:
+        run = model.run_profile(
             durations, currents,
             repeat=repeat, max_time=max_time, fast=fast,
         )
-        for model, durations, currents in loads
-    ]
+        if fast and not (
+            np.isfinite(run.lifetime)
+            and np.isfinite(run.delivered_charge)
+        ):
+            run = model.run_profile(
+                durations, currents,
+                repeat=repeat, max_time=max_time, fast=False,
+            )
+            demotions += 1
+        runs.append(run)
+    if stats is not None:
+        stats["numeric_demotions"] = (
+            stats.get("numeric_demotions", 0) + demotions
+        )
+    return runs
 
 
 def affine_prefix_diag(

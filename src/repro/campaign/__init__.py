@@ -25,6 +25,12 @@ Quick start::
 
 from .aggregate import MetricSummary, StreamingAggregator, summarize
 from .cache import ResultCache, default_cache_dir
+from .failures import (
+    FailureInfo,
+    FailureReport,
+    QuarantinedSpec,
+    backoff_delay,
+)
 from .growth import GrowableRunnerMixin, SpecRunner, SpecTemplate
 from .registry import (
     NEAR_OPTIMAL,
@@ -71,10 +77,13 @@ __all__ = [
     "CampaignRunner",
     "ConstantLoadSpec",
     "DistributedRunner",
+    "FailureInfo",
+    "FailureReport",
     "GrowableRunnerMixin",
     "MetricSummary",
     "NEAR_OPTIMAL",
     "OneShotSpec",
+    "QuarantinedSpec",
     "ResultCache",
     "ScenarioResult",
     "ScenarioSpec",
@@ -82,6 +91,7 @@ __all__ = [
     "SpecTemplate",
     "StreamingAggregator",
     "SurvivalSpec",
+    "backoff_delay",
     "build_scheme",
     "content_hash",
     "default_cache_dir",

@@ -18,6 +18,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
+from .. import faults
 from ..errors import SchedulingError
 from .spec import ScenarioResult, Spec, content_hash
 
@@ -60,6 +61,8 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(result.spec)
         payload = json.dumps(result.to_json(), sort_keys=True, indent=1)
+        if faults.fire("cache.put") == "corrupt":
+            payload = faults.corrupt_text(payload)
         fd, tmp = tempfile.mkstemp(
             dir=str(self.root), prefix=".tmp-", suffix=".json"
         )

@@ -3,10 +3,13 @@
 A broker owns one campaign at a time: :meth:`submit` publishes the
 ``(index, spec)`` work units, :meth:`outcomes` blocks yielding
 ``(index, ScenarioResult)`` pairs as workers finish — deduplicated by
-index, with lost leases requeued — until every unit is resolved.  A
-worker-reported execution error fails the campaign immediately (the
-same spec would fail identically on any worker; there is nothing to
-retry).
+index, with lost leases requeued — until every unit is resolved.  By
+default a worker-reported execution error fails the campaign
+immediately; with a retry budget (``max_retries``) the spec is
+republished after a deterministic backoff, and under
+``on_error="quarantine"`` a spec that exhausts its budget is recorded
+in the broker's :class:`~repro.campaign.failures.FailureReport` and
+the campaign completes without it.
 
 Fault tolerance:
 
@@ -22,6 +25,15 @@ Fault tolerance:
 * **Chunked leases with stealing** — ``chunk_size > 1`` leases
   index-contiguous runs of tasks; when the queue runs dry, the broker
   splits the largest outstanding chunk so idle workers steal its tail.
+* **Worker health scoring** — every worker token accumulates a score
+  (error outcome +1, crash/stale lease +2, corrupt payload +2); at
+  ``health_threshold`` the broker *retires* the worker — blacklists
+  its token so it stops winning leases — instead of letting one bad
+  host grind a campaign down via its retry budgets.
+* **Spec deadlines** — ``spec_timeout`` travels inside task payloads
+  (workers arm a watchdog) and is backstopped broker-side: a unit
+  leased to the same worker for well past the deadline is charged as
+  a timeout even if the worker keeps heartbeating through the hang.
 
 Two transports implement the interface: :class:`DirectoryBroker` over
 a shared filesystem (see :mod:`~repro.campaign.distributed.workdir`)
@@ -33,6 +45,7 @@ from __future__ import annotations
 import collections
 import hashlib
 import json
+import os
 import queue
 import socketserver
 import threading
@@ -41,10 +54,19 @@ import uuid
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
-from ...errors import SchedulingError
+from ... import faults
+from ...errors import SchedulingError, SpecTimeout
+from ..failures import (
+    FailureInfo,
+    FailureReport,
+    QuarantinedSpec,
+    backoff_delay,
+    validate_on_error,
+)
 from ..spec import ScenarioResult, Spec, content_hash
 from .protocol import (
     PROTOCOL_VERSION,
+    outcome_worker,
     parse_outcome,
     recv_msg,
     send_msg,
@@ -88,17 +110,48 @@ class _BrokerBase:
         poll: float,
         result_timeout: Optional[float],
         ledger_path: Optional[Path] = None,
+        max_retries: int = 0,
+        on_error: str = "raise",
+        spec_timeout: Optional[float] = None,
+        backoff_base: float = 0.05,
+        health_threshold: Optional[int] = None,
     ):
         if poll <= 0:
             raise SchedulingError(f"poll must be > 0, got {poll}")
+        if max_retries < 0:
+            raise SchedulingError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if spec_timeout is not None and spec_timeout <= 0:
+            raise SchedulingError(
+                f"spec_timeout must be positive, got {spec_timeout}"
+            )
+        if health_threshold is not None and health_threshold < 1:
+            raise SchedulingError(
+                f"health_threshold must be >= 1, got {health_threshold}"
+            )
+        validate_on_error(on_error)
         self.poll = float(poll)
         self.result_timeout = result_timeout
         self.ledger_path = ledger_path
+        self.max_retries = int(max_retries)
+        self.on_error = on_error
+        self.spec_timeout = (
+            float(spec_timeout) if spec_timeout is not None else None
+        )
+        self.backoff_base = float(backoff_base)
+        self.health_threshold = health_threshold
         self.job: Optional[str] = None
         self.requeued_total = 0
         self._expected: Set[int] = set()
         self._resolved: Set[int] = set()
         self._replayed: List[Tuple[int, ScenarioResult]] = []
+        self._items: Dict[int, Spec] = {}
+        self._attempts: Dict[int, int] = {}
+        self._retry_due: List[Tuple[float, int]] = []
+        self.failure_report = FailureReport()
+        self._health: Dict[str, int] = {}
+        self.retired_workers: Set[str] = set()
 
     def _begin(
         self,
@@ -133,6 +186,12 @@ class _BrokerBase:
         self._resolved = set()
         self._replayed = []
         self.requeued_total = 0
+        self._items = {int(i): spec for i, spec in items}
+        self._attempts = {}
+        self._retry_due = []
+        self.failure_report = FailureReport()
+        self._health = {}
+        self.retired_workers = set()
         if self.ledger_path is not None:
             digest = campaign or campaign_hash(items)
             try:
@@ -239,9 +298,17 @@ class _BrokerBase:
                 "result": result.to_json(),
             }
         )
+        if faults.fire("ledger.append", index) == "corrupt":
+            line = faults.corrupt_text(line)
         try:
             with open(self.ledger_path, "a") as handle:
                 handle.write(line + "\n")
+                # fsync each append: a resumed campaign trusts the
+                # ledger to know what is done, so a host crash must
+                # not be able to eat acknowledged results that were
+                # still sitting in the page cache.
+                handle.flush()
+                os.fsync(handle.fileno())
         except OSError:
             pass  # journaling is best-effort; the campaign continues
 
@@ -256,10 +323,19 @@ class _BrokerBase:
 
         ``requeued`` counts work units returned to the queue (expired
         leases, dead connections); ``stolen`` counts chunk-steal
-        events (splits of a busy worker's lease for an idle one).
-        Transports override to fold in their own counters.
+        events (splits of a busy worker's lease for an idle one);
+        ``retried`` counts re-executions charged to retry budgets;
+        ``quarantined`` counts specs abandoned after exhausting
+        theirs; ``retired`` counts workers blacklisted by health
+        scoring.  Transports override to fold in their own counters.
         """
-        return {"requeued": self.requeued_total, "stolen": 0}
+        return {
+            "requeued": self.requeued_total,
+            "stolen": 0,
+            "retried": self.failure_report.retries,
+            "quarantined": len(self.failure_report.quarantined),
+            "retired": len(self.retired_workers),
+        }
 
     def _drain_replayed(self) -> Iterator[Tuple[int, ScenarioResult]]:
         while self._replayed:
@@ -267,19 +343,131 @@ class _BrokerBase:
 
     # ------------------------------------------------------------------
     def _accept(self, payload: Dict) -> Optional[Tuple[int, ScenarioResult]]:
-        """Validate one outcome payload; ``None`` if stale/duplicate."""
-        job, index, outcome = parse_outcome(payload)
+        """Validate one outcome payload; ``None`` if stale/duplicate.
+
+        Error outcomes flow into the retry/quarantine machinery; a
+        *corrupt* payload (unparseable at all) charges the sending
+        worker's health score and requeues the index it claimed.
+        """
+        try:
+            job, index, outcome = parse_outcome(payload)
+        except SchedulingError:
+            self._note_worker(outcome_worker(payload), 2)
+            try:
+                index = int(payload.get("index", -1))
+            except (TypeError, ValueError, AttributeError):
+                index = -1
+            if (
+                payload.get("job") == self.job
+                and index in self._expected
+                and index not in self._resolved
+            ):
+                self.requeued_total += 1
+                self._requeue_index(index)
+            return None
         if job != self.job or index not in self._expected:
             return None  # another campaign's straggler
         if index in self._resolved:
             return None  # duplicate after a lease requeue
         if isinstance(outcome, SchedulingError):
-            raise SchedulingError(
-                f"worker failed executing scenario {index}: {outcome}"
-            )
+            self._spec_failed(index, outcome, outcome_worker(payload))
+            return None
         self._resolved.add(index)
         self._journal(index, outcome)
         return index, outcome
+
+    def _spec_failed(
+        self, index: int, exc: SchedulingError, worker: str = ""
+    ) -> None:
+        """Charge one failed execution against ``index``'s budget.
+
+        Within budget: schedule a deterministic-backoff retry.  Budget
+        exhausted: quarantine (policy ``"quarantine"``) or raise (the
+        default — same first-failure abort as before this layer, down
+        to the message the pinned tests match).
+        """
+        self._note_worker(worker, 1)
+        failure = FailureInfo.from_exception(exc)
+        if isinstance(exc, SpecTimeout):
+            self.failure_report.timeouts += 1
+        attempts = self._attempts.get(index, 0) + 1
+        self._attempts[index] = attempts
+        if attempts <= self.max_retries:
+            self.failure_report.retries += 1
+            seed = int(getattr(self._items.get(index), "seed", 0) or 0)
+            due = time.monotonic() + backoff_delay(
+                seed, attempts, base=self.backoff_base
+            )
+            self._retry_due.append((due, index))
+            return
+        if self.on_error == "quarantine":
+            spec = self._items.get(index)
+            self.failure_report.quarantined.append(
+                QuarantinedSpec(
+                    index=index,
+                    spec_hash=(
+                        content_hash(spec) if spec is not None else ""
+                    ),
+                    attempts=attempts,
+                    failure=failure,
+                )
+            )
+            # Quarantine resolves the unit (without a result) so the
+            # campaign can finish; it is never journaled, so a resumed
+            # run gets a fresh chance at the spec.
+            self._resolved.add(index)
+            return
+        raise SchedulingError(
+            f"worker failed executing scenario {index}: {exc}"
+        )
+
+    def _flush_retries(self) -> None:
+        """Republish every retry whose backoff has elapsed."""
+        if not self._retry_due:
+            return
+        now = time.monotonic()
+        due = [entry for entry in self._retry_due if entry[0] <= now]
+        if not due:
+            return
+        self._retry_due = [
+            entry for entry in self._retry_due if entry[0] > now
+        ]
+        for _, index in sorted(due, key=lambda entry: entry[1]):
+            if index not in self._resolved:
+                self._requeue_index(index)
+
+    def _requeue_index(self, index: int) -> None:
+        """Transport hook: republish one work unit."""
+        raise NotImplementedError
+
+    def _pending_retries(self) -> bool:
+        return bool(self._retry_due)
+
+    # ------------------------------------------------------------------
+    # Worker health
+    # ------------------------------------------------------------------
+    def _note_worker(self, worker: str, weight: int) -> None:
+        """Add ``weight`` to a worker's failure score; retire at the
+        threshold (error outcome +1, crash/stale lease +2, corrupt
+        payload +2)."""
+        if not worker:
+            return
+        self._health[worker] = self._health.get(worker, 0) + weight
+        if (
+            self.health_threshold is not None
+            and worker not in self.retired_workers
+            and self._health[worker] >= self.health_threshold
+        ):
+            self.retired_workers.add(worker)
+            self._retire_worker(worker)
+
+    def _retire_worker(self, worker: str) -> None:
+        """Transport hook: stop ``worker`` from winning further leases."""
+
+    @property
+    def worker_health(self) -> Dict[str, int]:
+        """Current per-worker failure scores (telemetry snapshot)."""
+        return dict(self._health)
 
     @property
     def done(self) -> bool:
@@ -322,12 +510,22 @@ class DirectoryBroker(_BrokerBase):
         lease_timeout: float = 60.0,
         result_timeout: Optional[float] = None,
         chunk_size: int = 1,
+        max_retries: int = 0,
+        on_error: str = "raise",
+        spec_timeout: Optional[float] = None,
+        backoff_base: float = 0.05,
+        health_threshold: Optional[int] = None,
     ) -> None:
         workdir = WorkDir(root)
         super().__init__(
             poll=poll,
             result_timeout=result_timeout,
             ledger_path=workdir.ledger_path,
+            max_retries=max_retries,
+            on_error=on_error,
+            spec_timeout=spec_timeout,
+            backoff_base=backoff_base,
+            health_threshold=health_threshold,
         )
         if lease_timeout <= 0:
             raise SchedulingError(
@@ -343,6 +541,10 @@ class DirectoryBroker(_BrokerBase):
         # worker clocks never enter the comparisons (NFS fleets skew).
         self._lease_obs: Dict[str, Tuple[float, float]] = {}
         self._starve_obs: Dict[str, Tuple[float, float]] = {}
+        # Overdue-spec backstop state: (chunk, index) -> first seen
+        # as the active task, plus the set already charged.
+        self._active_obs: Dict[Tuple[str, int], float] = {}
+        self._overdue_fired: Set[Tuple[str, int]] = set()
         self.workdir.ensure_layout()
 
     def submit(
@@ -353,7 +555,78 @@ class DirectoryBroker(_BrokerBase):
         campaign: Optional[str] = None,
     ) -> None:
         job, todo = self._begin(items, resume=resume, campaign=campaign)
-        self.workdir.publish(job, todo, chunk_size=self.chunk_size)
+        self.workdir.publish(
+            job, todo, chunk_size=self.chunk_size, timeout=self.spec_timeout
+        )
+
+    def _requeue_index(self, index: int) -> None:
+        spec = self._items.get(index)
+        if spec is None:
+            return
+        self.workdir.enqueue(
+            str(self.job),
+            [(index, spec)],
+            chunk_size=1,
+            timeout=self.spec_timeout,
+        )
+
+    def _retire_worker(self, worker: str) -> None:
+        self.workdir.retire(worker)
+
+    def _scan_overdue(self) -> None:
+        """Broker-side spec-deadline backstop for the directory queue.
+
+        A hung spec keeps its lease alive (the heartbeat thread is
+        separate from the wedged executor), so lease expiry can never
+        catch it.  Instead, watch each claimed chunk's *active* task:
+        if the same index stays active well past ``spec_timeout``,
+        charge it as a timeout.  The worker-side watchdog fires at
+        exactly the deadline; this backstop waits twice that plus a
+        second so it only acts when the watchdog could not (worker
+        thread, non-POSIX platform, wedged C extension).
+        """
+        if self.spec_timeout is None:
+            return
+        grace = 2.0 * self.spec_timeout + 1.0
+        now = time.monotonic()
+        live: Set[Tuple[str, int]] = set()
+        for path in self.workdir.claimed.glob("chunk-*.json"):
+            payload = self.workdir.refresh(path.name)
+            if payload is None or payload.get("job") != self.job:
+                continue
+            active = payload.get("active")
+            if not isinstance(active, dict):
+                continue
+            try:
+                index = int(active.get("index", -1))
+            except (TypeError, ValueError):
+                continue
+            key = (path.name, index)
+            live.add(key)
+            first_seen = self._active_obs.setdefault(key, now)
+            if key in self._overdue_fired:
+                continue
+            if now - first_seen <= grace:
+                continue
+            self._overdue_fired.add(key)
+            if index in self._resolved or index not in self._expected:
+                continue
+            worker = str(payload.get("worker") or "")
+            self._note_worker(worker, 1)
+            self._spec_failed(
+                index,
+                SpecTimeout(
+                    f"spec {index} exceeded its "
+                    f"{self.spec_timeout:.3g}s deadline (broker "
+                    "backstop; worker still holds the lease)",
+                    exc_type="SpecTimeout",
+                ),
+                worker="",
+            )
+        for key in list(self._active_obs):
+            if key not in live:
+                del self._active_obs[key]
+                self._overdue_fired.discard(key)
 
     def outcomes(self) -> Iterator[Tuple[int, ScenarioResult]]:
         yield from self._drain_replayed()
@@ -362,6 +635,8 @@ class DirectoryBroker(_BrokerBase):
         # only needs to be a fraction of the lease timeout — not every
         # poll tick.
         scan_interval = min(1.0, self.lease_timeout / 4.0)
+        if self.spec_timeout is not None:
+            scan_interval = min(scan_interval, self.spec_timeout / 2.0)
         last_scan = -scan_interval
         last_progress = time.monotonic()
         while not self.done:
@@ -371,28 +646,38 @@ class DirectoryBroker(_BrokerBase):
                 if accepted is not None:
                     got_any = True
                     yield accepted
+            self._flush_retries()
             if got_any:
                 last_progress = time.monotonic()
                 continue
             now = time.monotonic()
             if now - last_scan >= scan_interval:
                 last_scan = now
+                expired_workers: List[str] = []
                 self.requeued_total += self.workdir.requeue_expired(
-                    self.lease_timeout, self._lease_obs
+                    self.lease_timeout,
+                    self._lease_obs,
+                    expired_workers=expired_workers,
                 )
+                for worker in expired_workers:
+                    self._note_worker(worker, 2)
+                self._scan_overdue()
                 if self.chunk_size > 1:  # single-task chunks never split
                     self.split_total += self.workdir.split_starved(
                         observed=self._starve_obs
                     )
-            self._check_stalled(last_progress)
+            if not self._pending_retries():
+                self._check_stalled(last_progress)
+            else:
+                last_progress = time.monotonic()
             time.sleep(self.poll)
 
     @property
     def telemetry(self) -> Dict[str, int]:
-        return {
-            "requeued": self.requeued_total,
-            "stolen": self.split_total,
-        }
+        data = super().telemetry
+        data["requeued"] = self.requeued_total
+        data["stolen"] = self.split_total
+        return data
 
     def close(self) -> None:
         """Tell idle workers to exit (the shutdown marker persists)."""
@@ -437,18 +722,30 @@ class _TCPState:
         self.closing = False
         self.requeued = 0
         self.steals = 0
+        #: Worker health plumbing: session -> self-reported worker
+        #: token, retired (blacklisted) tokens, and (token, weight)
+        #: events the connection threads leave for the broker thread.
+        self.worker_by_session: Dict[str, str] = {}
+        self.retired: Set[str] = set()
+        self.health_events: List[Tuple[str, int]] = []
+        #: When each leased index started executing (spec-deadline
+        #: backstop); keyed by index, reset on every (re)lease.
+        self.lease_start: Dict[int, float] = {}
 
     # All methods below assume ``self.lock`` is held by the caller.
     def lease_to(self, session_id: str, chunk: List[Dict]) -> None:
+        now = time.monotonic()
         for task in chunk:
             index = int(task["index"])
             self.tasks[index] = task
             self.owner[index] = session_id
             self.sessions.setdefault(session_id, set()).add(index)
+            self.lease_start[index] = now
         self.last_beat[session_id] = time.monotonic()
 
     def release(self, index: int) -> None:
         self.tasks.pop(index, None)
+        self.lease_start.pop(index, None)
         session_id = self.owner.pop(index, None)
         if session_id is not None:
             self.sessions.get(session_id, set()).discard(index)
@@ -460,6 +757,7 @@ class _TCPState:
         for index in indices:
             task = self.tasks.pop(index, None)
             self.owner.pop(index, None)
+            self.lease_start.pop(index, None)
             if task is not None:
                 chunk.append(task)
         if chunk:
@@ -510,6 +808,7 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # noqa: D102 - socketserver hook
         state: _TCPState = self.server.state  # type: ignore[attr-defined]
         session_id = uuid.uuid4().hex
+        worker_token = ""
         with state.lock:
             state.conns[session_id] = self.connection
         try:
@@ -531,10 +830,19 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
                             },
                         )
                         break
+                    worker_token = str(msg.get("worker") or "")
+                    with state.lock:
+                        if worker_token:
+                            state.worker_by_session[session_id] = (
+                                worker_token
+                            )
                     send_msg(self.wfile, {"op": "welcome"})
                 elif op == "lease":
                     with state.lock:
-                        if state.closing:
+                        if state.closing or (
+                            worker_token
+                            and worker_token in state.retired
+                        ):
                             reply = {"op": "shutdown"}
                         elif state.pending:
                             chunk = state.pending.popleft()
@@ -576,7 +884,12 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
         finally:
             with state.lock:
                 state.conns.pop(session_id, None)
-                state.requeue_session(session_id)
+                requeued = state.requeue_session(session_id)
+                state.worker_by_session.pop(session_id, None)
+                if requeued and worker_token:
+                    # Died holding work: a crash signal for the
+                    # broker thread's health scoring.
+                    state.health_events.append((worker_token, 2))
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -606,11 +919,21 @@ class TCPBroker(_BrokerBase):
         lease_timeout: Optional[float] = None,
         chunk_size: int = 1,
         ledger_path: Union[str, Path, None] = None,
+        max_retries: int = 0,
+        on_error: str = "raise",
+        spec_timeout: Optional[float] = None,
+        backoff_base: float = 0.05,
+        health_threshold: Optional[int] = None,
     ) -> None:
         super().__init__(
             poll=poll,
             result_timeout=result_timeout,
             ledger_path=Path(ledger_path) if ledger_path else None,
+            max_retries=max_retries,
+            on_error=on_error,
+            spec_timeout=spec_timeout,
+            backoff_base=backoff_base,
+            health_threshold=health_threshold,
         )
         if lease_timeout is not None and lease_timeout <= 0:
             raise SchedulingError(
@@ -650,16 +973,40 @@ class TCPBroker(_BrokerBase):
             self._state.owner.clear()
             self._state.sessions.clear()
             self._state.stolen.clear()
+            self._state.lease_start.clear()
+            self._state.retired.clear()
+            self._state.health_events.clear()
             for lo in range(0, len(todo), self.chunk_size):
                 batch = todo[lo : lo + self.chunk_size]
                 self._state.pending.append(
-                    [task_payload(job, i, spec) for i, spec in batch]
+                    [
+                        task_payload(
+                            job, i, spec, timeout=self.spec_timeout
+                        )
+                        for i, spec in batch
+                    ]
                 )
+
+    def _requeue_index(self, index: int) -> None:
+        spec = self._items.get(index)
+        if spec is None:
+            return
+        task = task_payload(
+            str(self.job), index, spec, timeout=self.spec_timeout
+        )
+        with self._state.lock:
+            if index not in self._state.owner:
+                self._state.pending.append([task])
+
+    def _retire_worker(self, worker: str) -> None:
+        with self._state.lock:
+            self._state.retired.add(worker)
 
     def _requeue_stale_leases(self) -> None:
         if self.lease_timeout is None:
             return
         deadline = time.monotonic() - self.lease_timeout
+        crashed: List[str] = []
         with self._state.lock:
             stale = [
                 session_id
@@ -670,23 +1017,87 @@ class TCPBroker(_BrokerBase):
             for session_id in stale:
                 requeued = self._state.requeue_session(session_id)
                 self.requeued_total += requeued
+                token = self._state.worker_by_session.get(session_id)
+                if requeued and token:
+                    crashed.append(token)
+        for token in crashed:
+            self._note_worker(token, 2)
+
+    def _drain_health_events(self) -> None:
+        with self._state.lock:
+            events = list(self._state.health_events)
+            self._state.health_events.clear()
+        for token, weight in events:
+            self._note_worker(token, weight)
+
+    def _requeue_overdue(self) -> None:
+        """Spec-deadline backstop: reclaim units a worker has held far
+        past the deadline even while heartbeating (hung executor).
+
+        The reclaimed index is marked stolen for its session — when
+        (if) the wedged worker comes back, its next ack tells it to
+        skip the unit — and charged as a timeout through the normal
+        retry/quarantine path.
+        """
+        if self.spec_timeout is None:
+            return
+        grace = 2.0 * self.spec_timeout + 1.0
+        cutoff = time.monotonic() - grace
+        overdue: List[Tuple[int, str]] = []
+        with self._state.lock:
+            for index, started in list(self._state.lease_start.items()):
+                if started >= cutoff or index in self._resolved:
+                    continue
+                session_id = self._state.owner.get(index)
+                if session_id is None:
+                    continue
+                self._state.sessions.get(session_id, set()).discard(
+                    index
+                )
+                self._state.stolen.setdefault(session_id, set()).add(
+                    index
+                )
+                self._state.tasks.pop(index, None)
+                self._state.owner.pop(index, None)
+                self._state.lease_start.pop(index, None)
+                token = self._state.worker_by_session.get(
+                    session_id, ""
+                )
+                overdue.append((index, token))
+        for index, token in overdue:
+            self._note_worker(token, 1)
+            self._spec_failed(
+                index,
+                SpecTimeout(
+                    f"spec {index} exceeded its "
+                    f"{self.spec_timeout:.3g}s deadline (broker "
+                    "backstop; worker still heartbeating)",
+                    exc_type="SpecTimeout",
+                ),
+                worker="",
+            )
 
     @property
     def telemetry(self) -> Dict[str, int]:
+        data = super().telemetry
         with self._state.lock:
-            return {
-                "requeued": self.requeued_total + self._state.requeued,
-                "stolen": self._state.steals,
-            }
+            data["requeued"] = self.requeued_total + self._state.requeued
+            data["stolen"] = self._state.steals
+        return data
 
     def outcomes(self) -> Iterator[Tuple[int, ScenarioResult]]:
         yield from self._drain_replayed()
         last_progress = time.monotonic()
         while not self.done:
+            self._drain_health_events()
+            self._flush_retries()
             try:
                 payload = self._state.outcomes.get(timeout=self.poll)
             except queue.Empty:
                 self._requeue_stale_leases()
+                self._requeue_overdue()
+                if self._pending_retries():
+                    last_progress = time.monotonic()
                 self._check_stalled(last_progress)
                 continue
             accepted = self._accept(payload)

@@ -22,18 +22,21 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from ...errors import SchedulingError
+from ..failures import FailureInfo
 from ..spec import ScenarioResult, Spec, spec_from_json, spec_to_json
 
 __all__ = [
     "PROTOCOL_VERSION",
     "task_payload",
     "parse_task",
+    "task_timeout",
     "chunk_payload",
     "stamp_lease",
     "lease_stamp",
     "result_payload",
     "error_payload",
     "parse_outcome",
+    "outcome_worker",
     "atomic_write_json",
     "read_json",
     "send_msg",
@@ -44,14 +47,23 @@ __all__ = [
 #: refuse workers announcing a different version.
 #: 2: tasks are leased in index-contiguous *chunks* ({"tasks": [...]})
 #:    with in-payload lease timestamps and heartbeat renewal.
-PROTOCOL_VERSION = 2
+#: 3: error outcomes carry structured failures (exception class,
+#:    message, traceback text, retryability) instead of bare strings;
+#:    outcomes name the worker that produced them (health scoring);
+#:    tasks may carry a per-spec execution ``timeout``.
+PROTOCOL_VERSION = 3
 
 
 # ----------------------------------------------------------------------
 # Payloads
 # ----------------------------------------------------------------------
-def task_payload(job: str, index: int, spec: Spec) -> Dict:
-    return {"job": job, "index": int(index), "spec": spec_to_json(spec)}
+def task_payload(
+    job: str, index: int, spec: Spec, *, timeout: Optional[float] = None
+) -> Dict:
+    payload = {"job": job, "index": int(index), "spec": spec_to_json(spec)}
+    if timeout is not None:
+        payload["timeout"] = float(timeout)
+    return payload
 
 
 def parse_task(payload: Dict) -> Tuple[str, int, Spec]:
@@ -63,6 +75,15 @@ def parse_task(payload: Dict) -> Tuple[str, int, Spec]:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SchedulingError(f"malformed task payload: {exc}") from exc
+
+
+def task_timeout(payload: Dict) -> Optional[float]:
+    """The per-spec execution deadline a task carries, if any."""
+    try:
+        timeout = payload.get("timeout")
+        return float(timeout) if timeout is not None else None
+    except (TypeError, ValueError, AttributeError):
+        return None
 
 
 def chunk_payload(job: str, name: str, tasks: list) -> Dict:
@@ -115,28 +136,65 @@ def lease_stamp(payload: Optional[Dict]) -> Optional[float]:
         return None
 
 
-def result_payload(job: str, index: int, result: ScenarioResult) -> Dict:
-    return {"job": job, "index": int(index), "result": result.to_json()}
+def result_payload(
+    job: str,
+    index: int,
+    result: ScenarioResult,
+    *,
+    worker: Optional[str] = None,
+) -> Dict:
+    payload = {"job": job, "index": int(index), "result": result.to_json()}
+    if worker:
+        payload["worker"] = str(worker)
+    return payload
 
 
-def error_payload(job: str, index: int, message: str) -> Dict:
-    return {"job": job, "index": int(index), "error": str(message)}
+def error_payload(
+    job: str,
+    index: int,
+    failure,
+    *,
+    worker: Optional[str] = None,
+) -> Dict:
+    """An error outcome.  ``failure`` is a
+    :class:`~repro.campaign.failures.FailureInfo` (protocol v3) or a
+    bare message string (accepted for the v2 shape)."""
+    error = (
+        failure.to_json()
+        if isinstance(failure, FailureInfo)
+        else str(failure)
+    )
+    payload = {"job": job, "index": int(index), "error": error}
+    if worker:
+        payload["worker"] = str(worker)
+    return payload
 
 
 def parse_outcome(payload: Dict) -> Tuple[str, int, object]:
     """``(job, index, ScenarioResult | SchedulingError)`` from a dict.
 
     Execution errors come back as *values* (not raised) so the broker
-    can decide how to fail the campaign.
+    can decide how to fail the campaign.  Structured (v3) error
+    payloads rehydrate as :class:`~repro.errors.SpecFailure` with the
+    remote traceback attached; legacy string errors still parse.
     """
     try:
         job = str(payload["job"])
         index = int(payload["index"])
         if "error" in payload:
-            return job, index, SchedulingError(str(payload["error"]))
+            error = payload["error"]
+            if isinstance(error, dict):
+                return job, index, FailureInfo.from_json(error).to_exception()
+            return job, index, SchedulingError(str(error))
         return job, index, ScenarioResult.from_json(payload["result"])
     except (KeyError, TypeError, ValueError) as exc:
         raise SchedulingError(f"malformed outcome payload: {exc}") from exc
+
+
+def outcome_worker(payload: Dict) -> str:
+    """The worker token an outcome names, or ``""`` (v2 payloads)."""
+    worker = payload.get("worker") if isinstance(payload, dict) else None
+    return str(worker) if worker else ""
 
 
 # ----------------------------------------------------------------------
@@ -150,6 +208,12 @@ def atomic_write_json(path: Path, payload: Dict) -> None:
     sibling could be read half-written and consumed (deleted) by the
     broker, making the writer's ``os.replace`` fail and silently
     losing the payload.
+
+    The temp file is fsynced before the rename: without it, a host
+    crash can leave the *renamed* file empty or truncated on
+    journaled filesystems (rename is metadata, data may still be in
+    the page cache), which would surface to consumers as a corrupt
+    payload instead of the pre-write state.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(
@@ -158,6 +222,8 @@ def atomic_write_json(path: Path, payload: Dict) -> None:
     try:
         with os.fdopen(fd, "w") as handle:
             json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:

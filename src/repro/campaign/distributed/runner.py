@@ -42,6 +42,7 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ... import faults
 from ...errors import SchedulingError
 from ..cache import ResultCache
 from ..growth import GrowableRunnerMixin
@@ -109,6 +110,20 @@ class DistributedRunner(GrowableRunnerMixin):
         Fail the campaign if no outcome arrives for this many seconds
         (``None`` waits forever) — the guard against running
         broker-only with no fleet attached.
+    max_retries / on_error / spec_timeout / backoff_base:
+        Fault-containment knobs, mirroring
+        :class:`~repro.campaign.runner.CampaignRunner`: failed specs
+        are retried up to ``max_retries`` times with deterministic
+        seeded backoff; a spec exhausting its budget is quarantined
+        into the result's FailureReport (``on_error="quarantine"``)
+        or aborts the campaign (``"raise"``, the default);
+        ``spec_timeout`` rides inside task payloads so workers arm an
+        execution watchdog, backstopped by the broker's lease clock.
+    health_threshold:
+        Retire (blacklist) a worker whose failure score — error
+        outcome +1, crash or stale lease +2, corrupt payload +2 —
+        reaches this value (``None`` disables health-based
+        retirement).
     """
 
     def __init__(
@@ -128,6 +143,11 @@ class DistributedRunner(GrowableRunnerMixin):
         result_timeout: Optional[float] = None,
         autoscale_interval: float = 0.5,
         autoscale_idle: float = 5.0,
+        max_retries: int = 0,
+        on_error: str = "raise",
+        spec_timeout: Optional[float] = None,
+        backoff_base: float = 0.05,
+        health_threshold: Optional[int] = None,
     ) -> None:
         if (workdir is None) == (listen is None):
             raise SchedulingError(
@@ -158,6 +178,13 @@ class DistributedRunner(GrowableRunnerMixin):
         self._scaler_stop: Optional[threading.Event] = None
         self._scaler: Optional[threading.Thread] = None
         self._closed = False
+        containment = dict(
+            max_retries=max_retries,
+            on_error=on_error,
+            spec_timeout=spec_timeout,
+            backoff_base=backoff_base,
+            health_threshold=health_threshold,
+        )
         if workdir is not None:
             self._broker = DirectoryBroker(
                 workdir,
@@ -167,6 +194,7 @@ class DistributedRunner(GrowableRunnerMixin):
                 ),
                 result_timeout=result_timeout,
                 chunk_size=chunk_size,
+                **containment,
             )
             self._worker_args = ["--dir", str(workdir)]
         else:
@@ -179,6 +207,7 @@ class DistributedRunner(GrowableRunnerMixin):
                 lease_timeout=lease_timeout,
                 chunk_size=chunk_size,
                 ledger_path=ledger,
+                **containment,
             )
             bound_host, bound_port = self._broker.address
             self._worker_args = ["--connect", f"{bound_host}:{bound_port}"]
@@ -264,6 +293,7 @@ class DistributedRunner(GrowableRunnerMixin):
                 self._stop_autoscaler()
 
         counters = self._broker.telemetry
+        report = self._broker.failure_report
         return CampaignResult(
             results=[r for r in results if r is not None],
             wall_time_s=time.perf_counter() - start,
@@ -273,6 +303,9 @@ class DistributedRunner(GrowableRunnerMixin):
             replayed=replayed,
             requeued=counters["requeued"],
             stolen=counters["stolen"],
+            retried=counters.get("retried", 0),
+            quarantined=counters.get("quarantined", 0),
+            failures=report if report else None,
         )
 
     # ------------------------------------------------------------------
@@ -355,6 +388,11 @@ class DistributedRunner(GrowableRunnerMixin):
             snapshot = plugin_snapshot()
             if snapshot:
                 env[PLUGINS_ENV] = json.dumps(snapshot)
+            # Likewise ship the armed fault plan (if any) so spawned
+            # workers inject the same seeded faults as the broker.
+            fault_snapshot = faults.plan_snapshot()
+            if fault_snapshot:
+                env[faults.FAULTS_ENV] = fault_snapshot
             for _ in range(missing):
                 self._procs.append(
                     subprocess.Popen(

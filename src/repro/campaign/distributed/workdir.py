@@ -20,6 +20,10 @@ queue.  Layout under the root:
 ``starving/<worker-token>``
     Demand markers: a worker touches its token whenever a claim
     attempt finds nothing, and clears it when it gets work.
+``retired/<worker-token>``
+    Health blacklist: the broker writes a worker's token here when its
+    failure score crosses the retirement threshold; the worker checks
+    before every claim and exits instead of leasing more work.
 ``ledger.jsonl``
     The broker's append-only result journal (see
     :mod:`~repro.campaign.distributed.broker`); never touched here.
@@ -79,12 +83,13 @@ class WorkDir:
         self.claimed = self.root / "claimed"
         self.results = self.root / "results"
         self.starving = self.root / "starving"
+        self.retired = self.root / "retired"
         self.ledger_path = self.root / "ledger.jsonl"
         self.shutdown_marker = self.root / "shutdown"
 
     def ensure_layout(self) -> None:
         for sub in (self.pending, self.claimed, self.results,
-                    self.starving):
+                    self.starving, self.retired):
             sub.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -96,6 +101,7 @@ class WorkDir:
         items: List[Tuple[int, Spec]],
         *,
         chunk_size: int = 1,
+        timeout: Optional[float] = None,
     ) -> None:
         """Begin a job: clear leftovers, enqueue ``items`` in chunks.
 
@@ -109,13 +115,39 @@ class WorkDir:
         """
         self.ensure_layout()
         self.clear_shutdown()
+        self.sweep_orphans()
         for sub in (self.pending, self.claimed, self.results):
             for path in sub.glob("*.json"):
                 try:
                     path.unlink()
                 except OSError:
                     pass
-        self.enqueue(job, items, chunk_size=chunk_size)
+        self.enqueue(job, items, chunk_size=chunk_size, timeout=timeout)
+
+    def sweep_orphans(self) -> int:
+        """Remove crash debris: orphaned temp files and stale markers.
+
+        A writer killed between ``mkstemp`` and ``os.replace`` leaves
+        a ``.tmp-*.part`` file behind; a retired-worker marker from a
+        previous campaign would blacklist an innocent reused token.
+        Both are scoped to this broker's directory and safe to drop at
+        campaign start: no live writer holds a temp file across a
+        campaign boundary.  Returns the number of files removed.
+        """
+        removed = 0
+        candidates: List[Path] = []
+        for sub in (self.root, self.pending, self.claimed, self.results):
+            if sub.is_dir():
+                candidates.extend(sub.glob(".tmp-*"))
+        if self.retired.is_dir():
+            candidates.extend(self.retired.glob("*"))
+        for path in candidates:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     def enqueue(
         self,
@@ -123,14 +155,23 @@ class WorkDir:
         items: List[Tuple[int, Spec]],
         *,
         chunk_size: int = 1,
+        timeout: Optional[float] = None,
     ) -> None:
-        """Append ``items`` as new pending chunks (no cleanup)."""
+        """Append ``items`` as new pending chunks (no cleanup).
+
+        ``timeout`` rides inside every task payload as the per-spec
+        execution deadline workers arm their watchdog with.
+        """
         size = max(1, int(chunk_size))
         ordered = sorted(items, key=lambda pair: pair[0])
         for lo in range(0, len(ordered), size):
             batch = ordered[lo : lo + size]
             self._publish_chunk(
-                job, [task_payload(job, i, spec) for i, spec in batch]
+                job,
+                [
+                    task_payload(job, i, spec, timeout=timeout)
+                    for i, spec in batch
+                ],
             )
 
     def _publish_chunk(self, job: str, tasks: List[Dict]) -> int:
@@ -147,6 +188,8 @@ class WorkDir:
         self,
         lease_timeout: float,
         observed: Optional[Dict[str, Tuple[float, float]]] = None,
+        *,
+        expired_workers: Optional[List[str]] = None,
     ) -> int:
         """Requeue chunks whose lease ran out; count requeued *tasks*.
 
@@ -163,6 +206,10 @@ class WorkDir:
         (which may be arbitrarily skewed on a multi-host fleet) never
         enter the comparison.  Without it, the stamp is compared
         against this host's wall clock directly (one-shot callers).
+
+        ``expired_workers``, if given a list, collects the claiming
+        worker's token (stamped at claim time) for every expired
+        chunk — the broker's crash signal for health scoring.
         """
         requeued = 0
         now_wall = time.time()
@@ -198,6 +245,8 @@ class WorkDir:
             requeued += self._publish_chunk(
                 str(payload.get("job", "")), _remaining_tasks(payload)
             )
+            if expired_workers is not None and payload.get("worker"):
+                expired_workers.append(str(payload["worker"]))
             try:
                 path.unlink()
             except OSError:
@@ -312,6 +361,23 @@ class WorkDir:
                     pass
         return found
 
+    def retire(self, token: str) -> None:
+        """Broker-side: blacklist ``token`` (health score exceeded)."""
+        try:
+            self.retired.mkdir(parents=True, exist_ok=True)
+            (self.retired / token).touch()
+        except OSError:
+            pass  # best-effort; the lease clock still bounds damage
+
+    def is_retired(self, token: str) -> bool:
+        """Worker-side: has the broker blacklisted this token?"""
+        if not token:
+            return False
+        try:
+            return (self.retired / token).exists()
+        except OSError:
+            return False
+
     def mark_starving(self, token: str) -> None:
         """Worker-side: record that a claim attempt found nothing."""
         try:
@@ -359,8 +425,15 @@ class WorkDir:
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def claim(self) -> Optional[Dict]:
-        """Lease one pending chunk; ``None`` if nothing is available."""
+    def claim(self, worker: str = "") -> Optional[Dict]:
+        """Lease one pending chunk; ``None`` if nothing is available.
+
+        A retired ``worker`` token never wins a lease: the blacklist
+        check happens before the rename race, so a misbehaving worker
+        stops taking work one poll after the broker retires it.
+        """
+        if worker and self.is_retired(worker):
+            return None
         if not self.pending.is_dir():
             return None
         for path in sorted(self.pending.glob("chunk-*.json")):
@@ -377,6 +450,8 @@ class WorkDir:
                     pass
                 continue
             payload["chunk"] = path.name
+            if worker:
+                payload["worker"] = worker
             # Start the lease clock now: the publish-time payload (and
             # the rename-preserved mtime) may already look expired.
             stamp_lease(payload)

@@ -28,7 +28,9 @@ import uuid
 from pathlib import Path
 from typing import Dict, Optional, Set, Union
 
+from ... import faults
 from ...errors import SchedulingError
+from ..failures import FailureInfo, spec_deadline
 from ..runner import run_spec
 from .protocol import (
     PROTOCOL_VERSION,
@@ -37,19 +39,24 @@ from .protocol import (
     recv_msg,
     result_payload,
     send_msg,
+    task_timeout,
 )
 from .workdir import WorkDir
 
 __all__ = ["execute_payload", "run_directory_worker", "run_tcp_worker"]
 
 
-def execute_payload(payload: Dict) -> Dict:
+def execute_payload(payload: Dict, *, worker: str = "") -> Dict:
     """Run one task payload, capturing execution errors as data.
 
     A malformed payload (schema drift, a spec kind this worker's
     version doesn't know) is reported like any execution error rather
     than raised — otherwise one poison-pill task would serially crash
-    every worker that leases it.
+    every worker that leases it.  Errors travel structured (exception
+    class, message, traceback text — protocol v3) so the broker can
+    charge retry budgets and quarantine with provenance.  A task
+    carrying a ``timeout`` runs under the :func:`spec_deadline`
+    watchdog; ``worker`` stamps outcomes for broker health scoring.
     """
     job = str(payload.get("job", ""))
     try:
@@ -58,10 +65,15 @@ def execute_payload(payload: Dict) -> Dict:
         index = -1
     try:
         job, index, spec = parse_task(payload)
-        result = run_spec(spec)
+        deadline = task_timeout(payload)
+        with spec_deadline(deadline, what=f"spec {index}"):
+            faults.fire("spec.execute", index)
+            result = run_spec(spec)
     except Exception as exc:  # deterministic failure: report, don't die
-        return error_payload(job, index, f"{type(exc).__name__}: {exc}")
-    return result_payload(job, index, result)
+        return error_payload(
+            job, index, FailureInfo.from_exception(exc), worker=worker
+        )
+    return result_payload(job, index, result, worker=worker)
 
 
 class _IdleClock:
@@ -120,6 +132,7 @@ def _serve_chunk(
     heartbeat: Optional[float],
     executed: int,
     max_tasks: Optional[int],
+    worker: str = "",
 ) -> int:
     """Execute a claimed chunk task-by-task; return new executed count.
 
@@ -155,7 +168,17 @@ def _serve_chunk(
                     current["active"] = task
                     current["tasks"] = tasks
                 workdir.update(current)
-            outcome = execute_payload(task)
+            outcome = execute_payload(task, worker=worker)
+            try:
+                task_index = int(task.get("index", -1))
+            except (TypeError, ValueError):
+                task_index = -1
+            if faults.fire("transport.result", task_index) == "drop":
+                # The outcome is lost as if this worker died between
+                # executing and publishing: abandon the chunk without
+                # submitting or releasing, so the broker's lease
+                # expiry recovers every unfinished task.
+                return executed
             with lock:
                 workdir.submit(outcome)
                 executed += 1
@@ -194,7 +217,9 @@ def run_directory_worker(
     last_mark = -mark_interval
     try:
         while max_tasks is None or executed < max_tasks:
-            payload = workdir.claim()
+            if workdir.is_retired(token):
+                break  # broker blacklisted this worker; stop leasing
+            payload = workdir.claim(token)
             if payload is None:
                 if workdir.is_shutdown() or clock.expired():
                     break
@@ -213,6 +238,7 @@ def run_directory_worker(
                 heartbeat=heartbeat,
                 executed=executed,
                 max_tasks=max_tasks,
+                worker=token,
             )
     finally:
         workdir.clear_starving(token)
@@ -230,12 +256,21 @@ class _BrokerSession:
     request/response pairs.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        worker: str = "",
+    ) -> None:
         self._lock = threading.Lock()
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.rfile = self.sock.makefile("rb")
         self.wfile = self.sock.makefile("wb")
-        reply = self.request({"op": "hello", "version": PROTOCOL_VERSION})
+        hello = {"op": "hello", "version": PROTOCOL_VERSION}
+        if worker:
+            hello["worker"] = worker
+        reply = self.request(hello)
         if reply is None or reply.get("op") != "welcome":
             reason = (reply or {}).get("reason", "no welcome from broker")
             self.close()
@@ -282,6 +317,7 @@ def run_tcp_worker(
     lease timeout assumes attached workers do heartbeat).
     """
     clock = _IdleClock(idle_timeout)
+    token = uuid.uuid4().hex[:12]
     executed = 0
     session: Optional[_BrokerSession] = None
     refused_since: Optional[float] = None
@@ -297,7 +333,7 @@ def run_tcp_worker(
         while max_tasks is None or executed < max_tasks:
             if session is None:
                 try:
-                    session = _BrokerSession(host, port)
+                    session = _BrokerSession(host, port, worker=token)
                     ever_connected = True
                     refused_since = None
                 except ConnectionRefusedError:
@@ -343,7 +379,19 @@ def run_tcp_worker(
                                 continue
                         except (TypeError, ValueError):
                             pass
-                        outcome = execute_payload(task)
+                        outcome = execute_payload(task, worker=token)
+                        try:
+                            task_index = int(task.get("index", -1))
+                        except (TypeError, ValueError):
+                            task_index = -1
+                        if (
+                            faults.fire("transport.result", task_index)
+                            == "drop"
+                        ):
+                            # Result lost in flight: sever the session
+                            # without sending; the broker requeues the
+                            # rest of this lease.
+                            raise OSError("injected result drop")
                         ack = session.request(
                             {"op": "outcome", "outcome": outcome}
                         )
@@ -351,6 +399,15 @@ def run_tcp_worker(
                             raise OSError(
                                 "broker did not acknowledge outcome"
                             )
+                        if (
+                            faults.fire("transport.ack", task_index)
+                            == "drop"
+                        ):
+                            # Ack lost: the broker has the outcome but
+                            # this worker behaves as if it never heard
+                            # back — reconnect, let the broker requeue
+                            # the lease remainder, dedup by index.
+                            raise OSError("injected ack drop")
                         executed += 1
                         stolen.update(
                             int(i) for i in ack.get("stolen", ())

@@ -18,6 +18,7 @@ execution, across any worker count.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import sys
 import time
@@ -26,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..analysis.lifetime import evaluate_lifetime, survival_scale
 from ..core.oneshot import run_one_shot
 from ..core.priority import LTF, PUBS, RandomPriority
@@ -40,6 +42,14 @@ from ..taskgraph.tgff import random_dag
 from ..workloads.generator import UniformActuals, paper_task_set
 from .aggregate import MetricSummary, StreamingAggregator, summarize
 from .cache import ResultCache
+from .failures import (
+    FailureInfo,
+    FailureReport,
+    QuarantinedSpec,
+    backoff_delay,
+    spec_deadline,
+    validate_on_error,
+)
 from .growth import GrowableRunnerMixin
 from .registry import (
     NEAR_OPTIMAL,
@@ -57,6 +67,7 @@ from .spec import (
     ScenarioSpec,
     Spec,
     SurvivalSpec,
+    content_hash,
     is_cacheable,
 )
 
@@ -175,6 +186,7 @@ def run_scenario_batch(
     *,
     fast_sim: bool = True,
     sim_vector: bool = False,
+    stats: Optional[Dict[str, int]] = None,
 ) -> List[Tuple[int, ScenarioResult]]:
     """Execute several scenario specs through one :class:`ScenarioBatch`.
 
@@ -187,6 +199,11 @@ def run_scenario_batch(
     (:class:`~repro.sim.vector.VectorEngine`), which advances every
     array-expressible scenario lock-step and falls back per scenario
     to the scalar engine otherwise — still result-identical.
+
+    ``stats``, when given a dict, receives execution telemetry from
+    the batch (currently ``numeric_demotions``: scenarios the vector
+    engine demoted to the scalar path after detecting a non-finite
+    hot-path output).
     """
     batch = ScenarioBatch(
         [
@@ -200,6 +217,8 @@ def run_scenario_batch(
         engine="vector" if sim_vector else "scalar",
     )
     outcomes = batch.run(fast=fast_sim)
+    if stats is not None:
+        stats.update(batch.last_stats)
     return [
         (
             index,
@@ -338,16 +357,54 @@ def _worker(item: Tuple) -> Tuple[int, ScenarioResult]:
     return index, run_spec(spec)
 
 
-def _batch_worker(
-    payload: Tuple,
-) -> List[Tuple[int, ScenarioResult]]:
+def _batch_worker(payload: Tuple):
     # Two-tuple payloads (pre-vector generations) still work: the
-    # vector flag simply defaults off.
+    # vector flag simply defaults off.  Four-element payloads ask for
+    # telemetry and get ``(pairs, stats)`` back; shorter ones keep the
+    # historical plain-pairs return shape.
     items, fast_sim = payload[0], payload[1]
     sim_vector = bool(payload[2]) if len(payload) > 2 else False
-    return run_scenario_batch(
-        list(items), fast_sim=fast_sim, sim_vector=sim_vector
+    want_stats = len(payload) > 3 and bool(payload[3])
+    stats: Optional[Dict[str, int]] = {} if want_stats else None
+    pairs = run_scenario_batch(
+        list(items), fast_sim=fast_sim, sim_vector=sim_vector, stats=stats
     )
+    if want_stats:
+        return pairs, stats
+    return pairs
+
+
+def _guarded_worker(
+    item: Tuple,
+) -> Tuple[int, Optional[ScenarioResult], Optional[FailureInfo]]:
+    """Execute one spec under fault containment.
+
+    Used instead of :func:`_worker` whenever retry budgets, timeouts,
+    quarantine, or an armed fault plan are in play: exceptions come
+    back as structured :class:`FailureInfo` values (so the parent can
+    charge budgets and quarantine) instead of poisoning the pool, and
+    the spec runs inside the :func:`spec_deadline` watchdog.  A retry
+    carries its backoff delay with it, so waits from different specs
+    overlap instead of serializing in the parent.
+    """
+    index, spec, fast_sim, timeout, delay = item
+    if delay > 0:
+        time.sleep(delay)
+    try:
+        with spec_deadline(timeout, what=f"spec {index}"):
+            faults.fire("spec.execute", index)
+            result = run_spec(spec, fast_sim=fast_sim)
+        return index, result, None
+    except Exception as exc:  # noqa: BLE001 - containment boundary
+        return index, None, FailureInfo.from_exception(exc)
+
+
+def _pool_init(snapshot, fault_plan_json: Optional[str]) -> None:
+    """Pool initializer: replay plugins and arm the fault plan."""
+    install_plugins(snapshot)
+    if fault_plan_json:
+        plan = faults.FaultPlan.from_json(json.loads(fault_plan_json))
+        faults.install(plan)
 
 
 # ----------------------------------------------------------------------
@@ -370,6 +427,17 @@ class CampaignResult:
     telemetry: work units returned to the queue after a lease expired
     or a worker connection died, and chunk tasks reassigned from a
     busy worker to an idle one.  Both are zero on the local runner.
+
+    ``retried`` counts re-executions charged against per-spec retry
+    budgets; ``quarantined`` counts specs abandoned after exhausting
+    theirs (details in ``failures``, a
+    :class:`~repro.campaign.failures.FailureReport` when any fault
+    containment happened, ``None`` on a clean default run);
+    ``demoted`` counts scenarios the numeric guardrails demoted from
+    the vector engine to the scalar path.  Quarantined specs are
+    absent from ``results``, so under quarantine
+    ``len(results) + quarantined == scenarios + quarantined`` holds
+    and per-metric columns align with the surviving specs only.
     """
 
     results: List[ScenarioResult]
@@ -380,6 +448,10 @@ class CampaignResult:
     replayed: int = 0
     requeued: int = 0
     stolen: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    demoted: int = 0
+    failures: Optional[FailureReport] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -394,6 +466,9 @@ class CampaignResult:
             "replayed": self.replayed,
             "requeued": self.requeued,
             "stolen": self.stolen,
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "demoted": self.demoted,
         }
 
     def metrics(self, name: str) -> Tuple[float, ...]:
@@ -458,6 +533,31 @@ class CampaignRunner(GrowableRunnerMixin):
         vector engine only pays off on wide batches, so when
         ``sim_batch`` is left at its default of 1 this flag raises it
         to 256; pass an explicit ``sim_batch`` to control the width.
+    max_retries:
+        Failed specs are re-executed up to this many times before the
+        ``on_error`` policy applies.  Retries back off with
+        deterministic seeded exponential delays
+        (:func:`~repro.campaign.failures.backoff_delay`).
+    spec_timeout:
+        Wall-clock seconds one spec may execute before the worker-side
+        watchdog interrupts it with a retryable
+        :class:`~repro.errors.SpecTimeout` (``None`` disables).
+    on_error:
+        ``"raise"`` (default) propagates the first failure that
+        exhausts its retry budget — byte-identical to historical
+        behavior at the other defaults.  ``"quarantine"`` records it
+        in the result's :class:`~repro.campaign.failures.
+        FailureReport` instead and lets the campaign complete with
+        partial results.
+    backoff_base:
+        First-retry backoff in seconds (doubles per attempt, capped).
+
+    Fault containment (any of the above knobs non-default, or a
+    :mod:`repro.faults` plan armed) executes specs as guarded
+    singles: failures come back structured instead of poisoning the
+    pool.  Scenario batching/vectorization is bypassed in that mode —
+    per-spec failure attribution needs per-spec execution — which
+    changes throughput, never results.
     """
 
     def __init__(
@@ -470,6 +570,10 @@ class CampaignRunner(GrowableRunnerMixin):
         fast_sim: bool = False,
         sim_batch: int = 1,
         sim_vector: bool = False,
+        max_retries: int = 0,
+        spec_timeout: Optional[float] = None,
+        on_error: str = "raise",
+        backoff_base: float = 0.05,
     ) -> None:
         if n_workers < 1:
             raise SchedulingError(f"n_workers must be >= 1, got {n_workers}")
@@ -477,6 +581,15 @@ class CampaignRunner(GrowableRunnerMixin):
             raise SchedulingError(f"chunksize must be >= 1, got {chunksize}")
         if sim_batch < 1:
             raise SchedulingError(f"sim_batch must be >= 1, got {sim_batch}")
+        if max_retries < 0:
+            raise SchedulingError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if spec_timeout is not None and spec_timeout <= 0:
+            raise SchedulingError(
+                f"spec_timeout must be positive, got {spec_timeout}"
+            )
+        validate_on_error(on_error)
         if start_method is not None:
             known = multiprocessing.get_all_start_methods()
             if start_method not in known:
@@ -493,6 +606,21 @@ class CampaignRunner(GrowableRunnerMixin):
         if sim_vector and sim_batch == 1:
             sim_batch = 256
         self.sim_batch = int(sim_batch)
+        self.max_retries = int(max_retries)
+        self.spec_timeout = (
+            float(spec_timeout) if spec_timeout is not None else None
+        )
+        self.on_error = on_error
+        self.backoff_base = float(backoff_base)
+
+    def _contained(self) -> bool:
+        """Whether the fault-containment execution path is active."""
+        return (
+            self.max_retries > 0
+            or self.spec_timeout is not None
+            or self.on_error != "raise"
+            or faults.active_plan() is not None
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -542,7 +670,11 @@ class CampaignRunner(GrowableRunnerMixin):
                 self.cache.put(result)
             emit(index, result)
 
-        if pending:
+        report: Optional[FailureReport] = None
+        demoted = 0
+        if pending and self._contained():
+            report = self._run_contained(specs, pending, absorb)
+        elif pending:
             batched: List[int] = []
             if self.sim_batch > 1:
                 batched = [
@@ -569,10 +701,12 @@ class CampaignRunner(GrowableRunnerMixin):
                         ),
                         self.fast_sim,
                         self.sim_vector,
+                        True,
                     )
                     for k in range(0, len(batched), self.sim_batch)
                 ]
-                for group in self._execute(payloads, _batch_worker):
+                for group, stats in self._execute(payloads, _batch_worker):
+                    demoted += int(stats.get("numeric_demotions", 0))
                     for index, result in group:
                         absorb(index, result)
 
@@ -582,7 +716,73 @@ class CampaignRunner(GrowableRunnerMixin):
             n_workers=self.n_workers,
             cache_hits=cache_hits,
             executed=len(pending),
+            retried=report.retries if report is not None else 0,
+            quarantined=(
+                len(report.quarantined) if report is not None else 0
+            ),
+            demoted=demoted,
+            failures=report if report else None,
         )
+
+    def _run_contained(
+        self,
+        specs: Sequence[Spec],
+        pending: List[int],
+        absorb: Callable[[int, ScenarioResult], None],
+    ) -> FailureReport:
+        """Guarded execution: retries, backoff, quarantine, timeouts.
+
+        Round-based: every spec still owed an attempt runs (in
+        parallel) with its backoff delay attached, failures are
+        charged against budgets, and the survivors of each round seed
+        the next.  Deterministic for a given (spec list, seed set,
+        failure pattern): retry order is index order and every
+        backoff is a pure function of (spec seed, attempt).
+        """
+        report = FailureReport()
+        attempts: Dict[int, int] = {}
+        queue: List[Tuple[int, float]] = [(i, 0.0) for i in pending]
+        while queue:
+            items = [
+                (i, specs[i], self.fast_sim, self.spec_timeout, delay)
+                for i, delay in queue
+            ]
+            queue = []
+            retry: List[Tuple[int, float]] = []
+            for index, result, failure in self._execute(
+                items, _guarded_worker
+            ):
+                if failure is None:
+                    absorb(index, result)
+                    continue
+                attempts[index] = attempts.get(index, 0) + 1
+                if failure.exc_type == "SpecTimeout":
+                    report.timeouts += 1
+                if attempts[index] <= self.max_retries:
+                    report.retries += 1
+                    delay = backoff_delay(
+                        int(getattr(specs[index], "seed", 0) or 0),
+                        attempts[index],
+                        base=self.backoff_base,
+                    )
+                    retry.append((index, delay))
+                elif self.on_error == "quarantine":
+                    report.quarantined.append(
+                        QuarantinedSpec(
+                            index=index,
+                            spec_hash=(
+                                content_hash(specs[index])
+                                if is_cacheable(specs[index])
+                                else ""
+                            ),
+                            attempts=attempts[index],
+                            failure=failure,
+                        )
+                    )
+                else:
+                    raise failure.to_exception()
+            queue = sorted(retry)
+        return report
 
     # ------------------------------------------------------------------
     def _execute(self, items: List[Tuple], worker: Callable = _worker):
@@ -607,8 +807,8 @@ class CampaignRunner(GrowableRunnerMixin):
         # forkserver), not just fork inheritance.
         with ctx.Pool(
             processes=workers,
-            initializer=install_plugins,
-            initargs=(plugin_snapshot(),),
+            initializer=_pool_init,
+            initargs=(plugin_snapshot(), faults.plan_snapshot()),
         ) as pool:
             yield from pool.imap_unordered(
                 worker, items, chunksize=self.chunksize

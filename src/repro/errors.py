@@ -37,6 +37,68 @@ class DeadlineMissError(SchedulingError):
         )
 
 
+class SpecFailure(SchedulingError):
+    """One spec's execution failed, with structured provenance.
+
+    Carries the original exception's class name, message, and traceback
+    text so a failure observed on a remote worker (or quarantined into
+    a :class:`~repro.campaign.failures.FailureReport`) stays
+    diagnosable after it crossed a process or wire boundary.
+
+    ``retryable`` marks failures worth charging against a spec's retry
+    budget: transient faults (timeouts, injected chaos, transport
+    hiccups) are; a deterministic executor bug would fail identically
+    on every attempt but is retried anyway — the budget, not the flag,
+    bounds the waste.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        exc_type: str = "",
+        traceback_text: str = "",
+    ):
+        self.exc_type = exc_type or type(self).__name__
+        self.traceback_text = traceback_text
+        super().__init__(message)
+
+
+class SpecTimeout(SpecFailure):
+    """A spec ran past its execution deadline and was interrupted.
+
+    Raised by the local pool watchdog (:func:`repro.campaign.failures.
+    spec_deadline`) and synthesized by the broker when a distributed
+    worker holds a spec past its lease-backed deadline.  Always
+    retryable: a timeout says nothing about the spec itself — the
+    worker may have been descheduled, swapping, or wedged.
+    """
+
+
+class WorkerLost(SchedulingError):
+    """A worker crashed, vanished, or was retired mid-campaign.
+
+    Never charged against a *spec*'s retry budget (the work unit is
+    simply requeued); it feeds the broker's per-worker health score
+    instead.
+    """
+
+    retryable = True
+
+
+class TransportFault(SchedulingError):
+    """A transport-level fault: dropped/delayed/corrupt payload or ack.
+
+    The distributed queue is designed so every transport fault is
+    recoverable (leases requeue, outcomes are deduplicated by index),
+    so this is retryable by construction.
+    """
+
+    retryable = True
+
+
 class BatteryError(ReproError):
     """Raised for invalid battery model parameters or usage."""
 

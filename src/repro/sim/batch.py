@@ -28,14 +28,14 @@ stays campaign-agnostic so studies can drive it directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..battery.base import BatteryModel, BatteryRun
 from ..battery.kernels import run_profile_batch
 from ..errors import SchedulingError
 from .engine import SimulationResult, Simulator
 from .profile import CurrentProfile
-from .vector import run_vectorized
+from .vector import VectorEngine
 
 __all__ = ["BatchItem", "BatchOutcome", "ScenarioBatch"]
 
@@ -104,6 +104,13 @@ class ScenarioBatch:
                 f"engine must be 'scalar' or 'vector', got {engine!r}"
             )
         self.engine = engine
+        #: Telemetry from the most recent :meth:`run`:
+        #: ``numeric_demotions`` counts scenarios (or battery loads)
+        #: whose fast-path output contained NaN/inf and was recomputed
+        #: through the scalar path; ``vector_fallbacks`` counts
+        #: scenarios the vector engine handed to the scalar engine for
+        #: any reason.  Empty until :meth:`run` is called.
+        self.last_stats: Dict[str, int] = {}
 
     def run(
         self,
@@ -120,11 +127,17 @@ class ScenarioBatch:
         battery evaluation and match
         :func:`~repro.analysis.lifetime.evaluate_lifetime` defaults.
         """
+        stats: Dict[str, int] = {
+            "numeric_demotions": 0,
+            "vector_fallbacks": 0,
+        }
         if self.engine == "vector":
-            results = run_vectorized(
-                [(item.simulator, item.horizon) for item in self.items],
-                fast=fast,
+            vec = VectorEngine(
+                [(item.simulator, item.horizon) for item in self.items]
             )
+            results = vec.run(fast=fast)
+            stats["numeric_demotions"] += vec.numeric_demotions
+            stats["vector_fallbacks"] = vec.n_fallback
         else:
             results = [
                 item.simulator.run(item.horizon, fast=fast)
@@ -140,8 +153,13 @@ class ScenarioBatch:
             loads.append((item.battery, p.durations, p.currents))
             load_pos.append(k)
         runs = run_profile_batch(
-            loads, repeat=None, max_time=max_time, fast=battery_fast
+            loads,
+            repeat=None,
+            max_time=max_time,
+            fast=battery_fast,
+            stats=stats,
         )
+        self.last_stats = stats
         by_item = dict(zip(load_pos, runs))
         return [
             BatchOutcome(res, prof, by_item.get(k))

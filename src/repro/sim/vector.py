@@ -105,6 +105,12 @@ _MAX_PREDRAW = 4_000_000
 
 _BIG_RANK = np.iinfo(np.int64).max
 
+#: Demotion reason for the numeric guardrail: a vectorized scenario
+#: whose materialized trace contains NaN/inf is re-run scalar rather
+#: than silently returned (the scalar engine either produces finite
+#: values or raises a diagnosable error).
+_NONFINITE_REASON = "non-finite value in vectorized trace"
+
 
 def _la_lookahead(d, c, util, present, t):
     """Bitwise replica of :meth:`LaEDF._lookahead` over leading axes.
@@ -387,12 +393,15 @@ class VectorEngine:
     After :meth:`run`, :attr:`fallback_reasons` holds one entry per
     scenario: ``None`` for scenarios computed by the vector engine, or
     a short human-readable reason for those that fell back to (or were
-    demoted to) the scalar engine.
+    demoted to) the scalar engine.  :attr:`numeric_demotions` counts
+    the subset of demotions caused by the numeric guardrail (NaN/inf
+    detected in a vectorized scenario's trace).
     """
 
     def __init__(
         self, scenarios: Sequence[Tuple[Simulator, float]]
     ) -> None:
+        self.numeric_demotions = 0
         self.scenarios: List[Tuple[Simulator, float]] = [
             (sim, horizon) for sim, horizon in scenarios
         ]
@@ -444,6 +453,8 @@ class VectorEngine:
                 results[i] = res
             for i, why in demoted.items():
                 reasons[i] = why
+                if why == _NONFINITE_REASON:
+                    self.numeric_demotions += 1
         self.fallback_reasons = reasons
         for i in range(n):
             if results[i] is None:
@@ -1648,13 +1659,27 @@ class _VectorRun:
             if not self.active[v]:
                 continue  # demoted: scalar re-run owns this item
             sel = order[offsets[v]:offsets[v + 1]]
-            trace = ExecutionTrace()
-            tile = self._tiles.get(v)
             starts = cols.start[sel]
             durs = cols.dur[sel]
             speeds = cols.speed[sel]
             volts = cols.volt[sel]
             curs = cols.cur[sel]
+            # Numeric guardrail: a NaN/inf anywhere in the trace means
+            # some upstream arithmetic went off the rails for this
+            # scenario (bad power-model inputs, degenerate frequency
+            # tables, ...).  Demote it to the scalar engine, which
+            # either produces finite values or raises a diagnosable
+            # error — never silently return poisoned columns.
+            finite = True
+            for col in (starts, durs, speeds, volts, curs):
+                if not np.isfinite(col).all():
+                    finite = False
+                    break
+            if not finite:
+                self.demoted[self.vec_ids[v]] = _NONFINITE_REASON
+                continue
+            trace = ExecutionTrace()
+            tile = self._tiles.get(v)
             keys = cols.key[sel]
             names = self._key_names(v)
             if tile is None:

@@ -1,11 +1,12 @@
 """Chaos/fault-injection harness for the distributed backend.
 
-A seeded chaos controller SIGKILLs real worker subprocesses at random
-points mid-campaign while the broker is restarted mid-collection
-(simulated crash + ``resume=True``), over both transports.  Whatever
-the fault schedule, the assembled results must be bit-identical to
-the sequential local runner's, and the resume ledger must prevent
-re-execution of scenarios the first broker already collected.
+A seeded chaos controller (:class:`repro.faults.ProcessChaos`)
+SIGKILLs real worker subprocesses at random points mid-campaign while
+the broker is restarted mid-collection (simulated crash +
+``resume=True``), over both transports.  Whatever the fault schedule,
+the assembled results must be bit-identical to the sequential local
+runner's, and the resume ledger must prevent re-execution of
+scenarios the first broker already collected.
 
 These tests boot real interpreters and wait out lease expiries; they
 are the slowest part of the suite.  Deselect locally with
@@ -13,15 +14,12 @@ are the slowest part of the suite.  Deselect locally with
 """
 
 import json
-import os
 import subprocess
-import sys
-import threading
-from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.campaign import CampaignRunner, ScenarioSpec, spawn_seeds
 from repro.campaign.distributed import DirectoryBroker, TCPBroker, WorkDir
 
@@ -38,6 +36,11 @@ CHAOS_SEEDS = range(5)
 #: mid-execution, short enough to keep the harness quick.
 N_SCENARIOS = 4
 SPEC_KW = dict(n_graphs=2, horizon=2000.0, on_miss="record")
+
+#: Flags every chaos worker runs with: tight poll, fast heartbeat.
+WORKER_FLAGS = [
+    "--poll", "0.02", "--heartbeat", "0.25", "--idle-timeout", "60",
+]
 
 
 def chaos_specs(seed):
@@ -57,72 +60,6 @@ def sequential_metrics(seed):
         campaign = CampaignRunner(1).run(chaos_specs(seed))
         _SEQUENTIAL[seed] = [r.metrics for r in campaign.results]
     return _SEQUENTIAL[seed]
-
-
-def spawn_worker(extra):
-    """A real ``campaign-worker`` subprocess (kill target)."""
-    import repro
-
-    src = str(Path(repro.__file__).resolve().parents[1])
-    env = os.environ.copy()
-    env["PYTHONPATH"] = (
-        src + os.pathsep + env["PYTHONPATH"]
-        if env.get("PYTHONPATH")
-        else src
-    )
-    return subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "campaign-worker",
-            *extra,
-            "--poll",
-            "0.02",
-            "--heartbeat",
-            "0.25",
-            "--idle-timeout",
-            "60",
-        ],
-        env=env,
-        stdout=subprocess.DEVNULL,
-        stderr=subprocess.DEVNULL,
-    )
-
-
-class ChaosController:
-    """SIGKILLs random fleet members at seeded times, then replaces
-    them, keeping the fleet size constant."""
-
-    def __init__(self, rng, worker_args, n_workers=2, n_kills=2):
-        self.rng = rng
-        self.worker_args = worker_args
-        self.lock = threading.Lock()
-        self.procs = [spawn_worker(worker_args) for _ in range(n_workers)]
-        self.kill_delays = rng.uniform(0.4, 1.4, size=n_kills)
-        self.killed = 0
-        self._stop = threading.Event()
-        self._thread = threading.Thread(target=self._run, daemon=True)
-        self._thread.start()
-
-    def _run(self):
-        for delay in self.kill_delays:
-            if self._stop.wait(float(delay)):
-                return
-            with self.lock:
-                victim = int(self.rng.integers(len(self.procs)))
-                self.procs[victim].kill()  # SIGKILL, mid-whatever
-                self.procs[victim] = spawn_worker(self.worker_args)
-                self.killed += 1
-
-    def stop(self):
-        self._stop.set()
-        self._thread.join(timeout=10.0)
-        with self.lock:
-            for proc in self.procs:
-                proc.kill()
-            for proc in self.procs:
-                proc.wait(timeout=10.0)
 
 
 def collect(broker, n):
@@ -153,7 +90,9 @@ class TestChaosDirectory:
     def test_kills_and_broker_restart(self, tmp_path, seed):
         specs = chaos_specs(seed)
         rng = np.random.default_rng(seed)
-        chaos = ChaosController(rng, ["--dir", str(tmp_path)])
+        chaos = faults.ProcessChaos(
+            rng, ["--dir", str(tmp_path), *WORKER_FLAGS]
+        )
         try:
             first = DirectoryBroker(
                 tmp_path,
@@ -206,13 +145,14 @@ class TestChaosTCP:
             ledger_path=ledger,
         )
         host, port = first.address
-        chaos = ChaosController(
+        chaos = faults.ProcessChaos(
             rng,
             [
                 "--connect",
                 f"{host}:{port}",
                 "--reconnect-grace",
                 "30",
+                *WORKER_FLAGS,
             ],
         )
         try:
@@ -257,35 +197,11 @@ class TestChaosBudget:
         a split that raced the owner: the fleet's total executed-unit
         count is bounded by ``specs + requeues + splits`` (and the
         broker still accepts every index exactly once)."""
-        import repro
-
         specs = chaos_specs(0)
-        src = str(Path(repro.__file__).resolve().parents[1])
-        env = os.environ.copy()
-        env["PYTHONPATH"] = (
-            src + os.pathsep + env["PYTHONPATH"]
-            if env.get("PYTHONPATH")
-            else src
-        )
         procs = [
-            subprocess.Popen(
-                [
-                    sys.executable,
-                    "-m",
-                    "repro",
-                    "campaign-worker",
-                    "--dir",
-                    str(tmp_path),
-                    "--poll",
-                    "0.02",
-                    "--heartbeat",
-                    "0.25",
-                    "--idle-timeout",
-                    "60",
-                ],
-                env=env,
+            faults.spawn_worker_process(
+                ["--dir", str(tmp_path), *WORKER_FLAGS],
                 stdout=subprocess.PIPE,
-                stderr=subprocess.DEVNULL,
             )
             for _ in range(2)
         ]

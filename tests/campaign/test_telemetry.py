@@ -34,13 +34,22 @@ class TestLocalTelemetry:
             "replayed": 0,
             "requeued": 0,
             "stolen": 0,
+            "retried": 0,
+            "quarantined": 0,
+            "demoted": 0,
         }
 
 
 class TestBrokerTelemetry:
     def test_base_telemetry_shape(self, tmp_path):
         broker = DirectoryBroker(tmp_path)
-        assert broker.telemetry == {"requeued": 0, "stolen": 0}
+        assert broker.telemetry == {
+            "requeued": 0,
+            "stolen": 0,
+            "retried": 0,
+            "quarantined": 0,
+            "retired": 0,
+        }
         broker.close()
 
     def test_requeue_counter_flows_to_campaign_result(self, tmp_path):
