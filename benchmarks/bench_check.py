@@ -1,0 +1,111 @@
+"""Static analyzer wall-clock smoke — the lint must stay cheap.
+
+`python -m repro check` runs on every CI push and is meant to be part
+of the inner development loop, so a full-tree scan (every rule, every
+file under ``src/``) has to finish in seconds.  This benchmark times
+the scan, sanity-checks the sweep actually covered the tree (file and
+rule counts), asserts the shipped tree is clean, and writes the
+numbers machine-readable to ``BENCH_check.json`` at the repo root.
+
+Also runnable standalone (the CI smoke test)::
+
+    PYTHONPATH=src python benchmarks/bench_check.py --max-seconds 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow standalone runs without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.check import default_config, known_rules, run_check
+
+REPO = Path(__file__).resolve().parents[1]
+OUT_PATH = REPO / "BENCH_check.json"
+
+
+def run(max_seconds: float, repeats: int) -> dict:
+    target = REPO / "src"
+    times = []
+    report = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = run_check([target], config=default_config())
+        times.append(time.perf_counter() - started)
+    best = min(times)
+
+    # A fast scan of nothing is no benchmark: the sweep must have
+    # covered the real tree with the full rule set, and the shipped
+    # tree must be clean (the same acceptance bar as CI).
+    assert report is not None
+    if report.files < 90:
+        raise SystemExit(
+            f"FAIL: only {report.files} files scanned; expected the "
+            "full src/ tree (>= 90)"
+        )
+    if set(report.rules) != set(known_rules()):
+        raise SystemExit(
+            f"FAIL: rule subset ran ({report.rules}); expected all "
+            f"of {known_rules()}"
+        )
+    if not report.ok:
+        raise SystemExit(
+            "FAIL: shipped tree has findings:\n"
+            + report.render_text(hints=True)
+        )
+    if best > max_seconds:
+        raise SystemExit(
+            f"FAIL: full-tree scan took {best:.2f}s "
+            f"(floor: {max_seconds:.1f}s)"
+        )
+
+    return {
+        "benchmark": "check",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "files": report.files,
+        "rules": list(report.rules),
+        "n_rules": len(report.rules),
+        "findings": len(report.findings),
+        "suppressed": report.suppressed,
+        "best_wall_s": round(best, 3),
+        "all_wall_s": [round(t, 3) for t in times],
+        "max_seconds": max_seconds,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=5.0,
+        help="fail if the best full-tree scan exceeds this",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="scans to time (best-of)",
+    )
+    args = parser.parse_args(argv)
+    result = run(args.max_seconds, args.repeats)
+    OUT_PATH.write_text(json.dumps(result, indent=1) + "\n")
+    print(
+        f"repro check: {result['files']} files, "
+        f"{result['n_rules']} rules, {result['findings']} findings "
+        f"({result['suppressed']} pragma-suppressed) in "
+        f"{result['best_wall_s']:.2f}s (floor {args.max_seconds:.1f}s)"
+    )
+    print(f"wrote {OUT_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ Usage::
     python -m repro campaign --backend dist --dist-dir /shared/q \
         --spawn-workers 4
     python -m repro campaign-worker --dir /shared/q
+    python -m repro check src --fix-hints
     python -m repro all            # everything, default scales
 
 Each subcommand prints the same rows/series the paper reports; scales
@@ -847,6 +848,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_campaign_worker)
 
+    p = sub.add_parser(
+        "check",
+        help="static determinism & concurrency analyzer "
+        "(python -m repro check --help)",
+        add_help=False,
+    )
+    p.set_defaults(fn=None)
+
     p = sub.add_parser("all", help="every table and figure, quick scales")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=None)
@@ -855,6 +864,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "check":
+        # Dispatched before argparse: the analyzer owns its whole
+        # flag namespace (argparse.REMAINDER drops leading flags).
+        from .check.cli import main as check_main
+
+        return check_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "all":

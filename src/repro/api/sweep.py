@@ -413,6 +413,8 @@ class Sweep:
         elif rule.mode == "offset":
             values = [
                 rule.root
+                # repro: noqa[DET004] -- rule.terms is a frozen plan
+                # tuple; addition order is identical on every run
                 + sum(
                     coeff * indices.get(axis_name, 0)
                     for axis_name, coeff in rule.terms

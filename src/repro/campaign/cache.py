@@ -86,7 +86,7 @@ class ResultCache:
         """Delete every cached entry; returns the number removed."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.json"):
+            for path in sorted(self.root.glob("*.json")):
                 path.unlink()
                 removed += 1
         return removed

@@ -56,6 +56,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from ... import faults
 from ...errors import SchedulingError, SpecTimeout
+from ...locks import assert_held, contract_lock
 from ..failures import (
     FailureInfo,
     FailureReport,
@@ -590,7 +591,7 @@ class DirectoryBroker(_BrokerBase):
         grace = 2.0 * self.spec_timeout + 1.0
         now = time.monotonic()
         live: Set[Tuple[str, int]] = set()
-        for path in self.workdir.claimed.glob("chunk-*.json"):
+        for path in sorted(self.workdir.claimed.glob("chunk-*.json")):
             payload = self.workdir.refresh(path.name)
             if payload is None or payload.get("job") != self.job:
                 continue
@@ -708,7 +709,11 @@ class _TCPState:
     """
 
     def __init__(self, poll: float) -> None:
-        self.lock = threading.Lock()
+        # A contract lock (plain Lock unless REPRO_CONTRACT_LOCKS is
+        # set): every helper below runs with it held by the caller
+        # and declares so via assert_held — statically checked by
+        # RACE001, verified at runtime in assertion mode.
+        self.lock = contract_lock("tcp-state")
         self.poll = poll
         self.job: Optional[str] = None
         self.pending: collections.deque = collections.deque()
@@ -734,6 +739,7 @@ class _TCPState:
 
     # All methods below assume ``self.lock`` is held by the caller.
     def lease_to(self, session_id: str, chunk: List[Dict]) -> None:
+        assert_held(self.lock)
         now = time.monotonic()
         for task in chunk:
             index = int(task["index"])
@@ -744,6 +750,7 @@ class _TCPState:
         self.last_beat[session_id] = time.monotonic()
 
     def release(self, index: int) -> None:
+        assert_held(self.lock)
         self.tasks.pop(index, None)
         self.lease_start.pop(index, None)
         session_id = self.owner.pop(index, None)
@@ -752,6 +759,7 @@ class _TCPState:
 
     def requeue_session(self, session_id: str) -> int:
         """Return a dead/stale session's leased tasks to the queue."""
+        assert_held(self.lock)
         indices = sorted(self.sessions.pop(session_id, set()))
         chunk = []
         for index in indices:
@@ -775,6 +783,7 @@ class _TCPState:
         indices are remembered and reported on the victim's next
         outcome ack so it stops before executing them.
         """
+        assert_held(self.lock)
         victim_id, victim_indices = None, ()
         for session_id, indices in self.sessions.items():
             if session_id == thief_id or len(indices) < 2:

@@ -113,6 +113,8 @@ def stamp_lease(payload: Dict, *, renew_only: bool = False) -> Dict:
     a worker touching a file it re-wrote anyway adds nothing.  mtime
     remains a *fallback* for unreadable payloads.
     """
+    # repro: noqa[DET002] -- the lease stamp IS wall-clock data by
+    # design; it drives expiry only and never reaches results
     now = time.time()
     lease = payload.get("lease")
     if not isinstance(lease, dict) or not renew_only:

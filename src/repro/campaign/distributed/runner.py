@@ -222,6 +222,8 @@ class DistributedRunner(GrowableRunnerMixin):
     @property
     def n_workers(self) -> int:
         if self.autoscale is not None:
+            # repro: noqa[RACE001] -- reporting read of a monotonic
+            # peak; every write happens under _procs_lock in _scale_to
             return self._peak_workers
         return self.n_local_workers
 
@@ -234,6 +236,8 @@ class DistributedRunner(GrowableRunnerMixin):
         aggregators: Sequence = (),
     ) -> CampaignResult:
         """Execute ``specs`` on the fleet; results in spec order."""
+        # repro: noqa[RACE001] -- usage guard; run()/close() are
+        # same-thread by API contract (the scaler never touches it)
         if self._closed:
             raise SchedulingError("runner is closed")
         for spec in specs:
@@ -244,6 +248,8 @@ class DistributedRunner(GrowableRunnerMixin):
                     "by remote workers — register the factory under a "
                     "stable name on every worker instead"
                 )
+        # repro: noqa[DET002] -- wall-time telemetry bracket; the
+        # value lands only in CampaignResult.wall_time_s
         start = time.perf_counter()
         results: List[Optional[ScenarioResult]] = [None] * len(specs)
         cache_hits = 0
@@ -269,8 +275,11 @@ class DistributedRunner(GrowableRunnerMixin):
         # this runner (e.g. an extend() suffix) is a new submission
         # whose hash would never match the ledger — consume the flag
         # even when this run is served entirely from cache.
+        # repro: noqa[RACE001] -- submission-state flag; only the
+        # submitting thread reads or writes it
         resume = self.resume
-        self.resume = False
+        self.resume = False  # repro: noqa[RACE001] -- same as above:
+        # consumed on the submitting thread before the fleet starts
         if pending:
             # The ledger header must identify the *full* campaign, not
             # the cache-filtered subset submitted below: cache state
@@ -296,6 +305,7 @@ class DistributedRunner(GrowableRunnerMixin):
         report = self._broker.failure_report
         return CampaignResult(
             results=[r for r in results if r is not None],
+            # repro: noqa[DET002] -- telemetry field only
             wall_time_s=time.perf_counter() - start,
             n_workers=self.n_workers,
             cache_hits=cache_hits,
@@ -309,6 +319,8 @@ class DistributedRunner(GrowableRunnerMixin):
         )
 
     # ------------------------------------------------------------------
+    # repro: noqa[RACE001] -- scaler handle rebinding is confined to
+    # the submitting thread: start happens before the thread spawns
     def _start_fleet(self) -> None:
         if self.autoscale is None:
             self._scale_to(self.n_local_workers)
@@ -328,6 +340,8 @@ class DistributedRunner(GrowableRunnerMixin):
 
     def _autoscale_loop(self) -> None:
         lo, hi = self.autoscale
+        # repro: noqa[RACE001] -- read once at thread start; the
+        # handle is rebound only after this thread is joined
         stop = self._scaler_stop
         while not stop.wait(self.autoscale_interval):
             remaining = self._broker.remaining
@@ -339,6 +353,8 @@ class DistributedRunner(GrowableRunnerMixin):
             except OSError:
                 continue  # spawn hiccup; retry next tick
 
+    # repro: noqa[RACE001] -- set-join-then-clear on the submitting
+    # thread; the scaler is dead before the handles are rebound
     def _stop_autoscaler(self) -> None:
         if self._scaler_stop is not None:
             self._scaler_stop.set()
@@ -406,14 +422,21 @@ class DistributedRunner(GrowableRunnerMixin):
 
     def close(self) -> None:
         """Signal workers to exit and reap any spawned locally."""
+        # repro: noqa[RACE001] -- double-close fast path; the
+        # authoritative flag write below happens under the lock
         if self._closed:
             return
         self._stop_autoscaler()
         with self._procs_lock:
             self._closed = True
+            procs = list(self._procs)
+            self._procs = []
         self._broker.close()
+        # repro: noqa[DET002] -- reap deadline for worker processes;
+        # shutdown timing cannot affect completed results
         deadline = time.monotonic() + 5.0
-        for proc in self._procs:
+        for proc in procs:
+            # repro: noqa[DET002] -- same reap deadline as above
             timeout = max(0.1, deadline - time.monotonic())
             try:
                 proc.wait(timeout=timeout)
@@ -423,7 +446,6 @@ class DistributedRunner(GrowableRunnerMixin):
                     proc.wait(timeout=2.0)
                 except subprocess.TimeoutExpired:
                     proc.kill()
-        self._procs = []
 
     def __enter__(self) -> "DistributedRunner":
         return self

@@ -117,7 +117,7 @@ class WorkDir:
         self.clear_shutdown()
         self.sweep_orphans()
         for sub in (self.pending, self.claimed, self.results):
-            for path in sub.glob("*.json"):
+            for path in sorted(sub.glob("*.json")):
                 try:
                     path.unlink()
                 except OSError:
@@ -138,9 +138,9 @@ class WorkDir:
         candidates: List[Path] = []
         for sub in (self.root, self.pending, self.claimed, self.results):
             if sub.is_dir():
-                candidates.extend(sub.glob(".tmp-*"))
+                candidates.extend(sorted(sub.glob(".tmp-*")))
         if self.retired.is_dir():
-            candidates.extend(self.retired.glob("*"))
+            candidates.extend(sorted(self.retired.glob("*")))
         for path in candidates:
             try:
                 path.unlink()
@@ -212,10 +212,13 @@ class WorkDir:
         chunk — the broker's crash signal for health scoring.
         """
         requeued = 0
+        # repro: noqa[DET002] -- lease-expiry clocks; stamps never
+        # reach results (requeued work reruns deterministically)
         now_wall = time.time()
-        now_mono = time.monotonic()
+        now_mono = time.monotonic()  # repro: noqa[DET002] -- ditto:
+        # renewal-nonce aging only, never part of any result
         present = set()
-        for path in self.claimed.glob("chunk-*.json"):
+        for path in sorted(self.claimed.glob("chunk-*.json")):
             payload = read_json(path)
             stamp = lease_stamp(payload)
             if stamp is None:
@@ -291,7 +294,7 @@ class WorkDir:
             return 0
         best_path: Optional[Path] = None
         best_payload: Optional[Dict] = None
-        for path in self.claimed.glob("chunk-*.json"):
+        for path in sorted(self.claimed.glob("chunk-*.json")):
             payload = read_json(path)
             if payload is None:
                 continue
@@ -325,11 +328,14 @@ class WorkDir:
         host's monotonic time; without it, mtime is compared against
         this host's wall clock.
         """
+        # repro: noqa[DET002] -- starvation-marker aging only;
+        # the demand signal never reaches results
         now_wall = time.time()
-        now_mono = time.monotonic()
+        now_mono = time.monotonic()  # repro: noqa[DET002] -- ditto:
+        # marker-freshness clock, never part of any result
         found = False
         try:
-            markers = list(self.starving.glob("*"))
+            markers = sorted(self.starving.glob("*"))
         except OSError:
             return False
         for path in markers:
@@ -396,7 +402,7 @@ class WorkDir:
         """Unfinished tasks visible in the queue (pending + claimed)."""
         count = 0
         for sub in (self.pending, self.claimed):
-            for path in sub.glob("chunk-*.json"):
+            for path in sorted(sub.glob("chunk-*.json")):
                 payload = read_json(path)
                 if payload is not None:
                     count += len(_remaining_tasks(payload))

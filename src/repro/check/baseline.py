@@ -1,0 +1,105 @@
+"""Checked-in finding baseline for staged adoption.
+
+A baseline records accepted findings by *fingerprint* (rule + path +
+flagged line text, line-number free), so pre-existing debt can be
+frozen while CI fails only on new findings.  The shipped tree carries
+no baseline entries — every true finding was fixed or pragma'd — but
+the mechanism stays, because the next rule added will want it.
+
+Stale entries (a fingerprint that no longer matches any finding) are
+reported by PRAGMA001: a baseline must shrink, never rot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..errors import SchedulingError
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> List[Dict]:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError:
+        return []
+    except ValueError as exc:
+        raise SchedulingError(
+            f"corrupt baseline file {path}: {exc}"
+        ) from exc
+    if (
+        not isinstance(data, dict)
+        or data.get("baseline_version") != BASELINE_VERSION
+        or not isinstance(data.get("findings"), list)
+    ):
+        raise SchedulingError(
+            f"baseline file {path} has an unsupported format; "
+            "regenerate it with 'python -m repro check "
+            "--write-baseline'"
+        )
+    return [f for f in data["findings"] if isinstance(f, dict)]
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    payload = {
+        "baseline_version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "note": f.message,
+            }
+            for f in sorted(
+                findings, key=lambda f: (f.path, f.line, f.rule)
+            )
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=1) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: List[Finding], entries: List[Dict]
+) -> Tuple[List[Finding], List[Dict]]:
+    """Split findings into (new, …) and report stale baseline entries.
+
+    Returns ``(kept_findings, stale_entries)``.  Each baseline
+    fingerprint absorbs as many matching findings as it appears times
+    in the file (multiplicity-aware, so two identical lines need two
+    entries).
+    """
+    budget = Counter(
+        str(e.get("fingerprint", "")) for e in entries
+    )
+    kept: List[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+        else:
+            kept.append(finding)
+    used = Counter(
+        str(e.get("fingerprint", "")) for e in entries
+    ) - budget
+    stale: List[Dict] = []
+    seen = Counter()
+    for entry in entries:
+        fp = str(entry.get("fingerprint", ""))
+        seen[fp] += 1
+        if seen[fp] > used.get(fp, 0):
+            stale.append(entry)
+    return kept, stale

@@ -1,0 +1,216 @@
+"""``python -m repro check`` — the determinism lint front door.
+
+Usage::
+
+    python -m repro check [PATHS...]           # default: src
+    python -m repro check --format json --out report.json
+    python -m repro check --rules DET001,DET003 src/repro/campaign
+    python -m repro check --fix-hints          # show fix guidance
+    python -m repro check --list-rules
+    python -m repro check --manifest verify    # VER001 only
+    python -m repro check --manifest update    # re-pin hot paths
+    python -m repro check --write-baseline     # freeze current debt
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..errors import SchedulingError
+from .baseline import write_baseline
+from .config import CheckConfig, default_config
+from .manifest import build_manifest, write_manifest
+from .registry import rule_specs
+from .runner import collect_files, run_check
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description=(
+            "Static determinism & concurrency analyzer for the repro "
+            "tree: RNG discipline, wall-clock hygiene, iteration "
+            "order, float reductions, hot-path version pins, "
+            "spec-hash completeness, lock discipline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to this file",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID,ID",
+        help="comma-separated rule subset to run",
+    )
+    parser.add_argument(
+        "--fix-hints",
+        action="store_true",
+        help="show a fix hint under each finding (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of accepted findings",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--manifest",
+        choices=("verify", "update"),
+        default=None,
+        help=(
+            "verify: run only the VER001 hot-path drift rule; "
+            "update: re-pin the hot-path manifest from the tree"
+        ),
+    )
+    parser.add_argument(
+        "--manifest-file",
+        default=None,
+        metavar="FILE",
+        help="override the hot-path manifest location",
+    )
+    return parser
+
+
+def _default_paths() -> list:
+    for candidate in ("src", "."):
+        root = Path(candidate)
+        if (root / "repro").is_dir():
+            return [str(root)]
+    raise SchedulingError(
+        "no 'repro' package under ./src or .; pass explicit paths"
+    )
+
+
+def _list_rules() -> str:
+    lines = ["Registered rules (repro.check.registry):"]
+    for spec in rule_specs():
+        lines.append(f"  {spec.id:10s} {spec.title}")
+        lines.append(f"  {'':10s}   {spec.rationale}")
+    return "\n".join(lines)
+
+
+def _config(args) -> CheckConfig:
+    config = default_config()
+    overrides = {}
+    if args.manifest_file is not None:
+        overrides["manifest_path"] = Path(args.manifest_file)
+    if args.baseline is not None:
+        overrides["baseline_path"] = Path(args.baseline)
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    return config
+
+
+def _manifest_update(paths, config: CheckConfig) -> int:
+    from .context import load_module
+
+    modules = {}
+    for path in collect_files(paths):
+        module = load_module(path)
+        if module.key in config.versioned_modules or module.key in (
+            config.kernel_versions_module,
+            config.protocol_version_module,
+        ):
+            modules[module.key] = module
+    manifest = build_manifest(modules, config)
+    if not manifest["modules"]:
+        print(
+            "error: no versioned modules found under "
+            f"{', '.join(str(p) for p in paths)}",
+            file=sys.stderr,
+        )
+        return 2
+    write_manifest(config.manifest_path, manifest)
+    pinned = sum(
+        len(entry["functions"])
+        for entry in manifest["modules"].values()
+    )
+    print(
+        f"pinned {pinned} hot-path function(s) across "
+        f"{len(manifest['modules'])} module(s) -> "
+        f"{config.manifest_path}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        config = _config(args)
+        paths = args.paths or _default_paths()
+        if args.manifest == "update":
+            return _manifest_update(paths, config)
+        rules = None
+        if args.manifest == "verify":
+            rules = ("VER001",)
+        elif args.rules:
+            rules = tuple(
+                r.strip() for r in args.rules.split(",") if r.strip()
+            )
+        report = run_check(paths, config=config, rules=rules)
+        if args.write_baseline:
+            target = config.baseline_path or Path(
+                ".repro-check-baseline.json"
+            )
+            write_baseline(target, report.findings)
+            print(
+                f"wrote {len(report.findings)} finding(s) to "
+                f"baseline {target}"
+            )
+            return 0
+        if args.out is not None:
+            Path(args.out).write_text(
+                json.dumps(report.to_json(), indent=1) + "\n",
+                encoding="utf-8",
+            )
+        if args.format == "json":
+            print(json.dumps(report.to_json(), indent=1))
+        else:
+            print(report.render_text(hints=args.fix_hints))
+        return 0 if report.ok else 1
+    except SchedulingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

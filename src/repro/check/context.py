@@ -1,0 +1,127 @@
+"""Per-file analysis context shared by every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .config import module_key
+from .findings import Finding
+from .pragmas import Pragma, scan_pragmas
+
+__all__ = ["Module", "load_module", "dotted_name", "call_name"]
+
+
+@dataclass
+class Module:
+    """One parsed source file plus everything rules ask about it."""
+
+    path: Path
+    display_path: str
+    key: str
+    source: str
+    tree: ast.AST
+    lines: List[str]
+    pragmas: Dict[int, Pragma]
+    _parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: str,
+        node,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        line = getattr(node, "lineno", 0) or 0
+        col = (getattr(node, "col_offset", 0) or 0) + 1
+        return Finding(
+            rule=rule,
+            path=self.display_path,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint,
+            line_text=self.line_text(line),
+        )
+
+    # -- tree navigation ------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def walk_with_parents(self) -> Iterator[ast.AST]:
+        yield from ast.walk(self.tree)
+
+    def functions(
+        self,
+    ) -> Iterator[Tuple[str, ast.AST]]:
+        """Every (qualname, def-node), methods as ``Class.method``."""
+
+        def visit(node, prefix):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    yield prefix + child.name, child
+                    yield from visit(child, prefix + child.name + ".")
+                elif isinstance(child, ast.ClassDef):
+                    yield from visit(child, prefix + child.name + ".")
+                else:
+                    yield from visit(child, prefix)
+
+        yield from visit(self.tree, "")
+
+
+def _index_parents(tree: ast.AST) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def load_module(path, *, display: Optional[str] = None) -> Module:
+    """Parse ``path`` into a rule-ready :class:`Module`."""
+    p = Path(path)
+    source = p.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(p))
+    return Module(
+        path=p,
+        display_path=display or p.as_posix(),
+        key=module_key(p),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        pragmas=scan_pragmas(source),
+        _parents=_index_parents(tree),
+    )
+
+
+def dotted_name(node) -> str:
+    """``a.b.c`` for nested Attribute/Name chains, else ``""``."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_name(node: ast.Call) -> str:
+    """The dotted name a call targets (``np.random.default_rng``)."""
+    return dotted_name(node.func)

@@ -1,0 +1,52 @@
+"""The analyzer's output unit: one rule violation at one location."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``fingerprint`` identifies the finding for baseline matching: it
+    hashes the rule id, the file path, and the *text* of the flagged
+    line (not its number), so findings survive unrelated edits that
+    shift line numbers.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    #: The stripped source text of the flagged line (baseline key).
+    line_text: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        blob = f"{self.rule}\x1f{self.path}\x1f{self.line_text}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_json(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self, *, hints: bool = False) -> str:
+        text = (
+            f"{self.path}:{self.line}:{self.col} "
+            f"{self.rule} {self.message}"
+        )
+        if hints and self.hint:
+            text += f"\n    fix: {self.hint}"
+        return text

@@ -1,0 +1,248 @@
+"""Hot-path drift detection: normalized AST digests (rule VER001).
+
+The bit-identity contract says: when a hot-path function's semantics
+change, the matching ``KERNEL_VERSIONS`` entry (or
+``PROTOCOL_VERSION``) must be bumped so stale cached results (or
+mixed-version fleets) cannot silently serve old numbers.  This module
+pins a *normalized AST digest* of every function in the versioned
+modules into a checked-in manifest; the VER001 rule fails when a body
+changed but the pinned version did not.
+
+Normalization makes the digest insensitive to everything that cannot
+change behaviour — comments, docstrings, formatting, position info —
+and stable across the CPython versions CI runs (3.10–3.12): nodes are
+serialized by explicit field walking with version-variant fields
+(``type_comment``, ``type_params``, ...) skipped.
+
+The version *values* are read statically (the ``KERNEL_VERSIONS``
+dict literal, the ``PROTOCOL_VERSION`` assignment) — the analyzer
+never imports the code it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SchedulingError
+from .config import CheckConfig
+from .context import Module
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "function_digest",
+    "module_digests",
+    "read_versions",
+    "build_manifest",
+    "load_manifest",
+    "write_manifest",
+]
+
+MANIFEST_VERSION = 1
+
+#: AST fields that vary across CPython versions or carry no
+#: semantics; skipped during normalization.
+_SKIP_FIELDS = frozenset(
+    {"type_comment", "type_ignores", "type_params"}
+)
+
+
+def _strip_docstring(body: List[ast.stmt]) -> List[ast.stmt]:
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        return body[1:]
+    return body
+
+
+def _serialize(node, out: List[str]) -> None:
+    """Append a canonical S-expression of ``node`` to ``out``."""
+    if isinstance(node, ast.AST):
+        out.append("(")
+        out.append(type(node).__name__)
+        for name in node._fields:
+            if name in _SKIP_FIELDS:
+                continue
+            value = getattr(node, name, None)
+            if name == "body" and isinstance(value, list):
+                value = _strip_docstring(value)
+            out.append(f" {name}=")
+            _serialize(value, out)
+        out.append(")")
+    elif isinstance(node, list):
+        out.append("[")
+        for item in node:
+            _serialize(item, out)
+            out.append(",")
+        out.append("]")
+    elif node is None or isinstance(node, (bool, int, float, complex)):
+        out.append(f"{type(node).__name__}:{node!r}")
+    elif isinstance(node, (str, bytes)):
+        out.append(f"{type(node).__name__}:{node!r}")
+    else:  # pragma: no cover - future AST constant kinds
+        out.append(repr(node))
+
+
+def function_digest(node) -> str:
+    """16-hex normalized digest of one function/method body."""
+    out: List[str] = []
+    _serialize(node, out)
+    blob = "".join(out)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def module_digests(module: Module) -> Dict[str, str]:
+    """``qualname -> digest`` for every def in ``module``."""
+    return {
+        qualname: function_digest(node)
+        for qualname, node in module.functions()
+    }
+
+
+# ----------------------------------------------------------------------
+# Static version extraction
+# ----------------------------------------------------------------------
+def _literal_assignment(tree: ast.AST, name: str):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    try:
+                        return ast.literal_eval(node.value)
+                    except ValueError:
+                        return None
+    return None
+
+
+def read_versions(
+    modules: Dict[str, Module], config: CheckConfig
+) -> Dict[str, int]:
+    """Current version pins, read statically from the tree.
+
+    Returns ``{"engine": 2, ..., "protocol": 3}`` — every
+    ``KERNEL_VERSIONS`` entry plus the ``PROTOCOL_VERSION`` pseudo-key.
+    Missing modules simply contribute nothing (the VER001 rule then
+    reports the pinned module as unscanned only if the manifest names
+    it).
+    """
+    versions: Dict[str, int] = {}
+    kernels = modules.get(config.kernel_versions_module)
+    if kernels is not None:
+        table = _literal_assignment(kernels.tree, "KERNEL_VERSIONS")
+        if isinstance(table, dict):
+            for key, value in table.items():
+                if isinstance(key, str) and isinstance(value, int):
+                    versions[key] = value
+    protocol = modules.get(config.protocol_version_module)
+    if protocol is not None:
+        value = _literal_assignment(protocol.tree, "PROTOCOL_VERSION")
+        if isinstance(value, int):
+            versions["protocol"] = value
+    return versions
+
+
+# ----------------------------------------------------------------------
+# Manifest build / load / write
+# ----------------------------------------------------------------------
+def _pinned_functions(
+    key: str, module: Module, config: CheckConfig
+) -> Dict[str, str]:
+    digests = module_digests(module)
+    if key == config.protocol_version_module:
+        return {
+            name: digest
+            for name, digest in digests.items()
+            if name in config.protocol_functions
+        }
+    return digests
+
+
+def build_manifest(
+    modules: Dict[str, Module], config: CheckConfig
+) -> Dict:
+    """A fresh manifest for the versioned modules present in ``modules``."""
+    versions = read_versions(modules, config)
+    entry_modules: Dict[str, Dict] = {}
+    for key, watch_keys in sorted(config.versioned_modules.items()):
+        module = modules.get(key)
+        if module is None:
+            continue
+        entry_modules[key] = {
+            "versions": {
+                k: versions[k] for k in watch_keys if k in versions
+            },
+            "functions": dict(
+                sorted(_pinned_functions(key, module, config).items())
+            ),
+        }
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "modules": entry_modules,
+    }
+
+
+def load_manifest(path: Path) -> Optional[Dict]:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError:
+        return None
+    except ValueError as exc:
+        raise SchedulingError(
+            f"corrupt hot-path manifest {path}: {exc}"
+        ) from exc
+    if (
+        not isinstance(data, dict)
+        or data.get("manifest_version") != MANIFEST_VERSION
+        or not isinstance(data.get("modules"), dict)
+    ):
+        raise SchedulingError(
+            f"hot-path manifest {path} has an unsupported format; "
+            "regenerate it with 'python -m repro check --manifest "
+            "update'"
+        )
+    return data
+
+
+def write_manifest(path: Path, manifest: Dict) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(manifest, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def diff_manifest(
+    manifest: Dict,
+    modules: Dict[str, Module],
+    config: CheckConfig,
+) -> List[Tuple[str, str, str]]:
+    """``(module_key, qualname, kind)`` for every pinned-function drift.
+
+    ``kind`` is ``"changed"``, ``"added"`` (unpinned new function) or
+    ``"removed"`` (pinned function no longer present).  Version pins
+    are not consulted here — the VER001 rule decides what a drift
+    means given the current version values.
+    """
+    out: List[Tuple[str, str, str]] = []
+    pinned_modules = manifest.get("modules", {})
+    for key, entry in sorted(pinned_modules.items()):
+        module = modules.get(key)
+        if module is None:
+            continue
+        pinned = entry.get("functions", {})
+        current = _pinned_functions(key, module, config)
+        for name in sorted(set(pinned) | set(current)):
+            if name not in current:
+                out.append((key, name, "removed"))
+            elif name not in pinned:
+                out.append((key, name, "added"))
+            elif pinned[name] != current[name]:
+                out.append((key, name, "changed"))
+    return out

@@ -1,0 +1,118 @@
+"""``# repro: noqa[RULE]`` pragma parsing.
+
+Syntax (one per line, after any code)::
+
+    # repro: noqa[DET004] -- ordered tuple; += order is preserved
+    # repro: noqa[DET002,DET003] -- telemetry only, never hashed
+
+The rule list is mandatory (no blanket ``noqa``), and so is the
+justification after the dash — an unexplained suppression is itself a
+finding (PRAGMA001).  A pragma on a compound-statement header (a
+``def``, ``class``, ``with``, ``for``...) suppresses matching findings
+anywhere in that statement's body; on any other line it suppresses
+findings on that line only.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Pragma", "scan_pragmas"]
+
+#: Accepts ``--``, ``-``, an em/en dash, or ``:`` before the
+#: justification text.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*noqa\s*"
+    r"(?:\[(?P<rules>[^\]]*)\])?"
+    r"\s*(?:(?:--|[-:–—])\s*(?P<why>.*))?$"
+)
+
+#: Anything that merely *mentions* the marker (docs, string literals
+#: inside the analyzer itself) must not parse as a pragma; scanning is
+#: restricted to real COMMENT tokens, so this marker is only matched
+#: inside them.
+_MARKER = "# repro:"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    #: Raw matched text (for diagnostics).
+    text: str
+    #: Parse problem, if any ("" when well-formed).
+    problem: str = ""
+
+
+def _parse_one(line_no: int, comment: str) -> Pragma:
+    match = _PRAGMA_RE.search(comment)
+    if match is None:
+        return Pragma(
+            line=line_no,
+            rules=(),
+            justification="",
+            text=comment.strip(),
+            problem=(
+                "unparseable pragma; expected "
+                "'# repro: noqa[RULE,...] -- justification'"
+            ),
+        )
+    raw_rules = match.group("rules")
+    why = (match.group("why") or "").strip()
+    rules = tuple(
+        token.strip()
+        for token in (raw_rules or "").split(",")
+        if token.strip()
+    )
+    problem = ""
+    if not rules:
+        problem = (
+            "pragma must name the suppressed rule(s): "
+            "'# repro: noqa[RULE] -- justification'"
+        )
+    elif not why:
+        problem = (
+            "pragma must carry a justification after the dash: "
+            "'# repro: noqa[RULE] -- why this is safe'"
+        )
+    return Pragma(
+        line=line_no,
+        rules=rules,
+        justification=why,
+        text=comment.strip(),
+        problem=problem,
+    )
+
+
+def scan_pragmas(source: str) -> Dict[int, Pragma]:
+    """Every pragma in ``source``, keyed by 1-based line number.
+
+    Detection is token-exact: only real ``COMMENT`` tokens are
+    considered, so a marker quoted inside a string literal or a
+    docstring (e.g. the examples above) never parses as a pragma.
+    """
+    pragmas: Dict[int, Pragma] = {}
+    try:
+        tokens = tokenize.generate_tokens(
+            io.StringIO(source).readline
+        )
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            comment = tok.string
+            if _MARKER not in comment or "noqa" not in comment:
+                continue
+            line_no = tok.start[0]
+            pragmas[line_no] = _parse_one(
+                line_no, comment[comment.find(_MARKER):]
+            )
+    except tokenize.TokenError:  # pragma: no cover - defensive
+        pass
+    return pragmas

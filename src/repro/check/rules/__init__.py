@@ -1,0 +1,26 @@
+"""Built-in rule set; importing this package registers every rule.
+
+One module per rule family:
+
+========  ==========================================================
+DET001    unseeded / unsanctioned RNG construction (:mod:`.rng`)
+DET002    wall-clock reads in deterministic modules (:mod:`.clock`)
+DET003    iteration order from unordered sources (:mod:`.ordering`)
+DET004    float reductions in bit-identity modules (:mod:`.floatsum`)
+VER001    hot-path drift without a version bump (:mod:`.versions`)
+HASH001   spec-hash completeness (:mod:`.spechash`)
+RACE001   broker lock discipline (:mod:`.locks`)
+PRAGMA001 suppression hygiene (:mod:`.pragma`)
+========  ==========================================================
+"""
+
+from . import (  # noqa: F401  (import-for-registration)
+    clock,
+    floatsum,
+    locks,
+    ordering,
+    pragma,
+    rng,
+    spechash,
+    versions,
+)

@@ -1,0 +1,105 @@
+"""DET002 — wall-clock reads inside deterministic modules.
+
+Results, cache keys and replayable traces must be pure functions of
+(spec, seed, versions).  A ``time.time()`` / ``perf_counter()`` /
+``datetime.now()`` read inside the deterministic tree is either a bug
+(the value leaks into results) or telemetry (wall-time reporting) —
+and telemetry call sites must say so with a pragma, so every clock
+read in the contract tree is a reviewed decision.
+
+Lease/heartbeat machinery (broker, worker, fault injection) is clock
+code by nature and is exempted wholesale via
+``CheckConfig.wallclock_modules``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..config import CheckConfig
+from ..context import Module, call_name
+from ..registry import register_rule
+
+RULE = "DET002"
+
+#: ``time`` module functions that read a clock.
+_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: datetime-family constructors that capture "now".
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+_HINT = (
+    "thread the timestamp in as data (or mark the telemetry site: "
+    "'# repro: noqa[DET002] -- <why the value never reaches "
+    "results>')"
+)
+
+
+@register_rule(
+    RULE,
+    title="wall-clock read in a deterministic module",
+    rationale=(
+        "deterministic modules must compute results from (spec, "
+        "seed, versions) only; a clock read either corrupts results "
+        "or is unreviewed telemetry"
+    ),
+)
+class ClockRule:
+    def check(self, module: Module, config: CheckConfig) -> List:
+        if not config.is_deterministic(module.key):
+            return []
+        findings: List = []
+        from_time = set()
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "time"
+            ):
+                for alias in node.names:
+                    if alias.name in _TIME_FUNCS:
+                        from_time.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not name:
+                continue
+            parts = name.split(".")
+            hit = ""
+            if (
+                len(parts) == 2
+                and parts[0] == "time"
+                and parts[1] in _TIME_FUNCS
+            ):
+                hit = name
+            elif len(parts) == 1 and parts[0] in from_time:
+                hit = f"time.{parts[0]}"
+            elif (
+                parts[-1] in _DATETIME_FUNCS
+                and len(parts) >= 2
+                and parts[-2] in ("datetime", "date")
+            ):
+                hit = name
+            if hit:
+                findings.append(
+                    module.finding(
+                        RULE,
+                        node,
+                        f"{hit}() read in deterministic module "
+                        f"{module.key}",
+                        _HINT,
+                    )
+                )
+        return findings

@@ -1,0 +1,114 @@
+"""DET004 — float reductions in bit-identity modules.
+
+In the bit-identity tree (engine, kernels, aggregates) the *order* of
+floating-point accumulation is part of the contract: golden traces
+and frame digests pin the exact sequential ``+=`` result.  A builtin
+``sum(...)`` over floats is left-to-right today, but the iterable's
+order is only as deterministic as its source, and ``math.fsum`` uses
+a different (correctly-rounded) algorithm entirely — swapping one in
+for a manual loop silently changes pinned numbers.
+
+The rule is a review gate, not a bug claim: every float ``sum()`` /
+``fsum()`` in a bit-identity module must either move to an explicit
+loop / vector kernel or carry a pragma whose justification names why
+the accumulation order is pinned (e.g. "sums a tuple built in task
+order").  Integer-ish reductions (``sum(1 for ...)``,
+``sum(len(x) ...)``, comparisons) are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..config import CheckConfig
+from ..context import Module, call_name
+from ..registry import register_rule
+
+RULE = "DET004"
+
+#: element expressions that are provably integer/bool valued
+_INT_PRODUCING_CALLS = frozenset({"len", "int", "ord", "round"})
+
+_HINT = (
+    "use an explicit sequential loop (or the vector kernel) if order "
+    "matters, else pragma: '# repro: noqa[DET004] -- <why the "
+    "iterable's order is pinned>'"
+)
+
+
+def _is_integral(expr: ast.expr) -> bool:
+    """True when ``expr`` can only yield ints/bools."""
+    if isinstance(expr, ast.Constant):
+        return isinstance(expr.value, (int, bool)) and not isinstance(
+            expr.value, float
+        )
+    if isinstance(expr, (ast.Compare, ast.BoolOp, ast.Not)):
+        return True
+    if isinstance(expr, ast.UnaryOp):
+        return _is_integral(expr.operand)
+    if isinstance(expr, ast.Call):
+        return call_name(expr) in _INT_PRODUCING_CALLS
+    if isinstance(expr, ast.IfExp):
+        return _is_integral(expr.body) and _is_integral(expr.orelse)
+    if isinstance(expr, ast.BinOp):
+        return _is_integral(expr.left) and _is_integral(expr.right)
+    return False
+
+
+def _element_expr(arg: ast.expr):
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return arg.elt
+    if isinstance(arg, (ast.List, ast.Tuple)) and arg.elts:
+        return arg.elts[0]
+    return None
+
+
+@register_rule(
+    RULE,
+    title="float reduction in a bit-identity module",
+    rationale=(
+        "golden traces pin the sequential += accumulation order; "
+        "sum()/fsum() over floats must be a reviewed decision"
+    ),
+)
+class FloatSumRule:
+    def check(self, module: Module, config: CheckConfig) -> List:
+        if not config.is_bit_identity(module.key):
+            return []
+        findings: List = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "sum" or name == "builtins.sum":
+                if not node.args:
+                    continue
+                elt = _element_expr(node.args[0])
+                if elt is not None and _is_integral(elt):
+                    continue
+                if isinstance(node.args[0], ast.Call) and call_name(
+                    node.args[0]
+                ) in ("range",):
+                    continue
+                findings.append(
+                    module.finding(
+                        RULE,
+                        node,
+                        "builtin sum() float reduction in "
+                        "bit-identity module; accumulation order "
+                        "must be a reviewed decision",
+                        _HINT,
+                    )
+                )
+            elif name in ("math.fsum", "fsum"):
+                findings.append(
+                    module.finding(
+                        RULE,
+                        node,
+                        "math.fsum() rounds differently from the "
+                        "pinned sequential += accumulation",
+                        _HINT,
+                    )
+                )
+        return findings

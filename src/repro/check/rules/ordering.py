@@ -1,0 +1,150 @@
+"""DET003 — iteration order taken from unordered sources.
+
+``set`` iteration order is salted per process; ``os.listdir`` /
+``Path.glob`` order is filesystem-dependent.  Feeding either into
+anything order-sensitive (a loop that accumulates, ``list()``,
+``.extend()``) makes two hosts disagree about "the same" campaign.
+The fix is almost always a single ``sorted(...)``.
+
+The rule flags an unordered *producer expression* only where the
+consumption is visibly order-sensitive:
+
+* the iterable of a ``for`` loop or comprehension,
+* materialization via ``list(...)`` / ``tuple(...)``,
+* ``something.extend(...)``.
+
+Wrapping in ``sorted(...)`` — or any order-free reduction such as
+``len``/``sum``/``min``/``max``/``any``/``all``/``set`` — silences
+it, as does membership testing.  Producers assigned to variables are
+not tracked across statements; this is a lint, not a dataflow engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..config import CheckConfig
+from ..context import Module, call_name
+from ..registry import register_rule
+
+RULE = "DET003"
+
+#: call suffixes producing filesystem-ordered results
+_FS_PRODUCER_ATTRS = frozenset({"glob", "rglob", "iterdir"})
+_FS_PRODUCER_NAMES = frozenset(
+    {"os.listdir", "os.scandir", "listdir", "scandir"}
+)
+
+#: consuming these is order-free, so no finding
+_ORDER_FREE = frozenset(
+    {
+        "sorted",
+        "len",
+        "sum",
+        "min",
+        "max",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+        "Counter",
+        "collections.Counter",
+    }
+)
+
+#: materializing into an ordered container preserves the bad order
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple"})
+
+_HINT = "wrap the producer in sorted(...) to pin a deterministic order"
+
+
+def _producer_label(node: ast.expr) -> Optional[str]:
+    """Describe ``node`` if it yields unordered results, else None."""
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in _FS_PRODUCER_NAMES:
+            return f"{name}()"
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_PRODUCER_ATTRS
+        ):
+            return f".{node.func.attr}()"
+        if name in ("set", "frozenset"):
+            return f"{name}()"
+    elif isinstance(node, ast.Set):
+        return "set literal"
+    elif isinstance(node, ast.SetComp):
+        return "set comprehension"
+    return None
+
+
+@register_rule(
+    RULE,
+    title="iteration over an unordered source",
+    rationale=(
+        "set and directory-listing order varies across processes and "
+        "filesystems; order-sensitive consumption needs sorted(...)"
+    ),
+)
+class OrderingRule:
+    def check(self, module: Module, config: CheckConfig) -> List:
+        findings: List = []
+        for node in ast.walk(module.tree):
+            label = _producer_label(node)
+            if label is None:
+                continue
+            sink = self._order_sensitive_sink(module, node)
+            if sink is None:
+                continue
+            findings.append(
+                module.finding(
+                    RULE,
+                    node,
+                    f"{label} feeds {sink} without sorted(); "
+                    "iteration order is nondeterministic",
+                    _HINT,
+                )
+            )
+        return findings
+
+    def _order_sensitive_sink(
+        self, module: Module, node: ast.expr
+    ) -> Optional[str]:
+        parent = module.parent(node)
+        if parent is None:
+            return None
+        if (
+            isinstance(parent, (ast.For, ast.AsyncFor))
+            and parent.iter is node
+        ):
+            return "a for loop"
+        if (
+            isinstance(parent, ast.comprehension)
+            and parent.iter is node
+        ):
+            grand = module.parent(parent)
+            if isinstance(grand, (ast.SetComp, ast.DictComp)):
+                return None  # unordered in, unordered out
+            outer = module.parent(grand) if grand else None
+            if (
+                isinstance(outer, ast.Call)
+                and call_name(outer) in _ORDER_FREE
+            ):
+                return None  # e.g. sum(1 for _ in p.glob(...))
+            return "a comprehension"
+        if isinstance(parent, ast.Call) and node in parent.args:
+            name = call_name(parent)
+            if name in _ORDER_FREE:
+                return None
+            if name in _ORDER_SENSITIVE_CALLS:
+                return f"{name}()"
+            if (
+                isinstance(parent.func, ast.Attribute)
+                and parent.func.attr == "extend"
+            ):
+                return ".extend()"
+            return None
+        if isinstance(parent, ast.Starred):
+            return "an unpacking"
+        return None

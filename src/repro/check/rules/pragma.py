@@ -1,0 +1,60 @@
+"""PRAGMA001 — suppression hygiene.
+
+Suppressions are part of the reviewed contract, so they are checked
+too: a pragma must name real rules and carry a justification; the
+runner additionally reports pragmas that suppressed nothing and
+baseline entries that no longer match any finding (both under this
+rule id), so dead suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import CheckConfig
+from ..context import Module
+from ..registry import known_rules, register_rule
+
+RULE = "PRAGMA001"
+
+_HINT = "'# repro: noqa[RULE,...] -- justification'"
+
+
+class _Node:
+    def __init__(self, lineno: int):
+        self.lineno = lineno
+        self.col_offset = 0
+
+
+@register_rule(
+    RULE,
+    title="suppression hygiene",
+    rationale=(
+        "pragmas and baseline entries are reviewed exemptions; "
+        "malformed, unjustified, or dead ones rot the contract"
+    ),
+)
+class PragmaRule:
+    def check(self, module: Module, config: CheckConfig) -> List:
+        findings: List = []
+        valid = set(known_rules())
+        for line, pragma in sorted(module.pragmas.items()):
+            if pragma.problem:
+                findings.append(
+                    module.finding(
+                        RULE, _Node(line), pragma.problem, _HINT
+                    )
+                )
+                continue
+            for rule_id in pragma.rules:
+                if rule_id not in valid:
+                    findings.append(
+                        module.finding(
+                            RULE,
+                            _Node(line),
+                            f"pragma names unknown rule "
+                            f"'{rule_id}'",
+                            _HINT,
+                        )
+                    )
+        return findings

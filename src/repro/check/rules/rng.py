@@ -1,0 +1,201 @@
+"""DET001 — unseeded or unsanctioned RNG construction.
+
+The repository's seeding discipline is ``SeedSequence``-only: every
+random stream must be derived from an explicit integer seed through
+``numpy.random.SeedSequence`` / ``default_rng(seed)``.  Three things
+break that contract and are flagged:
+
+* the stdlib ``random`` module anywhere in the tree (global hidden
+  state, not spawnable, not part of any pinned stream identity);
+* ``np.random.<dist>`` module-level calls (legacy global ``RandomState``
+  — seeded by OS entropy unless someone called ``np.random.seed``,
+  which would be worse);
+* ``SeedSequence`` / ``default_rng`` / ``Generator`` construction in a
+  module without an :class:`~repro.check.config.AllowedRng` entry.
+  The allowlist is the audit trail: every sanctioned site carries a
+  written justification naming where its seed comes from.
+
+Even on an allowlisted site, an *argless* ``default_rng()`` (or
+``default_rng(None)`` / ``SeedSequence()``) is flagged — that is OS
+entropy by definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..config import CheckConfig
+from ..context import Module, call_name
+from ..registry import register_rule
+
+RULE = "DET001"
+
+#: numpy.random constructors that are fine *when seeded and
+#: allowlisted*; everything else reached via ``np.random.`` is the
+#: legacy global-state API.
+_CONSTRUCTORS = frozenset(
+    {"SeedSequence", "default_rng", "Generator", "PCG64", "Philox"}
+)
+
+_HINT_ALLOWLIST = (
+    "derive the stream from an explicit seed via SeedSequence and "
+    "register the site in repro.check.config._RNG_ALLOWLIST with a "
+    "justification"
+)
+_HINT_LEGACY = (
+    "replace the np.random.* module call with a seeded "
+    "default_rng(seed) Generator passed down explicitly"
+)
+_HINT_STDLIB = (
+    "the stdlib random module has hidden global state; use a seeded "
+    "numpy Generator instead"
+)
+_HINT_ENTROPY = (
+    "an argless constructor seeds from OS entropy; pass the explicit "
+    "seed or SeedSequence child for this stream"
+)
+
+
+def _is_argless(node: ast.Call) -> bool:
+    if node.keywords:
+        return False
+    if not node.args:
+        return True
+    if len(node.args) == 1:
+        arg = node.args[0]
+        return isinstance(arg, ast.Constant) and arg.value is None
+    return False
+
+
+@register_rule(
+    RULE,
+    title="unseeded or unsanctioned RNG construction",
+    rationale=(
+        "every random stream must descend from an explicit seed "
+        "through SeedSequence; unsanctioned construction sites make "
+        "runs irreproducible"
+    ),
+)
+class RngRule:
+    def check(self, module: Module, config: CheckConfig) -> List:
+        findings: List = []
+        imported_random = False
+        # name -> numpy.random symbol it binds
+        from_imports = {}
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if (
+                        alias.name == "random"
+                        or alias.name.startswith("random.")
+                    ):
+                        imported_random = True
+                        findings.append(
+                            module.finding(
+                                RULE,
+                                node,
+                                "stdlib 'random' imported; its global "
+                                "state is outside the SeedSequence "
+                                "discipline",
+                                _HINT_STDLIB,
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    findings.append(
+                        module.finding(
+                            RULE,
+                            node,
+                            "import from stdlib 'random'; use a "
+                            "seeded numpy Generator",
+                            _HINT_STDLIB,
+                        )
+                    )
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        name = alias.asname or alias.name
+                        from_imports[name] = alias.name
+                        if config.rng_allowed(
+                            module.key, alias.name
+                        ) is None:
+                            findings.append(
+                                module.finding(
+                                    RULE,
+                                    node,
+                                    f"numpy.random.{alias.name} "
+                                    "imported in a module with no "
+                                    "allowlist entry",
+                                    _HINT_ALLOWLIST,
+                                )
+                            )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not name:
+                continue
+            parts = name.split(".")
+            # stdlib random.* usage
+            if imported_random and parts[0] == "random" and (
+                len(parts) >= 2
+            ):
+                findings.append(
+                    module.finding(
+                        RULE,
+                        node,
+                        f"call to stdlib {name}() uses hidden "
+                        "global RNG state",
+                        _HINT_STDLIB,
+                    )
+                )
+                continue
+            # np.random.* / numpy.random.* attribute calls
+            symbol = ""
+            if (
+                len(parts) >= 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+            ):
+                symbol = parts[2]
+                if symbol not in _CONSTRUCTORS:
+                    findings.append(
+                        module.finding(
+                            RULE,
+                            node,
+                            f"{name}() draws from numpy's legacy "
+                            "global RandomState",
+                            _HINT_LEGACY,
+                        )
+                    )
+                    continue
+            elif len(parts) == 1 and parts[0] in from_imports:
+                symbol = from_imports[parts[0]]
+            if symbol in _CONSTRUCTORS:
+                allowed = config.rng_allowed(module.key, symbol)
+                if allowed is None:
+                    findings.append(
+                        module.finding(
+                            RULE,
+                            node,
+                            f"{symbol}() constructed in a module "
+                            "with no RNG allowlist entry",
+                            _HINT_ALLOWLIST,
+                        )
+                    )
+                elif symbol in (
+                    "SeedSequence",
+                    "default_rng",
+                ) and _is_argless(node):
+                    findings.append(
+                        module.finding(
+                            RULE,
+                            node,
+                            f"argless {symbol}() seeds from OS "
+                            "entropy even on an allowlisted site",
+                            _HINT_ENTROPY,
+                        )
+                    )
+        return findings

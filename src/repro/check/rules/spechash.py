@@ -1,0 +1,214 @@
+"""HASH001 — spec-hash completeness.
+
+``content_hash(spec)`` is the cache key and dedup identity for every
+scenario in a campaign.  If a spec dataclass grows a field that the
+hash payload does not see, two *different* scenarios collide — the
+cache silently returns results for the wrong spec.  This rule checks,
+statically, that:
+
+* every frozen ``*Spec`` dataclass in the spec module is registered
+  in ``_SPEC_TYPES`` (unregistered specs cannot be hashed at all);
+* the hash function's payload covers every dataclass field — either
+  wholesale via ``asdict(spec)`` (the current implementation) or, if
+  the payload ever becomes hand-rolled, by mentioning each field as
+  ``spec.<field>`` or a matching string key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from ..config import CheckConfig
+from ..context import Module, call_name
+from ..registry import register_rule
+
+RULE = "HASH001"
+
+_HINT_REGISTER = (
+    "register the class in _SPEC_TYPES so content_hash / "
+    "spec_to_json can see it"
+)
+_HINT_FIELD = (
+    "fold the field into the content_hash payload (asdict(spec) "
+    "covers all fields automatically)"
+)
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call) and call_name(deco) in (
+            "dataclass",
+            "dataclasses.dataclass",
+        ):
+            for kw in deco.keywords:
+                if (
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+        elif isinstance(deco, (ast.Name, ast.Attribute)):
+            if ast.unparse(deco).split(".")[-1] == "dataclass":
+                return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> List[str]:
+    names: List[str] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if isinstance(stmt.annotation, ast.Name) and (
+                stmt.annotation.id == "ClassVar"
+            ):
+                continue
+            if (
+                isinstance(stmt.annotation, ast.Subscript)
+                and isinstance(stmt.annotation.value, ast.Name)
+                and stmt.annotation.value.id == "ClassVar"
+            ):
+                continue
+            names.append(stmt.target.id)
+    return names
+
+
+def _registered_classes(
+    module: Module, registry_name: str
+) -> Optional[Set[str]]:
+    for node in ast.walk(module.tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == registry_name
+                and isinstance(node.value, ast.Dict)
+            ):
+                names = set()
+                for value in node.value.values:
+                    if isinstance(value, ast.Name):
+                        names.add(value.id)
+                return names
+    return None
+
+
+def _find_function(
+    module: Module, name: str
+) -> Optional[ast.FunctionDef]:
+    for node in module.tree.body:  # type: ignore[attr-defined]
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _covered_fields(func: ast.FunctionDef) -> Optional[Set[str]]:
+    """Fields the hash payload sees; None means "all" (asdict)."""
+    param = func.args.args[0].arg if func.args.args else ""
+    covered: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and call_name(node) in (
+            "asdict",
+            "dataclasses.asdict",
+        ):
+            args = node.args
+            if args and isinstance(args[0], ast.Name) and (
+                args[0].id == param
+            ):
+                return None
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+        ):
+            covered.add(node.attr)
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, str
+        ):
+            covered.add(node.value)
+    return covered
+
+
+@register_rule(
+    RULE,
+    title="spec-hash completeness",
+    rationale=(
+        "a spec field invisible to content_hash makes distinct "
+        "scenarios collide in the cache and dedup maps"
+    ),
+)
+class SpecHashRule:
+    def check(self, module: Module, config: CheckConfig) -> List:
+        if module.key != config.spec_module:
+            return []
+        findings: List = []
+        registered = _registered_classes(
+            module, config.spec_registry_name
+        )
+        spec_classes: Dict[str, ast.ClassDef] = {}
+        for node in module.tree.body:  # type: ignore[attr-defined]
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name.endswith("Spec")
+                and _is_frozen_dataclass(node)
+            ):
+                spec_classes[node.name] = node
+        if registered is None:
+            findings.append(
+                module.finding(
+                    RULE,
+                    module.tree.body[0] if module.tree.body else None,
+                    f"spec registry {config.spec_registry_name} not "
+                    "found as a dict literal",
+                    _HINT_REGISTER,
+                )
+            )
+            return findings
+        for name, node in sorted(spec_classes.items()):
+            if name not in registered:
+                findings.append(
+                    module.finding(
+                        RULE,
+                        node,
+                        f"spec dataclass {name} is not registered "
+                        f"in {config.spec_registry_name}; "
+                        "content_hash cannot identify it",
+                        _HINT_REGISTER,
+                    )
+                )
+        hash_func = _find_function(module, config.spec_hash_function)
+        if hash_func is None:
+            findings.append(
+                module.finding(
+                    RULE,
+                    module.tree.body[0] if module.tree.body else None,
+                    f"hash function {config.spec_hash_function} not "
+                    "found in spec module",
+                    _HINT_FIELD,
+                )
+            )
+            return findings
+        covered = _covered_fields(hash_func)
+        if covered is None:
+            return findings  # asdict(spec): all fields covered
+        for name, node in sorted(spec_classes.items()):
+            if name not in registered:
+                continue
+            for field_name in _dataclass_fields(node):
+                if field_name not in covered:
+                    findings.append(
+                        module.finding(
+                            RULE,
+                            node,
+                            f"field {name}.{field_name} never "
+                            "reaches the content_hash payload",
+                            _HINT_FIELD,
+                        )
+                    )
+        return findings

@@ -1,0 +1,168 @@
+"""VER001 — hot-path drift without a version bump.
+
+``KERNEL_VERSIONS`` and ``PROTOCOL_VERSION`` are folded into spec
+content hashes and wire messages so cached results and mixed-version
+fleets can never silently serve numbers computed by different code.
+That only works if the pins actually move when the code does.  This
+rule compares the normalized-AST digest of every pinned hot-path
+function against the checked-in manifest
+(``src/repro/check/hot_paths.json``) and fails when:
+
+* a pinned function body changed but the module's watched version
+  values did not ("bump the version");
+* a version was bumped (or a function added/removed) but the manifest
+  still records the old state ("refresh the manifest") — the manifest
+  must track the tree exactly, so the *next* unbumped edit is caught.
+
+``python -m repro check --manifest update`` regenerates the manifest;
+``--manifest verify`` runs just this rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import CheckConfig
+from ..context import Module
+from ..findings import Finding
+from ..manifest import (
+    diff_manifest,
+    load_manifest,
+    read_versions,
+)
+from ..registry import register_rule
+
+RULE = "VER001"
+
+_HINT_BUMP = (
+    "bump the matching KERNEL_VERSIONS / PROTOCOL_VERSION pin, then "
+    "run 'python -m repro check --manifest update'"
+)
+_HINT_REFRESH = "run 'python -m repro check --manifest update'"
+
+
+def _def_line(module: Module, qualname: str) -> int:
+    for name, node in module.functions():
+        if name == qualname:
+            return getattr(node, "lineno", 1)
+    return 1
+
+
+@register_rule(
+    RULE,
+    title="hot-path drift without a version bump",
+    rationale=(
+        "content hashes and the wire protocol embed version pins; a "
+        "hot-path edit without a bump lets stale caches and "
+        "mixed-version fleets serve wrong numbers"
+    ),
+)
+class VersionRule:
+    def check_project(
+        self, modules: Dict[str, Module], config: CheckConfig
+    ) -> List[Finding]:
+        if config.manifest_path is None:
+            return []
+        # Only meaningful when at least one versioned module is in
+        # the scan set (fixture scans of unrelated trees skip it).
+        scanned = [
+            key for key in config.versioned_modules if key in modules
+        ]
+        if not scanned:
+            return []
+        manifest = load_manifest(config.manifest_path)
+        if manifest is None:
+            return [
+                Finding(
+                    rule=RULE,
+                    path=str(config.manifest_path),
+                    line=0,
+                    col=1,
+                    message=(
+                        "hot-path manifest is missing; versioned "
+                        "modules cannot be drift-checked"
+                    ),
+                    hint=_HINT_REFRESH,
+                )
+            ]
+        findings: List[Finding] = []
+        current_versions = read_versions(modules, config)
+        drifts = diff_manifest(manifest, modules, config)
+        stale_modules = set()
+        for key, qualname, kind in drifts:
+            module = modules[key]
+            entry = manifest["modules"].get(key, {})
+            pinned_versions = entry.get("versions", {})
+            watched = config.versioned_modules.get(key, ())
+            bumped = any(
+                current_versions.get(k) != pinned_versions.get(k)
+                for k in watched
+            )
+            if kind == "changed" and not bumped:
+                findings.append(
+                    module.finding(
+                        RULE,
+                        _Node(_def_line(module, qualname)),
+                        f"hot-path function {qualname} changed but "
+                        "none of its version pins "
+                        f"({', '.join(watched)}) moved",
+                        _HINT_BUMP,
+                    )
+                )
+            else:
+                # bumped-but-stale, added, or removed: the manifest
+                # no longer matches the tree.
+                stale_modules.add((key, kind, qualname, bumped))
+        # A version bump with no digest change also leaves the
+        # manifest stale (it records the old pin values).
+        for key in scanned:
+            entry = manifest["modules"].get(key)
+            if entry is None:
+                stale_modules.add((key, "added", "<module>", False))
+                continue
+            pinned_versions = entry.get("versions", {})
+            for k in config.versioned_modules.get(key, ()):
+                if (
+                    k in current_versions
+                    and pinned_versions.get(k) != current_versions[k]
+                ):
+                    stale_modules.add((key, "version", k, True))
+        for key, kind, what, bumped in sorted(stale_modules):
+            module = modules[key]
+            if kind == "changed":
+                msg = (
+                    f"{what} changed and its version pin moved, but "
+                    "the manifest still records the old digest"
+                )
+            elif kind == "added":
+                msg = (
+                    f"hot-path function {what} is not pinned in the "
+                    "manifest"
+                )
+            elif kind == "removed":
+                msg = (
+                    f"pinned hot-path function {what} no longer "
+                    "exists"
+                )
+            else:
+                msg = (
+                    f"version pin '{what}' moved but the manifest "
+                    "records the old value"
+                )
+            line = (
+                _def_line(module, what)
+                if kind in ("changed", "added")
+                else 1
+            )
+            findings.append(
+                module.finding(RULE, _Node(line), msg, _HINT_REFRESH)
+            )
+        return findings
+
+
+class _Node:
+    """Minimal position carrier for Module.finding()."""
+
+    def __init__(self, lineno: int):
+        self.lineno = lineno
+        self.col_offset = 0

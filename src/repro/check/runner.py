@@ -1,0 +1,312 @@
+"""Orchestration: collect files, run rules, apply pragmas/baseline.
+
+:func:`run_check` is the library entry point (the CLI in
+:mod:`repro.check.cli` is a thin wrapper).  The pipeline:
+
+1. collect ``.py`` files under the given paths (sorted — the analyzer
+   obeys its own DET003);
+2. parse each into a :class:`~repro.check.context.Module`;
+3. run every enabled rule (per-module ``check`` hooks, then
+   project-wide ``check_project`` hooks such as VER001);
+4. drop findings suppressed by ``# repro: noqa[...]`` pragmas — a
+   pragma on a compound-statement header (``def``, ``with``, ``for``)
+   covers the whole statement body;
+5. drop findings matched by the baseline file, if one is configured;
+6. report unused pragmas and stale baseline entries as PRAGMA001 —
+   suppressions must never outlive what they suppress.
+"""
+
+from __future__ import annotations
+
+import ast
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SchedulingError
+from .baseline import apply_baseline, load_baseline
+from .config import CheckConfig, default_config
+from .context import Module, load_module
+from .findings import Finding
+from .registry import get_rule, known_rules
+
+__all__ = ["CheckReport", "run_check", "collect_files"]
+
+
+def collect_files(paths: Sequence) -> List[Path]:
+    """Every ``.py`` file under ``paths``, sorted, deduplicated."""
+    seen = set()
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            candidates = [p]
+        else:
+            raise SchedulingError(
+                f"not a python file or directory: {p}"
+            )
+        for c in candidates:
+            if "__pycache__" in c.parts:
+                continue
+            key = c.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(c)
+    return out
+
+
+@dataclass
+class CheckReport:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding]
+    files: int
+    rules: Tuple[str, ...]
+    wall_time_s: float
+    #: findings absorbed by the baseline (for --write-baseline flows)
+    baselined: int = 0
+    suppressed: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def to_json(self) -> Dict:
+        return {
+            "check_version": 1,
+            "files": self.files,
+            "rules": list(self.rules),
+            "counts": self.counts,
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "parse_errors": list(self.parse_errors),
+            "wall_time_s": round(self.wall_time_s, 3),
+        }
+
+    def render_text(self, *, hints: bool = False) -> str:
+        lines: List[str] = []
+        for err in self.parse_errors:
+            lines.append(f"error: {err}")
+        for f in self.findings:
+            lines.append(f.render(hints=hints))
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files} "
+            f"file(s) [{', '.join(self.rules)}] "
+            f"in {self.wall_time_s:.2f}s"
+        )
+        if self.suppressed:
+            summary += f"; {self.suppressed} pragma-suppressed"
+        if self.baselined:
+            summary += f"; {self.baselined} baselined"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Suppression
+# ----------------------------------------------------------------------
+def _pragma_spans(module: Module) -> Dict[int, Tuple[int, int]]:
+    """Pragma line -> (first, last) line it suppresses.
+
+    A trailing pragma covers its own line; on a compound-statement
+    header it covers the statement's full body.  A pragma on a
+    comment-only line attaches to the next statement (same rules), so
+    long flagged lines can carry their justification above.
+    """
+    compound_spans = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.stmt):
+            end = getattr(node, "end_lineno", None)
+            if end is not None:
+                prev = compound_spans.get(node.lineno)
+                if prev is None or end > prev:
+                    compound_spans[node.lineno] = end
+    spans: Dict[int, Tuple[int, int]] = {}
+    for line in module.pragmas:
+        anchor = line
+        if module.line_text(line).startswith("#"):
+            # Comment-only pragma: attach to the next code-bearing
+            # line (a statement, or an expression line inside one).
+            for candidate in range(line + 1, len(module.lines) + 1):
+                text = module.line_text(candidate)
+                if text and not text.startswith("#"):
+                    anchor = candidate
+                    break
+        spans[line] = (anchor, compound_spans.get(anchor, anchor))
+    return spans
+
+
+def _apply_pragmas(
+    modules: Dict[str, Module], findings: List[Finding]
+) -> Tuple[List[Finding], int, Dict[Tuple[str, int], int]]:
+    """Drop suppressed findings; count uses per (path, pragma line)."""
+    usage: Dict[Tuple[str, int], int] = {}
+    spans_by_path: Dict[str, Dict[int, Tuple[int, int]]] = {}
+    for module in modules.values():
+        spans_by_path[module.display_path] = _pragma_spans(module)
+        for line in module.pragmas:
+            usage[(module.display_path, line)] = 0
+    kept: List[Finding] = []
+    dropped = 0
+    for finding in findings:
+        module = None
+        for m in modules.values():
+            if m.display_path == finding.path:
+                module = m
+                break
+        suppressed = False
+        if module is not None and finding.rule != "PRAGMA001":
+            spans = spans_by_path[module.display_path]
+            for line, pragma in module.pragmas.items():
+                if pragma.problem or finding.rule not in pragma.rules:
+                    continue
+                lo, hi = spans[line]
+                if lo <= finding.line <= hi:
+                    usage[(module.display_path, line)] += 1
+                    suppressed = True
+                    break
+        if suppressed:
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped, usage
+
+
+def _unused_pragma_findings(
+    modules: Dict[str, Module],
+    usage: Dict[Tuple[str, int], int],
+    enabled: Iterable[str],
+) -> List[Finding]:
+    enabled = set(enabled)
+    findings: List[Finding] = []
+    for module in modules.values():
+        for line, pragma in sorted(module.pragmas.items()):
+            if pragma.problem:
+                continue  # already reported by PRAGMA001's check()
+            if not set(pragma.rules) <= enabled:
+                continue  # can't judge usage of a disabled rule
+            if usage.get((module.display_path, line), 0) == 0:
+                findings.append(
+                    Finding(
+                        rule="PRAGMA001",
+                        path=module.display_path,
+                        line=line,
+                        col=1,
+                        message=(
+                            "pragma suppresses nothing "
+                            f"({', '.join(pragma.rules)} reported no "
+                            "finding here); remove it"
+                        ),
+                        hint="stale suppressions hide real drift",
+                        line_text=module.line_text(line),
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_check(
+    paths: Sequence,
+    *,
+    config: Optional[CheckConfig] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline_path=None,
+) -> CheckReport:
+    """Run the analyzer over ``paths`` and return a report.
+
+    ``rules`` selects a subset of rule ids (default: all registered).
+    ``baseline_path`` overrides ``config.baseline_path``.
+    """
+    started = time.perf_counter()
+    config = config or default_config()
+    enabled = tuple(rules) if rules else tuple(known_rules())
+    unknown = [r for r in enabled if r not in known_rules()]
+    if unknown:
+        raise SchedulingError(
+            f"unknown rule id(s): {', '.join(unknown)}; "
+            f"known: {', '.join(known_rules())}"
+        )
+
+    files = collect_files(paths)
+    modules: Dict[str, Module] = {}
+    parse_errors: List[str] = []
+    for path in files:
+        try:
+            module = load_module(path)
+        except (SyntaxError, ValueError, OSError) as exc:
+            parse_errors.append(f"{path}: {exc}")
+            continue
+        modules[module.key] = module
+
+    findings: List[Finding] = []
+    instances = [get_rule(rule_id).factory() for rule_id in enabled]
+    for module in modules.values():
+        for rule in instances:
+            check = getattr(rule, "check", None)
+            if check is not None:
+                findings.extend(check(module, config))
+    for rule in instances:
+        project = getattr(rule, "check_project", None)
+        if project is not None:
+            findings.extend(project(modules, config))
+
+    findings, suppressed, usage = _apply_pragmas(modules, findings)
+
+    baselined = 0
+    stale_entries: List[Dict] = []
+    bl_path = baseline_path or config.baseline_path
+    if bl_path is not None:
+        entries = load_baseline(Path(bl_path))
+        if entries:
+            before = len(findings)
+            findings, stale_entries = apply_baseline(
+                findings, entries
+            )
+            baselined = before - len(findings)
+
+    if "PRAGMA001" in enabled:
+        findings.extend(
+            _unused_pragma_findings(modules, usage, enabled)
+        )
+        for entry in stale_entries:
+            findings.append(
+                Finding(
+                    rule="PRAGMA001",
+                    path=str(bl_path),
+                    line=0,
+                    col=1,
+                    message=(
+                        "stale baseline entry "
+                        f"{entry.get('fingerprint', '?')} "
+                        f"({entry.get('rule', '?')} in "
+                        f"{entry.get('path', '?')}) matches no "
+                        "finding; remove it"
+                    ),
+                    hint="a baseline must shrink, never rot",
+                )
+            )
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return CheckReport(
+        findings=findings,
+        files=len(files),
+        rules=enabled,
+        wall_time_s=time.perf_counter() - started,
+        baselined=baselined,
+        suppressed=suppressed,
+        parse_errors=parse_errors,
+    )

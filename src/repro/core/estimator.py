@@ -116,6 +116,8 @@ class HistoryEstimator(Estimator):
     def estimate(self, cand: Candidate) -> float:
         hist = self._hist.get((cand.graph_name, cand.node))
         if hist:
+            # repro: noqa[DET004] -- history is appended in simulation
+            # order, so the accumulation order is pinned by the trace
             total = sum(hist) / len(hist)
         else:
             total = self.default_factor * cand.wc_full

@@ -91,6 +91,8 @@ class CcEDF(FrequencySetter):
 
     # ------------------------------------------------------------------
     def utilization(self, view: SchedulerView) -> float:
+        # repro: noqa[DET004] -- view.graphs is an ordered sequence
+        # fixed at set construction; term order never varies
         return sum(
             self._wc.get(g.name, g.ptg.graph.total_wcet) / g.ptg.period
             for g in view.graphs

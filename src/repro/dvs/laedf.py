@@ -118,6 +118,8 @@ class LaEDF(FrequencySetter):
             # At (or numerically past) the earliest deadline with work
             # left: demand full speed.
             return 1.0
+        # repro: noqa[DET004] -- infos is built in task order above;
+        # the utilization sum is order-pinned
         u = sum(u_i for _, _, u_i, _ in infos)
         s = 0.0
         # Latest deadline first (reverse EDF).

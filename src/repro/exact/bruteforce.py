@@ -133,6 +133,8 @@ def optimal_one_shot(
                 f"actual cycles of {n!r} must be in (0, wcet], got {a}"
             )
         ac[n] = min(a, wc[n])
+    # repro: noqa[DET004] -- wc is an insertion-ordered dict keyed
+    # in graph node order; sum order is deterministic
     total_wc = sum(wc.values())
     if total_wc > deadline + 1e-9:
         raise SchedulingError(
@@ -194,5 +196,7 @@ def optimal_one_shot(
             done.discard(n)
             order.pop()
 
+    # repro: noqa[DET004] -- ac mirrors wc's insertion order (same
+    # node iteration); sum order is deterministic
     dfs(0.0, 0.0, total_wc, sum(ac.values()))
     return OptimalResult(best_order, best_energy, explored, pruned)

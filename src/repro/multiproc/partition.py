@@ -101,6 +101,8 @@ class MultiprocResult:
 
     @property
     def energy(self) -> float:
+        # repro: noqa[DET004] -- per_core results are ordered by core
+        # index; addition order is fixed
         return sum(r.energy for r in self.active())
 
     @property

@@ -64,6 +64,8 @@ class SpeedMix:
     fractions: Tuple[float, ...]
 
     def average_speed(self, f_max: float) -> float:
+        # repro: noqa[DET004] -- points/fractions are frozen tuples
+        # in menu order; term order never varies
         return sum(
             p.frequency / f_max * x
             for p, x in zip(self.points, self.fractions)

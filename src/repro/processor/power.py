@@ -82,6 +82,8 @@ class PowerModel:
 
     def mix_current(self, mix: SpeedMix) -> float:
         """Time-averaged battery current of a :class:`SpeedMix`."""
+        # repro: noqa[DET004] -- mix points/fractions are frozen
+        # tuples in menu order; term order never varies
         return sum(
             self.battery_current(p) * x
             for p, x in zip(mix.points, mix.fractions)

@@ -100,6 +100,8 @@ class JobState:
         nothing — its slack is visible immediately (the paper's
         Algorithm 1 / BAS view).
         """
+        # repro: noqa[DET004] -- node_names is the graph's frozen
+        # topological order; sum order is part of the trace contract
         return sum(
             self.remaining_wc_node(n)
             for n in self.graph.node_names
@@ -118,6 +120,8 @@ class JobState:
         """
         if self.is_complete():
             return 0.0
+        # repro: noqa[DET004] -- executed is insertion-ordered by
+        # first execution; the golden traces pin that order
         executed = sum(self.executed.values())
         return max(0.0, self.graph.total_wcet - executed)
 

@@ -110,7 +110,11 @@ class TaskGraph:
         self._graph = g
         # Frozen views computed once; the graph is immutable afterwards.
         self._topo_order: Tuple[str, ...] = tuple(nx.topological_sort(g))
-        self._total_wcet = float(sum(n.wcet for n in self._nodes.values()))
+        # repro: noqa[DET004] -- _nodes preserves construction order
+        # (validated topologically); WCET sum order is fixed
+        self._total_wcet = float(
+            sum(n.wcet for n in self._nodes.values())
+        )
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -123,6 +123,8 @@ class TaskGraphSet:
     @property
     def utilization(self) -> float:
         """Total worst-case utilization ``Σ WC_i / D_i`` (f_max = 1)."""
+        # repro: noqa[DET004] -- _graphs is the tuple passed at set
+        # construction; term order is fixed
         return sum(g.utilization for g in self._graphs)
 
     def hyperperiod(self) -> float:

@@ -129,6 +129,8 @@ def layered_dag(
     if not layers or any(w < 1 for w in layers):
         raise TaskGraphError(f"layers must be positive widths, got {layers!r}")
     gen = _rng(rng)
+    # repro: noqa[DET004] -- integer layer widths; the sum is exact
+    # regardless of order
     n = sum(layers)
     wcets = _uniform_wcets(gen, n, wcet_range)
     nodes = [TaskNode(f"t{i}", float(wcets[i])) for i in range(n)]

@@ -273,6 +273,8 @@ def paper_task_set(
     if menu.size == 0 or np.any(menu <= 0):
         raise TaskGraphError(f"bad period menu {period_menu!r}")
     periods = [float(rng.choice(menu)) for _ in graphs]
+    # repro: noqa[DET004] -- graphs/periods are generation-ordered
+    # lists; the utilization sum order is pinned by the seed
     u_raw = sum(g.total_wcet / p for g, p in zip(graphs, periods))
     factor = utilization / u_raw
     periodic = [

@@ -43,6 +43,14 @@ WORKER_FLAGS = [
 ]
 
 
+@pytest.fixture(autouse=True)
+def contract_locks(monkeypatch):
+    """Chaos runs with RACE001 runtime assertions on: every broker
+    lock-contract violation fails loudly instead of racing silently
+    (see repro.locks.ContractLock)."""
+    monkeypatch.setenv("REPRO_CONTRACT_LOCKS", "1")
+
+
 def chaos_specs(seed):
     return [
         ScenarioSpec(scheme=scheme, seed=s, **SPEC_KW)

@@ -52,6 +52,19 @@ class TestKernelVersioning:
         token = kernel_version_token()
         assert "engine=2" in token and "vector=2" in token
 
+    def test_hot_path_manifest_verifies_clean(self):
+        """`python -m repro check --manifest verify` (rule VER001):
+        the checked-in normalized-AST digests of every pinned hot-path
+        function must match the tree, so the version assertions above
+        cannot pass while the code they pin has silently drifted."""
+        from pathlib import Path
+
+        from repro.check import run_check
+
+        src = Path(__file__).resolve().parents[2] / "src"
+        report = run_check([src], rules=("VER001",))
+        assert report.ok, "\n" + report.render_text(hints=True)
+
     def test_constantload_spec_round_trips(self):
         spec = ConstantLoadSpec(
             battery="kibam", current=2.5, battery_seed=3

@@ -1,0 +1,51 @@
+"""Fixture helpers for the repro.check analyzer tests.
+
+Tests write tiny modules into a throwaway ``repro/`` tree and run the
+analyzer over it with a scoped rule subset.
+:func:`repro.check.config.module_key` canonicalizes paths to the same
+``repro/...`` keys the shipped configuration uses, so the real
+prefixes, allowlists, and exemptions apply to fixture files unchanged.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check.config import default_config
+from repro.check.runner import run_check
+
+#: The shipped source tree, independent of the pytest invocation cwd.
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class CheckTree:
+    """A throwaway ``repro/`` package tree for analyzer fixtures."""
+
+    def __init__(self, root: Path):
+        self.root = root / "repro"
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def write(self, relpath: str, source: str) -> Path:
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    def check(self, *, rules=None, config=None, baseline_path=None):
+        return run_check(
+            [self.root],
+            config=config or default_config(),
+            rules=rules,
+            baseline_path=baseline_path,
+        )
+
+    def findings(self, *, rules=None, config=None):
+        return self.check(rules=rules, config=config).findings
+
+
+@pytest.fixture
+def tree(tmp_path) -> CheckTree:
+    return CheckTree(tmp_path)

@@ -1,0 +1,186 @@
+"""VER001: normalized digests, drift detection, version-bump flow."""
+
+import ast
+import shutil
+from dataclasses import replace
+from pathlib import Path
+
+from repro.check.config import default_config
+from repro.check.manifest import (
+    build_manifest,
+    function_digest,
+    read_versions,
+    write_manifest,
+)
+from repro.check.context import load_module
+from repro.check.runner import run_check
+
+#: The shipped source tree, independent of the pytest invocation cwd.
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def digest_of(source: str, name: str = "f") -> str:
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return function_digest(node)
+    raise AssertionError(f"no def {name} in fixture")
+
+
+class TestFunctionDigest:
+    def test_comments_and_docstrings_are_invisible(self):
+        bare = "def f(x):\n    return x + 1\n"
+        decorated = (
+            "def f(x):\n"
+            '    """Adds one."""\n'
+            "    # a comment\n"
+            "    return x + 1\n"
+        )
+        assert digest_of(bare) == digest_of(decorated)
+
+    def test_formatting_is_invisible(self):
+        one = "def f(x):\n    return g(x, 1)\n"
+        two = "def f(x):\n    return g(\n        x,\n        1,\n    )\n"
+        assert digest_of(one) == digest_of(two)
+
+    def test_body_change_moves_the_digest(self):
+        assert digest_of("def f(x):\n    return x + 1\n") != digest_of(
+            "def f(x):\n    return x + 2\n"
+        )
+
+
+KERNELS_TMPL = """\
+\"\"\"Fixture kernel module.\"\"\"
+
+KERNEL_VERSIONS = {{"scalar": {version}}}
+
+
+def step(x):
+    return x + {delta}
+"""
+
+
+def fixture_config(manifest_path):
+    return replace(
+        default_config(),
+        versioned_modules={"repro/battery/kernels.py": ("scalar",)},
+        manifest_path=Path(manifest_path),
+    )
+
+
+def write_kernels(tree, *, version=1, delta="1.0"):
+    return tree.write(
+        "battery/kernels.py",
+        KERNELS_TMPL.format(version=version, delta=delta),
+    )
+
+
+def pin(tree, config):
+    path = tree.root / "battery" / "kernels.py"
+    module = load_module(path)
+    manifest = build_manifest({module.key: module}, config)
+    write_manifest(config.manifest_path, manifest)
+
+
+class TestVer001Drift:
+    def test_fresh_manifest_is_clean(self, tree, tmp_path):
+        config = fixture_config(tmp_path / "pins.json")
+        write_kernels(tree)
+        pin(tree, config)
+        report = tree.check(rules=("VER001",), config=config)
+        assert report.ok
+
+    def test_body_change_without_bump_fires(self, tree, tmp_path):
+        config = fixture_config(tmp_path / "pins.json")
+        write_kernels(tree, delta="1.0")
+        pin(tree, config)
+        write_kernels(tree, delta="2.0")  # same version: drift
+        found = tree.findings(rules=("VER001",), config=config)
+        assert len(found) == 1
+        assert "step changed" in found[0].message
+        assert "scalar" in found[0].message
+        assert "bump" in found[0].hint
+
+    def test_bump_plus_manifest_update_passes(self, tree, tmp_path):
+        config = fixture_config(tmp_path / "pins.json")
+        write_kernels(tree, version=1, delta="1.0")
+        pin(tree, config)
+        write_kernels(tree, version=2, delta="2.0")
+        # Bumped but the manifest still records the old state: VER001
+        # demands a refresh (else the *next* unbumped edit slips by)...
+        found = tree.findings(rules=("VER001",), config=config)
+        assert found and all(
+            "manifest" in f.message for f in found
+        )
+        assert not any("bump" in f.hint for f in found)
+        # ...and after the refresh the tree verifies clean.
+        pin(tree, config)
+        assert tree.check(rules=("VER001",), config=config).ok
+
+    def test_comment_only_edit_is_not_drift(self, tree, tmp_path):
+        config = fixture_config(tmp_path / "pins.json")
+        write_kernels(tree)
+        pin(tree, config)
+        path = tree.root / "battery" / "kernels.py"
+        path.write_text(
+            path.read_text().replace(
+                "def step(x):",
+                "def step(x):\n    # a comment, no semantics\n"
+                '    """Docstring, also no semantics."""',
+            )
+        )
+        assert tree.check(rules=("VER001",), config=config).ok
+
+    def test_missing_manifest_is_one_finding(self, tree, tmp_path):
+        config = fixture_config(tmp_path / "absent.json")
+        write_kernels(tree)
+        found = tree.findings(rules=("VER001",), config=config)
+        assert len(found) == 1
+        assert "missing" in found[0].message
+
+    def test_version_values_read_statically(self, tree, tmp_path):
+        config = fixture_config(tmp_path / "pins.json")
+        path = write_kernels(tree, version=7)
+        module = load_module(path)
+        versions = read_versions({module.key: module}, config)
+        assert versions == {"scalar": 7}
+
+
+class TestShippedManifest:
+    """The checked-in hot_paths.json must track the shipped tree."""
+
+    def test_shipped_tree_verifies_clean(self, tmp_path):
+        report = run_check(
+            [SRC], config=default_config(), rules=("VER001",)
+        )
+        assert report.ok, [f.render() for f in report.findings]
+
+    def test_copied_tree_with_new_hot_path_fires(self, tmp_path):
+        # Simulate drift in a scratch copy of the real pinned module:
+        # a new function in kernels.py is a hot path the manifest does
+        # not pin, so VER001 must demand a manifest refresh.
+        root = tmp_path / "repro"
+        for rel in (
+            "battery/kernels.py",
+            "sim/engine.py",
+            "sim/vector.py",
+            "campaign/distributed/protocol.py",
+        ):
+            dst = root / rel
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(SRC / "repro" / rel, dst)
+        clean = run_check(
+            [root], config=default_config(), rules=("VER001",)
+        )
+        assert clean.ok
+        kernels = root / "battery" / "kernels.py"
+        kernels.write_text(
+            kernels.read_text()
+            + "\n\ndef _hotfix(x):\n    return x * 2.0\n"
+        )
+        found = run_check(
+            [root], config=default_config(), rules=("VER001",)
+        ).findings
+        assert len(found) == 1
+        assert "_hotfix" in found[0].message
+        assert "not pinned" in found[0].message

@@ -1,0 +1,63 @@
+"""Pragma parsing: syntax, mandatory justification, token-exactness."""
+
+from repro.check.pragmas import scan_pragmas
+
+
+class TestScanPragmas:
+    def test_well_formed_trailing_pragma(self):
+        src = "x = 1  # repro: noqa[DET004] -- tuple in task order\n"
+        pragmas = scan_pragmas(src)
+        assert list(pragmas) == [1]
+        p = pragmas[1]
+        assert p.rules == ("DET004",)
+        assert p.justification == "tuple in task order"
+        assert p.problem == ""
+
+    def test_multiple_rules(self):
+        src = "y = 2  # repro: noqa[DET002,DET003] -- telemetry only\n"
+        p = scan_pragmas(src)[1]
+        assert p.rules == ("DET002", "DET003")
+        assert p.problem == ""
+
+    def test_alternate_separators(self):
+        for sep in ("--", "-", ":"):
+            src = f"z = 3  # repro: noqa[DET001] {sep} seeded upstream\n"
+            p = scan_pragmas(src)[1]
+            assert p.problem == "", sep
+            assert p.justification == "seeded upstream", sep
+
+    def test_missing_rule_list_is_a_problem(self):
+        p = scan_pragmas("a = 1  # repro: noqa -- because\n")[1]
+        assert "must name the suppressed rule" in p.problem
+
+    def test_missing_justification_is_a_problem(self):
+        p = scan_pragmas("a = 1  # repro: noqa[DET001]\n")[1]
+        assert "justification" in p.problem
+
+    def test_comment_only_line_parses(self):
+        src = (
+            "# repro: noqa[DET002] -- lease clock, never hashed\n"
+            "t = clock()\n"
+        )
+        pragmas = scan_pragmas(src)
+        assert list(pragmas) == [1]
+        assert pragmas[1].rules == ("DET002",)
+
+    def test_marker_inside_string_is_not_a_pragma(self):
+        src = 's = "# repro: noqa[DET001] -- not a real pragma"\n'
+        assert scan_pragmas(src) == {}
+
+    def test_marker_inside_docstring_is_not_a_pragma(self):
+        src = (
+            "def f():\n"
+            '    """Example::\n'
+            "\n"
+            "        # repro: noqa[DET004] -- doc example\n"
+            '    """\n'
+            "    return 1\n"
+        )
+        assert scan_pragmas(src) == {}
+
+    def test_garbled_source_yields_no_pragmas(self):
+        # tokenize failure must degrade to "no pragmas", not raise.
+        assert scan_pragmas('x = "unterminated\n') == {}

@@ -1,0 +1,289 @@
+"""Good/bad fixtures for the four determinism rules (DET001-DET004)."""
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestDet001Rng:
+    def test_stdlib_random_import_and_call_flagged(self, tree):
+        tree.write(
+            "sim/bad_rng.py",
+            """\
+            import random
+
+            def draw():
+                return random.random()
+            """,
+        )
+        found = tree.findings(rules=("DET001",))
+        assert rules_of(found) == ["DET001", "DET001"]
+        assert "stdlib" in found[0].message
+
+    def test_from_random_import_flagged(self, tree):
+        tree.write(
+            "sim/bad_from.py",
+            "from random import shuffle\n",
+        )
+        assert len(tree.findings(rules=("DET001",))) == 1
+
+    def test_legacy_np_random_module_call_flagged(self, tree):
+        tree.write(
+            "sim/bad_legacy.py",
+            """\
+            import numpy as np
+
+            def draw(n):
+                return np.random.rand(n)
+            """,
+        )
+        found = tree.findings(rules=("DET001",))
+        assert len(found) == 1
+        assert "legacy" in found[0].message
+
+    def test_unallowlisted_constructor_flagged(self, tree):
+        tree.write(
+            "sim/bad_ctor.py",
+            """\
+            from numpy.random import default_rng
+
+            def make(seed):
+                return default_rng(seed)
+            """,
+        )
+        found = tree.findings(rules=("DET001",))
+        # one for the import, one for the construction site
+        assert rules_of(found) == ["DET001", "DET001"]
+
+    def test_allowlisted_seeded_site_is_clean(self, tree):
+        # repro/workloads/generator.py has allowlist entries for both
+        # SeedSequence and default_rng in the shipped configuration.
+        tree.write(
+            "workloads/generator.py",
+            """\
+            from numpy.random import SeedSequence, default_rng
+
+            def streams(seed, n):
+                seq = SeedSequence(seed)
+                return [default_rng(c) for c in seq.spawn(n)]
+            """,
+        )
+        assert tree.findings(rules=("DET001",)) == []
+
+    def test_argless_constructor_flagged_even_when_allowlisted(
+        self, tree
+    ):
+        tree.write(
+            "workloads/generator.py",
+            """\
+            from numpy.random import default_rng
+
+            def entropy():
+                return default_rng()
+            """,
+        )
+        found = tree.findings(rules=("DET001",))
+        assert len(found) == 1
+        assert "OS" in found[0].message
+
+    def test_default_rng_none_counts_as_argless(self, tree):
+        tree.write(
+            "workloads/generator.py",
+            """\
+            from numpy.random import default_rng
+
+            def entropy():
+                return default_rng(None)
+            """,
+        )
+        assert len(tree.findings(rules=("DET001",))) == 1
+
+
+class TestDet002Clock:
+    BAD = """\
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+    def test_wallclock_in_deterministic_module_flagged(self, tree):
+        tree.write("sim/clocky.py", self.BAD)
+        found = tree.findings(rules=("DET002",))
+        assert len(found) == 1
+        assert "time.time" in found[0].message
+
+    def test_from_import_alias_flagged(self, tree):
+        tree.write(
+            "core/bench.py",
+            """\
+            from time import perf_counter as tick
+
+            def lap():
+                return tick()
+            """,
+        )
+        assert len(tree.findings(rules=("DET002",))) == 1
+
+    def test_datetime_now_flagged(self, tree):
+        tree.write(
+            "analysis/report.py",
+            """\
+            import datetime
+
+            def today():
+                return datetime.datetime.now()
+            """,
+        )
+        assert len(tree.findings(rules=("DET002",))) == 1
+
+    def test_module_outside_contract_is_exempt(self, tree):
+        # repro/<top-level>.py matches no deterministic prefix.
+        tree.write("timing_tools.py", self.BAD)
+        assert tree.findings(rules=("DET002",)) == []
+
+    def test_wallclock_modules_exempt_wholesale(self, tree):
+        # faults.py is lease/injection machinery: clock code by nature.
+        tree.write("faults.py", self.BAD)
+        assert tree.findings(rules=("DET002",)) == []
+
+
+class TestDet003Ordering:
+    def test_glob_in_for_loop_flagged(self, tree):
+        tree.write(
+            "campaign/scan.py",
+            """\
+            def walk(root):
+                out = []
+                for path in root.glob("*.json"):
+                    out.append(path)
+                return out
+            """,
+        )
+        found = tree.findings(rules=("DET003",))
+        assert len(found) == 1
+        assert ".glob()" in found[0].message
+
+    def test_sorted_glob_is_clean(self, tree):
+        tree.write(
+            "campaign/scan.py",
+            """\
+            def walk(root):
+                return [p for p in sorted(root.glob("*.json"))]
+            """,
+        )
+        assert tree.findings(rules=("DET003",)) == []
+
+    def test_listdir_into_list_flagged(self, tree):
+        tree.write(
+            "campaign/ls.py",
+            """\
+            import os
+
+            def names(d):
+                return list(os.listdir(d))
+            """,
+        )
+        assert len(tree.findings(rules=("DET003",))) == 1
+
+    def test_set_iteration_flagged(self, tree):
+        tree.write(
+            "core/dedup.py",
+            """\
+            def uniq(items):
+                return [x for x in set(items)]
+            """,
+        )
+        assert len(tree.findings(rules=("DET003",))) == 1
+
+    def test_order_free_reduction_is_clean(self, tree):
+        tree.write(
+            "campaign/count.py",
+            """\
+            def n_entries(root):
+                return sum(1 for _ in root.glob("*.json"))
+
+            def total(items):
+                return max(set(items))
+            """,
+        )
+        assert tree.findings(rules=("DET003",)) == []
+
+    def test_extend_from_iterdir_flagged(self, tree):
+        tree.write(
+            "campaign/sweep.py",
+            """\
+            def gather(root, out):
+                out.extend(root.iterdir())
+            """,
+        )
+        found = tree.findings(rules=("DET003",))
+        assert len(found) == 1
+        assert ".extend()" in found[0].message
+
+    def test_set_comprehension_result_stays_unordered(self, tree):
+        # unordered in, unordered out: no order was ever pinned.
+        tree.write(
+            "core/keys.py",
+            """\
+            def keys(pairs):
+                return {k for k in set(pairs)}
+            """,
+        )
+        assert tree.findings(rules=("DET003",)) == []
+
+
+class TestDet004FloatSum:
+    def test_float_sum_in_bit_identity_module_flagged(self, tree):
+        tree.write(
+            "sim/agg.py",
+            """\
+            def energy(values):
+                return sum(values)
+            """,
+        )
+        found = tree.findings(rules=("DET004",))
+        assert len(found) == 1
+        assert "sum()" in found[0].message
+
+    def test_fsum_flagged(self, tree):
+        tree.write(
+            "battery/acc.py",
+            """\
+            import math
+
+            def energy(values):
+                return math.fsum(values)
+            """,
+        )
+        found = tree.findings(rules=("DET004",))
+        assert len(found) == 1
+        assert "fsum" in found[0].message
+
+    def test_integral_reductions_are_clean(self, tree):
+        tree.write(
+            "sim/counts.py",
+            """\
+            def n_ready(tasks):
+                return sum(1 for t in tasks if t.ready)
+
+            def total_len(rows):
+                return sum(len(r) for r in rows)
+
+            def arithmetic(n):
+                return sum(range(n))
+            """,
+        )
+        assert tree.findings(rules=("DET004",)) == []
+
+    def test_campaign_layer_is_outside_bit_identity(self, tree):
+        # campaign/ is deterministic (DET002) but not bit-identity:
+        # it aggregates dicts, it does not accumulate pinned floats.
+        tree.write(
+            "campaign/stats.py",
+            """\
+            def mean(values):
+                return sum(values) / len(values)
+            """,
+        )
+        assert tree.findings(rules=("DET004",)) == []

@@ -1,0 +1,209 @@
+"""Good/bad fixtures for RACE001 (lock discipline) and HASH001
+(spec-hash completeness)."""
+
+
+class TestRace001:
+    def test_unguarded_mutation_flagged(self, tree):
+        tree.write(
+            "campaign/box.py",
+            """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.items = []
+
+                def add(self, x):
+                    self.items.append(x)
+            """,
+        )
+        found = tree.findings(rules=("RACE001",))
+        assert len(found) == 1
+        assert "Box.add" in found[0].message
+        assert "self.items" in found[0].message
+
+    def test_with_lock_is_clean(self, tree):
+        tree.write(
+            "campaign/box.py",
+            """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.items = []
+
+                def add(self, x):
+                    with self.lock:
+                        self.items.append(x)
+
+                def drain(self):
+                    with self.lock:
+                        out = list(self.items)
+                        self.items = []
+                    return out
+            """,
+        )
+        assert tree.findings(rules=("RACE001",)) == []
+
+    def test_assert_held_contract_is_clean(self, tree):
+        tree.write(
+            "campaign/box.py",
+            """\
+            from repro.locks import assert_held, contract_lock
+
+            class Box:
+                def __init__(self):
+                    self.lock = contract_lock("box")
+                    self.items = []
+
+                def add(self, x):
+                    assert_held(self.lock)
+                    self.items.append(x)
+            """,
+        )
+        assert tree.findings(rules=("RACE001",)) == []
+
+    def test_unguarded_read_of_mutated_attr_flagged(self, tree):
+        tree.write(
+            "campaign/ctr.py",
+            """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.count = 0
+
+                def bump(self):
+                    with self.lock:
+                        self.count += 1
+
+                def peek(self):
+                    return self.count
+            """,
+        )
+        found = tree.findings(rules=("RACE001",))
+        assert len(found) == 1
+        assert "Counter.peek" in found[0].message
+
+    def test_class_without_lock_is_out_of_scope(self, tree):
+        tree.write(
+            "campaign/plain.py",
+            """\
+            class Plain:
+                def __init__(self):
+                    self.items = []
+
+                def add(self, x):
+                    self.items.append(x)
+            """,
+        )
+        assert tree.findings(rules=("RACE001",)) == []
+
+    def test_never_mutated_config_attr_is_exempt(self, tree):
+        tree.write(
+            "campaign/cfg.py",
+            """\
+            import threading
+
+            class Runner:
+                def __init__(self, poll):
+                    self.lock = threading.Lock()
+                    self.poll = poll
+                    self.done = threading.Event()
+
+                def wait(self):
+                    self.done.wait(self.poll)
+            """,
+        )
+        assert tree.findings(rules=("RACE001",)) == []
+
+
+SPEC_HEADER = """\
+from dataclasses import asdict, dataclass
+"""
+
+GOOD_SPEC = (
+    SPEC_HEADER
+    + """
+@dataclass(frozen=True)
+class AlphaSpec:
+    seed: int
+    scale: float = 1.0
+
+
+_SPEC_TYPES = {"alpha": AlphaSpec}
+
+
+def content_hash(spec):
+    return str(asdict(spec))
+"""
+)
+
+
+class TestHash001:
+    def test_asdict_payload_is_clean(self, tree):
+        tree.write("campaign/spec.py", GOOD_SPEC)
+        assert tree.findings(rules=("HASH001",)) == []
+
+    def test_unregistered_spec_class_flagged(self, tree):
+        tree.write(
+            "campaign/spec.py",
+            GOOD_SPEC
+            + """
+
+@dataclass(frozen=True)
+class BetaSpec:
+    seed: int
+""",
+        )
+        found = tree.findings(rules=("HASH001",))
+        assert len(found) == 1
+        assert "BetaSpec" in found[0].message
+
+    def test_hand_rolled_payload_missing_field_flagged(self, tree):
+        tree.write(
+            "campaign/spec.py",
+            SPEC_HEADER
+            + """
+@dataclass(frozen=True)
+class AlphaSpec:
+    seed: int
+    scale: float = 1.0
+
+
+_SPEC_TYPES = {"alpha": AlphaSpec}
+
+
+def content_hash(spec):
+    return f"{spec.seed}"
+""",
+        )
+        found = tree.findings(rules=("HASH001",))
+        assert len(found) == 1
+        assert "AlphaSpec.scale" in found[0].message
+
+    def test_missing_registry_flagged(self, tree):
+        tree.write(
+            "campaign/spec.py",
+            SPEC_HEADER
+            + """
+@dataclass(frozen=True)
+class AlphaSpec:
+    seed: int
+
+
+def content_hash(spec):
+    return str(asdict(spec))
+""",
+        )
+        found = tree.findings(rules=("HASH001",))
+        assert len(found) == 1
+        assert "_SPEC_TYPES" in found[0].message
+
+    def test_rule_only_fires_on_the_spec_module(self, tree):
+        # The same source elsewhere is not the spec registry.
+        tree.write("campaign/other.py", GOOD_SPEC)
+        assert tree.findings(rules=("HASH001",)) == []

@@ -1,0 +1,232 @@
+"""Runner orchestration: pragma suppression, baselines, CLI, and the
+self-check — the shipped tree must pass its own analyzer."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.check import run_check
+from repro.check.baseline import write_baseline
+from repro.check.cli import main as check_main
+from repro.check.config import default_config
+from repro.check.registry import known_rules
+
+#: The shipped source tree, independent of the pytest invocation cwd.
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+FLAGGED = """\
+def energy(values):
+    return sum(values)
+"""
+
+SUPPRESSED = """\
+def energy(values):
+    # values is a tuple built in task order; += order preserved
+    return sum(values)  # repro: noqa[DET004] -- task-order tuple
+"""
+
+
+class TestPragmaSuppression:
+    def test_trailing_pragma_suppresses_the_line(self, tree):
+        tree.write("sim/agg.py", SUPPRESSED)
+        report = tree.check(rules=("DET004", "PRAGMA001"))
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_header_pragma_covers_the_body(self, tree):
+        tree.write(
+            "sim/agg.py",
+            """\
+            def energy(values):  # repro: noqa[DET004] -- task order
+                total = sum(values)
+                return total + sum(values)
+            """,
+        )
+        report = tree.check(rules=("DET004", "PRAGMA001"))
+        assert report.ok
+        assert report.suppressed == 2
+
+    def test_comment_only_pragma_covers_next_code_line(self, tree):
+        tree.write(
+            "sim/agg.py",
+            """\
+            def energy(values):
+                # repro: noqa[DET004] -- tuple built in task order
+                return sum(values)
+            """,
+        )
+        assert tree.check(rules=("DET004", "PRAGMA001")).ok
+
+    def test_unused_pragma_is_a_finding(self, tree):
+        tree.write(
+            "sim/agg.py",
+            "x = 1  # repro: noqa[DET004] -- suppresses nothing\n",
+        )
+        found = tree.findings(rules=("DET004", "PRAGMA001"))
+        assert [f.rule for f in found] == ["PRAGMA001"]
+        assert "suppresses nothing" in found[0].message
+
+    def test_unjustified_pragma_is_a_finding(self, tree):
+        tree.write("sim/agg.py", FLAGGED[:-1] + "  # repro: noqa[DET004]\n")
+        found = tree.findings(rules=("DET004", "PRAGMA001"))
+        # The malformed pragma suppresses nothing, so the DET004
+        # finding survives alongside the PRAGMA001 report.
+        assert sorted(f.rule for f in found) == ["DET004", "PRAGMA001"]
+
+    def test_unknown_rule_in_pragma_is_a_finding(self, tree):
+        tree.write(
+            "sim/agg.py",
+            "x = 1  # repro: noqa[NOPE999] -- mystery\n",
+        )
+        found = tree.findings(rules=("PRAGMA001",))
+        assert len(found) == 1
+        assert "NOPE999" in found[0].message
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tree):
+        tree.write(
+            "sim/agg.py",
+            "def energy(v):\n"
+            "    return sum(v)  # repro: noqa[DET002] -- wrong rule\n",
+        )
+        found = tree.findings(rules=("DET004",))
+        assert [f.rule for f in found] == ["DET004"]
+
+
+class TestBaseline:
+    def test_baseline_absorbs_known_findings(self, tree, tmp_path):
+        tree.write("sim/agg.py", FLAGGED)
+        baseline = tmp_path / "baseline.json"
+        first = tree.check(rules=("DET004",))
+        assert len(first.findings) == 1
+        write_baseline(baseline, first.findings)
+        second = tree.check(
+            rules=("DET004", "PRAGMA001"), baseline_path=baseline
+        )
+        assert second.ok
+        assert second.baselined == 1
+
+    def test_stale_baseline_entry_is_a_finding(self, tree, tmp_path):
+        tree.write("sim/agg.py", FLAGGED)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(
+            baseline, tree.check(rules=("DET004",)).findings
+        )
+        tree.write("sim/agg.py", "def energy(values):\n    pass\n")
+        report = tree.check(
+            rules=("DET004", "PRAGMA001"), baseline_path=baseline
+        )
+        assert [f.rule for f in report.findings] == ["PRAGMA001"]
+        assert "stale baseline entry" in report.findings[0].message
+
+    def test_baseline_is_multiplicity_aware(self, tree, tmp_path):
+        tree.write("sim/agg.py", FLAGGED)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(
+            baseline, tree.check(rules=("DET004",)).findings
+        )
+        # A second identical line needs a second baseline entry.
+        tree.write("sim/agg.py", FLAGGED + "\n\n" + FLAGGED)
+        report = tree.check(
+            rules=("DET004",), baseline_path=baseline
+        )
+        assert len(report.findings) == 1
+        assert report.baselined == 1
+
+
+class TestSelfCheck:
+    """Acceptance: the shipped tree passes its own analyzer."""
+
+    def test_src_is_clean_under_all_rules(self):
+        report = run_check([SRC], config=default_config())
+        assert report.ok, "\n" + report.render_text(hints=True)
+        assert report.files > 90
+        assert set(report.rules) == set(known_rules())
+
+    def test_every_suppression_in_src_is_justified(self):
+        # PRAGMA001 runs in the self-check above, so a pragma missing
+        # its justification would already fail; this asserts the
+        # analyzer actually exercised suppressions (the shipped tree
+        # relies on pragmas, it is not trivially clean).
+        report = run_check([SRC], config=default_config())
+        assert report.suppressed >= 30
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        tree.write("sim/ok.py", "def f():\n    return 1\n")
+        assert check_main([str(tree.root)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_render(self, tree, capsys):
+        tree.write("sim/agg.py", FLAGGED)
+        assert check_main([str(tree.root)]) == 1
+        out = capsys.readouterr().out
+        assert "DET004" in out
+        assert "sim/agg.py:2" in out
+
+    def test_fix_hints_add_guidance(self, tree, capsys):
+        tree.write("sim/agg.py", FLAGGED)
+        check_main([str(tree.root), "--fix-hints"])
+        assert "fix:" in capsys.readouterr().out
+
+    def test_json_format_and_out_file(self, tree, tmp_path, capsys):
+        tree.write("sim/agg.py", FLAGGED)
+        out_file = tmp_path / "report.json"
+        code = check_main(
+            [str(tree.root), "--format", "json", "--out", str(out_file)]
+        )
+        assert code == 1
+        stdout_report = json.loads(capsys.readouterr().out)
+        file_report = json.loads(out_file.read_text())
+        assert stdout_report["counts"] == {"DET004": 1}
+        assert file_report["counts"] == {"DET004": 1}
+        assert file_report["findings"][0]["rule"] == "DET004"
+
+    def test_rules_subset(self, tree, capsys):
+        tree.write("sim/agg.py", FLAGGED)
+        assert check_main([str(tree.root), "--rules", "DET002"]) == 0
+
+    def test_unknown_rule_is_usage_error(self, tree, capsys):
+        assert check_main([str(tree.root), "--rules", "NOPE"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert check_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in known_rules():
+            assert rule in out
+
+    def test_write_baseline_then_clean(self, tree, tmp_path, capsys):
+        tree.write("sim/agg.py", FLAGGED)
+        baseline = tmp_path / "bl.json"
+        assert (
+            check_main(
+                [
+                    str(tree.root),
+                    "--baseline",
+                    str(baseline),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        assert (
+            check_main([str(tree.root), "--baseline", str(baseline)])
+            == 0
+        )
+
+    def test_manifest_verify_runs_only_ver001(self, capsys):
+        assert check_main([str(SRC), "--manifest", "verify"]) == 0
+        assert "[VER001]" in capsys.readouterr().out
+
+    def test_module_entry_point_dispatches(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=str(SRC.parent),
+        )
+        assert proc.returncode == 0
+        assert "DET001" in proc.stdout
